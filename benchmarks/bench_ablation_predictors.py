@@ -1,0 +1,108 @@
+"""ABL-PREDICT — predictor design-space sweeps beyond Fig. 8.
+
+Sweeps the knobs the paper grid-searched (k, one-hot scale, weighting)
+plus the kriging extension, quantifying each design choice's effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart
+from repro.core.predictors import (
+    IdwRegressor,
+    KnnRegressor,
+    MeanPerMacBaseline,
+    OrdinaryKrigingRegressor,
+    rmse,
+)
+
+
+def _score(model, preprocessed):
+    model.fit(preprocessed.train)
+    return rmse(preprocessed.test.rssi_dbm, model.predict(preprocessed.test))
+
+
+def test_k_sweep(benchmark, preprocessed):
+    """RMSE vs neighbor count for the scaled-one-hot k-NN."""
+
+    def sweep():
+        return {
+            k: _score(KnnRegressor(n_neighbors=k, onehot_scale=3.0), preprocessed)
+            for k in (1, 2, 4, 8, 16, 32, 64)
+        }
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("=== RMSE vs k (one-hot x3, distance weights) ===")
+    print(bar_chart({f"k={k}": v for k, v in scores.items()}, unit=" dBm", precision=3))
+    # Averaging must beat memorization on noisy RSS: k=16 < k=1.
+    assert scores[16] < scores[1]
+    baseline = _score(MeanPerMacBaseline(), preprocessed)
+    assert scores[16] < baseline
+
+
+def test_onehot_scale_sweep(benchmark, preprocessed):
+    """RMSE vs one-hot scale (the paper's factor-3 design choice)."""
+
+    def sweep():
+        return {
+            scale: _score(
+                KnnRegressor(n_neighbors=16, onehot_scale=scale), preprocessed
+            )
+            for scale in (0.0, 0.5, 1.0, 3.0, 10.0)
+        }
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("=== RMSE vs one-hot scale (k=16) ===")
+    print(bar_chart({f"x{s:g}": v for s, v in scores.items()}, unit=" dBm", precision=3))
+    # Mixing MACs freely (scale 0) must hurt badly.
+    assert scores[0.0] > scores[3.0]
+    # Paper's factor 3 is near-optimal: within 0.25 dB of the sweep's best.
+    assert scores[3.0] < min(scores.values()) + 0.25
+
+
+def test_weighting_ablation(benchmark, preprocessed):
+    """Uniform vs distance weighting (grid-search outcome in §III-B)."""
+
+    def sweep():
+        return {
+            weights: _score(
+                KnnRegressor(n_neighbors=16, onehot_scale=3.0, weights=weights),
+                preprocessed,
+            )
+            for weights in ("uniform", "distance")
+        }
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("=== RMSE by weighting scheme ===")
+    print(bar_chart(scores, unit=" dBm", precision=3))
+    assert scores["distance"] <= scores["uniform"] + 0.1
+
+
+def test_interpolator_family(benchmark, preprocessed):
+    """The extension interpolators vs the paper's best k-NN."""
+
+    def run():
+        return {
+            "ordinary-kriging": _score(
+                OrdinaryKrigingRegressor(n_neighbors=16), preprocessed
+            ),
+            "idw-p2": _score(IdwRegressor(power=2.0), preprocessed),
+            "idw-p4": _score(IdwRegressor(power=4.0), preprocessed),
+        }
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    knn_rmse = _score(KnnRegressor(n_neighbors=16, onehot_scale=3.0), preprocessed)
+    baseline = _score(MeanPerMacBaseline(), preprocessed)
+    scores["knn-onehot3-k16"] = knn_rmse
+    scores["baseline"] = baseline
+    print()
+    print("=== interpolator family (held-out RMSE) ===")
+    print(bar_chart(scores, unit=" dBm", precision=3))
+    assert scores["ordinary-kriging"] < baseline
+    assert scores["idw-p2"] < baseline
+    # Kriging should be competitive with the best k-NN (within 0.5 dB).
+    assert abs(scores["ordinary-kriging"] - knn_rmse) < 0.5

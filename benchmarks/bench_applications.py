@@ -1,0 +1,110 @@
+"""Downstream REM applications (§I motivations), quantified.
+
+The paper motivates REMs with localization, relay placement and
+network planning.  These benches measure the generated REM doing those
+jobs: fingerprinting localization accuracy and dark-region analysis,
+plus the end-to-end radio-shutdown ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_rem, evaluate_fingerprinting
+from repro.core.fingerprinting import FingerprintLocalizer
+from repro.core.predictors import KnnRegressor
+from repro.station import (
+    CampaignConfig,
+    ClientConfig,
+    Mission,
+    WaypointPlan,
+    plan_demo_mission,
+    run_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_rem(campaign_result, preprocessed):
+    counts = preprocessed.dataset.samples_per_mac()
+    top_macs = sorted(counts, key=counts.get, reverse=True)[:12]
+    model = KnnRegressor(n_neighbors=16, onehot_scale=3.0).fit(preprocessed.train)
+    return build_rem(
+        model,
+        preprocessed.dataset,
+        campaign_result.scenario.flight_volume,
+        resolution_m=0.3,
+        macs=top_macs,
+    )
+
+
+def test_fingerprint_localization(benchmark, campaign_result, campaign_rem):
+    """§I use case: the REM as a fingerprinting database."""
+    localizer = FingerprintLocalizer(campaign_rem)
+    rng = np.random.default_rng(23)
+
+    evaluation = benchmark.pedantic(
+        lambda: evaluate_fingerprinting(
+            localizer,
+            campaign_result.scenario.environment,
+            campaign_result.scenario.flight_volume,
+            rng,
+            n_queries=80,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"fingerprinting over {localizer.database_size} reference points: "
+        f"mean {evaluation.mean_error_m:.2f} m, median "
+        f"{evaluation.median_error_m:.2f} m, p95 {evaluation.p95_error_m:.2f} m"
+    )
+    # Better than blind guessing in a 3.7 x 3.2 x 2.1 m volume (~1.9 m).
+    assert evaluation.mean_error_m < 1.6
+
+
+def test_coverage_analysis(benchmark, campaign_rem):
+    """§I use case: coverage and dark-region queries on the REM."""
+
+    def analyse():
+        return {
+            threshold: campaign_rem.dark_fraction(threshold)
+            for threshold in (-80.0, -70.0, -60.0, -50.0, -40.0)
+        }
+
+    fractions = benchmark(analyse)
+    print()
+    print("=== dark-volume fraction vs service threshold ===")
+    for threshold, fraction in fractions.items():
+        print(f"  {threshold:6.0f} dBm -> {fraction:6.1%}")
+    values = list(fractions.values())
+    assert values == sorted(values), "dark fraction must grow with the threshold"
+
+
+def test_radio_shutdown_ablation(benchmark, demo_scenario):
+    """ABL-RADIO end-to-end: the same mission with the radio left on."""
+    full = plan_demo_mission(demo_scenario)
+    conf, plan = full.assignments[0]
+    mission = Mission()
+    mission.add(conf, WaypointPlan(waypoints=plan.waypoints[:6]))
+
+    def run_both():
+        clean = run_campaign(scenario=demo_scenario, mission=mission)
+        jammed = run_campaign(
+            scenario=demo_scenario,
+            mission=mission,
+            config=CampaignConfig(client=ClientConfig(disable_radio_shutdown=True)),
+        )
+        return clean, jammed
+
+    clean, jammed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    clean_samples = clean.reports[0].samples_collected
+    jammed_samples = jammed.reports[0].samples_collected
+    print()
+    print(
+        f"6-waypoint mission: {clean_samples} samples with radio-off scans, "
+        f"{jammed_samples} with the radio left on "
+        f"({1 - jammed_samples / clean_samples:.0%} lost to self-interference)"
+    )
+    assert jammed_samples < clean_samples

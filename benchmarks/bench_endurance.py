@@ -1,0 +1,50 @@
+"""TXT-ENDUR — the §III-A endurance protocol.
+
+Paper: 36 scans over 6 min 12 s hovering at 1 m with 8 TWR anchors,
+8-second scan period, ~2 s scans, until erratic behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.station import run_endurance_test
+
+
+def test_endurance_protocol(benchmark):
+    """Run the endurance protocol to battery-erratic; check §III-A."""
+    result = benchmark.pedantic(run_endurance_test, rounds=1, iterations=1)
+
+    print()
+    print(
+        f"endurance: {result.scans_completed} scans in {result.minutes_seconds} "
+        f"(paper: 36 scans in 6 min 12 s); "
+        f"battery at {result.battery_remaining_fraction:.1%}"
+    )
+    assert 30 <= result.scans_completed <= 42
+    assert 330 <= result.time_to_erratic_s <= 420
+
+
+def test_endurance_scan_interval_sweep(benchmark):
+    """Ablation: scan cadence vs endurance (more scans drain faster)."""
+
+    def sweep():
+        return {
+            interval: run_endurance_test(scan_interval_s=interval)
+            for interval in (4.0, 8.0, 16.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for interval, result in sorted(results.items()):
+        print(
+            f"scan every {interval:4.0f} s -> {result.scans_completed:3d} scans, "
+            f"{result.time_to_erratic_s:5.0f} s endurance"
+        )
+    # Scanning more often must not extend flight time.
+    assert (
+        results[4.0].time_to_erratic_s
+        <= results[16.0].time_to_erratic_s + 20.0
+    )
+    # More frequent scanning yields more scans per flight.
+    assert results[4.0].scans_completed > results[16.0].scans_completed

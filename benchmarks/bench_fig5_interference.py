@@ -1,0 +1,73 @@
+"""FIG5 — Crazyradio self-interference (paper Fig. 5).
+
+Regenerates the mean detected-APs-per-channel table for the radio off
+and each of the six Crazyradio frequencies, and benchmarks the scan
+path under interference.  Shape assertions: the radio-off setting
+detects strictly more APs than any radio-on setting (ABL-RADIO).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import FIG5_FREQUENCIES_MHZ, figure5, render_figure5
+from repro.link import Crazyradio, RadioConfig
+from repro.wifi import ChannelSweepScanner
+
+
+@pytest.fixture(scope="module")
+def fig5_result(demo_scenario):
+    return figure5(scenario=demo_scenario, scans_per_setting=3)
+
+
+def test_fig5_series(benchmark, demo_scenario, fig5_result):
+    """Reproduce Fig. 5 and benchmark one interference-laden scan."""
+    environment = demo_scenario.environment
+    radio = Crazyradio(environment, RadioConfig(freq_mhz=2450.0))
+    radio.turn_on()
+    scanner = ChannelSweepScanner(environment)
+    rng = np.random.default_rng(7)
+    position = demo_scenario.flight_volume.center
+
+    benchmark(lambda: scanner.scan(position, rng, duration_s=3.0))
+    radio.turn_off()
+
+    print()
+    print("=== Fig. 5: mean APs per channel (3 scans per setting) ===")
+    print(render_figure5(fig5_result))
+
+    off_total = fig5_result.total("off")
+    for freq in FIG5_FREQUENCIES_MHZ:
+        on_total = fig5_result.total(f"{freq:.0f} MHz")
+        assert on_total < off_total, (
+            f"radio at {freq} MHz should degrade scans ({on_total} vs {off_total})"
+        )
+
+
+def test_fig5_interference_floor_sweep(benchmark, demo_scenario):
+    """ABL-RADIO: per-channel floor rise across the Crazyradio range."""
+    environment = demo_scenario.environment
+    radio = Crazyradio(environment, RadioConfig())
+
+    def sweep():
+        rows = []
+        for freq in FIG5_FREQUENCIES_MHZ:
+            radio.set_frequency(freq)
+            radio.turn_on()
+            floors = [environment.interference_floor_dbm(c) for c in range(1, 14)]
+            radio.turn_off()
+            rows.append((freq, floors))
+        return rows
+
+    rows = benchmark(sweep)
+    thermal = environment.thermal_floor_dbm()
+    print()
+    print("=== effective noise floor rise (dB over thermal) per channel ===")
+    for freq, floors in rows:
+        rises = [f - thermal for f in floors]
+        print(
+            f"{freq:6.0f} MHz: "
+            + " ".join(f"{r:5.1f}" for r in rises)
+        )
+        assert min(rises) > 0.0

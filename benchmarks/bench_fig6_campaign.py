@@ -1,0 +1,72 @@
+"""FIG6 + TXT-CAMPAIGN — samples per UAV/location and campaign stats.
+
+Regenerates Fig. 6 (samples per UAV and scanned location) and the
+§III-A in-text statistics; benchmarks the full 2-UAV campaign.
+Shape assertions: UAV A collects more than UAV B; totals and
+distinct-MAC/SSID counts land near the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import campaign_stats, figure6, table
+from repro.station import CampaignConfig, run_campaign
+
+
+def test_fig6_samples_per_location(benchmark, campaign_result):
+    """Reproduce Fig. 6 from the session campaign; bench the analysis."""
+    fig6 = benchmark(lambda: figure6(campaign_result))
+
+    print()
+    print("=== Fig. 6: samples per UAV and scanned location ===")
+    for uav, rows in fig6.per_location.items():
+        counts = [count for _, count, _ in sorted(rows)]
+        print(f"{uav}: total={sum(counts)}")
+        print("  " + " ".join(f"{c:3d}" for c in counts))
+
+    totals = fig6.totals()
+    assert totals["UAV-A"] > totals["UAV-B"], "UAV A must out-collect UAV B"
+    for uav, rows in fig6.per_location.items():
+        assert len(rows) == 36, f"{uav} must have scanned 36 locations"
+        counts = [count for _, count, _ in rows]
+        assert min(counts) > 5, "every location must yield samples"
+
+
+def test_campaign_statistics(benchmark, campaign_result):
+    """TXT-CAMPAIGN: §III-A statistics, paper values alongside."""
+    stats = benchmark(lambda: campaign_stats(campaign_result))
+
+    paper = stats.PAPER
+    print()
+    print("=== §III-A campaign statistics: measured vs paper ===")
+    rows = [
+        ["total samples", stats.total_samples, paper["total_samples"]],
+        ["samples UAV A", stats.samples_by_uav.get("UAV-A"), paper["samples_uav_a"]],
+        ["samples UAV B", stats.samples_by_uav.get("UAV-B"), paper["samples_uav_b"]],
+        ["distinct MACs", stats.distinct_macs, paper["distinct_macs"]],
+        ["distinct SSIDs", stats.distinct_ssids, paper["distinct_ssids"]],
+        ["mean RSS (dBm)", f"{stats.mean_rss_dbm:.1f}", paper["mean_rss_dbm"]],
+        [
+            "UAV A active (s)",
+            f"{stats.active_time_by_uav.get('UAV-A', 0):.0f}",
+            paper["active_time_a_s"],
+        ],
+        [
+            "UAV B active (s)",
+            f"{stats.active_time_by_uav.get('UAV-B', 0):.0f}",
+            paper["active_time_b_s"],
+        ],
+    ]
+    print(table(["metric", "measured", "paper"], rows))
+
+    assert 0.8 * paper["total_samples"] < stats.total_samples < 1.25 * paper["total_samples"]
+    assert 0.8 * paper["distinct_macs"] < stats.distinct_macs < 1.2 * paper["distinct_macs"]
+    assert abs(stats.mean_rss_dbm - paper["mean_rss_dbm"]) < 6.0
+
+
+def test_campaign_runtime(benchmark):
+    """Benchmark the full sequential 2-UAV campaign end to end."""
+    result = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    assert len(result.log) > 2000

@@ -1,0 +1,45 @@
+"""FIG7 — histograms of samples per 0.5 m bin along x and y.
+
+Regenerates Fig. 7 and asserts the paper's spatial trends: sample
+counts increase with increasing x and decrease with increasing y
+(toward/away from the building center).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure7, render_figure7
+
+
+def test_fig7_histograms(benchmark, campaign_result):
+    """Reproduce Fig. 7 from the session campaign; bench the binning."""
+    fig7 = benchmark(lambda: figure7(campaign_result, bin_width_m=0.5))
+
+    print()
+    print("=== Fig. 7: samples per 0.5 m bin ===")
+    print(render_figure7(fig7))
+
+    assert fig7.increasing_in_x(), "sample mass must rise toward +x"
+    assert fig7.decreasing_in_y(), "sample mass must fall toward +y"
+    assert fig7.x_histogram.total == len(campaign_result.log)
+    assert fig7.y_histogram.total == len(campaign_result.log)
+
+
+def test_fig7_bin_width_sensitivity(benchmark, campaign_result):
+    """The trend must not be an artifact of the 0.5 m bin choice.
+
+    Bins wider than the waypoint-column spacing (~0.9 m in y) alias
+    whole columns into shared bins, so the sweep stays at or below it.
+    """
+
+    def sweep():
+        return {
+            width: figure7(campaign_result, bin_width_m=width)
+            for width in (0.25, 0.4, 0.5, 0.75)
+        }
+
+    results = benchmark(sweep)
+    for width, fig7 in results.items():
+        assert fig7.increasing_in_x(), f"x-trend lost at bin width {width}"
+        assert fig7.decreasing_in_y(), f"y-trend lost at bin width {width}"

@@ -1,0 +1,86 @@
+"""FIG8 + TXT-PREPROC — RMSE of every RSS predictor (paper Fig. 8).
+
+Regenerates the full model comparison on the campaign dataset:
+baseline (mean per MAC), the k-NN variants, the neural network, and
+the kriging extension.  Shape assertions (the paper's ladder):
+
+* the baseline is the worst of the evaluated models;
+* the scaled-one-hot k-NN (k=16) is the best of the paper's models;
+* the neural network lands between them;
+* preprocessing retains ~95 % of samples (paper: 2565 of 2696).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PAPER_FIG8_RMSE, figure8, render_figure8
+from repro.core.predictors import KnnRegressor, rmse
+from repro.core.preprocessing import preprocess
+
+
+@pytest.fixture(scope="module")
+def fig8_result(campaign_result):
+    return figure8(campaign_result.log)
+
+
+def test_fig8_model_comparison(benchmark, campaign_result, preprocessed, fig8_result):
+    """Reproduce Fig. 8; benchmark the winning model's fit+predict."""
+
+    def fit_and_score():
+        model = KnnRegressor(n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0)
+        model.fit(preprocessed.train)
+        return rmse(preprocessed.test.rssi_dbm, model.predict(preprocessed.test))
+
+    best_rmse = benchmark(fit_and_score)
+
+    print()
+    print("=== Fig. 8: RMSE of prediction for different models ===")
+    print(render_figure8(fig8_result))
+
+    r = fig8_result.rmse_dbm
+    assert fig8_result.ladder_matches_paper(), f"ladder mismatch: {r}"
+    paper_models = {k: v for k, v in r.items() if k != "ordinary-kriging"}
+    assert max(paper_models, key=paper_models.get) == "baseline-mean-per-mac"
+    assert min(paper_models, key=paper_models.get) == "knn-onehot3-k16"
+    # Magnitudes within ~1.5 dB of the paper's values.
+    assert abs(r["baseline-mean-per-mac"] - PAPER_FIG8_RMSE["baseline-mean-per-mac"]) < 1.5
+    assert abs(r["knn-onehot3-k16"] - PAPER_FIG8_RMSE["knn-onehot3-k16"]) < 1.5
+    assert best_rmse < r["baseline-mean-per-mac"]
+
+
+def test_preprocessing_stats(benchmark, campaign_result):
+    """TXT-PREPROC: the <16-samples-per-MAC filter (paper: 131 dropped)."""
+    result = benchmark(lambda: preprocess(campaign_result.log))
+
+    total = len(campaign_result.log)
+    print()
+    print(
+        f"retained {result.retained_samples}/{total} samples "
+        f"({result.dropped_samples} dropped across {result.dropped_macs} rare MACs); "
+        f"paper: 2565/2696 (131 dropped)"
+    )
+    drop_fraction = result.dropped_samples / total
+    assert 0.005 < drop_fraction < 0.12
+    assert result.dropped_macs > 0
+
+
+def test_fig8_grid_search(benchmark, preprocessed):
+    """The §III-B hyper-parameter grid search (weights/metric/k)."""
+    from repro.core.predictors import ParamGrid, grid_search
+
+    grid = ParamGrid(
+        n_neighbors=[3, 16], weights=["uniform", "distance"], p=[1.0, 2.0]
+    )
+
+    result = benchmark.pedantic(
+        lambda: grid_search(KnnRegressor(), preprocessed.train, grid, k_folds=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== grid search ranking (CV RMSE) ===")
+    for cv in result.ranking():
+        print(f"  {cv.params} -> {cv.mean_rmse:.4f} ± {cv.std_rmse:.4f}")
+    # Distance weighting must win over uniform, as in the paper.
+    assert result.best_params["weights"] == "distance"

@@ -1,0 +1,108 @@
+"""Future-work extensions (§IV): Lighthouse, REM density, fleet scaling.
+
+Not paper figures — these quantify the directions the paper names:
+Lighthouse positioning replacing UWB, the fundamental density limit of
+3-D REMs, and fleet partitioning strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import table
+from repro.core import density_sweep
+from repro.station import evaluate_partition, partition_waypoints, waypoint_grid
+from repro.uwb import (
+    LocalizationMode,
+    corner_layout,
+    evaluate_hovering_accuracy,
+    evaluate_lighthouse_hovering,
+)
+
+
+def test_lighthouse_vs_uwb(benchmark, demo_scenario):
+    """§IV: 'comparable precision, while requiring less anchors'."""
+    volume = demo_scenario.flight_volume
+    hover = (1.87, 1.6, 1.0)
+    rng = np.random.default_rng(9)
+
+    lighthouse_error = benchmark.pedantic(
+        lambda: evaluate_lighthouse_hovering(volume, hover, np.random.default_rng(9)),
+        rounds=1,
+        iterations=1,
+    )
+    layout = corner_layout(volume)
+    uwb6 = evaluate_hovering_accuracy(
+        layout.subset(6), LocalizationMode.TWR, hover, rng
+    )
+    uwb8 = evaluate_hovering_accuracy(layout, LocalizationMode.TDOA, hover, rng)
+
+    print()
+    print("=== localization backends (hovering mean error) ===")
+    print(
+        table(
+            ["backend", "infrastructure", "mean error (cm)"],
+            [
+                ["Lighthouse (optical)", "2 base stations", f"{lighthouse_error*100:.1f}"],
+                ["UWB TWR", "6 anchors", f"{uwb6.mean_error_m*100:.1f}"],
+                ["UWB TDoA", "8 anchors", f"{uwb8.mean_error_m*100:.1f}"],
+            ],
+        )
+    )
+    assert lighthouse_error < uwb6.mean_error_m
+
+
+def test_rem_density_curve(benchmark, campaign_result):
+    """§IV: RMSE vs number of scan locations (the density limit)."""
+    counts = [3, 6, 12, 24, 40, 54]
+
+    result = benchmark.pedantic(
+        lambda: density_sweep(campaign_result.log, location_counts=counts, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    locations, rmses = result.as_series()
+    print()
+    print("=== held-out RMSE vs training scan locations ===")
+    for n, r in zip(locations, rmses):
+        print(f"  {n:3d} locations -> {r:.3f} dBm")
+    knee = result.knee_locations(tolerance_db=0.2)
+    print(f"density knee (within 0.2 dB of best): {knee} locations")
+
+    assert rmses[0] > rmses[-1], "sparse sampling must be worse than dense"
+    assert knee <= max(counts)
+
+
+def test_fleet_partition_strategies(benchmark, demo_scenario):
+    """Scalability: partition strategies vs the endurance envelope."""
+    grid = waypoint_grid(demo_scenario.flight_volume)
+
+    def sweep():
+        reports = {}
+        for strategy in ("axis-y", "axis-x", "layers-z", "kmeans"):
+            for n_uavs in (1, 2, 3):
+                plan = partition_waypoints(grid, n_uavs=n_uavs, strategy=strategy)
+                reports[(strategy, n_uavs)] = evaluate_partition(plan)
+        return reports
+
+    reports = benchmark(sweep)
+    print()
+    print("=== fleet partitions: duration vs endurance ===")
+    rows = []
+    for (strategy, n_uavs), report in sorted(reports.items()):
+        rows.append(
+            [
+                strategy,
+                n_uavs,
+                f"{max(report.per_uav_duration_s):.0f}",
+                f"{report.endurance_budget_s:.0f}",
+                "yes" if report.feasible else "NO",
+            ]
+        )
+    print(table(["strategy", "uavs", "max flight (s)", "budget (s)", "feasible"], rows))
+
+    # One UAV cannot cover 72 waypoints on one battery — the reason the
+    # paper flies a two-UAV fleet sequentially.
+    assert not reports[("axis-y", 1)].feasible
+    assert reports[("axis-y", 2)].feasible

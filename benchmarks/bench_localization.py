@@ -1,0 +1,82 @@
+"""TXT-LOC + ABL-ANCHORS — UWB localization accuracy.
+
+Paper §II-B: ~9 cm hovering accuracy with 6 anchors (Chekuri & Won);
+at least 6 anchors advised; TDoA slightly better than TWR and able to
+serve multiple tags.  The bench sweeps anchor count × mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import table
+from repro.uwb import LocalizationMode, corner_layout, evaluate_hovering_accuracy
+
+
+@pytest.fixture(scope="module")
+def sweep_results(demo_scenario):
+    layout = corner_layout(demo_scenario.flight_volume)
+    rng = np.random.default_rng(17)
+    hover = (1.87, 1.6, 1.0)
+    results = {}
+    for mode in (LocalizationMode.TWR, LocalizationMode.TDOA):
+        for count in (4, 5, 6, 7, 8):
+            results[(mode, count)] = evaluate_hovering_accuracy(
+                layout.subset(count), mode, hover, rng, duration_s=12.0
+            )
+    return results
+
+
+def test_localization_accuracy_sweep(benchmark, demo_scenario, sweep_results):
+    """ABL-ANCHORS table; bench one full hovering evaluation."""
+    layout = corner_layout(demo_scenario.flight_volume)
+    rng = np.random.default_rng(3)
+
+    benchmark(
+        lambda: evaluate_hovering_accuracy(
+            layout.subset(6), LocalizationMode.TWR, (1.87, 1.6, 1.0), rng,
+            duration_s=6.0,
+        )
+    )
+
+    print()
+    print("=== hovering localization accuracy (mean / p95, cm) ===")
+    rows = []
+    for (mode, count), result in sorted(sweep_results.items()):
+        rows.append(
+            [
+                mode,
+                count,
+                f"{result.mean_error_m * 100:.1f}",
+                f"{result.p95_error_m * 100:.1f}",
+            ]
+        )
+    print(table(["mode", "anchors", "mean cm", "p95 cm"], rows))
+
+    # Paper anchor: ~9 cm with 6 anchors (TWR, hovering).
+    twr6 = sweep_results[(LocalizationMode.TWR, 6)]
+    assert 0.04 < twr6.mean_error_m < 0.15
+
+    # More anchors help (4 -> 8 must not degrade).
+    for mode in (LocalizationMode.TWR, LocalizationMode.TDOA):
+        four = sweep_results[(mode, 4)].mean_error_m
+        eight = sweep_results[(mode, 8)].mean_error_m
+        assert eight <= four * 1.2
+
+
+def test_annotation_error_in_campaign(benchmark, campaign_result):
+    """Location annotation error of the actual campaign samples."""
+
+    def stats():
+        errors = np.asarray(campaign_result.log.annotation_error_m())
+        return float(errors.mean()), float(np.percentile(errors, 95))
+
+    mean_error, p95_error = benchmark(stats)
+    print()
+    print(
+        f"sample annotation error: mean {mean_error * 100:.1f} cm, "
+        f"p95 {p95_error * 100:.1f} cm (decimeter-level claim: §II-B)"
+    )
+    assert mean_error < 0.12
+    assert p95_error < 0.25

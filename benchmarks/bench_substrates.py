@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artifact — these guard the simulation's own performance:
+event-kernel throughput, propagation queries, EKF steps, k-NN predict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import KnnRegressor
+from repro.sim import Simulator, Timeout, spawn
+from repro.uwb import LocalizationMode, PositionEstimator, corner_layout
+from repro.wifi import ChannelSweepScanner
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule+fire 10k events."""
+
+    def run():
+        sim = Simulator()
+        counter = {"fired": 0}
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, lambda: counter.__setitem__("fired", counter["fired"] + 1))
+        sim.run()
+        return counter["fired"]
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_process_switching_throughput(benchmark):
+    """10 processes x 1k timeouts."""
+
+    def run():
+        sim = Simulator()
+        done = []
+
+        def worker():
+            for _ in range(1000):
+                yield Timeout(0.001)
+            done.append(True)
+
+        for _ in range(10):
+            spawn(sim, worker())
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 10
+
+
+def test_mean_rss_query_rate(benchmark, demo_scenario):
+    """Mean-RSS evaluation across the whole AP population."""
+    env = demo_scenario.environment
+    position = demo_scenario.flight_volume.center
+
+    def run():
+        return sum(env.mean_rss_dbm(ap, position) for ap in env.access_points)
+
+    total = benchmark(run)
+    assert np.isfinite(total)
+
+
+def test_full_scan_latency(benchmark, demo_scenario):
+    """One full 13-channel sweep."""
+    scanner = ChannelSweepScanner(demo_scenario.environment)
+    rng = np.random.default_rng(0)
+    report = benchmark(lambda: scanner.scan((1.5, 1.5, 1.0), rng, 3.0))
+    assert len(report) > 10
+
+
+def test_ekf_step_rate(benchmark, demo_scenario):
+    """One second of TDoA filtering (25 batches)."""
+    layout = corner_layout(demo_scenario.flight_volume)
+    rng = np.random.default_rng(0)
+
+    def run():
+        estimator = PositionEstimator(
+            layout, mode=LocalizationMode.TDOA, initial_position=(1.8, 1.6, 1.0)
+        )
+        for _ in range(25):
+            estimator.step(0.04, (1.8, 1.6, 1.0), rng)
+        return estimator.position
+
+    position = benchmark(run)
+    assert np.isfinite(position).all()
+
+
+def test_knn_predict_throughput(benchmark, preprocessed):
+    """Predict the full test split with the paper's best model."""
+    model = KnnRegressor(n_neighbors=16, onehot_scale=3.0).fit(preprocessed.train)
+
+    predictions = benchmark(lambda: model.predict(preprocessed.test))
+    assert len(predictions) == len(preprocessed.test)

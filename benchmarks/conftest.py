@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one of the paper's figures/tables and prints the
+reproduced series (run with ``-s`` to see them alongside the timings).
+The expensive artifacts (the full campaign) are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preprocessing import preprocess
+from repro.radio import build_demo_scenario
+from repro.station import run_campaign
+
+
+@pytest.fixture(scope="session")
+def demo_scenario():
+    """The default demo scenario."""
+    return build_demo_scenario()
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    """One full 2-UAV campaign shared by the figure benches."""
+    return run_campaign()
+
+
+@pytest.fixture(scope="session")
+def preprocessed(campaign_result):
+    """Preprocessed campaign data."""
+    return preprocess(campaign_result.log)

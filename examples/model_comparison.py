@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Model comparison on campaign data: the paper's Fig. 8, reproduced.
+
+Runs (or loads) a campaign, applies the §III-B preprocessing, tunes the
+k-NN by grid search, trains every estimator family, and prints the RMSE
+ladder next to the paper's published values.
+
+Usage::
+
+    python examples/model_comparison.py [campaign.csv]
+"""
+
+import sys
+
+from repro.analysis import figure8, render_figure8
+from repro.core import DEFAULT_KNN_GRID, preprocess
+from repro.core.predictors import KnnRegressor, grid_search
+from repro.station import SampleLog, run_campaign
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        print(f"loading samples from {sys.argv[1]}...")
+        log = SampleLog.load_csv(sys.argv[1])
+    else:
+        print("no CSV given — flying a fresh campaign (simulated)...")
+        log = run_campaign().log
+
+    prep = preprocess(log)
+    print(
+        f"\npreprocessing: {prep.retained_samples} retained, "
+        f"{prep.dropped_samples} dropped over {prep.dropped_macs} rare MACs "
+        f"(paper: 2565 retained, 131 dropped)"
+    )
+
+    print("\ngrid-searching the k-NN hyper-parameters (4-fold CV)...")
+    search = grid_search(KnnRegressor(), prep.train, DEFAULT_KNN_GRID)
+    print(f"winner: {search.best_params}")
+    for cv in search.ranking()[:5]:
+        print(f"  {cv.params} -> {cv.mean_rmse:.4f} dBm")
+
+    print("\nscoring all estimator families on the held-out test set...")
+    result = figure8(log)
+    print()
+    print(render_figure8(result))
+
+    name, value = result.best()
+    print()
+    print(f"best estimator: {name} at {value:.4f} dBm")
+    print(f"ladder matches the paper: {result.ladder_matches_paper()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Technology-agnostic REM sampling: Wi-Fi and BLE on the same UAV stack.
+
+§II-A claims any receiver of suitable size/weight integrates through
+the four-instruction driver.  This example carries the BLE observer on
+the simulated Crazyflie and runs the identical firmware scan task —
+radio-off window, CRTP result streaming, location annotation — on a
+second technology, then builds a small BLE REM.
+
+Usage::
+
+    python examples/multi_technology.py
+"""
+
+import numpy as np
+
+from repro import build_demo_scenario
+from repro.core import REMDataset, build_rem
+from repro.core.predictors import KnnRegressor
+from repro.link import Crazyradio, CrazyradioLink, RadioConfig
+from repro.sim import Simulator, Timeout, spawn
+from repro.uav import Crazyflie, FirmwareConfig, UavConfig
+from repro.uav import app_protocol as proto
+from repro.uwb import corner_layout
+from repro.wifi import BleObserverModule, BleReceiverDriver, generate_ble_population
+
+
+def main() -> None:
+    scenario = build_demo_scenario()
+    rng = np.random.default_rng(21)
+    devices = generate_ble_population(
+        14, rng, center=(2.0, 1.0, 1.0), spread_m=(4.0, 3.5, 1.5)
+    )
+    print(f"BLE population: {len(devices)} advertisers near the flat")
+
+    sim = Simulator()
+    firmware = FirmwareConfig.paper_modified()
+    radio = Crazyradio(scenario.environment, RadioConfig())
+    link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=firmware.crtp_tx_queue_size)
+    module = BleObserverModule(scenario.environment, devices, rng)
+    uav = Crazyflie(
+        sim,
+        scenario.environment,
+        corner_layout(scenario.flight_volume),
+        link,
+        firmware,
+        scenario.streams.fork("ble-demo"),
+        config=UavConfig(name="BLE-UAV", start_position=(0.3, 0.3, 0.0)),
+        receiver_module=module,
+        receiver_driver=BleReceiverDriver(module),
+    )
+
+    waypoints = scenario.flight_volume.grid(3, 3, 2, margin=0.4)
+    samples = []
+
+    def pilot():
+        radio.turn_on()
+        link.station_send(proto.encode(proto.Takeoff(0.5)))
+        yield Timeout(2.0)
+        for waypoint in waypoints:
+            elapsed = 0.0
+            while elapsed < 4.0:
+                link.station_send(proto.encode(proto.Goto(*waypoint)))
+                yield Timeout(0.2)
+                elapsed += 0.2
+            link.station_send(proto.encode(proto.StartScan()))
+            yield Timeout(0.15)
+            radio.turn_off()
+            yield Timeout(3.5)
+            radio.turn_on()
+            for packet in link.station_poll():
+                message = proto.decode(packet)
+                if isinstance(message, proto.ScanRecordMsg):
+                    samples.append((tuple(waypoint), message))
+        link.station_send(proto.encode(proto.Land()))
+        yield Timeout(2.0)
+        radio.turn_off()
+
+    spawn(sim, pilot())
+    sim.run()
+
+    print(f"collected {len(samples)} BLE samples over {len(waypoints)} waypoints")
+    macs = sorted({m.mac for _, m in samples})
+    names = sorted({m.ssid for _, m in samples})
+    print(f"observed {len(macs)} devices: {', '.join(names[:6])}...")
+
+    # Build a small BLE REM with the same ML machinery.
+    vocabulary = tuple(macs)
+    index = {mac: i for i, mac in enumerate(vocabulary)}
+    positions = np.array([p for p, _ in samples])
+    dataset = REMDataset(
+        positions=positions,
+        mac_indices=np.array([index[m.mac] for _, m in samples]),
+        channels=np.array([1 for _ in samples]),
+        rssi_dbm=np.array([float(m.rssi_dbm) for _, m in samples]),
+        mac_vocabulary=vocabulary,
+    )
+    model = KnnRegressor(n_neighbors=8, onehot_scale=3.0).fit(dataset)
+    rem = build_rem(model, dataset, scenario.flight_volume, resolution_m=0.5,
+                    macs=vocabulary[:3])
+    center = tuple(scenario.flight_volume.center)
+    print()
+    print("BLE REM queries at the room center:")
+    for mac in rem.macs:
+        print(f"  {mac}: {rem.query(center, mac):6.1f} dBm")
+    print()
+    print("same toolchain, different radio technology — §II-A holds.")
+
+
+if __name__ == "__main__":
+    main()

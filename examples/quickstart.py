@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a fine-grained 3-D indoor REM in one call.
+
+Runs the full toolchain of the paper — a simulated 2-UAV measurement
+campaign in the demo apartment, preprocessing, model fitting, and REM
+construction — then queries the map.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ToolchainConfig, generate_rem
+
+
+def main() -> None:
+    print("Flying the 72-waypoint demo campaign (simulated)...")
+    result = generate_rem(
+        config=ToolchainConfig(tune_hyperparameters=False, rem_resolution_m=0.25)
+    )
+
+    summary = result.summary()
+    print()
+    print(f"samples collected : {summary['samples']:.0f}")
+    print(f"samples retained  : {summary['retained']:.0f}")
+    print(f"test RMSE         : {summary['test_rmse_dbm']:.2f} dBm")
+    print(f"APs mapped        : {summary['rem_macs']:.0f}")
+
+    rem = result.rem
+    center = tuple(result.scenario.flight_volume.center)
+    mac, rss = rem.strongest_ap(center)
+    print()
+    print(f"strongest AP at the room center: {mac} at {rss:.1f} dBm")
+
+    print()
+    print("predicted RSS of that AP along the room diagonal:")
+    sx, sy, sz = result.scenario.flight_volume.size
+    for t in (0.1, 0.3, 0.5, 0.7, 0.9):
+        point = (t * sx, t * sy, t * sz)
+        print(
+            f"  ({point[0]:.2f}, {point[1]:.2f}, {point[2]:.2f}) -> "
+            f"{rem.query(point, mac):6.1f} dBm"
+        )
+
+    dark = rem.dark_fraction(-70.0)
+    print()
+    print(f"volume fraction with no AP above -70 dBm: {dark:.1%}")
+
+
+if __name__ == "__main__":
+    main()

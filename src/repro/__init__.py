@@ -1,0 +1,64 @@
+"""repro — reproduction of "Small UAVs-supported Autonomous Generation
+of Fine-grained 3D Indoor Radio Environmental Maps" (ICDCS 2022).
+
+The package rebuilds the paper's full toolchain on a discrete-event
+simulation of its hardware context:
+
+* :mod:`repro.sim` — deterministic event kernel and seeded RNG streams;
+* :mod:`repro.radio` — synthetic 3-D indoor RF environment (multi-wall
+  propagation, correlated shadowing, AP population, self-interference);
+* :mod:`repro.wifi` — channel-sweep scanner, ESP-01 AT device, driver;
+* :mod:`repro.uwb` — Loco-Positioning anchors, TWR/TDoA ranging, EKF;
+* :mod:`repro.uav` — Crazyflie vehicle, battery, commander, firmware;
+* :mod:`repro.link` — Crazyradio, CRTP packets, bounded TX queue;
+* :mod:`repro.station` — mission planning, control client, campaigns;
+* :mod:`repro.core` — the REM toolchain: preprocessing, predictors,
+  REM product, end-to-end pipeline;
+* :mod:`repro.analysis` — figure-by-figure reproduction of the
+  evaluation.
+
+Quickstart::
+
+    from repro import generate_rem
+    result = generate_rem()
+    print(result.summary())
+"""
+
+from .core import (
+    RadioEnvironmentMap,
+    REMDataset,
+    ToolchainConfig,
+    ToolchainResult,
+    build_rem,
+    generate_rem,
+    preprocess,
+)
+from .radio import DemoScenario, DemoScenarioConfig, build_demo_scenario
+from .station import (
+    CampaignConfig,
+    CampaignResult,
+    SampleLog,
+    run_campaign,
+    run_endurance_test,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "generate_rem",
+    "ToolchainConfig",
+    "ToolchainResult",
+    "RadioEnvironmentMap",
+    "REMDataset",
+    "build_rem",
+    "preprocess",
+    "DemoScenario",
+    "DemoScenarioConfig",
+    "build_demo_scenario",
+    "CampaignConfig",
+    "CampaignResult",
+    "SampleLog",
+    "run_campaign",
+    "run_endurance_test",
+    "__version__",
+]

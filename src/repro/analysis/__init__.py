@@ -1,0 +1,63 @@
+"""Figure reproduction and reporting.
+
+One builder per paper figure (5-8) plus the in-text campaign
+statistics, and ASCII renderers for terminal-friendly output.
+"""
+
+from .figures import (
+    FIG5_FREQUENCIES_MHZ,
+    PAPER_FIG8_RMSE,
+    CampaignStats,
+    Figure5Result,
+    Figure6Result,
+    Figure7Result,
+    Figure8Result,
+    campaign_stats,
+    default_fig8_models,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from .export import (
+    campaign_stats_to_dict,
+    figure5_to_dict,
+    figure6_to_dict,
+    figure7_to_dict,
+    figure8_to_dict,
+    save_csv_rows,
+    save_json,
+)
+from .report import bar_chart, render_figure5, render_figure7, render_figure8, table
+from .stats import Histogram, bin_by_axis, histogram
+
+__all__ = [
+    "FIG5_FREQUENCIES_MHZ",
+    "PAPER_FIG8_RMSE",
+    "CampaignStats",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "campaign_stats",
+    "default_fig8_models",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "bar_chart",
+    "render_figure5",
+    "render_figure7",
+    "render_figure8",
+    "table",
+    "campaign_stats_to_dict",
+    "figure5_to_dict",
+    "figure6_to_dict",
+    "figure7_to_dict",
+    "figure8_to_dict",
+    "save_csv_rows",
+    "save_json",
+    "Histogram",
+    "bin_by_axis",
+    "histogram",
+]

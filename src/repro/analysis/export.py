@@ -1,0 +1,117 @@
+"""Machine-readable export of the reproduced figure data.
+
+ASCII rendering (:mod:`repro.analysis.report`) is for terminals; these
+exporters emit the same series as JSON/CSV so external tooling (the
+user's own plotting stack) can regenerate publication-grade figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Sequence
+
+from .figures import (
+    CampaignStats,
+    Figure5Result,
+    Figure6Result,
+    Figure7Result,
+    Figure8Result,
+)
+
+__all__ = [
+    "figure5_to_dict",
+    "figure6_to_dict",
+    "figure7_to_dict",
+    "figure8_to_dict",
+    "campaign_stats_to_dict",
+    "save_json",
+    "save_csv_rows",
+]
+
+
+def figure5_to_dict(result: Figure5Result) -> Dict:
+    """Fig. 5 series as a JSON-ready dict."""
+    return {
+        "figure": 5,
+        "scans_per_setting": result.scans_per_setting,
+        "series": {
+            label: {str(channel): count for channel, count in counts.items()}
+            for label, counts in result.series.items()
+        },
+    }
+
+
+def figure6_to_dict(result: Figure6Result) -> Dict:
+    """Fig. 6 series as a JSON-ready dict."""
+    return {
+        "figure": 6,
+        "per_location": {
+            uav: [
+                {
+                    "waypoint": waypoint,
+                    "samples": count,
+                    "position": list(position),
+                }
+                for waypoint, count, position in sorted(rows)
+            ]
+            for uav, rows in result.per_location.items()
+        },
+        "totals": result.totals(),
+    }
+
+
+def figure7_to_dict(result: Figure7Result) -> Dict:
+    """Fig. 7 histograms as a JSON-ready dict."""
+    return {
+        "figure": 7,
+        "x_histogram": result.x_histogram.as_dict(),
+        "y_histogram": result.y_histogram.as_dict(),
+        "increasing_in_x": result.increasing_in_x(),
+        "decreasing_in_y": result.decreasing_in_y(),
+    }
+
+
+def figure8_to_dict(result: Figure8Result) -> Dict:
+    """Fig. 8 RMSE ladder as a JSON-ready dict."""
+    return {
+        "figure": 8,
+        "rmse_dbm": dict(result.rmse_dbm),
+        "paper_rmse_dbm": dict(result.paper_rmse_dbm),
+        "preprocess": dict(result.preprocess_stats),
+        "ladder_matches_paper": result.ladder_matches_paper(),
+    }
+
+
+def campaign_stats_to_dict(stats: CampaignStats) -> Dict:
+    """§III-A statistics as a JSON-ready dict, paper values alongside."""
+    return {
+        "measured": {
+            "total_samples": stats.total_samples,
+            "samples_by_uav": dict(stats.samples_by_uav),
+            "distinct_macs": stats.distinct_macs,
+            "distinct_ssids": stats.distinct_ssids,
+            "mean_rss_dbm": stats.mean_rss_dbm,
+            "active_time_by_uav_s": dict(stats.active_time_by_uav),
+        },
+        "paper": dict(CampaignStats.PAPER),
+    }
+
+
+def save_json(data: Dict, path) -> Path:
+    """Write a dict as pretty JSON; returns the path."""
+    target = Path(path)
+    with open(target, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return target
+
+
+def save_csv_rows(headers: Sequence[str], rows: Sequence[Sequence], path) -> Path:
+    """Write rows as CSV; returns the path."""
+    target = Path(path)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target

@@ -1,0 +1,317 @@
+"""Reproduction of every figure in the paper's evaluation.
+
+Each ``figureN`` function regenerates the *data series* behind the
+corresponding figure; rendering is left to
+:mod:`repro.analysis.report` (ASCII) or any external plotting tool.
+
+* Figure 5 — mean APs detected per Wi-Fi channel for each Crazyradio
+  frequency setting (and radio off);
+* Figure 6 — samples per UAV and scanned location;
+* Figure 7 — histograms of samples per 0.5 m bin along x and y;
+* Figure 8 — RMSE of each RSS predictor;
+* campaign statistics — the §III-A in-text numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.predictors import (
+    KnnRegressor,
+    MeanPerMacBaseline,
+    MlpRegressor,
+    OrdinaryKrigingRegressor,
+    Predictor,
+    PerMacKnnRegressor,
+    rmse,
+)
+from ..core.preprocessing import PreprocessConfig, preprocess
+from ..link.crazyradio import Crazyradio, RadioConfig
+from ..radio.scenarios import DemoScenario, build_demo_scenario
+from ..radio.spectrum import WIFI_CHANNELS
+from ..station.campaign import CampaignResult
+from ..station.storage import SampleLog
+from ..wifi.scanner import ChannelSweepScanner, ScanConfig
+from .stats import Histogram, bin_by_axis
+
+__all__ = [
+    "Figure5Result",
+    "figure5",
+    "Figure6Result",
+    "figure6",
+    "Figure7Result",
+    "figure7",
+    "Figure8Result",
+    "figure8",
+    "CampaignStats",
+    "campaign_stats",
+    "PAPER_FIG8_RMSE",
+]
+
+#: The RMSE values the paper reports in Fig. 8 (dBm).
+PAPER_FIG8_RMSE: Dict[str, float] = {
+    "baseline-mean-per-mac": 4.8107,
+    "knn-onehot3-k16": 4.4186,
+    "neural-network": 4.4870,
+}
+
+#: Crazyradio frequencies swept in the paper's Fig. 5 experiment.
+FIG5_FREQUENCIES_MHZ: Tuple[float, ...] = (2400.0, 2425.0, 2450.0, 2475.0, 2500.0, 2525.0)
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+@dataclass
+class Figure5Result:
+    """Mean AP count per channel for each radio setting.
+
+    ``series`` maps a setting label ("off" or "2450 MHz") to a dict of
+    channel → mean detected APs over the scan repetitions.
+    """
+
+    series: Dict[str, Dict[int, float]]
+    scans_per_setting: int
+
+    def total(self, label: str) -> float:
+        """Summed mean AP count across channels for one setting."""
+        return float(sum(self.series[label].values()))
+
+    def channels_with_detections(self) -> List[int]:
+        """Channels detected under at least one setting (plot x-axis)."""
+        seen = set()
+        for counts in self.series.values():
+            seen.update(c for c, v in counts.items() if v > 0)
+        return sorted(seen)
+
+
+def figure5(
+    scenario: Optional[DemoScenario] = None,
+    seed: int = 63,
+    scans_per_setting: int = 3,
+    scan_duration_s: float = 3.0,
+    frequencies_mhz: Sequence[float] = FIG5_FREQUENCIES_MHZ,
+    scan_config: Optional[ScanConfig] = None,
+) -> Figure5Result:
+    """Reproduce Fig. 5: the Crazyradio self-interference experiment.
+
+    The UAV sits still; for each radio setting (off + each frequency)
+    the ESP scans ``scans_per_setting`` times and mean per-channel AP
+    counts are recorded.
+    """
+    if scenario is None:
+        scenario = build_demo_scenario(seed=seed)
+    environment = scenario.environment
+    scanner = ChannelSweepScanner(environment, scan_config)
+    rng = scenario.streams.get("figure5")
+    position = scenario.flight_volume.center
+
+    def run_setting() -> Dict[int, float]:
+        sums = {c: 0.0 for c in WIFI_CHANNELS}
+        for _ in range(scans_per_setting):
+            report = scanner.scan(position, rng, duration_s=scan_duration_s)
+            for channel in WIFI_CHANNELS:
+                sums[channel] += report.count_on_channel(channel)
+        return {c: sums[c] / scans_per_setting for c in WIFI_CHANNELS}
+
+    series: Dict[str, Dict[int, float]] = {}
+    environment.clear_interference()
+    series["off"] = run_setting()
+    radio = Crazyradio(environment, RadioConfig())
+    for freq in frequencies_mhz:
+        radio.set_frequency(freq)
+        radio.turn_on()
+        series[f"{freq:.0f} MHz"] = run_setting()
+        radio.turn_off()
+    return Figure5Result(series=series, scans_per_setting=scans_per_setting)
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+@dataclass
+class Figure6Result:
+    """Samples per UAV and scanned location."""
+
+    #: uav name → list of (waypoint index, sample count, position).
+    per_location: Dict[str, List[Tuple[int, int, Tuple[float, float, float]]]]
+
+    def totals(self) -> Dict[str, int]:
+        """uav name → total samples."""
+        return {
+            name: sum(count for _, count, _ in rows)
+            for name, rows in self.per_location.items()
+        }
+
+    def counts(self, uav: str) -> List[int]:
+        """Sample counts by waypoint order for one UAV."""
+        rows = sorted(self.per_location[uav])
+        return [count for _, count, _ in rows]
+
+
+def figure6(campaign: CampaignResult) -> Figure6Result:
+    """Reproduce Fig. 6 from a campaign result."""
+    per_location: Dict[str, List[Tuple[int, int, Tuple[float, float, float]]]] = {}
+    counts = campaign.log.samples_per_waypoint()
+    positions: Dict[Tuple[str, int], Tuple[float, float, float]] = {}
+    for sample in campaign.log:
+        positions.setdefault((sample.uav_name, sample.waypoint_index), sample.true_position)
+    for (uav, waypoint), count in sorted(counts.items()):
+        per_location.setdefault(uav, []).append(
+            (waypoint, count, positions[(uav, waypoint)])
+        )
+    return Figure6Result(per_location=per_location)
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+@dataclass
+class Figure7Result:
+    """Histograms of samples per 0.5 m bin along x and y."""
+
+    x_histogram: Histogram
+    y_histogram: Histogram
+
+    def increasing_in_x(self) -> bool:
+        """Trend check: more samples in the +x half than the −x half."""
+        return _half_split_trend(self.x_histogram) > 0
+
+    def decreasing_in_y(self) -> bool:
+        """Trend check: fewer samples in the +y half than the −y half."""
+        return _half_split_trend(self.y_histogram) < 0
+
+
+def _half_split_trend(hist: Histogram) -> float:
+    """Upper-half minus lower-half sample mass.
+
+    A half-split comparison is robust to the lattice/bin aliasing that a
+    per-bin linear fit is sensitive to (a 0.5 m bin can contain one or
+    two waypoint columns, or only hover-jitter spillover).
+    """
+    counts = hist.counts.astype(float)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    midpoint = (hist.edges[0] + hist.edges[-1]) / 2.0
+    upper = counts[hist.centers > midpoint].sum()
+    lower = counts[hist.centers < midpoint].sum()
+    return float(upper - lower)
+
+
+def figure7(campaign: CampaignResult, bin_width_m: float = 0.5) -> Figure7Result:
+    """Reproduce Fig. 7 from a campaign result."""
+    positions = np.array([s.true_position for s in campaign.log])
+    return Figure7Result(
+        x_histogram=bin_by_axis(positions, axis=0, bin_width=bin_width_m),
+        y_histogram=bin_by_axis(positions, axis=1, bin_width=bin_width_m),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+@dataclass
+class Figure8Result:
+    """RMSE of each evaluated predictor, paper values alongside."""
+
+    rmse_dbm: Dict[str, float]
+    paper_rmse_dbm: Dict[str, float] = field(default_factory=lambda: dict(PAPER_FIG8_RMSE))
+    preprocess_stats: Dict[str, int] = field(default_factory=dict)
+
+    def best(self) -> Tuple[str, float]:
+        """The winning estimator."""
+        name = min(self.rmse_dbm, key=self.rmse_dbm.get)
+        return name, self.rmse_dbm[name]
+
+    def ladder_matches_paper(self) -> bool:
+        """The paper's qualitative ordering:
+
+        baseline worst; the scaled-one-hot k-NN best of the paper's
+        estimators; the neural network in between.
+        """
+        r = self.rmse_dbm
+        return (
+            r["knn-onehot3-k16"] < r["neural-network"] < r["baseline-mean-per-mac"]
+            and r["knn-base"] < r["baseline-mean-per-mac"]
+        )
+
+
+def default_fig8_models(seed: int = 3) -> Dict[str, Predictor]:
+    """The paper's four estimator configurations plus the extension."""
+    return {
+        "baseline-mean-per-mac": MeanPerMacBaseline(),
+        "knn-base": KnnRegressor(n_neighbors=3, weights="distance", p=2.0),
+        "knn-onehot3-k16": KnnRegressor(
+            n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
+        ),
+        "knn-per-mac": PerMacKnnRegressor(n_neighbors=3, weights="distance", p=2.0),
+        "neural-network": MlpRegressor(hidden_units=16, seed=seed, epochs=250),
+        "ordinary-kriging": OrdinaryKrigingRegressor(n_neighbors=16),
+    }
+
+
+def figure8(
+    log: SampleLog,
+    models: Optional[Dict[str, Predictor]] = None,
+    preprocess_config: Optional[PreprocessConfig] = None,
+) -> Figure8Result:
+    """Reproduce Fig. 8: preprocess, fit every model, score RMSE."""
+    prep = preprocess(log, preprocess_config)
+    models = models or default_fig8_models()
+    scores: Dict[str, float] = {}
+    for name, model in models.items():
+        model.fit(prep.train)
+        predictions = model.predict(prep.test)
+        scores[name] = rmse(prep.test.rssi_dbm, predictions)
+    return Figure8Result(
+        rmse_dbm=scores,
+        preprocess_stats={
+            "retained": prep.retained_samples,
+            "dropped_samples": prep.dropped_samples,
+            "dropped_macs": prep.dropped_macs,
+            "train": len(prep.train),
+            "test": len(prep.test),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# In-text campaign statistics
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignStats:
+    """The §III-A in-text numbers, paper values alongside."""
+
+    total_samples: int
+    samples_by_uav: Dict[str, int]
+    distinct_macs: int
+    distinct_ssids: int
+    mean_rss_dbm: float
+    active_time_by_uav: Dict[str, float]
+
+    PAPER = {
+        "total_samples": 2696,
+        "samples_uav_a": 1495,
+        "samples_uav_b": 1201,
+        "distinct_macs": 73,
+        "distinct_ssids": 49,
+        "mean_rss_dbm": -73.0,
+        "active_time_a_s": 303.0,
+        "active_time_b_s": 300.0,
+    }
+
+
+def campaign_stats(campaign: CampaignResult) -> CampaignStats:
+    """Collect the §III-A statistics from a campaign result."""
+    return CampaignStats(
+        total_samples=len(campaign.log),
+        samples_by_uav=campaign.samples_by_uav(),
+        distinct_macs=len(campaign.log.macs()),
+        distinct_ssids=len(campaign.log.ssids()),
+        mean_rss_dbm=campaign.log.mean_rss_dbm(),
+        active_time_by_uav={r.uav_name: r.active_time_s for r in campaign.reports},
+    )

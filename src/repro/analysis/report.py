@@ -1,0 +1,82 @@
+"""ASCII rendering of the reproduced figures and tables.
+
+The benches print these so that a terminal run of the benchmark suite
+shows the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "table", "render_figure5", "render_figure7", "render_figure8"]
+
+
+def bar_chart(
+    items: Mapping[str, float],
+    width: int = 48,
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Horizontal ASCII bar chart, one row per item."""
+    if not items:
+        return "(empty)"
+    max_value = max(max(items.values()), 1e-12)
+    label_width = max(len(k) for k in items)
+    lines = []
+    for label, value in items.items():
+        bar = "#" * int(round(width * value / max_value))
+        lines.append(f"{label:<{label_width}} | {bar} {value:.{precision}f}{unit}")
+    return "\n".join(lines)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    out = []
+    for r, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def render_figure5(result) -> str:
+    """Fig. 5 as a table: rows = radio settings, columns = channels."""
+    channels = result.channels_with_detections()
+    headers = ["setting"] + [f"ch{c}" for c in channels] + ["total"]
+    rows = []
+    for label, counts in result.series.items():
+        rows.append(
+            [label]
+            + [f"{counts.get(c, 0.0):.1f}" for c in channels]
+            + [f"{sum(counts.values()):.1f}"]
+        )
+    return table(headers, rows)
+
+
+def render_figure7(result) -> str:
+    """Fig. 7 as two ASCII histograms."""
+    out = ["samples per 0.5 m bin along x:"]
+    x_items = {
+        f"[{result.x_histogram.edges[i]:.1f},{result.x_histogram.edges[i+1]:.1f})": float(c)
+        for i, c in enumerate(result.x_histogram.counts)
+    }
+    out.append(bar_chart(x_items, precision=0))
+    out.append("samples per 0.5 m bin along y:")
+    y_items = {
+        f"[{result.y_histogram.edges[i]:.1f},{result.y_histogram.edges[i+1]:.1f})": float(c)
+        for i, c in enumerate(result.y_histogram.counts)
+    }
+    out.append(bar_chart(y_items, precision=0))
+    return "\n".join(out)
+
+
+def render_figure8(result) -> str:
+    """Fig. 8 as a bar chart plus the paper's reference values."""
+    lines = [bar_chart(result.rmse_dbm, unit=" dBm", precision=4)]
+    lines.append("")
+    lines.append("paper reference values:")
+    for name, value in result.paper_rmse_dbm.items():
+        lines.append(f"  {name}: {value:.4f} dBm")
+    return "\n".join(lines)

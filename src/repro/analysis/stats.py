@@ -1,0 +1,64 @@
+"""Binning and descriptive statistics shared by the figure builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["Histogram", "histogram", "bin_by_axis"]
+
+
+@dataclass
+class Histogram:
+    """A 1-D histogram with explicit bin edges."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.counts) + 1:
+            raise ValueError("edges must be one longer than counts")
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin centers."""
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    @property
+    def total(self) -> int:
+        """Sum of counts."""
+        return int(self.counts.sum())
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """JSON-friendly representation."""
+        return {
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+        }
+
+
+def histogram(
+    values: Sequence[float], bin_width: float, start: float = 0.0
+) -> Histogram:
+    """Fixed-width histogram starting at ``start`` (paper: 0.5 m bins)."""
+    if bin_width <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_width}")
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return Histogram(edges=np.array([start, start + bin_width]), counts=np.array([0]))
+    n_bins = int(np.ceil((data.max() - start) / bin_width)) or 1
+    edges = start + bin_width * np.arange(n_bins + 1)
+    counts, _ = np.histogram(data, bins=edges)
+    return Histogram(edges=edges, counts=counts)
+
+
+def bin_by_axis(
+    positions: np.ndarray, axis: int, bin_width: float = 0.5, start: float = 0.0
+) -> Histogram:
+    """Histogram of sample positions along one axis (Fig. 7)."""
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"expected (N, 3) positions, got {pts.shape}")
+    return histogram(pts[:, axis], bin_width=bin_width, start=start)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands map one-to-one onto the reproduction's top-level flows:
+
+* ``campaign``     — fly the 72-waypoint demo campaign, print §III-A
+  statistics, optionally archive samples to CSV;
+* ``figures``      — regenerate the paper's figures as ASCII;
+* ``endurance``    — run the §III-A endurance protocol;
+* ``localization`` — the §II-B anchor/mode accuracy table;
+* ``density``      — the future-work REM density curve;
+* ``rem``          — generate a REM and export it as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Small UAVs-supported Autonomous Generation of "
+            "Fine-grained 3D Indoor Radio Environmental Maps' (ICDCS 2022)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=63, help="master scenario seed (default 63)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser("campaign", help="fly the demo campaign")
+    campaign.add_argument("--output", help="CSV path to archive the samples")
+
+    figures = commands.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument(
+        "--figure",
+        choices=("5", "6", "7", "8", "all"),
+        default="all",
+        help="which figure to regenerate",
+    )
+
+    commands.add_parser("endurance", help="run the §III-A endurance protocol")
+    commands.add_parser("localization", help="anchor/mode accuracy table")
+
+    density = commands.add_parser("density", help="REM density study")
+    density.add_argument(
+        "--counts",
+        default="3,6,12,24,40,54",
+        help="comma-separated training-location counts",
+    )
+
+    rem = commands.add_parser("rem", help="generate and export a REM")
+    rem.add_argument("--resolution", type=float, default=0.25, help="lattice step (m)")
+    rem.add_argument("--output", default="rem.json", help="JSON output path")
+    rem.add_argument(
+        "--tune", action="store_true", help="grid-search hyper-parameters (slower)"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_campaign(args) -> int:
+    from .analysis import campaign_stats
+    from .radio import build_demo_scenario
+    from .station import run_campaign
+
+    scenario = build_demo_scenario(seed=args.seed)
+    print(f"flying the demo campaign (seed {args.seed})...")
+    result = run_campaign(scenario=scenario)
+    stats = campaign_stats(result)
+    print(f"total samples : {stats.total_samples} (paper: 2696)")
+    for uav, count in sorted(stats.samples_by_uav.items()):
+        print(f"  {uav}: {count}")
+    print(f"distinct MACs : {stats.distinct_macs} (paper: 73)")
+    print(f"distinct SSIDs: {stats.distinct_ssids} (paper: 49)")
+    print(f"mean RSS      : {stats.mean_rss_dbm:.1f} dBm (paper: ≈ -73)")
+    if args.output:
+        result.log.save_csv(args.output)
+        print(f"samples archived to {args.output}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .analysis import (
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        render_figure5,
+        render_figure7,
+        render_figure8,
+    )
+    from .radio import build_demo_scenario
+    from .station import run_campaign
+
+    wanted = args.figure
+    scenario = build_demo_scenario(seed=args.seed)
+    if wanted in ("5", "all"):
+        print("=== Figure 5 ===")
+        print(render_figure5(figure5(scenario=scenario)))
+        print()
+    if wanted in ("6", "7", "8", "all"):
+        campaign = run_campaign(scenario=scenario)
+        if wanted in ("6", "all"):
+            print("=== Figure 6 ===")
+            fig6 = figure6(campaign)
+            for uav, rows in fig6.per_location.items():
+                counts = [c for _, c, _ in sorted(rows)]
+                print(f"{uav} (total {sum(counts)}):")
+                print("  " + " ".join(f"{c:3d}" for c in counts))
+            print()
+        if wanted in ("7", "all"):
+            print("=== Figure 7 ===")
+            print(render_figure7(figure7(campaign)))
+            print()
+        if wanted in ("8", "all"):
+            print("=== Figure 8 ===")
+            print(render_figure8(figure8(campaign.log)))
+    return 0
+
+
+def _cmd_endurance(args) -> int:
+    from .station import run_endurance_test
+
+    print(f"running the endurance protocol (seed {args.seed})...")
+    result = run_endurance_test(seed=args.seed)
+    print(
+        f"{result.scans_completed} scans in {result.minutes_seconds} "
+        f"(paper: 36 scans in 6 min 12 s)"
+    )
+    print(f"battery at {result.battery_remaining_fraction:.1%} when erratic")
+    return 0
+
+
+def _cmd_localization(args) -> int:
+    import numpy as np
+
+    from .analysis import table
+    from .radio import build_demo_scenario
+    from .uwb import LocalizationMode, corner_layout, evaluate_hovering_accuracy
+
+    scenario = build_demo_scenario(seed=args.seed)
+    layout = corner_layout(scenario.flight_volume)
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for mode in (LocalizationMode.TWR, LocalizationMode.TDOA):
+        for count in (4, 6, 8):
+            result = evaluate_hovering_accuracy(
+                layout.subset(count), mode, (1.87, 1.6, 1.0), rng
+            )
+            rows.append([mode, count, f"{result.mean_error_m * 100:.1f}"])
+    print(table(["mode", "anchors", "mean error (cm)"], rows))
+    print("(paper §II-B: ~9 cm with 6 anchors)")
+    return 0
+
+
+def _cmd_density(args) -> int:
+    from .core import density_sweep
+    from .radio import build_demo_scenario
+    from .station import run_campaign
+
+    counts = [int(c) for c in args.counts.split(",")]
+    scenario = build_demo_scenario(seed=args.seed)
+    print("flying the campaign for the density study...")
+    campaign = run_campaign(scenario=scenario)
+    result = density_sweep(campaign.log, location_counts=counts)
+    for point in sorted(result.points, key=lambda p: p.n_locations):
+        print(
+            f"{point.n_locations:3d} locations "
+            f"({point.n_train_samples:4d} samples) -> {point.rmse_dbm:.3f} dBm"
+        )
+    print(f"density knee (0.2 dB): {result.knee_locations():d} locations")
+    return 0
+
+
+def _cmd_rem(args) -> int:
+    from .core import ToolchainConfig, generate_rem
+    from .station import CampaignConfig
+
+    config = ToolchainConfig(
+        campaign=CampaignConfig(seed=args.seed),
+        tune_hyperparameters=args.tune,
+        rem_resolution_m=args.resolution,
+    )
+    print(f"generating the REM (seed {args.seed}, {args.resolution} m lattice)...")
+    result = generate_rem(config=config)
+    summary = result.summary()
+    print(
+        f"{summary['samples']:.0f} samples, test RMSE "
+        f"{summary['test_rmse_dbm']:.2f} dBm, {summary['rem_macs']:.0f} APs mapped"
+    )
+    with open(args.output, "w") as handle:
+        json.dump(result.rem.to_dict(), handle)
+    print(f"REM exported to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "campaign": _cmd_campaign,
+    "figures": _cmd_figures,
+    "endurance": _cmd_endurance,
+    "localization": _cmd_localization,
+    "density": _cmd_density,
+    "rem": _cmd_rem,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

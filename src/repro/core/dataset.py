@@ -1,0 +1,127 @@
+"""The ML-facing dataset: numeric views over a campaign sample log.
+
+:class:`REMDataset` converts a :class:`repro.station.SampleLog` into
+aligned numpy arrays (positions, MAC indices, channels, RSS targets)
+and provides the feature encodings the paper's estimators consume —
+coordinates plus one-hot encoded MAC addresses (optionally scaled, the
+paper's "multiplied by the factor of 3" trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["REMDataset"]
+
+
+@dataclass
+class REMDataset:
+    """Aligned numeric arrays for RSS regression.
+
+    Attributes
+    ----------
+    positions:
+        (N, 3) sample locations (the UWB-annotated estimates).
+    mac_indices:
+        (N,) integer MAC index into :attr:`mac_vocabulary`.
+    channels:
+        (N,) Wi-Fi channel of each observation.
+    rssi_dbm:
+        (N,) regression targets.
+    mac_vocabulary:
+        Sorted distinct MAC addresses; defines the one-hot layout.
+    """
+
+    positions: np.ndarray
+    mac_indices: np.ndarray
+    channels: np.ndarray
+    rssi_dbm: np.ndarray
+    mac_vocabulary: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.rssi_dbm)
+        if not (
+            self.positions.shape == (n, 3)
+            and self.mac_indices.shape == (n,)
+            and self.channels.shape == (n,)
+        ):
+            raise ValueError("misaligned dataset arrays")
+        if n and int(self.mac_indices.max()) >= len(self.mac_vocabulary):
+            raise ValueError("mac index out of vocabulary range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, samples: Iterable) -> "REMDataset":
+        """Build from an iterable of :class:`repro.station.Sample`."""
+        samples = list(samples)
+        vocabulary = tuple(sorted({s.mac for s in samples}))
+        index = {mac: i for i, mac in enumerate(vocabulary)}
+        n = len(samples)
+        positions = np.zeros((n, 3))
+        mac_indices = np.zeros(n, dtype=int)
+        channels = np.zeros(n, dtype=int)
+        rssi = np.zeros(n)
+        for i, s in enumerate(samples):
+            positions[i] = s.position
+            mac_indices[i] = index[s.mac]
+            channels[i] = s.channel
+            rssi[i] = s.rssi_dbm
+        return cls(
+            positions=positions,
+            mac_indices=mac_indices,
+            channels=channels,
+            rssi_dbm=rssi,
+            mac_vocabulary=vocabulary,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rssi_dbm)
+
+    @property
+    def n_macs(self) -> int:
+        """Vocabulary size."""
+        return len(self.mac_vocabulary)
+
+    def subset(self, indices: Sequence[int]) -> "REMDataset":
+        """Row-subset view (keeps the full MAC vocabulary)."""
+        idx = np.asarray(indices, dtype=int)
+        return REMDataset(
+            positions=self.positions[idx],
+            mac_indices=self.mac_indices[idx],
+            channels=self.channels[idx],
+            rssi_dbm=self.rssi_dbm[idx],
+            mac_vocabulary=self.mac_vocabulary,
+        )
+
+    def samples_per_mac(self) -> Dict[str, int]:
+        """MAC address → observation count."""
+        counts = np.bincount(self.mac_indices, minlength=self.n_macs)
+        return {mac: int(counts[i]) for i, mac in enumerate(self.mac_vocabulary)}
+
+    # ------------------------------------------------------------------
+    # feature encodings
+    # ------------------------------------------------------------------
+    def mac_onehot(self, scale: float = 1.0) -> np.ndarray:
+        """(N, n_macs) one-hot MAC encoding, optionally scaled.
+
+        Scaling by ``s`` makes two samples with different MACs at least
+        ``s * sqrt(2)`` apart in feature space — the paper's factor-3
+        variant of the k-NN regressor.
+        """
+        onehot = np.zeros((len(self), self.n_macs))
+        onehot[np.arange(len(self)), self.mac_indices] = scale
+        return onehot
+
+    def features(self, onehot_scale: float = 1.0) -> np.ndarray:
+        """The paper's k-NN feature matrix: [x, y, z, one-hot(MAC)]."""
+        return np.hstack([self.positions, self.mac_onehot(onehot_scale)])
+
+    def channel_onehot(self) -> np.ndarray:
+        """(N, 13) one-hot channel encoding (channels 1-13)."""
+        onehot = np.zeros((len(self), 13))
+        onehot[np.arange(len(self)), self.channels - 1] = 1.0
+        return onehot

@@ -1,0 +1,136 @@
+"""REM density study: how many scan locations does a map need?
+
+The paper's future work targets "deriving the fundamental limitations
+on the density of 3D REMs".  This module provides the experiment: hold
+out a set of scan *locations* (not random samples — spatial holdout is
+the honest question), train on progressively fewer of the remaining
+locations, and trace held-out RMSE versus sampling density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import REMDataset
+from .predictors import KnnRegressor, Predictor, rmse
+
+__all__ = ["DensityPoint", "DensityStudyResult", "density_sweep"]
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """One point of the density curve."""
+
+    n_locations: int
+    n_train_samples: int
+    rmse_dbm: float
+
+
+@dataclass
+class DensityStudyResult:
+    """The full density sweep."""
+
+    points: List[DensityPoint]
+    n_test_locations: int
+    n_test_samples: int
+
+    def as_series(self) -> Tuple[List[int], List[float]]:
+        """(locations, RMSE) arrays for plotting."""
+        ordered = sorted(self.points, key=lambda p: p.n_locations)
+        return [p.n_locations for p in ordered], [p.rmse_dbm for p in ordered]
+
+    def knee_locations(self, tolerance_db: float = 0.2) -> int:
+        """Smallest location count within ``tolerance_db`` of the best RMSE.
+
+        This is the "density limit": sampling more densely than this
+        buys less than ``tolerance_db`` of accuracy.
+        """
+        ordered = sorted(self.points, key=lambda p: p.n_locations)
+        best = min(p.rmse_dbm for p in ordered)
+        for point in ordered:
+            if point.rmse_dbm <= best + tolerance_db:
+                return point.n_locations
+        return ordered[-1].n_locations
+
+
+def _location_key(sample) -> Tuple[str, int]:
+    return (sample.uav_name, sample.waypoint_index)
+
+
+def density_sweep(
+    samples: Sequence,
+    location_counts: Sequence[int],
+    predictor_factory: Optional[Callable[[], Predictor]] = None,
+    test_fraction: float = 0.25,
+    seed: int = 11,
+    min_samples_per_mac: int = 16,
+) -> DensityStudyResult:
+    """Trace held-out RMSE vs number of training scan locations.
+
+    Parameters
+    ----------
+    samples:
+        Campaign samples (a :class:`repro.station.SampleLog` works).
+    location_counts:
+        Training-location counts to evaluate (each ≤ the number of
+        available non-test locations).
+    predictor_factory:
+        Builds a fresh estimator per point; defaults to the paper's
+        best k-NN configuration.
+    test_fraction:
+        Fraction of *locations* held out for evaluation (fixed across
+        the sweep so the points are comparable).
+    """
+    if predictor_factory is None:
+        predictor_factory = lambda: KnnRegressor(
+            n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
+        )
+    samples = list(samples)
+    if not samples:
+        raise ValueError("no samples given")
+
+    # The paper's MAC-count filter, applied once on the full set.
+    counts: Dict[str, int] = {}
+    for s in samples:
+        counts[s.mac] = counts.get(s.mac, 0) + 1
+    samples = [s for s in samples if counts[s.mac] >= min_samples_per_mac]
+
+    locations = sorted({_location_key(s) for s in samples})
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(locations))
+    n_test = max(1, int(round(len(locations) * test_fraction)))
+    test_locations = {locations[i] for i in order[:n_test]}
+    train_pool = [locations[i] for i in order[n_test:]]
+
+    dataset = REMDataset.from_samples(samples)
+    keys = [_location_key(s) for s in samples]
+    test_idx = np.array([i for i, k in enumerate(keys) if k in test_locations])
+    test_view = dataset.subset(test_idx)
+
+    points: List[DensityPoint] = []
+    for count in location_counts:
+        if count < 1 or count > len(train_pool):
+            raise ValueError(
+                f"location count {count} out of range (1..{len(train_pool)})"
+            )
+        chosen = set(train_pool[:count])
+        train_idx = np.array([i for i, k in enumerate(keys) if k in chosen])
+        train_view = dataset.subset(train_idx)
+        model = predictor_factory()
+        model.fit(train_view)
+        score = rmse(test_view.rssi_dbm, model.predict(test_view))
+        points.append(
+            DensityPoint(
+                n_locations=count,
+                n_train_samples=len(train_view),
+                rmse_dbm=score,
+            )
+        )
+    return DensityStudyResult(
+        points=points,
+        n_test_locations=len(test_locations),
+        n_test_samples=len(test_view),
+    )

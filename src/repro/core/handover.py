@@ -1,0 +1,132 @@
+"""Handover planning on a REM — the paper's §I use case [3].
+
+"...for optimizing network discovery and handover procedures."  Given a
+REM and a motion path through the mapped volume, this module computes
+the best-serving-AP sequence and plans handovers under a hysteresis
+policy, quantifying the classic trade-off: a small hysteresis margin
+tracks the strongest AP closely but ping-pongs; a large margin is
+stable but serves a weaker AP for longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .rem import RadioEnvironmentMap
+
+__all__ = ["HandoverEvent", "HandoverPlan", "plan_handovers", "hysteresis_tradeoff"]
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One switch of serving AP along the path."""
+
+    path_index: int
+    position: Tuple[float, float, float]
+    from_mac: str
+    to_mac: str
+    from_rss_dbm: float
+    to_rss_dbm: float
+
+
+@dataclass
+class HandoverPlan:
+    """Serving sequence and events for one path/policy."""
+
+    serving_macs: List[str]
+    serving_rss_dbm: List[float]
+    events: List[HandoverEvent]
+    hysteresis_db: float
+
+    @property
+    def n_handovers(self) -> int:
+        """Number of serving-AP switches."""
+        return len(self.events)
+
+    @property
+    def mean_serving_rss_dbm(self) -> float:
+        """Average RSS of the serving AP along the path."""
+        return float(np.mean(self.serving_rss_dbm))
+
+    def rss_regret_db(self, best_rss: Sequence[float]) -> float:
+        """Mean dB lost versus always using the instantaneous best AP."""
+        return float(np.mean(np.asarray(best_rss) - np.asarray(self.serving_rss_dbm)))
+
+
+def plan_handovers(
+    rem: RadioEnvironmentMap,
+    path: Sequence[Sequence[float]],
+    hysteresis_db: float = 3.0,
+    macs: Optional[Sequence[str]] = None,
+) -> HandoverPlan:
+    """Simulate hysteresis-based handover along ``path``.
+
+    The device stays on its serving AP until a candidate is more than
+    ``hysteresis_db`` stronger, then switches (the classic policy).
+    """
+    if hysteresis_db < 0:
+        raise ValueError(f"hysteresis must be >= 0, got {hysteresis_db}")
+    mac_list: Tuple[str, ...] = tuple(macs) if macs is not None else rem.macs
+    if not mac_list:
+        raise ValueError("no APs to hand over between")
+    points = [tuple(float(v) for v in p) for p in path]
+    if not points:
+        raise ValueError("empty path")
+
+    rss_by_mac: Dict[str, List[float]] = {
+        mac: [rem.query(p, mac) for p in points] for mac in mac_list
+    }
+
+    serving: Optional[str] = None
+    serving_sequence: List[str] = []
+    serving_rss: List[float] = []
+    events: List[HandoverEvent] = []
+    for index, point in enumerate(points):
+        best_mac = max(mac_list, key=lambda m: rss_by_mac[m][index])
+        if serving is None:
+            serving = best_mac
+        else:
+            current = rss_by_mac[serving][index]
+            challenger = rss_by_mac[best_mac][index]
+            if best_mac != serving and challenger > current + hysteresis_db:
+                events.append(
+                    HandoverEvent(
+                        path_index=index,
+                        position=point,
+                        from_mac=serving,
+                        to_mac=best_mac,
+                        from_rss_dbm=current,
+                        to_rss_dbm=challenger,
+                    )
+                )
+                serving = best_mac
+        serving_sequence.append(serving)
+        serving_rss.append(rss_by_mac[serving][index])
+    return HandoverPlan(
+        serving_macs=serving_sequence,
+        serving_rss_dbm=serving_rss,
+        events=events,
+        hysteresis_db=hysteresis_db,
+    )
+
+
+def hysteresis_tradeoff(
+    rem: RadioEnvironmentMap,
+    path: Sequence[Sequence[float]],
+    margins_db: Sequence[float] = (0.0, 1.0, 3.0, 6.0, 10.0),
+    macs: Optional[Sequence[str]] = None,
+) -> List[Tuple[float, int, float]]:
+    """(margin, handovers, mean serving RSS) per hysteresis setting.
+
+    Larger margins must yield monotonically fewer (or equal) handovers;
+    mean serving RSS degrades as the margin grows — the planning curve
+    an operator reads off the REM.
+    """
+    rows: List[Tuple[float, int, float]] = []
+    for margin in margins_db:
+        plan = plan_handovers(rem, path, hysteresis_db=margin, macs=macs)
+        rows.append((float(margin), plan.n_handovers, plan.mean_serving_rss_dbm))
+    return rows

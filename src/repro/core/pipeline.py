@@ -1,0 +1,124 @@
+"""The end-to-end toolchain: campaign → preprocessing → model → REM.
+
+One call reproduces the whole system of the paper: fly the (simulated)
+fleet, preprocess the samples, tune and fit a predictor, and build the
+fine-grained 3-D REM of the flight volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..radio.scenarios import DemoScenario, build_demo_scenario
+from ..station.campaign import CampaignConfig, CampaignResult, run_campaign
+from .predictors import (
+    GridSearchResult,
+    KnnRegressor,
+    ParamGrid,
+    Predictor,
+    grid_search,
+    rmse,
+)
+from .preprocessing import PreprocessConfig, PreprocessResult, preprocess
+from .rem import RadioEnvironmentMap, build_rem
+
+__all__ = ["ToolchainConfig", "ToolchainResult", "generate_rem"]
+
+#: The paper's k-NN hyper-parameter grid (§III-B): neighbor counts,
+#: weighting schemes, Minkowski exponents and one-hot scales.
+DEFAULT_KNN_GRID = ParamGrid(
+    n_neighbors=[3, 8, 16],
+    weights=["uniform", "distance"],
+    p=[1.0, 2.0],
+    onehot_scale=[1.0, 3.0],
+)
+
+
+@dataclass(frozen=True)
+class ToolchainConfig:
+    """Configuration of the full REM-generation pipeline."""
+
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
+    rem_resolution_m: float = 0.25
+    tune_hyperparameters: bool = True
+    cv_folds: int = 4
+
+
+@dataclass
+class ToolchainResult:
+    """Everything the pipeline produced, stage by stage."""
+
+    scenario: DemoScenario
+    campaign: CampaignResult
+    preprocessing: PreprocessResult
+    predictor: Predictor
+    test_rmse_dbm: float
+    rem: RadioEnvironmentMap
+    search: Optional[GridSearchResult] = None
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers of the run."""
+        return {
+            "samples": float(len(self.campaign.log)),
+            "retained": float(self.preprocessing.retained_samples),
+            "test_rmse_dbm": self.test_rmse_dbm,
+            "rem_macs": float(len(self.rem.macs)),
+        }
+
+
+def generate_rem(
+    scenario: Optional[DemoScenario] = None,
+    predictor: Optional[Predictor] = None,
+    config: ToolchainConfig = None,
+) -> ToolchainResult:
+    """Run the complete toolchain and return the REM plus diagnostics.
+
+    Parameters
+    ----------
+    scenario:
+        RF world (demo scenario when omitted).
+    predictor:
+        Estimator to use.  When omitted, a k-NN regressor is grid-search
+        tuned exactly as in §III-B (unless ``tune_hyperparameters`` is
+        off, in which case the paper's best configuration is used).
+    config:
+        Pipeline configuration.
+    """
+    config = config or ToolchainConfig()
+    if scenario is None:
+        scenario = build_demo_scenario(seed=config.campaign.seed)
+    campaign = run_campaign(scenario=scenario, config=config.campaign)
+    prep = preprocess(campaign.log, config.preprocess)
+
+    search: Optional[GridSearchResult] = None
+    if predictor is None:
+        if config.tune_hyperparameters:
+            search = grid_search(
+                KnnRegressor(), prep.train, DEFAULT_KNN_GRID, k_folds=config.cv_folds
+            )
+            predictor = search.best
+        else:
+            predictor = KnnRegressor(
+                n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
+            ).fit(prep.train)
+    else:
+        predictor.fit(prep.train)
+
+    test_rmse = rmse(prep.test.rssi_dbm, predictor.predict(prep.test))
+    rem = build_rem(
+        predictor,
+        prep.dataset,
+        scenario.flight_volume,
+        resolution_m=config.rem_resolution_m,
+    )
+    return ToolchainResult(
+        scenario=scenario,
+        campaign=campaign,
+        preprocessing=prep,
+        predictor=predictor,
+        test_rmse_dbm=test_rmse,
+        rem=rem,
+        search=search,
+    )

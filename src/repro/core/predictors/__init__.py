@@ -1,0 +1,48 @@
+"""RSS predictors: the paper's estimator families plus extensions.
+
+* :class:`MeanPerMacBaseline` — the paper's baseline (mean per MAC);
+* :class:`KnnRegressor` — k-NN over [x, y, z, one-hot(MAC)] features,
+  covering both the base and the scaled-one-hot variants;
+* :class:`PerMacKnnRegressor` — one spatial k-NN per MAC;
+* :class:`MlpRegressor` — the paper's 16-unit sigmoid MLP (Adam);
+* :class:`OrdinaryKrigingRegressor` — geostatistical extension;
+* grid-search CV machinery and regression metrics.
+"""
+
+from .base import NotFittedError, Predictor
+from .baseline import MeanPerMacBaseline
+from .gridsearch import (
+    CvResult,
+    GridSearchResult,
+    ParamGrid,
+    cross_validate,
+    grid_search,
+)
+from .idw import IdwRegressor
+from .kriging import ExponentialVariogram, OrdinaryKrigingRegressor, fit_variogram
+from .knn import KnnRegressor
+from .metrics import error_summary, mae, r2_score, rmse
+from .neural import MlpRegressor
+from .per_mac_knn import PerMacKnnRegressor
+
+__all__ = [
+    "Predictor",
+    "NotFittedError",
+    "MeanPerMacBaseline",
+    "KnnRegressor",
+    "PerMacKnnRegressor",
+    "MlpRegressor",
+    "IdwRegressor",
+    "OrdinaryKrigingRegressor",
+    "ExponentialVariogram",
+    "fit_variogram",
+    "ParamGrid",
+    "CvResult",
+    "GridSearchResult",
+    "cross_validate",
+    "grid_search",
+    "rmse",
+    "mae",
+    "r2_score",
+    "error_summary",
+]

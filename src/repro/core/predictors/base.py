@@ -1,0 +1,81 @@
+"""The predictor contract all RSS estimators implement.
+
+Predictors consume :class:`repro.core.REMDataset` views directly (not
+raw matrices) because several of the paper's estimators need the MAC
+identity of each sample, not just its feature encoding — the
+mean-per-MAC baseline and the per-MAC k-NN ensemble most obviously.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..dataset import REMDataset
+
+__all__ = ["Predictor", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict() is called before fit()."""
+
+
+class Predictor(abc.ABC):
+    """Abstract RSS regressor over :class:`REMDataset` views.
+
+    Subclasses declare their constructor parameters in ``PARAM_NAMES``;
+    that single source of truth powers ``get_params`` / ``clone`` and
+    the grid-search machinery.
+    """
+
+    #: Constructor parameter names (subclasses override).
+    PARAM_NAMES: Tuple[str, ...] = ()
+
+    #: Human-readable estimator name for reports.
+    name: str = "predictor"
+
+    def __init__(self):
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, train: REMDataset) -> "Predictor":
+        """Fit on the training view; returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, data: REMDataset) -> np.ndarray:
+        """Predict RSS (dBm) for every row of ``data``."""
+
+    # ------------------------------------------------------------------
+    def get_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a dict."""
+        return {name: getattr(self, name) for name in self.PARAM_NAMES}
+
+    def set_params(self, **params: Any) -> "Predictor":
+        """Update parameters in place (refit required afterwards)."""
+        for key, value in params.items():
+            if key not in self.PARAM_NAMES:
+                raise ValueError(f"{type(self).__name__} has no parameter {key!r}")
+            setattr(self, key, value)
+        self._fitted = False
+        return self
+
+    def clone(self, **overrides: Any) -> "Predictor":
+        """A fresh unfitted copy, optionally with parameter overrides."""
+        params = self.get_params()
+        params.update(overrides)
+        return type(self)(**params)
+
+    # ------------------------------------------------------------------
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"

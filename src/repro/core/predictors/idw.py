@@ -1,0 +1,88 @@
+"""Inverse-distance-weighting (IDW) interpolation per MAC.
+
+The classic Shepard interpolator is the most common baseline in the REM
+literature between the trivial mean and kriging: every training sample
+of the same AP contributes with weight ``1/d^p``.  Included for the
+ablation suite — it brackets the k-NN family from the "use everything"
+side (k-NN with k=∞ and distance weights is IDW with p=1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..dataset import REMDataset
+from .base import Predictor
+
+__all__ = ["IdwRegressor"]
+
+
+class IdwRegressor(Predictor):
+    """Shepard interpolation over coordinates, one model per MAC.
+
+    Parameters
+    ----------
+    power:
+        Distance exponent ``p``; larger values localize the estimate.
+    epsilon_m:
+        Distance floor preventing infinite weights at training points
+        (an exact match below this distance returns that sample's mean).
+    """
+
+    PARAM_NAMES = ("power", "epsilon_m")
+    name = "idw"
+
+    def __init__(self, power: float = 2.0, epsilon_m: float = 1e-6):
+        super().__init__()
+        if power <= 0:
+            raise ValueError(f"power must be positive, got {power}")
+        if epsilon_m <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon_m}")
+        self.power = float(power)
+        self.epsilon_m = float(epsilon_m)
+        self._per_mac: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._global_mean = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(self, train: REMDataset) -> "IdwRegressor":
+        """Partition training rows by MAC."""
+        if len(train) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._global_mean = float(train.rssi_dbm.mean())
+        self._per_mac = {}
+        for mac_index in np.unique(train.mac_indices):
+            mask = train.mac_indices == mac_index
+            self._per_mac[int(mac_index)] = (
+                train.positions[mask],
+                train.rssi_dbm[mask].astype(float),
+            )
+        self._mark_fitted()
+        return self
+
+    def predict(self, data: REMDataset) -> np.ndarray:
+        """Shepard-weighted average of same-MAC samples per query."""
+        self._require_fitted()
+        out = np.full(len(data), self._global_mean)
+        for mac_index in np.unique(data.mac_indices):
+            key = int(mac_index)
+            if key not in self._per_mac:
+                continue
+            positions, values = self._per_mac[key]
+            mask = data.mac_indices == mac_index
+            queries = data.positions[mask]
+            distances = np.linalg.norm(
+                queries[:, None, :] - positions[None, :, :], axis=2
+            )
+            estimates = np.empty(len(queries))
+            exact = distances.min(axis=1) < self.epsilon_m
+            for row in np.where(exact)[0]:
+                matches = distances[row] < self.epsilon_m
+                estimates[row] = float(values[matches].mean())
+            inexact = ~exact
+            if inexact.any():
+                weights = 1.0 / np.power(distances[inexact], self.power)
+                estimates[inexact] = (weights @ values) / weights.sum(axis=1)
+            out[mask] = estimates
+        return out

@@ -1,0 +1,185 @@
+"""Ordinary kriging per MAC address — the geostatistical extension.
+
+REM literature standardly interpolates radio maps with kriging; the
+paper's future work points toward "deriving the fundamental limitations
+on the density of 3D REMs", for which kriging's variance estimates are
+the natural tool.  This estimator is the reproduction's extension
+beyond the paper's three model families.
+
+Per MAC: fit an exponential variogram ``γ(h) = nugget + sill(1 -
+exp(-h/range))`` to the empirical binned semivariogram, then solve the
+ordinary-kriging system over the ``n_neighbors`` nearest samples for
+each query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dataset import REMDataset
+from .base import Predictor
+
+__all__ = ["ExponentialVariogram", "OrdinaryKrigingRegressor", "fit_variogram"]
+
+
+@dataclass(frozen=True)
+class ExponentialVariogram:
+    """γ(h) = nugget + sill · (1 − exp(−h / range))."""
+
+    nugget: float
+    sill: float
+    range_m: float
+
+    def __call__(self, h: np.ndarray) -> np.ndarray:
+        """Semivariance at lag distance(s) ``h``."""
+        h = np.asarray(h, dtype=float)
+        return self.nugget + self.sill * (1.0 - np.exp(-h / max(self.range_m, 1e-9)))
+
+
+def fit_variogram(
+    positions: np.ndarray,
+    values: np.ndarray,
+    n_bins: int = 12,
+    max_lag_m: Optional[float] = None,
+) -> ExponentialVariogram:
+    """Least-squares exponential fit to the empirical semivariogram.
+
+    Falls back to a small-nugget default when there are too few pairs
+    to estimate anything (single-sample MACs).
+    """
+    n = len(values)
+    if n < 3:
+        var = float(np.var(values)) if n > 1 else 1.0
+        return ExponentialVariogram(nugget=0.1, sill=max(var, 0.5), range_m=1.0)
+    diffs = positions[:, None, :] - positions[None, :, :]
+    lags = np.sqrt(np.sum(diffs**2, axis=2))
+    gammas = 0.5 * (values[:, None] - values[None, :]) ** 2
+    iu = np.triu_indices(n, k=1)
+    lag_flat, gamma_flat = lags[iu], gammas[iu]
+    if max_lag_m is None:
+        max_lag_m = float(lag_flat.max()) or 1.0
+    edges = np.linspace(0.0, max_lag_m, n_bins + 1)
+    centers, means = [], []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (lag_flat >= lo) & (lag_flat < hi)
+        if mask.sum() >= 2:
+            centers.append((lo + hi) / 2.0)
+            means.append(float(gamma_flat[mask].mean()))
+    if len(centers) < 3:
+        var = float(np.var(values))
+        return ExponentialVariogram(nugget=0.1, sill=max(var, 0.5), range_m=1.0)
+    centers_arr = np.asarray(centers)
+    means_arr = np.asarray(means)
+    sill0 = float(np.var(values)) or 1.0
+    best: Tuple[float, ExponentialVariogram] = (np.inf, ExponentialVariogram(0.1, sill0, 1.0))
+    # Coarse grid over range and nugget fraction; sill by least squares.
+    for range_m in np.linspace(0.3, max_lag_m, 16):
+        basis = 1.0 - np.exp(-centers_arr / range_m)
+        for nugget_frac in (0.0, 0.1, 0.25, 0.5):
+            nugget = nugget_frac * sill0
+            resid_target = means_arr - nugget
+            denom = float(basis @ basis)
+            if denom <= 0:
+                continue
+            sill = max(float(basis @ resid_target) / denom, 1e-6)
+            sse = float(np.sum((nugget + sill * basis - means_arr) ** 2))
+            if sse < best[0]:
+                best = (sse, ExponentialVariogram(nugget, sill, float(range_m)))
+    return best[1]
+
+
+class OrdinaryKrigingRegressor(Predictor):
+    """Per-MAC ordinary kriging with a fitted exponential variogram."""
+
+    PARAM_NAMES = ("n_neighbors", "n_bins")
+    name = "ordinary-kriging"
+
+    def __init__(self, n_neighbors: int = 16, n_bins: int = 12):
+        super().__init__()
+        if n_neighbors < 2:
+            raise ValueError(f"n_neighbors must be >= 2, got {n_neighbors}")
+        self.n_neighbors = int(n_neighbors)
+        self.n_bins = int(n_bins)
+        self._models: Dict[int, Tuple[np.ndarray, np.ndarray, ExponentialVariogram]] = {}
+        self._global_mean = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(self, train: REMDataset) -> "OrdinaryKrigingRegressor":
+        """Fit one variogram per MAC over its sample cloud."""
+        if len(train) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._global_mean = float(train.rssi_dbm.mean())
+        self._models = {}
+        for mac_index in np.unique(train.mac_indices):
+            mask = train.mac_indices == mac_index
+            positions = train.positions[mask]
+            values = train.rssi_dbm[mask].astype(float)
+            variogram = fit_variogram(positions, values, n_bins=self.n_bins)
+            self._models[int(mac_index)] = (positions, values, variogram)
+        self._mark_fitted()
+        return self
+
+    def predict(self, data: REMDataset) -> np.ndarray:
+        """Kriging estimate per query (variance available via predict_std)."""
+        self._require_fitted()
+        means, _ = self._predict_with_std(data)
+        return means
+
+    def predict_std(self, data: REMDataset) -> np.ndarray:
+        """Kriging standard deviation per query (model uncertainty)."""
+        self._require_fitted()
+        _, stds = self._predict_with_std(data)
+        return stds
+
+    # ------------------------------------------------------------------
+    def _predict_with_std(self, data: REMDataset) -> Tuple[np.ndarray, np.ndarray]:
+        means = np.full(len(data), self._global_mean)
+        stds = np.zeros(len(data))
+        for mac_index in np.unique(data.mac_indices):
+            key = int(mac_index)
+            mask = data.mac_indices == mac_index
+            if key not in self._models:
+                continue
+            positions, values, variogram = self._models[key]
+            for row in np.where(mask)[0]:
+                means[row], stds[row] = self._krige_point(
+                    data.positions[row], positions, values, variogram
+                )
+        return means, stds
+
+    def _krige_point(
+        self,
+        query: np.ndarray,
+        positions: np.ndarray,
+        values: np.ndarray,
+        variogram: ExponentialVariogram,
+    ) -> Tuple[float, float]:
+        n = len(values)
+        if n == 1:
+            return float(values[0]), float(np.sqrt(max(variogram.sill, 0.0)))
+        k = min(self.n_neighbors, n)
+        dists = np.linalg.norm(positions - query, axis=1)
+        nearest = np.argpartition(dists, k - 1)[:k]
+        pts = positions[nearest]
+        vals = values[nearest]
+        # Ordinary kriging system with a Lagrange multiplier.
+        pair_lags = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+        gamma_matrix = variogram(pair_lags)
+        a = np.zeros((k + 1, k + 1))
+        a[:k, :k] = gamma_matrix
+        a[k, :k] = 1.0
+        a[:k, k] = 1.0
+        b = np.zeros(k + 1)
+        b[:k] = variogram(dists[nearest])
+        b[k] = 1.0
+        try:
+            solution = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError:
+            solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        weights = solution[:k]
+        mean = float(weights @ vals)
+        variance = float(weights @ b[:k] + solution[k])
+        return mean, float(np.sqrt(max(variance, 0.0)))

@@ -1,0 +1,61 @@
+"""Regression metrics used across the evaluation (RMSE front and center).
+
+The paper scores every estimator by the Root Mean Square Error of its
+RSS predictions on a held-out test set (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "r2_score", "error_summary"]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean square error."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    _validate(yt, yp)
+    return float(np.sqrt(np.mean((yt - yp) ** 2)))
+
+
+def mae(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    _validate(yt, yp)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    _validate(yt, yp)
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - yt.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def error_summary(y_true: Sequence[float], y_pred: Sequence[float]) -> Dict[str, float]:
+    """RMSE / MAE / R² / p95 absolute error in one dict."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    _validate(yt, yp)
+    return {
+        "rmse": rmse(yt, yp),
+        "mae": mae(yt, yp),
+        "r2": r2_score(yt, yp),
+        "p95_abs_error": float(np.percentile(np.abs(yt - yp), 95)),
+    }

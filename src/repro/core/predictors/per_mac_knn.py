@@ -1,0 +1,95 @@
+"""One k-NN estimator per MAC address (the paper's ensemble variant).
+
+"As an intuitive alternative to assigning samples with different MAC
+addresses a greater distance, we considered a kNN estimator per MAC
+address ... reducing the feature set to only the x, y, z coordinates"
+— §III-B.  Each AP gets its own spatial regressor trained on its own
+samples; queries dispatch by MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..dataset import REMDataset
+from .base import Predictor
+from .knn import _minkowski_distances
+
+__all__ = ["PerMacKnnRegressor"]
+
+
+class PerMacKnnRegressor(Predictor):
+    """Per-MAC k-NN over coordinates only.
+
+    Hyper-parameters mirror the base k-NN (the paper keeps them equal).
+    MACs unseen in training fall back to the global training mean.
+    """
+
+    PARAM_NAMES = ("n_neighbors", "weights", "p")
+    name = "knn-per-mac"
+
+    def __init__(self, n_neighbors: int = 3, weights: str = "distance", p: float = 2.0):
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.n_neighbors = int(n_neighbors)
+        self.weights = weights
+        self.p = float(p)
+        self._positions: Dict[int, np.ndarray] = {}
+        self._targets: Dict[int, np.ndarray] = {}
+        self._global_mean = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(self, train: REMDataset) -> "PerMacKnnRegressor":
+        """Partition training rows by MAC."""
+        if len(train) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._global_mean = float(train.rssi_dbm.mean())
+        self._positions = {}
+        self._targets = {}
+        for mac_index in np.unique(train.mac_indices):
+            mask = train.mac_indices == mac_index
+            self._positions[int(mac_index)] = train.positions[mask]
+            self._targets[int(mac_index)] = train.rssi_dbm[mask].astype(float)
+        self._mark_fitted()
+        return self
+
+    def predict(self, data: REMDataset) -> np.ndarray:
+        """Dispatch each query to its MAC's spatial regressor."""
+        self._require_fitted()
+        out = np.full(len(data), self._global_mean)
+        for mac_index in np.unique(data.mac_indices):
+            mask = data.mac_indices == mac_index
+            key = int(mac_index)
+            if key not in self._positions:
+                continue
+            out[mask] = self._predict_for_mac(key, data.positions[mask])
+        return out
+
+    # ------------------------------------------------------------------
+    def _predict_for_mac(self, mac_index: int, queries: np.ndarray) -> np.ndarray:
+        positions = self._positions[mac_index]
+        targets = self._targets[mac_index]
+        k = min(self.n_neighbors, len(targets))
+        distances = _minkowski_distances(queries, positions, self.p)
+        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        rows = np.arange(len(queries))[:, None]
+        neighbor_dist = distances[rows, neighbor_idx]
+        neighbor_y = targets[neighbor_idx]
+        if self.weights == "uniform":
+            return neighbor_y.mean(axis=1)
+        out = np.empty(len(queries))
+        zero_mask = neighbor_dist <= 1e-12
+        has_zero = zero_mask.any(axis=1)
+        with np.errstate(divide="ignore"):
+            w = 1.0 / neighbor_dist
+        for i in range(len(queries)):
+            if has_zero[i]:
+                out[i] = neighbor_y[i][zero_mask[i]].mean()
+            else:
+                out[i] = float(np.sum(w[i] * neighbor_y[i]) / np.sum(w[i]))
+        return out

@@ -1,0 +1,105 @@
+"""UAV relay placement on a REM — the paper's §I use case [12].
+
+"...for example in optimizing the positioning of UAVs serving as
+mobile relays" (citing Rubin & Zhang).  Given a REM, a gateway AP and a
+client location, the relay problem is: hover a UAV somewhere in the
+mapped volume so the *worse* of its two links (AP→relay from the REM,
+relay→client by short-range free space) is as good as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.propagation import fspl_db
+from .rem import RadioEnvironmentMap
+
+__all__ = ["RelayPlacement", "place_relay", "relay_gain_db"]
+
+
+@dataclass(frozen=True)
+class RelayPlacement:
+    """The optimized relay position and its link budget."""
+
+    position: Tuple[float, float, float]
+    ap_to_relay_dbm: float
+    relay_to_client_dbm: float
+    direct_dbm: float
+
+    @property
+    def bottleneck_dbm(self) -> float:
+        """The weaker of the two relayed hops."""
+        return min(self.ap_to_relay_dbm, self.relay_to_client_dbm)
+
+    @property
+    def gain_over_direct_db(self) -> float:
+        """Improvement of the relayed bottleneck over the direct link."""
+        return self.bottleneck_dbm - self.direct_dbm
+
+
+def _relay_link_dbm(
+    relay: np.ndarray,
+    client: Sequence[float],
+    relay_tx_power_dbm: float,
+    freq_mhz: float,
+) -> float:
+    distance = float(np.linalg.norm(relay - np.asarray(client, dtype=float)))
+    return relay_tx_power_dbm - fspl_db(distance, freq_mhz)
+
+
+def place_relay(
+    rem: RadioEnvironmentMap,
+    mac: str,
+    client_position: Sequence[float],
+    relay_tx_power_dbm: float = 10.0,
+    freq_mhz: float = 2442.0,
+    min_clearance_m: float = 0.3,
+) -> RelayPlacement:
+    """Find the lattice point maximizing the relayed bottleneck RSS.
+
+    The AP→relay leg reads the REM (it includes every wall the campaign
+    measured); the relay→client leg is in-room short range, modelled as
+    free space.  ``min_clearance_m`` keeps the relay off the client so
+    the free-space model stays sane.
+    """
+    if mac not in rem.macs:
+        raise KeyError(f"MAC {mac!r} has no field in this REM")
+    client = np.asarray(client_position, dtype=float)
+    points = rem.grid.points()
+    field = rem.field(mac).ravel()
+
+    best_index: Optional[int] = None
+    best_bottleneck = -np.inf
+    for index, point in enumerate(points):
+        if np.linalg.norm(point - client) < min_clearance_m:
+            continue
+        downlink = _relay_link_dbm(point, client, relay_tx_power_dbm, freq_mhz)
+        bottleneck = min(float(field[index]), downlink)
+        if bottleneck > best_bottleneck:
+            best_bottleneck = bottleneck
+            best_index = index
+    if best_index is None:
+        raise ValueError("no feasible relay position (clearance too large?)")
+
+    relay_point = points[best_index]
+    return RelayPlacement(
+        position=tuple(float(v) for v in relay_point),
+        ap_to_relay_dbm=float(field[best_index]),
+        relay_to_client_dbm=_relay_link_dbm(
+            relay_point, client, relay_tx_power_dbm, freq_mhz
+        ),
+        direct_dbm=rem.query(client, mac),
+    )
+
+
+def relay_gain_db(
+    rem: RadioEnvironmentMap,
+    mac: str,
+    client_position: Sequence[float],
+    **kwargs,
+) -> float:
+    """Convenience: bottleneck improvement of the best relay placement."""
+    return place_relay(rem, mac, client_position, **kwargs).gain_over_direct_db

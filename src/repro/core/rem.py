@@ -1,0 +1,208 @@
+"""The Radio Environmental Map: the toolchain's end product.
+
+A :class:`RadioEnvironmentMap` holds, for every AP of interest, a 3-D
+lattice of predicted RSS over the mapped volume.  It supports the uses
+the paper motivates in its introduction:
+
+* point queries (trilinear interpolation) for e.g. fingerprinting
+  databases or relay placement;
+* per-AP coverage fractions;
+* "dark region" extraction — sub-volumes where *no* AP exceeds a
+  service threshold, i.e. where the operator should add an AP (§I).
+
+Maps serialize to plain dicts (JSON-compatible) for archival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.geometry import Cuboid
+from .dataset import REMDataset
+from .predictors.base import Predictor
+
+__all__ = ["RemGrid", "RadioEnvironmentMap", "build_rem"]
+
+
+@dataclass(frozen=True)
+class RemGrid:
+    """The lattice geometry of a REM."""
+
+    volume: Cuboid
+    resolution_m: float
+
+    def __post_init__(self) -> None:
+        if self.resolution_m <= 0:
+            raise ValueError(f"resolution must be positive, got {self.resolution_m}")
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Lattice dimensions (nx, ny, nz), always >= 2 per axis."""
+        size = self.volume.size
+        return tuple(
+            max(2, int(round(s / self.resolution_m)) + 1) for s in size
+        )  # type: ignore[return-value]
+
+    def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-axis coordinate vectors."""
+        lo = np.asarray(self.volume.min_corner, dtype=float)
+        hi = np.asarray(self.volume.max_corner, dtype=float)
+        nx, ny, nz = self.shape
+        return (
+            np.linspace(lo[0], hi[0], nx),
+            np.linspace(lo[1], hi[1], ny),
+            np.linspace(lo[2], hi[2], nz),
+        )
+
+    def points(self) -> np.ndarray:
+        """All lattice points as an (N, 3) array (x fastest to slowest)."""
+        ax, ay, az = self.axes()
+        xs, ys, zs = np.meshgrid(ax, ay, az, indexing="ij")
+        return np.column_stack([xs.ravel(), ys.ravel(), zs.ravel()])
+
+
+class RadioEnvironmentMap:
+    """Per-AP predicted RSS over a 3-D lattice."""
+
+    def __init__(self, grid: RemGrid, mac_vocabulary: Sequence[str]):
+        self.grid = grid
+        self.mac_vocabulary: Tuple[str, ...] = tuple(mac_vocabulary)
+        self._fields: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def set_field(self, mac: str, values: np.ndarray) -> None:
+        """Store the lattice field for one AP (shape must match grid)."""
+        if mac not in self.mac_vocabulary:
+            raise KeyError(f"unknown MAC {mac!r}")
+        expected = self.grid.shape
+        if values.shape != expected:
+            raise ValueError(f"field shape {values.shape} != grid shape {expected}")
+        self._fields[mac] = values.astype(float)
+
+    def field(self, mac: str) -> np.ndarray:
+        """The (nx, ny, nz) RSS lattice of one AP."""
+        return self._fields[mac]
+
+    @property
+    def macs(self) -> Tuple[str, ...]:
+        """APs with stored fields."""
+        return tuple(self._fields)
+
+    # ------------------------------------------------------------------
+    def query(self, position: Sequence[float], mac: str) -> float:
+        """Trilinearly interpolated RSS of ``mac`` at ``position``."""
+        values = self._fields[mac]
+        ax, ay, az = self.grid.axes()
+        p = np.asarray(position, dtype=float)
+        idx = []
+        frac = []
+        for axis_values, coord in zip((ax, ay, az), p):
+            i = int(np.clip(np.searchsorted(axis_values, coord) - 1, 0, len(axis_values) - 2))
+            span = axis_values[i + 1] - axis_values[i]
+            t = 0.0 if span == 0 else float((coord - axis_values[i]) / span)
+            idx.append(i)
+            frac.append(np.clip(t, 0.0, 1.0))
+        (i, j, k), (tx, ty, tz) = idx, frac
+        c = values[i : i + 2, j : j + 2, k : k + 2]
+        cx = c[0] * (1 - tx) + c[1] * tx
+        cy = cx[0] * (1 - ty) + cx[1] * ty
+        return float(cy[0] * (1 - tz) + cy[1] * tz)
+
+    def strongest_ap(self, position: Sequence[float]) -> Tuple[str, float]:
+        """The best-serving AP and its RSS at ``position``."""
+        if not self._fields:
+            raise ValueError("REM has no fields")
+        best_mac, best_rss = "", -np.inf
+        for mac in self._fields:
+            rss = self.query(position, mac)
+            if rss > best_rss:
+                best_mac, best_rss = mac, rss
+        return best_mac, best_rss
+
+    # ------------------------------------------------------------------
+    def coverage_fraction(self, mac: str, threshold_dbm: float) -> float:
+        """Fraction of lattice points where ``mac`` exceeds ``threshold``."""
+        values = self._fields[mac]
+        return float((values >= threshold_dbm).mean())
+
+    def dark_fraction(self, threshold_dbm: float) -> float:
+        """Fraction of lattice points where *no* AP reaches ``threshold``.
+
+        The planning primitive of §I: dark regions are where the
+        operator should consider adding infrastructure.
+        """
+        if not self._fields:
+            return 1.0
+        best = np.full(self.grid.shape, -np.inf)
+        for values in self._fields.values():
+            best = np.maximum(best, values)
+        return float((best < threshold_dbm).mean())
+
+    def dark_points(self, threshold_dbm: float) -> np.ndarray:
+        """Lattice points of the dark region, as an (N, 3) array."""
+        if not self._fields:
+            return self.grid.points()
+        best = np.full(self.grid.shape, -np.inf)
+        for values in self._fields.values():
+            best = np.maximum(best, values)
+        mask = (best < threshold_dbm).ravel()
+        return self.grid.points()[mask]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible serialization."""
+        return {
+            "volume_min": list(self.grid.volume.min_corner),
+            "volume_max": list(self.grid.volume.max_corner),
+            "resolution_m": self.grid.resolution_m,
+            "macs": list(self.mac_vocabulary),
+            "fields": {mac: values.tolist() for mac, values in self._fields.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RadioEnvironmentMap":
+        """Inverse of :meth:`to_dict`."""
+        grid = RemGrid(
+            volume=Cuboid(tuple(data["volume_min"]), tuple(data["volume_max"])),
+            resolution_m=float(data["resolution_m"]),
+        )
+        rem = cls(grid, data["macs"])
+        for mac, values in data["fields"].items():
+            rem.set_field(mac, np.asarray(values, dtype=float))
+        return rem
+
+
+def build_rem(
+    predictor: Predictor,
+    train: REMDataset,
+    volume: Cuboid,
+    resolution_m: float = 0.25,
+    macs: Optional[Sequence[str]] = None,
+) -> RadioEnvironmentMap:
+    """Build a REM by querying a fitted predictor over a lattice.
+
+    ``macs`` restricts the map to a subset of APs (defaults to the
+    training vocabulary).
+    """
+    grid = RemGrid(volume=volume, resolution_m=resolution_m)
+    rem = RadioEnvironmentMap(grid, train.mac_vocabulary)
+    points = grid.points()
+    n_points = len(points)
+    selected = tuple(macs) if macs is not None else train.mac_vocabulary
+    mac_to_index = {mac: i for i, mac in enumerate(train.mac_vocabulary)}
+    for mac in selected:
+        if mac not in mac_to_index:
+            raise KeyError(f"MAC {mac!r} not in training vocabulary")
+        query = REMDataset(
+            positions=points,
+            mac_indices=np.full(n_points, mac_to_index[mac], dtype=int),
+            channels=np.zeros(n_points, dtype=int) + 1,
+            rssi_dbm=np.zeros(n_points),
+            mac_vocabulary=train.mac_vocabulary,
+        )
+        predictions = predictor.predict(query)
+        rem.set_field(mac, predictions.reshape(grid.shape))
+    return rem

@@ -1,0 +1,22 @@
+"""Control-link substrate: CRTP packets, bounded queues, Crazyradio.
+
+Models the paper's control plane: the Crazyradio dongle (2400-2525 MHz,
+126 channels), CRTP packet framing, the firmware's bounded TX queue that
+buffers scan results while the radio is off, and the coupling of link
+activity into the RF environment as self-interference (Fig. 5).
+"""
+
+from .crazyradio import Crazyradio, CrazyradioLink, RadioConfig
+from .crtp import MAX_PAYLOAD_BYTES, CrtpPacket, CrtpPort
+from .queueing import BoundedQueue, QueueStats
+
+__all__ = [
+    "Crazyradio",
+    "CrazyradioLink",
+    "RadioConfig",
+    "CrtpPacket",
+    "CrtpPort",
+    "MAX_PAYLOAD_BYTES",
+    "BoundedQueue",
+    "QueueStats",
+]

@@ -1,0 +1,175 @@
+"""The Crazyradio dongle and the radio link between station and UAV.
+
+The Crazyradio is a USB nRF24LU1 dongle with 126 channels uniformly
+spread over 2400-2525 MHz (§II-C).  Two aspects matter to the
+toolchain and are modelled here:
+
+* **Connectivity** — CRTP packets flow only while the radio is on; the
+  UAV's downlink packets otherwise accumulate in its bounded TX queue.
+* **Self-interference** — while the link is active, the polling traffic
+  raises the scan receiver's noise floor (Fig. 5).  Turning the radio
+  on/off (de)registers the interference source with the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..radio.environment import IndoorEnvironment
+from ..radio.interference import crazyradio_source
+from ..radio.spectrum import (
+    CRAZYRADIO_MAX_MHZ,
+    CRAZYRADIO_MIN_MHZ,
+    nrf24_channel_center_mhz,
+    nrf24_channel_for_mhz,
+)
+from ..sim.kernel import Simulator
+from .crtp import CrtpPacket
+from .queueing import BoundedQueue
+
+__all__ = ["RadioConfig", "Crazyradio", "CrazyradioLink"]
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Crazyradio + victim-coupling parameters.
+
+    ``power_at_victim_dbm`` and ``duty_cycle`` describe the combined
+    control-link interferer as seen by the UAV's scan receiver (see
+    :mod:`repro.radio.interference`).
+    """
+
+    freq_mhz: float = 2475.0
+    power_at_victim_dbm: float = -20.0
+    duty_cycle: float = 0.9
+    uplink_latency_s: float = 0.002
+    downlink_latency_s: float = 0.002
+
+
+class Crazyradio:
+    """The dongle: tunable carrier, on/off state, interference coupling."""
+
+    def __init__(self, environment: IndoorEnvironment, config: RadioConfig = None):
+        self.environment = environment
+        self.config = config or RadioConfig()
+        if not CRAZYRADIO_MIN_MHZ <= self.config.freq_mhz <= CRAZYRADIO_MAX_MHZ:
+            raise ValueError(
+                f"Crazyradio frequency {self.config.freq_mhz} MHz out of range"
+            )
+        self._on = False
+        self.on_off_transitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def on(self) -> bool:
+        """Whether the radio (and thus the CRTP link) is active."""
+        return self._on
+
+    @property
+    def freq_mhz(self) -> float:
+        """Current carrier frequency."""
+        return self.config.freq_mhz
+
+    @property
+    def nrf24_channel(self) -> int:
+        """Current nRF24 channel index (0-125)."""
+        return nrf24_channel_for_mhz(self.config.freq_mhz)
+
+    def set_frequency(self, freq_mhz: float) -> None:
+        """Retune the carrier (as the Fig. 5 experiment does)."""
+        if not CRAZYRADIO_MIN_MHZ <= freq_mhz <= CRAZYRADIO_MAX_MHZ:
+            raise ValueError(f"frequency {freq_mhz} MHz out of Crazyradio range")
+        self.config = RadioConfig(
+            freq_mhz=freq_mhz,
+            power_at_victim_dbm=self.config.power_at_victim_dbm,
+            duty_cycle=self.config.duty_cycle,
+            uplink_latency_s=self.config.uplink_latency_s,
+            downlink_latency_s=self.config.downlink_latency_s,
+        )
+        if self._on:
+            self._register_interference()
+
+    def set_channel(self, channel: int) -> None:
+        """Retune by nRF24 channel index."""
+        self.set_frequency(nrf24_channel_center_mhz(channel))
+
+    # ------------------------------------------------------------------
+    def turn_on(self) -> None:
+        """Enable the link and register the interference source."""
+        if not self._on:
+            self._on = True
+            self.on_off_transitions += 1
+            self._register_interference()
+
+    def turn_off(self) -> None:
+        """Disable the link and clear the interference source."""
+        if self._on:
+            self._on = False
+            self.on_off_transitions += 1
+            self.environment.clear_interference()
+
+    def _register_interference(self) -> None:
+        self.environment.set_interference_sources(
+            [
+                crazyradio_source(
+                    self.config.freq_mhz,
+                    power_at_receiver_dbm=self.config.power_at_victim_dbm,
+                    duty_cycle=self.config.duty_cycle,
+                )
+            ]
+        )
+
+
+class CrazyradioLink:
+    """Packet transport between the station and one UAV.
+
+    The UAV side owns a bounded TX queue (``CRTP_TX_QUEUE_SIZE`` in the
+    firmware); the station polls it whenever the radio is on.  Uplink
+    packets are delivered to the UAV's receive handler after a small
+    latency — or silently lost while the radio is off, exactly like the
+    real link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Crazyradio,
+        uav_tx_queue_capacity: int,
+        address: str = "radio://0/80/2M",
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.address = address
+        self.uav_tx_queue: BoundedQueue[CrtpPacket] = BoundedQueue(uav_tx_queue_capacity)
+        self._uav_rx_handler: Optional[Callable[[CrtpPacket], None]] = None
+        self.uplink_sent = 0
+        self.uplink_lost = 0
+
+    # ------------------------------------------------------------------
+    def attach_uav(self, handler: Callable[[CrtpPacket], None]) -> None:
+        """Register the UAV-side packet handler."""
+        self._uav_rx_handler = handler
+
+    # ------------------------------------------------------------------
+    def station_send(self, packet: CrtpPacket) -> bool:
+        """Station → UAV.  Returns False if the link is down."""
+        if not self.radio.on or self._uav_rx_handler is None:
+            self.uplink_lost += 1
+            return False
+        handler = self._uav_rx_handler
+        self.sim.schedule(
+            self.radio.config.uplink_latency_s, lambda: handler(packet)
+        )
+        self.uplink_sent += 1
+        return True
+
+    def uav_send(self, packet: CrtpPacket) -> bool:
+        """UAV → station: enqueue on the (bounded) firmware TX queue."""
+        return self.uav_tx_queue.offer(packet)
+
+    def station_poll(self, max_packets: Optional[int] = None) -> List[CrtpPacket]:
+        """Station drains downlink packets; empty while the radio is off."""
+        if not self.radio.on:
+            return []
+        return self.uav_tx_queue.drain(max_packets)

@@ -1,0 +1,75 @@
+"""Crazy RealTime Protocol (CRTP) packet model.
+
+The Crazyradio dongle and the Crazyflie exchange CRTP packets: a 1-byte
+header addressing a port (subsystem) and channel, plus up to 30 bytes of
+payload.  This module models the packet structure and the application
+port allocation used by the REM toolchain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["CrtpPort", "CrtpPacket", "MAX_PAYLOAD_BYTES"]
+
+#: CRTP payload limit (radio frame of 32 bytes minus the header).
+MAX_PAYLOAD_BYTES: int = 30
+
+
+class CrtpPort(enum.IntEnum):
+    """CRTP port allocation (subset relevant to the toolchain)."""
+
+    CONSOLE = 0x00
+    PARAM = 0x02
+    COMMANDER = 0x03
+    MEM = 0x04
+    LOG = 0x05
+    LOCALIZATION = 0x06
+    GENERIC_SETPOINT = 0x07
+    #: Application port used by the REM scan app (results, commands).
+    APP = 0x0D
+    LINK = 0x0F
+
+
+@dataclass(frozen=True)
+class CrtpPacket:
+    """One CRTP packet.
+
+    Attributes
+    ----------
+    port:
+        Destination subsystem.
+    channel:
+        Sub-address within the port (0-3 on the wire).
+    payload:
+        Up to 30 bytes of data.
+    """
+
+    port: CrtpPort
+    channel: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.channel <= 3:
+            raise ValueError(f"CRTP channel must be 0-3, got {self.channel}")
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"CRTP payload limited to {MAX_PAYLOAD_BYTES} bytes, "
+                f"got {len(self.payload)}"
+            )
+
+    @property
+    def header_byte(self) -> int:
+        """The on-air header byte: port in the high nibble, channel low."""
+        return ((int(self.port) & 0x0F) << 4) | (self.channel & 0x03)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-air size including the header."""
+        return 1 + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrtpPacket({self.port.name}:{self.channel}, {len(self.payload)}B)"
+        )

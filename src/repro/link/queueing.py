@@ -1,0 +1,90 @@
+"""Bounded packet queues with drop accounting.
+
+The Crazyflie firmware buffers downlink packets in a fixed-size FreeRTOS
+queue (``CRTP_TX_QUEUE_SIZE``).  The stock size cannot hold a full scan
+result while the radio is off, which is exactly why the paper's firmware
+modification enlarges it (§II-C).  The queue here reproduces that
+behaviour: fixed capacity, reject-new on overflow (FreeRTOS
+``xQueueSend`` semantics with zero timeout), and drop counters that the
+tests and the ablation bench assert on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["BoundedQueue", "QueueStats"]
+
+
+@dataclass
+class QueueStats:
+    """Counters describing a queue's lifetime behaviour."""
+
+    enqueued: int = 0
+    dropped: int = 0
+    dequeued: int = 0
+    high_watermark: int = 0
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hard capacity; offers are rejected when full.
+
+    Mirrors FreeRTOS queue semantics used by the CRTP TX path: the
+    producer does not block, it simply loses the packet.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._items: Deque[T] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when no more items can be offered."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is queued."""
+        return not self._items
+
+    def offer(self, item: T) -> bool:
+        """Try to enqueue; returns False (and counts a drop) when full."""
+        if self.full:
+            self.stats.dropped += 1
+            return False
+        self._items.append(item)
+        self.stats.enqueued += 1
+        self.stats.high_watermark = max(self.stats.high_watermark, len(self._items))
+        return True
+
+    def poll(self) -> Optional[T]:
+        """Dequeue the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+    def drain(self, limit: Optional[int] = None) -> List[T]:
+        """Dequeue up to ``limit`` items (all of them by default)."""
+        out: List[T] = []
+        while self._items and (limit is None or len(out) < limit):
+            item = self.poll()
+            assert item is not None
+            out.append(item)
+        return out
+
+    def clear(self) -> int:
+        """Discard everything; returns the number of discarded items."""
+        n = len(self._items)
+        self._items.clear()
+        return n

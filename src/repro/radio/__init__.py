@@ -1,0 +1,109 @@
+"""Indoor RF substrate: geometry, propagation, shadowing, interference.
+
+This package synthesises the radio environment the paper measured in a
+real apartment: a multi-wall 3-D indoor propagation model with
+spatially-correlated shadowing and fast fading, a 2.4 GHz AP population,
+and the control-link self-interference model behind Fig. 5.
+"""
+
+from .accesspoint import AccessPoint, format_mac, generate_population
+from .diagnostics import ScenarioDiagnostics, diagnose_scenario
+from .environment import IndoorEnvironment, LinkBudget
+from .geometry import Cuboid, Wall, crossed_walls, segment_plane_intersection
+from .interference import (
+    CrazyradioInterference,
+    InterferenceSource,
+    ReceiverSelectivity,
+    crazyradio_source,
+)
+from .materials import (
+    BRICK,
+    CONCRETE,
+    DRYWALL,
+    GLASS,
+    MATERIALS,
+    REINFORCED_CONCRETE,
+    WOOD,
+    Material,
+)
+from .noise import (
+    GaussianFading,
+    NoiseModel,
+    RicianFading,
+    db_to_linear,
+    linear_to_db,
+    power_sum_dbm,
+    thermal_noise_dbm,
+)
+from .propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+    fspl_db,
+)
+from .scenarios import DemoScenario, DemoScenarioConfig, build_demo_scenario
+from .shadowing import GaussianRandomField, ShadowingModel
+from .spectrum import (
+    WIFI_CHANNELS,
+    BandSegment,
+    band_overlap_mhz,
+    nrf24_band,
+    nrf24_channel_center_mhz,
+    nrf24_channel_for_mhz,
+    overlap_fraction,
+    overlapping_wifi_channels,
+    wifi_band,
+    wifi_channel_center_mhz,
+)
+
+__all__ = [
+    "AccessPoint",
+    "format_mac",
+    "generate_population",
+    "ScenarioDiagnostics",
+    "diagnose_scenario",
+    "IndoorEnvironment",
+    "LinkBudget",
+    "Cuboid",
+    "Wall",
+    "crossed_walls",
+    "segment_plane_intersection",
+    "CrazyradioInterference",
+    "InterferenceSource",
+    "ReceiverSelectivity",
+    "crazyradio_source",
+    "Material",
+    "MATERIALS",
+    "DRYWALL",
+    "BRICK",
+    "CONCRETE",
+    "REINFORCED_CONCRETE",
+    "GLASS",
+    "WOOD",
+    "GaussianFading",
+    "RicianFading",
+    "NoiseModel",
+    "db_to_linear",
+    "linear_to_db",
+    "power_sum_dbm",
+    "thermal_noise_dbm",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "MultiWallPathLoss",
+    "fspl_db",
+    "DemoScenario",
+    "DemoScenarioConfig",
+    "build_demo_scenario",
+    "GaussianRandomField",
+    "ShadowingModel",
+    "WIFI_CHANNELS",
+    "BandSegment",
+    "band_overlap_mhz",
+    "nrf24_band",
+    "nrf24_channel_center_mhz",
+    "nrf24_channel_for_mhz",
+    "overlap_fraction",
+    "overlapping_wifi_channels",
+    "wifi_band",
+    "wifi_channel_center_mhz",
+]

@@ -1,0 +1,183 @@
+"""Wi-Fi access points and synthetic AP populations.
+
+The demo environment (a condo flat in a large apartment building in
+Antwerp) saw 73 distinct BSSIDs across 49 SSIDs with channel occupancy
+concentrated on 1/6/11.  :func:`generate_population` synthesises a
+population with those statistics: AP locations cluster toward the
+building center (which, seen from the demo room, lies toward +x / -y —
+the gradient Figs. 6-7 visualise), several SSIDs own multiple BSSIDs
+(dual-radio APs, mesh nodes), and channels follow the usual mixture of
+the three non-overlapping channels plus stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .spectrum import WIFI_CHANNELS
+
+__all__ = ["AccessPoint", "generate_population", "format_mac"]
+
+#: Default 802.11 beacon interval (102.4 ms = 100 TU).
+BEACON_INTERVAL_S: float = 0.1024
+
+_SSID_WORDS_A = (
+    "telenet", "proximus", "orange", "home", "wifi", "net", "link",
+    "air", "casa", "flat", "blue", "fast", "sky", "zen", "hive",
+)
+_SSID_WORDS_B = (
+    "alpha", "24ghz", "plus", "pro", "max", "one", "x", "lan", "zone",
+    "spot", "box", "hub", "mesh", "ap", "south", "north",
+)
+
+
+def format_mac(value: int) -> str:
+    """Format a 48-bit integer as a colon-separated MAC address."""
+    if not 0 <= value < 2**48:
+        raise ValueError(f"MAC value out of range: {value}")
+    raw = f"{value:012x}"
+    return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A beaconing 2.4 GHz Wi-Fi access point.
+
+    Attributes
+    ----------
+    mac:
+        BSSID; the unique key the ML stage groups samples by.
+    ssid:
+        Network name; shared between co-managed APs, so *not* unique.
+    channel:
+        2.4 GHz channel (1-13).
+    position:
+        Transmitter coordinates in the global frame, meters.
+    tx_power_dbm:
+        EIRP of beacon transmissions.
+    beacon_interval_s:
+        Time between beacons (default 102.4 ms).
+    """
+
+    mac: str
+    ssid: str
+    channel: int
+    position: Tuple[float, float, float]
+    tx_power_dbm: float = 17.0
+    beacon_interval_s: float = BEACON_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        if self.channel not in WIFI_CHANNELS:
+            raise ValueError(f"invalid channel {self.channel}")
+        if self.beacon_interval_s <= 0:
+            raise ValueError("beacon interval must be positive")
+
+    @property
+    def position_array(self) -> np.ndarray:
+        """Position as a numpy array."""
+        return np.asarray(self.position, dtype=float)
+
+
+def _make_ssid(rng: np.random.Generator, index: int) -> str:
+    a = _SSID_WORDS_A[int(rng.integers(len(_SSID_WORDS_A)))]
+    b = _SSID_WORDS_B[int(rng.integers(len(_SSID_WORDS_B)))]
+    suffix = int(rng.integers(10, 99))
+    return f"{a}-{b}-{suffix}_{index:02d}"
+
+
+def _sample_channel(rng: np.random.Generator) -> int:
+    # Real-world 2.4 GHz occupancy: ~80 % of APs sit on 1/6/11.
+    primary = (1, 6, 11)
+    if rng.random() < 0.8:
+        return int(primary[int(rng.integers(3))])
+    return int(rng.choice([c for c in WIFI_CHANNELS if c not in primary]))
+
+
+def generate_population(
+    n_aps: int,
+    n_ssids: int,
+    building_center: Sequence[float],
+    spread_m: Sequence[float],
+    rng: np.random.Generator,
+    bounds_min: Optional[Sequence[float]] = None,
+    bounds_max: Optional[Sequence[float]] = None,
+    tx_power_range_dbm: Tuple[float, float] = (14.0, 20.0),
+    exclusion_center: Optional[Sequence[float]] = None,
+    exclusion_radius_m: float = 0.0,
+    uniform_fraction: float = 0.0,
+) -> List[AccessPoint]:
+    """Generate a synthetic AP population.
+
+    Positions are drawn from a mixture: a fraction ``uniform_fraction``
+    uniformly over the bounding box (the long tail of far, barely
+    detectable units that real buildings exhibit) and the rest from an
+    anisotropic Gaussian around ``building_center``.  Both components
+    put more APs toward the building center than toward the room, so AP
+    density — and with it the number of beacon samples collected — rises
+    in that direction, reproducing the spatial gradient of Figs. 6-7.
+
+    Parameters
+    ----------
+    n_aps:
+        Number of BSSIDs to create.
+    n_ssids:
+        Number of distinct SSIDs; must not exceed ``n_aps``.  The first
+        ``n_ssids`` APs get fresh SSIDs, the rest reuse existing ones.
+    building_center / spread_m:
+        Mean and per-axis standard deviation of the location distribution.
+    bounds_min / bounds_max:
+        Optional clipping box (the building envelope).
+    exclusion_center / exclusion_radius_m:
+        Optional sphere APs must keep out of (e.g. the flight volume
+        itself — nobody mounts an AP mid-air in the living room).
+    uniform_fraction:
+        Fraction of APs drawn uniformly over the bounds box instead of
+        from the Gaussian core.
+    """
+    if not 0.0 <= uniform_fraction <= 1.0:
+        raise ValueError(f"uniform_fraction must be in [0,1], got {uniform_fraction}")
+    if uniform_fraction > 0.0 and (bounds_min is None or bounds_max is None):
+        raise ValueError("uniform_fraction requires bounds_min/bounds_max")
+    if n_ssids > n_aps:
+        raise ValueError(f"n_ssids ({n_ssids}) cannot exceed n_aps ({n_aps})")
+    if n_aps < 0:
+        raise ValueError("n_aps must be >= 0")
+
+    center = np.asarray(building_center, dtype=float)
+    spread = np.asarray(spread_m, dtype=float)
+    ssids: List[str] = [_make_ssid(rng, i) for i in range(n_ssids)]
+
+    aps: List[AccessPoint] = []
+    base_mac = int(rng.integers(2**40)) << 8
+    for i in range(n_aps):
+        from_uniform = rng.random() < uniform_fraction
+        for _attempt in range(200):
+            if from_uniform:
+                pos = rng.uniform(np.asarray(bounds_min), np.asarray(bounds_max))
+            else:
+                pos = rng.normal(center, spread)
+            if bounds_min is not None and bounds_max is not None:
+                pos = np.clip(pos, np.asarray(bounds_min), np.asarray(bounds_max))
+            if (
+                exclusion_center is not None
+                and np.linalg.norm(pos - np.asarray(exclusion_center, float))
+                < exclusion_radius_m
+            ):
+                continue
+            break
+        ssid = ssids[i] if i < n_ssids else ssids[int(rng.integers(n_ssids))]
+        mac = format_mac((base_mac + i * 7 + int(rng.integers(7))) % 2**48)
+        power = float(rng.uniform(*tx_power_range_dbm))
+        aps.append(
+            AccessPoint(
+                mac=mac,
+                ssid=ssid,
+                channel=_sample_channel(rng),
+                position=tuple(float(v) for v in pos),
+                tx_power_dbm=power,
+            )
+        )
+    return aps

@@ -1,0 +1,111 @@
+"""Scenario diagnostics: is an RF world paper-shaped?
+
+Building a synthetic environment that behaves like the paper's flat
+takes calibration (see DESIGN.md §2).  This module packages the probes
+used for that calibration so users building *their own* scenarios can
+check them: per-scan detection counts, mean detected RSS, and the
+spatial gradients that drive Figs. 6-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..wifi.scanner import ChannelSweepScanner, ScanConfig
+from .scenarios import DemoScenario
+
+__all__ = ["ScenarioDiagnostics", "diagnose_scenario"]
+
+
+@dataclass
+class ScenarioDiagnostics:
+    """Aggregate probe results over a waypoint-like lattice."""
+
+    mean_aps_per_scan: float
+    mean_detected_rss_dbm: float
+    distinct_macs_seen: int
+    x_gradient_ratio: float
+    y_gradient_ratio: float
+    samples_projected_72_waypoints: int
+
+    def paper_shape_warnings(self) -> List[str]:
+        """Deviations from the §III-A campaign shape, human-readable."""
+        warnings: List[str] = []
+        if not 25 <= self.mean_aps_per_scan <= 50:
+            warnings.append(
+                f"mean APs per scan {self.mean_aps_per_scan:.1f} outside "
+                "the paper-like 25-50 band"
+            )
+        if not -80.0 <= self.mean_detected_rss_dbm <= -65.0:
+            warnings.append(
+                f"mean detected RSS {self.mean_detected_rss_dbm:.1f} dBm far "
+                "from the paper's ≈ -73 dBm"
+            )
+        if self.x_gradient_ratio < 1.0:
+            warnings.append(
+                "sample mass does not increase toward +x "
+                f"(ratio {self.x_gradient_ratio:.2f})"
+            )
+        if self.y_gradient_ratio < 1.0:
+            warnings.append(
+                "sample mass does not decrease toward +y "
+                f"(ratio {self.y_gradient_ratio:.2f})"
+            )
+        return warnings
+
+
+def diagnose_scenario(
+    scenario: DemoScenario,
+    scan_config: Optional[ScanConfig] = None,
+    scan_duration_s: float = 3.0,
+    seed: int = 1,
+    nx: int = 6,
+    ny: int = 4,
+    nz: int = 3,
+    margin: float = 0.25,
+) -> ScenarioDiagnostics:
+    """Probe ``scenario`` over its waypoint lattice.
+
+    Runs one scan per lattice point (no flight, no interference) and
+    aggregates the statistics the calibration targets.
+    """
+    environment = scenario.environment
+    environment.clear_interference()
+    scanner = ChannelSweepScanner(environment, scan_config)
+    rng = np.random.default_rng(seed)
+    grid = scenario.flight_volume.grid(nx, ny, nz, margin=margin)
+
+    counts = []
+    rss_values: List[int] = []
+    macs = set()
+    xs, ys = [], []
+    for point in grid:
+        report = scanner.scan(point, rng, duration_s=scan_duration_s)
+        counts.append(len(report))
+        xs.append(point[0])
+        ys.append(point[1])
+        rss_values.extend(r.rssi_dbm for r in report.records)
+        macs.update(report.macs())
+
+    counts_arr = np.asarray(counts, dtype=float)
+    xs_arr = np.asarray(xs)
+    ys_arr = np.asarray(ys)
+    x_mid = (xs_arr.min() + xs_arr.max()) / 2.0
+    y_mid = (ys_arr.min() + ys_arr.max()) / 2.0
+
+    def _ratio(upper_mask) -> float:
+        upper = counts_arr[upper_mask].sum()
+        lower = counts_arr[~upper_mask].sum()
+        return float(upper / lower) if lower > 0 else float("inf")
+
+    return ScenarioDiagnostics(
+        mean_aps_per_scan=float(counts_arr.mean()),
+        mean_detected_rss_dbm=float(np.mean(rss_values)) if rss_values else float("nan"),
+        distinct_macs_seen=len(macs),
+        x_gradient_ratio=_ratio(xs_arr > x_mid),
+        y_gradient_ratio=1.0 / max(_ratio(ys_arr > y_mid), 1e-9),
+        samples_projected_72_waypoints=int(counts_arr.mean() * 72),
+    )

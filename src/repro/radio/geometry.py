@@ -1,0 +1,175 @@
+"""3-D geometry primitives for the indoor radio environment.
+
+Walls are axis-aligned planar rectangles.  The only geometric query the
+propagation model needs is "which walls does the straight line between
+transmitter and receiver cross?", which reduces to segment/axis-plane
+intersection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .materials import Material
+
+__all__ = ["Wall", "Cuboid", "segment_plane_intersection", "crossed_walls"]
+
+_AXIS_NAMES = {0: "x", 1: "y", 2: "z"}
+
+
+@dataclass(frozen=True)
+class Wall:
+    """An axis-aligned rectangular wall (or floor slab).
+
+    Parameters
+    ----------
+    axis:
+        Normal axis: 0 for walls perpendicular to x, 1 for y, 2 for z
+        (i.e. floor/ceiling slabs).
+    offset:
+        Coordinate of the wall plane along ``axis``.
+    bounds:
+        ``((u_min, u_max), (v_min, v_max))`` extents in the two remaining
+        axes, ordered by increasing axis index (e.g. for ``axis=1`` the
+        bounds are in (x, z)).
+    material:
+        Material determining the per-crossing attenuation.
+    name:
+        Optional label used in debug output and tests.
+    """
+
+    axis: int
+    offset: float
+    bounds: Tuple[Tuple[float, float], Tuple[float, float]]
+    material: Material
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {self.axis}")
+        (u0, u1), (v0, v1) = self.bounds
+        if u0 > u1 or v0 > v1:
+            raise ValueError(f"degenerate wall bounds {self.bounds}")
+
+    @property
+    def in_plane_axes(self) -> Tuple[int, int]:
+        """The two axes spanning the wall plane, in increasing order."""
+        return tuple(a for a in (0, 1, 2) if a != self.axis)  # type: ignore[return-value]
+
+    def contains_in_plane(self, point: np.ndarray, tol: float = 1e-9) -> bool:
+        """True if ``point`` (on the wall plane) lies within the rectangle."""
+        (u_axis, v_axis) = self.in_plane_axes
+        (u0, u1), (v0, v1) = self.bounds
+        u, v = point[u_axis], point[v_axis]
+        return (u0 - tol) <= u <= (u1 + tol) and (v0 - tol) <= v <= (v1 + tol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.material.name
+        return f"Wall({_AXIS_NAMES[self.axis]}={self.offset:.2f}, {label})"
+
+
+@dataclass(frozen=True)
+class Cuboid:
+    """An axis-aligned box, used for room volumes and building envelopes."""
+
+    min_corner: Tuple[float, float, float]
+    max_corner: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        for lo, hi in zip(self.min_corner, self.max_corner):
+            if lo > hi:
+                raise ValueError(
+                    f"degenerate cuboid: {self.min_corner} .. {self.max_corner}"
+                )
+
+    @property
+    def size(self) -> Tuple[float, float, float]:
+        """Edge lengths along (x, y, z)."""
+        return tuple(
+            hi - lo for lo, hi in zip(self.min_corner, self.max_corner)
+        )  # type: ignore[return-value]
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric center."""
+        return (np.asarray(self.min_corner) + np.asarray(self.max_corner)) / 2.0
+
+    @property
+    def volume(self) -> float:
+        """Volume in cubic meters."""
+        sx, sy, sz = self.size
+        return sx * sy * sz
+
+    def contains(self, point: Sequence[float], tol: float = 1e-9) -> bool:
+        """True if ``point`` lies inside (or on the boundary of) the box."""
+        return all(
+            lo - tol <= p <= hi + tol
+            for p, lo, hi in zip(point, self.min_corner, self.max_corner)
+        )
+
+    def corners(self) -> np.ndarray:
+        """The 8 corner points as an (8, 3) array."""
+        lo = np.asarray(self.min_corner, dtype=float)
+        hi = np.asarray(self.max_corner, dtype=float)
+        out = np.empty((8, 3))
+        for i in range(8):
+            out[i] = [
+                hi[0] if i & 1 else lo[0],
+                hi[1] if i & 2 else lo[1],
+                hi[2] if i & 4 else lo[2],
+            ]
+        return out
+
+    def grid(self, nx: int, ny: int, nz: int, margin: float = 0.0) -> np.ndarray:
+        """An evenly spread ``nx*ny*nz`` lattice of points inside the box.
+
+        ``margin`` shrinks the box on every side before gridding, which is
+        how waypoint lattices keep clearance from walls/ceiling.
+        """
+        if min(nx, ny, nz) < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        lo = np.asarray(self.min_corner, dtype=float) + margin
+        hi = np.asarray(self.max_corner, dtype=float) - margin
+        if np.any(hi < lo):
+            raise ValueError(f"margin {margin} exceeds cuboid half-size")
+        axes = [
+            np.linspace(lo[d], hi[d], n) if n > 1 else np.array([(lo[d] + hi[d]) / 2])
+            for d, n in enumerate((nx, ny, nz))
+        ]
+        xs, ys, zs = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([xs.ravel(), ys.ravel(), zs.ravel()])
+
+
+def segment_plane_intersection(
+    p: np.ndarray, q: np.ndarray, axis: int, offset: float
+) -> Optional[np.ndarray]:
+    """Intersection of segment ``p→q`` with the plane ``coord[axis]=offset``.
+
+    Returns the intersection point, or ``None`` when the segment does not
+    cross the plane.  Touching endpoints (either endpoint exactly on the
+    plane) do not count as crossings: a transmitter mounted *on* a wall is
+    not attenuated by it.
+    """
+    a, b = p[axis], q[axis]
+    da, db = a - offset, b - offset
+    if da == 0.0 or db == 0.0 or (da > 0) == (db > 0):
+        return None
+    t = da / (da - db)
+    return p + t * (q - p)
+
+
+def crossed_walls(
+    p: Sequence[float], q: Sequence[float], walls: Iterable[Wall]
+) -> List[Wall]:
+    """Walls whose rectangle is crossed by the straight segment ``p→q``."""
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    hits: List[Wall] = []
+    for wall in walls:
+        point = segment_plane_intersection(p_arr, q_arr, wall.axis, wall.offset)
+        if point is not None and wall.contains_in_plane(point):
+            hits.append(wall)
+    return hits

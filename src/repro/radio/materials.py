@@ -1,0 +1,68 @@
+"""Building materials and their 2.4 GHz penetration losses.
+
+Per-crossing attenuation values follow the ranges commonly used by
+multi-wall indoor propagation models (COST 231 / ITU-R P.1238 style):
+light interior partitions cost a few dB, load-bearing masonry closer to
+ten, and reinforced-concrete floor slabs substantially more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "Material",
+    "DRYWALL",
+    "BRICK",
+    "CONCRETE",
+    "REINFORCED_CONCRETE",
+    "GLASS",
+    "WOOD",
+    "MATERIALS",
+]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A wall/floor material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    attenuation_db:
+        Signal loss in dB for one perpendicular crossing at 2.4 GHz.
+    thickness_m:
+        Nominal thickness; only used to scale losses for explicitly
+        thicker wall segments (e.g. the 40 cm-wider segment on UAV B's
+        side of the demo room).
+    """
+
+    name: str
+    attenuation_db: float
+    thickness_m: float = 0.10
+
+    def scaled(self, thickness_m: float) -> "Material":
+        """Return a variant with attenuation scaled by relative thickness."""
+        if thickness_m <= 0:
+            raise ValueError(f"thickness must be positive, got {thickness_m}")
+        factor = thickness_m / self.thickness_m
+        return Material(
+            name=f"{self.name}[{thickness_m:.2f}m]",
+            attenuation_db=self.attenuation_db * factor,
+            thickness_m=thickness_m,
+        )
+
+
+DRYWALL = Material("drywall", attenuation_db=3.0, thickness_m=0.10)
+BRICK = Material("brick", attenuation_db=8.0, thickness_m=0.20)
+CONCRETE = Material("concrete", attenuation_db=12.0, thickness_m=0.20)
+REINFORCED_CONCRETE = Material("reinforced_concrete", attenuation_db=18.0, thickness_m=0.30)
+GLASS = Material("glass", attenuation_db=2.0, thickness_m=0.01)
+WOOD = Material("wood", attenuation_db=4.0, thickness_m=0.05)
+
+MATERIALS: Dict[str, Material] = {
+    m.name: m
+    for m in (DRYWALL, BRICK, CONCRETE, REINFORCED_CONCRETE, GLASS, WOOD)
+}

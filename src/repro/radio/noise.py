@@ -1,0 +1,112 @@
+"""Receiver noise and small-scale fading.
+
+* Thermal noise floor for a given bandwidth and noise figure;
+* dB-domain power combination helpers;
+* Fast fading: per-sample Gaussian dB jitter (the log-domain
+  approximation of Rician fading around the local mean), plus an exact
+  Rayleigh/Rician amplitude model for components that want it.
+
+Fast fading is what sets the irreducible error floor of the RSS
+predictors in Fig. 8: even a perfect spatial interpolator cannot predict
+the per-beacon fading draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "thermal_noise_dbm",
+    "power_sum_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "GaussianFading",
+    "RicianFading",
+    "NoiseModel",
+]
+
+BOLTZMANN_DBM_PER_HZ = -173.8  # kT at ~300 K, in dBm/Hz
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 6.0) -> float:
+    """Thermal noise floor in dBm for ``bandwidth_hz`` and a receiver NF."""
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return BOLTZMANN_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+def db_to_linear(value_db: float) -> float:
+    """dB (or dBm) to linear ratio (or mW)."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Linear ratio (or mW) to dB (or dBm); ``-inf`` for 0."""
+    if value < 0:
+        raise ValueError(f"cannot convert negative power {value} to dB")
+    if value == 0:
+        return float("-inf")
+    return 10.0 * math.log10(value)
+
+
+def power_sum_dbm(levels_dbm: Iterable[float]) -> float:
+    """Sum of powers given in dBm, returned in dBm."""
+    total = sum(db_to_linear(p) for p in levels_dbm if p != float("-inf"))
+    return linear_to_db(total)
+
+
+@dataclass
+class GaussianFading:
+    """Per-sample Gaussian dB jitter around the local mean power.
+
+    A standard log-domain surrogate for moderate-K Rician fading; cheap,
+    and symmetric, which keeps the calibration of mean RSS simple.
+    """
+
+    sigma_db: float = 2.5
+
+    def sample_db(self, rng: np.random.Generator) -> float:
+        """One fading realisation in dB (signed)."""
+        if self.sigma_db == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, self.sigma_db))
+
+
+@dataclass
+class RicianFading:
+    """Rician amplitude fading with K-factor ``k_db``.
+
+    ``sample_db`` returns the instantaneous power deviation from the mean
+    in dB.  For K → inf this degenerates to no fading; K = -inf dB is
+    Rayleigh.
+    """
+
+    k_db: float = 6.0
+
+    def sample_db(self, rng: np.random.Generator) -> float:
+        """One fading realisation in dB (signed, mean-power normalised)."""
+        k = db_to_linear(self.k_db)
+        # LoS component amplitude nu and scatter sigma for unit mean power.
+        nu = math.sqrt(k / (k + 1.0))
+        sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+        x = rng.normal(nu, sigma)
+        y = rng.normal(0.0, sigma)
+        power = x * x + y * y
+        return linear_to_db(max(power, 1e-12))
+
+
+@dataclass
+class NoiseModel:
+    """Receiver-side noise description for a scanning radio."""
+
+    bandwidth_hz: float = 20e6
+    noise_figure_db: float = 6.0
+
+    @property
+    def floor_dbm(self) -> float:
+        """Thermal noise floor of the receiver."""
+        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)

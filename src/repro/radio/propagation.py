@@ -1,0 +1,122 @@
+"""Path-loss models: free space, log-distance, and multi-wall.
+
+The multi-wall model is the workhorse: deterministic log-distance loss
+plus the summed penetration losses of every wall/floor crossed by the
+direct path (COST 231 multi-wall style).  The stochastic parts of the
+link budget — correlated shadowing and per-sample fast fading — live in
+:mod:`repro.radio.shadowing` and :mod:`repro.radio.noise` and are
+composed by :class:`repro.radio.environment.IndoorEnvironment`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from .geometry import Wall, crossed_walls
+
+__all__ = [
+    "PathLossModel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "MultiWallPathLoss",
+    "fspl_db",
+    "SPEED_OF_LIGHT",
+]
+
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+
+def fspl_db(distance_m: float, freq_mhz: float) -> float:
+    """Free-space path loss in dB at ``distance_m`` / ``freq_mhz``.
+
+    Distances below 10 cm are clamped: the scan receiver is never closer
+    than that to any transmitter of interest, and the far-field formula
+    diverges at zero.
+    """
+    d = max(distance_m, 0.1)
+    freq_hz = freq_mhz * 1e6
+    return 20.0 * math.log10(4.0 * math.pi * d * freq_hz / SPEED_OF_LIGHT)
+
+
+class PathLossModel(Protocol):
+    """Anything mapping a TX→RX geometry to a loss in dB."""
+
+    def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
+        """Deterministic path loss between ``tx`` and ``rx`` in dB."""
+        ...
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss:
+    """Free-space (Friis) path loss at a fixed carrier frequency."""
+
+    freq_mhz: float = 2442.0
+
+    def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
+        """Friis loss along the direct path."""
+        distance = float(np.linalg.norm(np.asarray(rx, float) - np.asarray(tx, float)))
+        return fspl_db(distance, self.freq_mhz)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance model: ``PL(d) = PL(d0) + 10 n log10(d / d0)``.
+
+    Defaults are calibrated for 2.4 GHz indoor LoS: ``pl0_db`` is the
+    free-space loss at 1 m and the exponent ``n`` slightly below 2
+    captures corridor/room waveguiding.
+    """
+
+    exponent: float = 1.9
+    pl0_db: float = 40.05
+    d0_m: float = 1.0
+
+    def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
+        """Log-distance loss along the direct path."""
+        distance = float(np.linalg.norm(np.asarray(rx, float) - np.asarray(tx, float)))
+        d = max(distance, 0.1)
+        return self.pl0_db + 10.0 * self.exponent * math.log10(d / self.d0_m)
+
+
+class MultiWallPathLoss:
+    """Log-distance loss plus per-crossing wall/floor penetration losses.
+
+    Parameters
+    ----------
+    walls:
+        The environment's wall set.
+    base:
+        Distance-dependent component (defaults to indoor log-distance).
+    max_wall_loss_db:
+        Cap on the summed wall losses.  Measured multi-wall data shows
+        the *marginal* loss of each additional wall shrinking (signals
+        find alternative paths); the cap is a cheap surrogate for that
+        saturation.
+    """
+
+    def __init__(
+        self,
+        walls: Iterable[Wall],
+        base: PathLossModel = None,
+        max_wall_loss_db: float = 60.0,
+    ):
+        self.walls = tuple(walls)
+        self.base = base if base is not None else LogDistancePathLoss()
+        self.max_wall_loss_db = float(max_wall_loss_db)
+
+    def wall_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
+        """Summed (capped) penetration loss of all crossed walls."""
+        total = sum(w.material.attenuation_db for w in crossed_walls(tx, rx, self.walls))
+        return min(total, self.max_wall_loss_db)
+
+    def crossings(self, tx: Sequence[float], rx: Sequence[float]) -> list:
+        """The walls crossed by the direct path (for diagnostics/tests)."""
+        return crossed_walls(tx, rx, self.walls)
+
+    def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
+        """Total deterministic loss: distance trend + wall penetration."""
+        return self.base.path_loss_db(tx, rx) + self.wall_loss_db(tx, rx)

@@ -1,0 +1,120 @@
+"""The 2.4 GHz ISM band: IEEE 802.11b/g/n channels and nRF24 channels.
+
+The demo's self-interference problem lives entirely in this band: the
+ESP8266 scans Wi-Fi channels 1-13 (2412-2472 MHz centers, 22 MHz wide)
+while the Crazyradio hops over 126 nRF24 channels spanning 2400-2525 MHz
+(1 MHz raster).  Spectral overlap between the two determines the
+co-channel component of the interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "WIFI_CHANNELS",
+    "WIFI_CHANNEL_WIDTH_MHZ",
+    "NRF24_CHANNEL_WIDTH_MHZ",
+    "CRAZYRADIO_MIN_MHZ",
+    "CRAZYRADIO_MAX_MHZ",
+    "wifi_channel_center_mhz",
+    "nrf24_channel_center_mhz",
+    "nrf24_channel_for_mhz",
+    "band_overlap_mhz",
+    "overlap_fraction",
+    "BandSegment",
+]
+
+#: Valid IEEE 802.11b/g/n channels in the EU regulatory domain.
+WIFI_CHANNELS: Tuple[int, ...] = tuple(range(1, 14))
+
+#: Occupied bandwidth of a DSSS/OFDM 2.4 GHz Wi-Fi channel (simplified to a
+#: rectangular mask; the real spectral mask has skirts, which only soften
+#: the overlap edges).
+WIFI_CHANNEL_WIDTH_MHZ: float = 22.0
+
+#: Occupied bandwidth of an nRF24LU1 channel (2 Mbps GFSK).
+NRF24_CHANNEL_WIDTH_MHZ: float = 2.0
+
+#: Crazyradio tuning range as stated in the paper (126 channels,
+#: uniformly distributed over 2400-2525 MHz).
+CRAZYRADIO_MIN_MHZ: float = 2400.0
+CRAZYRADIO_MAX_MHZ: float = 2525.0
+
+
+@dataclass(frozen=True)
+class BandSegment:
+    """A rectangular spectral occupancy: center frequency and width."""
+
+    center_mhz: float
+    width_mhz: float
+
+    @property
+    def low_mhz(self) -> float:
+        """Lower band edge."""
+        return self.center_mhz - self.width_mhz / 2.0
+
+    @property
+    def high_mhz(self) -> float:
+        """Upper band edge."""
+        return self.center_mhz + self.width_mhz / 2.0
+
+
+def wifi_channel_center_mhz(channel: int) -> float:
+    """Center frequency of 2.4 GHz Wi-Fi ``channel`` (1-13)."""
+    if channel not in WIFI_CHANNELS:
+        raise ValueError(f"invalid 2.4 GHz Wi-Fi channel {channel}")
+    return 2407.0 + 5.0 * channel
+
+
+def nrf24_channel_center_mhz(channel: int) -> float:
+    """Center frequency of nRF24 ``channel`` (0-125): 2400 + k MHz."""
+    if not 0 <= channel <= 125:
+        raise ValueError(f"invalid nRF24 channel {channel}")
+    return 2400.0 + float(channel)
+
+
+def nrf24_channel_for_mhz(freq_mhz: float) -> int:
+    """The nRF24 channel index whose center is ``freq_mhz``."""
+    channel = round(freq_mhz - 2400.0)
+    if not 0 <= channel <= 125:
+        raise ValueError(f"{freq_mhz} MHz is outside the Crazyradio range")
+    return int(channel)
+
+
+def band_overlap_mhz(a: BandSegment, b: BandSegment) -> float:
+    """Width of the spectral overlap between two rectangular bands."""
+    return max(0.0, min(a.high_mhz, b.high_mhz) - max(a.low_mhz, b.low_mhz))
+
+
+def overlap_fraction(interferer: BandSegment, victim: BandSegment) -> float:
+    """Fraction of the interferer's power landing inside the victim band.
+
+    With the rectangular-mask simplification this is the overlap width
+    divided by the interferer bandwidth, in [0, 1].
+    """
+    if interferer.width_mhz <= 0:
+        raise ValueError("interferer bandwidth must be positive")
+    fraction = band_overlap_mhz(interferer, victim) / interferer.width_mhz
+    # Edge arithmetic can exceed 1 by a few ulps; clamp to the physical range.
+    return min(max(fraction, 0.0), 1.0)
+
+
+def wifi_band(channel: int) -> BandSegment:
+    """The occupied band of a Wi-Fi channel."""
+    return BandSegment(wifi_channel_center_mhz(channel), WIFI_CHANNEL_WIDTH_MHZ)
+
+
+def nrf24_band(freq_mhz: float) -> BandSegment:
+    """The occupied band of an nRF24 carrier at ``freq_mhz``."""
+    return BandSegment(freq_mhz, NRF24_CHANNEL_WIDTH_MHZ)
+
+
+def overlapping_wifi_channels(freq_mhz: float) -> List[int]:
+    """Wi-Fi channels whose band overlaps an nRF24 carrier at ``freq_mhz``."""
+    segment = nrf24_band(freq_mhz)
+    return [c for c in WIFI_CHANNELS if band_overlap_mhz(segment, wifi_band(c)) > 0]
+
+
+__all__ += ["wifi_band", "nrf24_band", "overlapping_wifi_channels"]

@@ -1,0 +1,176 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-heap simulator: callbacks are scheduled at
+absolute simulated times and executed in time order.  Generator-based
+processes (see :mod:`repro.sim.process`) are layered on top of the raw
+callback interface.
+
+The whole reproduction runs on this kernel so that campaigns are fully
+deterministic given a seed: flight time, scan windows, radio-off periods and
+battery drain are all advanced through simulated — never wall-clock — time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is driven into an invalid state."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    """Internal heap record; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled before they fire.
+    """
+
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], Any]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(1.0, lambda: seen.append(sim.now))
+    >>> _ = sim.schedule(0.5, lambda: seen.append(sim.now))
+    >>> sim.run()
+    >>> seen
+    [0.5, 1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[_HeapEntry] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, callback)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._counter), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                next_time = self._heap[0].time
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress after the current event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled stragglers)."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        for entry in sorted(self._heap, key=lambda e: (e.time, e.seq)):
+            if not entry.event.cancelled:
+                return entry.time
+        return None

@@ -1,0 +1,160 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a Python generator that yields scheduling directives:
+
+* ``Timeout(seconds)`` — resume the generator after the given delay;
+* ``WaitFor(condition_event)`` — resume when another process triggers the
+  condition;
+* another :class:`Process` — resume when that process finishes.
+
+This mirrors the structure of the real system's concurrency: the Crazyflie
+firmware runs FreeRTOS tasks (commander watchdog, position-feedback task,
+scan task) while the base-station client runs its own control loop.  Each of
+those maps onto one process here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from .kernel import Simulator, SimulationError
+
+__all__ = ["Timeout", "Condition", "WaitFor", "Process", "spawn"]
+
+
+class Timeout:
+    """Directive: suspend the yielding process for ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"timeout duration must be >= 0, got {duration}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.duration})"
+
+
+class Condition:
+    """A one-shot condition that processes can wait on.
+
+    ``trigger(value)`` wakes every waiter with ``value`` as the result of
+    their ``yield``.  Triggering twice is an error; conditions are one-shot,
+    mirroring e.g. "scan finished" notifications.
+    """
+
+    __slots__ = ("_sim", "_waiters", "triggered", "value")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._waiters: List[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Wake all waiting processes at the current simulated time."""
+        if self.triggered:
+            raise SimulationError("condition already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self._sim.schedule(0.0, lambda resume=resume: resume(value))
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self.triggered:
+            self._sim.schedule(0.0, lambda: resume(self.value))
+        else:
+            self._waiters.append(resume)
+
+
+class WaitFor:
+    """Directive: suspend until ``condition`` is triggered."""
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition: Condition):
+        self.condition = condition
+
+
+ProcessGenerator = Generator[Union[Timeout, WaitFor, "Process"], Any, Any]
+
+
+class Process:
+    """Wraps a generator and steps it through the simulator.
+
+    The process starts immediately (at the current simulated time) when
+    constructed via :func:`spawn`.
+    """
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = ""):
+        self._sim = sim
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done = Condition(sim)
+        self._interrupted = False
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._sim.schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            if self._interrupted:
+                directive = self._generator.throw(Interrupted())
+                self._interrupted = False
+            else:
+                directive = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Interrupted:
+            self._finish(None)
+            return
+        self._dispatch(directive)
+
+    def _dispatch(self, directive: Any) -> None:
+        if isinstance(directive, Timeout):
+            self._sim.schedule(directive.duration, lambda: self._resume(None))
+        elif isinstance(directive, WaitFor):
+            directive.condition._add_waiter(self._resume)
+        elif isinstance(directive, Process):
+            directive._done._add_waiter(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported directive {directive!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self._done.trigger(result)
+
+    # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Raise :class:`Interrupted` inside the process at its next resume."""
+        if not self.finished:
+            self._interrupted = True
+            self._sim.schedule(0.0, lambda: self._resume(None))
+
+    @property
+    def done(self) -> Condition:
+        """Condition triggered (with the process result) on completion."""
+        return self._done
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+
+def spawn(sim: Simulator, generator: ProcessGenerator, name: str = "") -> Process:
+    """Create and immediately start a process on ``sim``."""
+    process = Process(sim, generator, name=name)
+    process._start()
+    return process

@@ -1,0 +1,145 @@
+"""Cooperative resources for processes: mutex, semaphore, store.
+
+The campaign's central scheduling constraint — one Crazyradio, one UAV
+in the air at a time, missions flown *sequentially* — is a resource
+acquisition problem.  These primitives make such constraints explicit
+for processes on the event kernel.
+
+All primitives are cooperative (single-threaded DES): acquisition
+completes either immediately or when a holder releases; fairness is
+strict FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .kernel import SimulationError, Simulator
+from .process import Condition, WaitFor
+
+__all__ = ["Semaphore", "Mutex", "Store"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeups.
+
+    ``acquire()`` returns a directive to ``yield from``; ``release()``
+    wakes the longest-waiting process.
+
+    Example
+    -------
+    ::
+
+        def mission(sim, radio_slots):
+            yield from radio_slots.acquire()
+            try:
+                ...  # fly
+            finally:
+                radio_slots.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Condition] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Generator:
+        """Directive generator: completes once a slot is held."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return
+            yield  # pragma: no cover - makes this a generator
+        condition = Condition(self._sim)
+        self._waiters.append(condition)
+        yield WaitFor(condition)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Free one slot; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            # Slot passes directly to the next waiter; _in_use unchanged.
+            self._waiters.popleft().trigger(None)
+        else:
+            self._in_use -= 1
+
+
+class Mutex(Semaphore):
+    """A binary semaphore (one holder)."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+
+    @property
+    def locked(self) -> bool:
+        """True while held."""
+        return self.available == 0
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    The producer/consumer shape of the scan-result path: the firmware
+    produces records; the client consumes them when the link is up.
+    """
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Condition] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """Directive generator yielding the next item (blocks if empty).
+
+        Use as ``item = yield from store.get()``.
+        """
+        if self._items:
+            return self._items.popleft()
+        condition = Condition(self._sim)
+        self._getters.append(condition)
+        item = yield WaitFor(condition)
+        return item
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything currently stored."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,202 @@
+"""The base-station Python client (§II-C, Fig. 4).
+
+One client process drives one UAV through its waypoint plan:
+
+1. connect (radio on) and command take-off;
+2. per waypoint: stream GOTO setpoints for the 4 s leg, command a scan,
+   **shut the Crazyradio down** for the scan window, restart it, drain
+   the buffered result packets, and store the location-annotated
+   samples;
+3. land the UAV and disconnect.
+
+The radio-off window is the paper's central self-interference
+mitigation; with stock firmware the UAV does not survive it (watchdog),
+which the integration tests and the ablation bench exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..link.crazyradio import Crazyradio, CrazyradioLink
+from ..sim.kernel import Simulator
+from ..sim.process import Timeout
+from ..uav import app_protocol as proto
+from ..uav.crazyflie import Crazyflie, FlightState
+from .mission import UavMissionConfig, WaypointPlan
+from .storage import Sample, SampleLog
+
+__all__ = ["ClientConfig", "UavFlightReport", "BaseStationClient"]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Timing knobs of the client loop."""
+
+    takeoff_height_m: float = 0.5
+    takeoff_time_s: float = 2.0
+    setpoint_period_s: float = 0.2
+    #: Delay between the scan command and the radio shutdown (§II-C:
+    #: "the radio is shut down right before the scan starts").
+    scan_command_margin_s: float = 0.15
+    #: Extra wait after the nominal scan window before restarting.
+    scan_fetch_margin_s: float = 0.2
+    result_poll_period_s: float = 0.05
+    result_poll_timeout_s: float = 2.0
+    #: Mission aborts when the battery falls below this fraction.
+    battery_abort_fraction: float = 0.05
+    #: Ablation switch: keep the Crazyradio transmitting during scans
+    #: (the paper's design turns it off; leaving it on demonstrates the
+    #: self-interference cost end-to-end).
+    disable_radio_shutdown: bool = False
+
+
+@dataclass
+class UavFlightReport:
+    """Outcome of one UAV's leg of the campaign."""
+
+    uav_name: str
+    waypoints_visited: int = 0
+    waypoints_planned: int = 0
+    samples_collected: int = 0
+    active_time_s: float = 0.0
+    aborted: bool = False
+    abort_reason: str = ""
+    final_state: Optional[FlightState] = None
+    result_packets_lost: int = 0
+
+
+class BaseStationClient:
+    """Drives one UAV through a waypoint plan over the radio link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Crazyradio,
+        link: CrazyradioLink,
+        uav: Crazyflie,
+        mission_config: UavMissionConfig,
+        plan: WaypointPlan,
+        log: SampleLog,
+        config: ClientConfig = None,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.link = link
+        self.uav = uav
+        self.mission_config = mission_config
+        self.plan = plan
+        self.log = log
+        self.config = config or ClientConfig()
+        self.report = UavFlightReport(
+            uav_name=mission_config.name, waypoints_planned=len(plan)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Generator process: fly the full plan (spawn on the simulator)."""
+        cfg = self.config
+        self.radio.turn_on()
+        self.link.station_send(proto.encode(proto.Takeoff(cfg.takeoff_height_m)))
+        yield Timeout(cfg.takeoff_time_s)
+
+        for index, waypoint in enumerate(self.plan.waypoints):
+            if self._should_abort():
+                break
+            # --- 4 s flight leg with a steady setpoint stream ---------
+            yield from self._fly_leg(waypoint)
+            if self._should_abort():
+                break
+            # --- scan with the radio down ------------------------------
+            got_end = yield from self._scan_and_fetch(index, waypoint)
+            self.report.waypoints_visited += 1
+            if not got_end:
+                # Results lost (queue overflow or UAV died mid-scan).
+                self.report.result_packets_lost += 1
+
+        self.link.station_send(proto.encode(proto.Land()))
+        yield Timeout(self.uav.config.landing_time_s + 0.2)
+        self.radio.turn_off()
+        self.report.active_time_s = self.uav.active_time_s
+        self.report.final_state = self.uav.state
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _fly_leg(self, waypoint):
+        cfg = self.config
+        elapsed = 0.0
+        while elapsed < self.plan.flight_leg_s:
+            self.link.station_send(proto.encode(proto.Goto(*waypoint)))
+            yield Timeout(cfg.setpoint_period_s)
+            elapsed += cfg.setpoint_period_s
+
+    def _scan_and_fetch(self, waypoint_index: int, waypoint):
+        cfg = self.config
+        self.link.station_send(proto.encode(proto.StartScan()))
+        yield Timeout(cfg.scan_command_margin_s)
+        if not cfg.disable_radio_shutdown:
+            self.radio.turn_off()
+        scan_time = (
+            self.uav.config.scan_startup_s
+            + self.uav.config.scan_duration_s
+            + cfg.scan_fetch_margin_s
+        )
+        yield Timeout(max(scan_time, self.plan.scan_window_s - cfg.scan_command_margin_s))
+        self.radio.turn_on()
+
+        records: List[proto.ScanRecordMsg] = []
+        end: Optional[proto.ScanEnd] = None
+        waited = 0.0
+        while waited < cfg.result_poll_timeout_s and end is None:
+            for packet in self.link.station_poll():
+                message = proto.decode(packet)
+                if isinstance(message, proto.ScanRecordMsg):
+                    records.append(message)
+                elif isinstance(message, proto.ScanEnd):
+                    end = message
+            if end is None:
+                yield Timeout(cfg.result_poll_period_s)
+                waited += cfg.result_poll_period_s
+
+        if end is None:
+            return False
+        annotated = end.position
+        truth = tuple(float(v) for v in self.uav.position)
+        for record in records:
+            self.log.append(
+                Sample(
+                    uav_name=self.mission_config.name,
+                    waypoint_index=waypoint_index,
+                    timestamp_s=self.sim.now,
+                    x=annotated[0],
+                    y=annotated[1],
+                    z=annotated[2],
+                    true_x=truth[0],
+                    true_y=truth[1],
+                    true_z=truth[2],
+                    ssid=record.ssid,
+                    rssi_dbm=record.rssi_dbm,
+                    mac=record.mac,
+                    channel=record.channel,
+                )
+            )
+        self.report.samples_collected += len(records)
+        if end.record_count != len(records):
+            self.report.result_packets_lost += end.record_count - len(records)
+        if end.battery_fraction < cfg.battery_abort_fraction:
+            self.report.aborted = True
+            self.report.abort_reason = "battery low"
+        return True
+
+    # ------------------------------------------------------------------
+    def _should_abort(self) -> bool:
+        if self.uav.state is FlightState.CRASHED:
+            self.report.aborted = True
+            self.report.abort_reason = self.uav.crash_reason or "crashed"
+            return True
+        if self.uav.battery.erratic:
+            self.report.aborted = True
+            self.report.abort_reason = "battery erratic"
+            return True
+        return self.report.aborted

@@ -1,0 +1,127 @@
+"""The §III-A endurance test.
+
+"A UAV was manually flown until it became less responsive and its
+motions erratic, considering a fully charged standard battery, eight
+active anchors in TWR mode, periodic scanning mode with an interval of
+8 sec, with a beacon scan duration of around 2 sec.  The UAV was kept in
+a steady position about 1 m above ground level...  The UAV was able to
+perform 36 scans over a timespan of 6 min and 12 sec."
+
+:func:`run_endurance_test` reproduces that protocol on the simulated
+vehicle and reports scans completed and time-to-erratic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..link.crazyradio import Crazyradio, CrazyradioLink, RadioConfig
+from ..radio.scenarios import DemoScenario, build_demo_scenario
+from ..sim.kernel import Simulator
+from ..sim.process import Timeout, spawn
+from ..uav import app_protocol as proto
+from ..uav.crazyflie import Crazyflie, FlightState, UavConfig
+from ..uav.firmware import FirmwareConfig
+from ..uwb.anchors import corner_layout
+from ..uwb.localization import LocalizationMode
+
+__all__ = ["EnduranceResult", "run_endurance_test"]
+
+
+@dataclass
+class EnduranceResult:
+    """Outcome of the hovering endurance protocol."""
+
+    scans_completed: int
+    time_to_erratic_s: float
+    final_state: FlightState
+    battery_remaining_fraction: float
+
+    @property
+    def minutes_seconds(self) -> str:
+        """Human-readable duration, e.g. '6 min 12 s'."""
+        minutes = int(self.time_to_erratic_s // 60)
+        seconds = int(round(self.time_to_erratic_s - 60 * minutes))
+        return f"{minutes} min {seconds} s"
+
+
+def run_endurance_test(
+    scenario: Optional[DemoScenario] = None,
+    seed: int = 63,
+    scan_interval_s: float = 8.0,
+    scan_duration_s: float = 2.0,
+    hover_height_m: float = 1.0,
+    localization_mode: str = LocalizationMode.TWR,
+    anchor_count: int = 8,
+    firmware: Optional[FirmwareConfig] = None,
+    max_sim_time_s: float = 1200.0,
+) -> EnduranceResult:
+    """Hover with periodic scans until the battery turns erratic."""
+    if scenario is None:
+        scenario = build_demo_scenario(seed=seed)
+    firmware = firmware or FirmwareConfig.paper_modified()
+
+    sim = Simulator()
+    radio = Crazyradio(scenario.environment, RadioConfig())
+    link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=firmware.crtp_tx_queue_size)
+    hover = (
+        scenario.flight_volume.center[0],
+        scenario.flight_volume.center[1],
+        hover_height_m,
+    )
+    uav = Crazyflie(
+        sim,
+        scenario.environment,
+        corner_layout(scenario.flight_volume).subset(anchor_count),
+        link,
+        firmware,
+        scenario.streams.fork("endurance"),
+        config=UavConfig(
+            name="endurance",
+            start_position=(hover[0], hover[1], 0.0),
+            scan_duration_s=scan_duration_s,
+            localization_mode=localization_mode,
+        ),
+    )
+
+    outcome = {}
+
+    def protocol():
+        radio.turn_on()
+        link.station_send(proto.encode(proto.Takeoff(hover_height_m)))
+        yield Timeout(2.0)
+        started = sim.now
+        while not uav.battery.erratic and uav.state is FlightState.FLYING:
+            # Keep the commander fed during the 8 s between scans.
+            idle = 0.0
+            while idle < scan_interval_s:
+                link.station_send(proto.encode(proto.Goto(*hover)))
+                yield Timeout(0.2)
+                idle += 0.2
+                if uav.battery.erratic or uav.state is not FlightState.FLYING:
+                    break
+            if uav.battery.erratic or uav.state is not FlightState.FLYING:
+                break
+            link.station_send(proto.encode(proto.StartScan()))
+            yield Timeout(0.1)
+            radio.turn_off()
+            yield Timeout(uav.config.scan_startup_s + scan_duration_s + 0.2)
+            radio.turn_on()
+            link.station_poll()  # discard results; endurance only counts scans
+        outcome["time"] = sim.now - started
+        link.station_send(proto.encode(proto.Land()))
+        yield Timeout(uav.config.landing_time_s + 0.2)
+        radio.turn_off()
+
+    process = spawn(sim, protocol(), name="endurance.protocol")
+    sim.run(until=max_sim_time_s)
+    if not process.finished:
+        raise RuntimeError("endurance protocol did not terminate")
+
+    return EnduranceResult(
+        scans_completed=uav.scans_completed,
+        time_to_erratic_s=outcome.get("time", 0.0),
+        final_state=uav.state,
+        battery_remaining_fraction=uav.battery.remaining_fraction,
+    )

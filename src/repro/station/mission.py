@@ -1,0 +1,110 @@
+"""Mission descriptions: per-UAV waypoint plans and fleet parameters.
+
+The client is "configured to be able to control multiple UAVs with a
+matching set of waypoints and parameters such as radio address, starting
+position, and yaw" (§III-A); scaling the system means adding entries to
+the mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..radio.scenarios import DemoScenario
+from .waypoints import split_between_uavs, waypoint_grid
+
+__all__ = ["WaypointPlan", "UavMissionConfig", "Mission", "plan_demo_mission"]
+
+
+@dataclass(frozen=True)
+class WaypointPlan:
+    """The scan schedule of one UAV."""
+
+    waypoints: Tuple[Tuple[float, float, float], ...]
+    flight_leg_s: float = 4.0
+    scan_window_s: float = 3.0
+
+    def __len__(self) -> int:
+        return len(self.waypoints)
+
+    @property
+    def waypoint_array(self) -> np.ndarray:
+        """(N, 3) waypoint array."""
+        return np.asarray(self.waypoints, dtype=float)
+
+    def expected_duration_s(self) -> float:
+        """Lower bound on flight time: legs + scan windows (§III-A)."""
+        return len(self.waypoints) * (self.flight_leg_s + self.scan_window_s)
+
+
+@dataclass(frozen=True)
+class UavMissionConfig:
+    """Per-UAV parameters the client is configured with."""
+
+    name: str
+    radio_address: str
+    start_position: Tuple[float, float, float]
+    yaw_deg: float = 0.0
+    #: Receiver-gain calibration of this UAV's ESP deck (unit spread).
+    rx_gain_offset_db: float = 0.0
+
+
+@dataclass
+class Mission:
+    """A full campaign: ordered (UAV, plan) pairs flown sequentially."""
+
+    assignments: List[Tuple[UavMissionConfig, WaypointPlan]] = field(
+        default_factory=list
+    )
+
+    def add(self, uav: UavMissionConfig, plan: WaypointPlan) -> None:
+        """Append a UAV and its plan to the sequence."""
+        self.assignments.append((uav, plan))
+
+    @property
+    def total_waypoints(self) -> int:
+        """Waypoints across the whole fleet."""
+        return sum(len(plan) for _, plan in self.assignments)
+
+
+def plan_demo_mission(
+    scenario: DemoScenario,
+    n_uavs: int = 2,
+    nx: int = 6,
+    ny: int = 4,
+    nz: int = 3,
+    margin: float = 0.25,
+    flight_leg_s: float = 4.0,
+    scan_window_s: float = 3.0,
+    uav_b_rx_offset_db: float = -3.0,
+) -> Mission:
+    """The paper's demo mission: 72 waypoints, 36 per UAV.
+
+    UAV A covers the −y half (toward the building center), UAV B the +y
+    half next to the thick wall; B's ESP deck carries a small negative
+    gain offset (hand-soldered unit spread) — see DESIGN.md.
+    """
+    grid = waypoint_grid(scenario.flight_volume, nx=nx, ny=ny, nz=nz, margin=margin)
+    partitions = split_between_uavs(grid, n_uavs=n_uavs, axis=1)
+    mission = Mission()
+    for index, part in enumerate(partitions):
+        name = chr(ord("A") + index)
+        start = (0.3 + 0.4 * index, 0.3, 0.0)
+        mission.add(
+            UavMissionConfig(
+                name=f"UAV-{name}",
+                radio_address=f"radio://0/{80 + index}/2M",
+                start_position=start,
+                yaw_deg=0.0,
+                rx_gain_offset_db=(uav_b_rx_offset_db if index > 0 else 0.0),
+            ),
+            WaypointPlan(
+                waypoints=tuple(tuple(float(v) for v in p) for p in part),
+                flight_leg_s=flight_leg_s,
+                scan_window_s=scan_window_s,
+            ),
+        )
+    return mission

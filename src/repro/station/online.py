@@ -1,0 +1,147 @@
+"""Online REM building: the map improves while the fleet still flies.
+
+The paper's pipeline is batch (fly everything, then train).  Since REM
+generation is *autonomous*, a natural extension is updating the map
+after every scan — letting the operator watch coverage and accuracy
+converge live, or even abort a campaign early once the map is good
+enough.  :class:`OnlineRemBuilder` consumes location-annotated scans
+incrementally and refits its estimator on a configurable cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dataset import REMDataset
+from ..core.predictors import KnnRegressor, Predictor, rmse
+from ..wifi.beacon import ScanRecord
+
+__all__ = ["OnlineRemBuilder", "OnlineSnapshot"]
+
+
+@dataclass
+class OnlineSnapshot:
+    """State of the online map after one update."""
+
+    scans_ingested: int
+    samples_ingested: int
+    distinct_macs: int
+    holdout_rmse_dbm: Optional[float]
+
+
+class OnlineRemBuilder:
+    """Incremental campaign consumer with periodic refits.
+
+    Parameters
+    ----------
+    predictor_factory:
+        Builds the estimator used at each refit (default: the paper's
+        best k-NN configuration).
+    refit_every_scans:
+        How many scans between refits.
+    holdout_fraction:
+        Fraction of incoming *scans* diverted to a held-out set used to
+        score each refit (0 disables scoring).
+    """
+
+    def __init__(
+        self,
+        predictor_factory: Optional[Callable[[], Predictor]] = None,
+        refit_every_scans: int = 6,
+        holdout_fraction: float = 0.2,
+        seed: int = 5,
+    ):
+        if refit_every_scans < 1:
+            raise ValueError("refit_every_scans must be >= 1")
+        if not 0.0 <= holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in [0, 1)")
+        self._factory = predictor_factory or (
+            lambda: KnnRegressor(n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0)
+        )
+        self.refit_every_scans = int(refit_every_scans)
+        self.holdout_fraction = float(holdout_fraction)
+        self._rng = np.random.default_rng(seed)
+        self._train_rows: List[Tuple[Tuple[float, float, float], str, int, int]] = []
+        self._holdout_rows: List[Tuple[Tuple[float, float, float], str, int, int]] = []
+        self.scans_ingested = 0
+        self.model: Optional[Predictor] = None
+        self._vocabulary: Tuple[str, ...] = ()
+        self.history: List[OnlineSnapshot] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_ingested(self) -> int:
+        """Total samples seen (train + holdout)."""
+        return len(self._train_rows) + len(self._holdout_rows)
+
+    @property
+    def ready(self) -> bool:
+        """True once a model has been fit."""
+        return self.model is not None
+
+    # ------------------------------------------------------------------
+    def add_scan(
+        self, position: Sequence[float], records: Sequence[ScanRecord]
+    ) -> Optional[OnlineSnapshot]:
+        """Ingest one scan; returns a snapshot when a refit happened."""
+        pos = tuple(float(v) for v in position)
+        rows = [(pos, r.mac, int(r.rssi_dbm), int(r.channel)) for r in records]
+        is_holdout = (
+            self.holdout_fraction > 0.0 and self._rng.random() < self.holdout_fraction
+        )
+        (self._holdout_rows if is_holdout else self._train_rows).extend(rows)
+        self.scans_ingested += 1
+        if self.scans_ingested % self.refit_every_scans == 0 and self._train_rows:
+            return self._refit()
+        return None
+
+    # ------------------------------------------------------------------
+    def _dataset(self, rows) -> REMDataset:
+        index = {mac: i for i, mac in enumerate(self._vocabulary)}
+        usable = [r for r in rows if r[1] in index]
+        positions = np.array([r[0] for r in usable], dtype=float).reshape(-1, 3)
+        return REMDataset(
+            positions=positions,
+            mac_indices=np.array([index[r[1]] for r in usable], dtype=int),
+            channels=np.array([max(r[3], 1) for r in usable], dtype=int),
+            rssi_dbm=np.array([r[2] for r in usable], dtype=float),
+            mac_vocabulary=self._vocabulary,
+        )
+
+    def _refit(self) -> OnlineSnapshot:
+        self._vocabulary = tuple(sorted({r[1] for r in self._train_rows}))
+        train = self._dataset(self._train_rows)
+        self.model = self._factory()
+        self.model.fit(train)
+        score: Optional[float] = None
+        holdout = self._dataset(self._holdout_rows) if self._holdout_rows else None
+        if holdout is not None and len(holdout) > 0:
+            score = rmse(holdout.rssi_dbm, self.model.predict(holdout))
+        snapshot = OnlineSnapshot(
+            scans_ingested=self.scans_ingested,
+            samples_ingested=self.samples_ingested,
+            distinct_macs=len(self._vocabulary),
+            holdout_rmse_dbm=score,
+        )
+        self.history.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def predict(self, position: Sequence[float], mac: str) -> float:
+        """Current-map RSS prediction for ``mac`` at ``position``."""
+        if self.model is None:
+            raise RuntimeError("no model fitted yet (too few scans)")
+        if mac not in self._vocabulary:
+            raise KeyError(f"MAC {mac!r} not yet observed")
+        index = self._vocabulary.index(mac)
+        query = REMDataset(
+            positions=np.asarray([position], dtype=float),
+            mac_indices=np.array([index]),
+            channels=np.array([1]),
+            rssi_dbm=np.zeros(1),
+            mac_vocabulary=self._vocabulary,
+        )
+        return float(self.model.predict(query)[0])

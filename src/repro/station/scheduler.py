@@ -1,0 +1,153 @@
+"""Fleet partition strategies and feasibility analysis.
+
+§III-A: "the system can be scaled by simply adding sets of waypoints
+and above-mentioned parameters."  This module explores *how* to cut a
+waypoint lattice across a fleet: the demo's axis split, a z-layer
+split, and a balanced k-means split — and checks each partition against
+the battery/endurance envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..uav.battery import BatteryConfig
+from ..uav.decks import ESP_DECK, LOCO_DECK
+from .waypoints import snake_order, split_between_uavs
+
+__all__ = [
+    "PartitionPlan",
+    "partition_waypoints",
+    "evaluate_partition",
+    "PartitionReport",
+]
+
+_STRATEGIES = ("axis-y", "axis-x", "layers-z", "kmeans")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A named fleet partition."""
+
+    strategy: str
+    partitions: Tuple[np.ndarray, ...]
+
+    @property
+    def n_uavs(self) -> int:
+        """Fleet size."""
+        return len(self.partitions)
+
+
+def partition_waypoints(
+    points: np.ndarray,
+    n_uavs: int,
+    strategy: str = "axis-y",
+    seed: int = 0,
+) -> PartitionPlan:
+    """Split ``points`` across ``n_uavs`` with the chosen strategy."""
+    pts = np.asarray(points, dtype=float)
+    if strategy == "axis-y":
+        parts = split_between_uavs(pts, n_uavs=n_uavs, axis=1)
+    elif strategy == "axis-x":
+        parts = split_between_uavs(pts, n_uavs=n_uavs, axis=0)
+    elif strategy == "layers-z":
+        parts = split_between_uavs(pts, n_uavs=n_uavs, axis=2)
+    elif strategy == "kmeans":
+        parts = _balanced_kmeans(pts, n_uavs, seed)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    return PartitionPlan(strategy=strategy, partitions=tuple(parts))
+
+
+def _balanced_kmeans(
+    points: np.ndarray, k: int, seed: int, iterations: int = 25
+) -> List[np.ndarray]:
+    """Lloyd's algorithm with balanced assignment (equal-size clusters)."""
+    rng = np.random.default_rng(seed)
+    n = len(points)
+    if k < 1 or k > n:
+        raise ValueError(f"cannot make {k} clusters of {n} points")
+    centers = points[rng.choice(n, size=k, replace=False)].copy()
+    quota = int(np.ceil(n / k))
+    assignment = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        # Greedy balanced assignment: points in order of best-margin.
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        counts = np.zeros(k, dtype=int)
+        order = np.argsort(distances.min(axis=1))
+        new_assignment = np.zeros(n, dtype=int)
+        for idx in order:
+            for cluster in np.argsort(distances[idx]):
+                if counts[cluster] < quota:
+                    new_assignment[idx] = cluster
+                    counts[cluster] += 1
+                    break
+        if (new_assignment == assignment).all():
+            break
+        assignment = new_assignment
+        for cluster in range(k):
+            members = points[assignment == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+    return [snake_order(points[assignment == c]) for c in range(k)]
+
+
+@dataclass
+class PartitionReport:
+    """Feasibility analysis of one partition."""
+
+    strategy: str
+    per_uav_waypoints: List[int]
+    per_uav_travel_m: List[float]
+    per_uav_duration_s: List[float]
+    endurance_budget_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when every UAV finishes within the endurance budget."""
+        return all(d <= self.endurance_budget_s for d in self.per_uav_duration_s)
+
+    @property
+    def makespan_s(self) -> float:
+        """Sequential-fleet completion time (UAVs fly one after another)."""
+        return float(sum(self.per_uav_duration_s))
+
+
+def evaluate_partition(
+    plan: PartitionPlan,
+    flight_leg_s: float = 4.0,
+    scan_window_s: float = 3.0,
+    takeoff_landing_s: float = 4.0,
+    battery: BatteryConfig = None,
+) -> PartitionReport:
+    """Check a partition against the §III-A timing and battery envelope."""
+    battery = battery or BatteryConfig()
+    scan_fraction = scan_window_s / (flight_leg_s + scan_window_s)
+    average_current = (
+        battery.hover_current_ma
+        + LOCO_DECK.idle_current_ma
+        + ESP_DECK.idle_current_ma
+        + ESP_DECK.active_current_ma * scan_fraction
+        + battery.translate_extra_ma * 0.25
+    )
+    endurance = battery.endurance_s(average_current)
+
+    waypoints, travel, durations = [], [], []
+    for part in plan.partitions:
+        pts = np.asarray(part, dtype=float)
+        legs = np.linalg.norm(np.diff(pts, axis=0), axis=1) if len(pts) > 1 else []
+        waypoints.append(len(pts))
+        travel.append(float(np.sum(legs)))
+        durations.append(
+            takeoff_landing_s + len(pts) * (flight_leg_s + scan_window_s)
+        )
+    return PartitionReport(
+        strategy=plan.strategy,
+        per_uav_waypoints=waypoints,
+        per_uav_travel_m=travel,
+        per_uav_duration_s=durations,
+        endurance_budget_s=endurance,
+    )

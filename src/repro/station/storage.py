@@ -1,0 +1,167 @@
+"""Sample records and the campaign sample log.
+
+Every detected AP at every waypoint becomes one :class:`Sample`: the
+``(ssid, rssi, mac, channel)`` tuple from the receiver, annotated with
+the UAV's *estimated* position (what the real system knows) and — since
+this is a simulation — the ground-truth position too, which lets tests
+quantify the annotation error the paper can only bound.
+
+The log round-trips to CSV so campaigns can be archived and the ML
+stage re-run without re-flying.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Sample", "SampleLog"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One location-annotated AP observation."""
+
+    uav_name: str
+    waypoint_index: int
+    timestamp_s: float
+    x: float
+    y: float
+    z: float
+    true_x: float
+    true_y: float
+    true_z: float
+    ssid: str
+    rssi_dbm: int
+    mac: str
+    channel: int
+
+    @property
+    def position(self) -> Tuple[float, float, float]:
+        """Annotated (estimated) position."""
+        return (self.x, self.y, self.z)
+
+    @property
+    def true_position(self) -> Tuple[float, float, float]:
+        """Ground-truth position (simulation-only knowledge)."""
+        return (self.true_x, self.true_y, self.true_z)
+
+
+class SampleLog:
+    """An append-only collection of samples with summary helpers."""
+
+    def __init__(self, samples: Optional[Iterable[Sample]] = None):
+        self._samples: List[Sample] = list(samples) if samples else []
+
+    # ------------------------------------------------------------------
+    def append(self, sample: Sample) -> None:
+        """Add one sample."""
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[Sample]) -> None:
+        """Add many samples."""
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self._samples[index]
+
+    @property
+    def samples(self) -> Tuple[Sample, ...]:
+        """Immutable view of the samples."""
+        return tuple(self._samples)
+
+    # ------------------------------------------------------------------
+    # summary statistics (the §III-A campaign numbers)
+    # ------------------------------------------------------------------
+    def macs(self) -> Set[str]:
+        """Distinct BSSIDs observed."""
+        return {s.mac for s in self._samples}
+
+    def ssids(self) -> Set[str]:
+        """Distinct SSIDs observed."""
+        return {s.ssid for s in self._samples}
+
+    def mean_rss_dbm(self) -> float:
+        """Mean reported RSS (NaN when empty)."""
+        if not self._samples:
+            return float("nan")
+        return sum(s.rssi_dbm for s in self._samples) / len(self._samples)
+
+    def by_uav(self) -> Dict[str, "SampleLog"]:
+        """Split into per-UAV logs."""
+        out: Dict[str, List[Sample]] = {}
+        for s in self._samples:
+            out.setdefault(s.uav_name, []).append(s)
+        return {name: SampleLog(samples) for name, samples in out.items()}
+
+    def by_mac(self) -> Dict[str, "SampleLog"]:
+        """Split into per-BSSID logs."""
+        out: Dict[str, List[Sample]] = {}
+        for s in self._samples:
+            out.setdefault(s.mac, []).append(s)
+        return {mac: SampleLog(samples) for mac, samples in out.items()}
+
+    def samples_per_waypoint(self) -> Dict[Tuple[str, int], int]:
+        """(uav, waypoint) → sample count (the Fig. 6 series)."""
+        out: Dict[Tuple[str, int], int] = {}
+        for s in self._samples:
+            key = (s.uav_name, s.waypoint_index)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def annotation_error_m(self) -> List[float]:
+        """Per-sample distance between annotated and true positions."""
+        errors = []
+        for s in self._samples:
+            dx = s.x - s.true_x
+            dy = s.y - s.true_y
+            dz = s.z - s.true_z
+            errors.append((dx * dx + dy * dy + dz * dz) ** 0.5)
+        return errors
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    _FIELDS = [f.name for f in fields(Sample)]
+
+    def save_csv(self, path) -> None:
+        """Write the log as CSV (one row per sample)."""
+        with open(Path(path), "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._FIELDS)
+            for s in self._samples:
+                writer.writerow([getattr(s, name) for name in self._FIELDS])
+
+    @classmethod
+    def load_csv(cls, path) -> "SampleLog":
+        """Read a log written by :meth:`save_csv`."""
+        log = cls()
+        with open(Path(path), newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                log.append(
+                    Sample(
+                        uav_name=row["uav_name"],
+                        waypoint_index=int(row["waypoint_index"]),
+                        timestamp_s=float(row["timestamp_s"]),
+                        x=float(row["x"]),
+                        y=float(row["y"]),
+                        z=float(row["z"]),
+                        true_x=float(row["true_x"]),
+                        true_y=float(row["true_y"]),
+                        true_z=float(row["true_z"]),
+                        ssid=row["ssid"],
+                        rssi_dbm=int(row["rssi_dbm"]),
+                        mac=row["mac"],
+                        channel=int(row["channel"]),
+                    )
+                )
+        return log

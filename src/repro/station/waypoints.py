@@ -1,0 +1,83 @@
+"""Waypoint lattice generation and fleet assignment.
+
+§III-A: "72 locations evenly spread over the volume were identified,
+with each UAV responsible for scanning 36 of them."  The lattice here is
+6 × 4 × 3 over the flight cuboid (with a safety margin from walls and
+ceiling), ordered as a boustrophedon (snake) so consecutive waypoints
+are adjacent — the 4-second legs assume short hops — and split between
+UAVs along the y axis: UAV A takes the building-facing half (−y), UAV B
+the outer half (+y), matching the paper's observation that B flew next
+to the thicker wall segment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..radio.geometry import Cuboid
+
+__all__ = ["waypoint_grid", "snake_order", "split_between_uavs"]
+
+
+def waypoint_grid(
+    volume: Cuboid,
+    nx: int = 6,
+    ny: int = 4,
+    nz: int = 3,
+    margin: float = 0.25,
+) -> np.ndarray:
+    """An ``nx*ny*nz`` lattice of scan locations inside ``volume``."""
+    return volume.grid(nx, ny, nz, margin=margin)
+
+
+def snake_order(points: np.ndarray) -> np.ndarray:
+    """Boustrophedon ordering: sweep x, alternating direction per y row,
+    alternating y direction per z layer.
+
+    Keeps consecutive waypoints adjacent so every leg fits the 4 s
+    budget.  Points are expected on a lattice but the ordering is
+    well-defined for arbitrary point sets.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {pts.shape}")
+    z_values = np.unique(pts[:, 2])
+    ordered: List[np.ndarray] = []
+    row_counter = 0
+    for zi, z in enumerate(z_values):
+        layer = pts[np.isclose(pts[:, 2], z)]
+        y_values = np.unique(layer[:, 1])
+        if zi % 2 == 1:
+            y_values = y_values[::-1]
+        for y in y_values:
+            row = layer[np.isclose(layer[:, 1], y)]
+            row = row[np.argsort(row[:, 0])]
+            # Direction alternates with the *global* row counter so the
+            # sweep continues seamlessly across layer transitions — a
+            # parity restart per layer would make the first leg of each
+            # new layer span the whole room and overrun the 4 s budget.
+            if row_counter % 2 == 1:
+                row = row[::-1]
+            row_counter += 1
+            ordered.append(row)
+    return np.vstack(ordered)
+
+
+def split_between_uavs(
+    points: np.ndarray, n_uavs: int = 2, axis: int = 1
+) -> List[np.ndarray]:
+    """Partition waypoints between UAVs along ``axis``.
+
+    The first partition gets the lowest-coordinate slice (toward the
+    building center for the default y axis), each snake-ordered.
+    """
+    if n_uavs < 1:
+        raise ValueError("need at least one UAV")
+    pts = np.asarray(points, dtype=float)
+    order = np.argsort(pts[:, axis], kind="stable")
+    chunks = np.array_split(order, n_uavs)
+    if any(len(c) == 0 for c in chunks):
+        raise ValueError(f"cannot split {len(pts)} waypoints across {n_uavs} UAVs")
+    return [snake_order(pts[np.sort(chunk)]) for chunk in chunks]

@@ -1,0 +1,240 @@
+"""Application-level CRTP protocol between the station and the UAV.
+
+The REM app speaks over :data:`repro.link.CrtpPort.APP` with small
+struct-packed messages.  Scan results stream down one record per packet
+(a CRTP payload holds 30 bytes: MAC + RSSI + channel + a truncated
+SSID), terminated by an END message carrying the UAV's EKF position
+estimate — the location annotation attached to every sample — plus the
+battery state.
+
+SSIDs longer than :data:`MAX_SSID_BYTES` are truncated on the wire; the
+ML stage keys on MAC addresses, so truncation only affects display
+strings (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..link.crtp import MAX_PAYLOAD_BYTES, CrtpPacket, CrtpPort
+
+__all__ = [
+    "MessageType",
+    "Takeoff",
+    "Goto",
+    "StartScan",
+    "Land",
+    "StatusRequest",
+    "Status",
+    "ScanRecordMsg",
+    "ScanEnd",
+    "encode",
+    "decode",
+    "MAX_SSID_BYTES",
+]
+
+MAX_SSID_BYTES = 20
+
+_MAC_BYTES = 6
+
+
+class MessageType(enum.IntEnum):
+    """First payload byte of every app message."""
+
+    TAKEOFF = 0x01
+    GOTO = 0x02
+    START_SCAN = 0x03
+    LAND = 0x04
+    STATUS_REQUEST = 0x05
+    STATUS = 0x81
+    SCAN_RECORD = 0x82
+    SCAN_END = 0x83
+
+
+@dataclass(frozen=True)
+class Takeoff:
+    """Command: take off to ``height_m`` above the current position."""
+
+    height_m: float
+
+
+@dataclass(frozen=True)
+class Goto:
+    """Command: fly to the absolute position (x, y, z)."""
+
+    x: float
+    y: float
+    z: float
+
+    @property
+    def position(self) -> Tuple[float, float, float]:
+        """The target as a tuple."""
+        return (self.x, self.y, self.z)
+
+
+@dataclass(frozen=True)
+class StartScan:
+    """Command: run one REM measurement at the current position."""
+
+
+@dataclass(frozen=True)
+class Land:
+    """Command: land at the current horizontal position."""
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Command: report flight status."""
+
+
+@dataclass(frozen=True)
+class Status:
+    """Telemetry: flight state + battery + position estimate."""
+
+    state: int
+    battery_fraction: float
+    x: float
+    y: float
+    z: float
+
+    @property
+    def position(self) -> Tuple[float, float, float]:
+        """Estimated position as a tuple."""
+        return (self.x, self.y, self.z)
+
+
+@dataclass(frozen=True)
+class ScanRecordMsg:
+    """One detected AP: the (ssid, rssi, mac, channel) tuple on the wire."""
+
+    mac: str
+    rssi_dbm: int
+    channel: int
+    ssid: str
+
+
+@dataclass(frozen=True)
+class ScanEnd:
+    """End of a scan result stream.
+
+    ``record_count`` lets the station detect queue-overflow losses;
+    the position estimate is the sample annotation.
+    """
+
+    record_count: int
+    x: float
+    y: float
+    z: float
+    battery_fraction: float
+
+    @property
+    def position(self) -> Tuple[float, float, float]:
+        """Annotated scan position."""
+        return (self.x, self.y, self.z)
+
+
+Message = Union[
+    Takeoff, Goto, StartScan, Land, StatusRequest, Status, ScanRecordMsg, ScanEnd
+]
+
+
+def _mac_to_bytes(mac: str) -> bytes:
+    parts = mac.split(":")
+    if len(parts) != _MAC_BYTES:
+        raise ValueError(f"malformed MAC address {mac!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def _mac_from_bytes(raw: bytes) -> str:
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def encode(message: Message) -> CrtpPacket:
+    """Serialize a message into an APP-port CRTP packet."""
+    if isinstance(message, Takeoff):
+        payload = struct.pack("<Bf", MessageType.TAKEOFF, message.height_m)
+    elif isinstance(message, Goto):
+        payload = struct.pack("<Bfff", MessageType.GOTO, message.x, message.y, message.z)
+    elif isinstance(message, StartScan):
+        payload = struct.pack("<B", MessageType.START_SCAN)
+    elif isinstance(message, Land):
+        payload = struct.pack("<B", MessageType.LAND)
+    elif isinstance(message, StatusRequest):
+        payload = struct.pack("<B", MessageType.STATUS_REQUEST)
+    elif isinstance(message, Status):
+        payload = struct.pack(
+            "<BBffff",
+            MessageType.STATUS,
+            message.state,
+            message.battery_fraction,
+            message.x,
+            message.y,
+            message.z,
+        )
+    elif isinstance(message, ScanRecordMsg):
+        ssid_bytes = message.ssid.encode("utf-8")[:MAX_SSID_BYTES]
+        payload = (
+            struct.pack(
+                "<B6sbBB",
+                MessageType.SCAN_RECORD,
+                _mac_to_bytes(message.mac),
+                max(-128, min(127, message.rssi_dbm)),
+                message.channel,
+                len(ssid_bytes),
+            )
+            + ssid_bytes
+        )
+    elif isinstance(message, ScanEnd):
+        payload = struct.pack(
+            "<BHffff",
+            MessageType.SCAN_END,
+            message.record_count,
+            message.x,
+            message.y,
+            message.z,
+            message.battery_fraction,
+        )
+    else:
+        raise TypeError(f"cannot encode {message!r}")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ValueError(f"encoded message exceeds CRTP payload: {len(payload)}B")
+    return CrtpPacket(port=CrtpPort.APP, channel=0, payload=payload)
+
+
+def decode(packet: CrtpPacket) -> Message:
+    """Deserialize an APP-port CRTP packet."""
+    if packet.port != CrtpPort.APP:
+        raise ValueError(f"not an APP packet: {packet!r}")
+    payload = packet.payload
+    if not payload:
+        raise ValueError("empty APP payload")
+    msg_type = payload[0]
+    if msg_type == MessageType.TAKEOFF:
+        (height,) = struct.unpack_from("<f", payload, 1)
+        return Takeoff(height_m=height)
+    if msg_type == MessageType.GOTO:
+        x, y, z = struct.unpack_from("<fff", payload, 1)
+        return Goto(x=x, y=y, z=z)
+    if msg_type == MessageType.START_SCAN:
+        return StartScan()
+    if msg_type == MessageType.LAND:
+        return Land()
+    if msg_type == MessageType.STATUS_REQUEST:
+        return StatusRequest()
+    if msg_type == MessageType.STATUS:
+        state, battery, x, y, z = struct.unpack_from("<Bffff", payload, 1)
+        return Status(state=state, battery_fraction=battery, x=x, y=y, z=z)
+    if msg_type == MessageType.SCAN_RECORD:
+        mac_raw, rssi, channel, ssid_len = struct.unpack_from("<6sbBB", payload, 1)
+        offset = 1 + struct.calcsize("<6sbBB")
+        ssid = payload[offset : offset + ssid_len].decode("utf-8", errors="replace")
+        return ScanRecordMsg(
+            mac=_mac_from_bytes(mac_raw), rssi_dbm=rssi, channel=channel, ssid=ssid
+        )
+    if msg_type == MessageType.SCAN_END:
+        count, x, y, z, battery = struct.unpack_from("<Hffff", payload, 1)
+        return ScanEnd(record_count=count, x=x, y=y, z=z, battery_fraction=battery)
+    raise ValueError(f"unknown APP message type 0x{msg_type:02x}")

@@ -1,0 +1,76 @@
+"""The setpoint commander and its watchdog.
+
+The Crazyflie accepts position setpoints from two producers: the base
+station (over CRTP, Fig. 4's Commander framework) and — during scans,
+when the radio is off — the ESP-deck feedback task added by the paper.
+The commander watches setpoint freshness:
+
+* fresh setpoint → position control toward it;
+* stale for > 0.5 s → attitude leveled, position control off (drift);
+* stale for > ``COMMANDER_WDT_TIMEOUT_SHUTDOWN`` → emergency shutdown.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .firmware import FirmwareConfig
+
+__all__ = ["CommanderState", "Commander"]
+
+
+class CommanderState(enum.Enum):
+    """Watchdog-derived control state."""
+
+    CONTROLLED = "controlled"
+    LEVELED = "leveled"
+    SHUTDOWN = "shutdown"
+
+
+class Commander:
+    """Setpoint bookkeeping + watchdog evaluation."""
+
+    def __init__(self, firmware: FirmwareConfig):
+        self.firmware = firmware
+        self._setpoint: Optional[np.ndarray] = None
+        self._last_fed_at: Optional[float] = None
+        self.setpoints_received = 0
+        self.watchdog_fired = False
+
+    # ------------------------------------------------------------------
+    def feed(self, position: Sequence[float], now: float) -> None:
+        """Accept a position setpoint at simulated time ``now``."""
+        self._setpoint = np.asarray(position, dtype=float).copy()
+        self._last_fed_at = now
+        self.setpoints_received += 1
+
+    @property
+    def setpoint(self) -> Optional[np.ndarray]:
+        """Latest setpoint (None before the first feed)."""
+        return None if self._setpoint is None else self._setpoint.copy()
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the last setpoint (inf before the first)."""
+        if self._last_fed_at is None:
+            return float("inf")
+        return now - self._last_fed_at
+
+    # ------------------------------------------------------------------
+    def state(self, now: float) -> CommanderState:
+        """Evaluate the watchdog at time ``now``.
+
+        Once the shutdown watchdog has fired the state latches at
+        SHUTDOWN — the real firmware stops the motors for good.
+        """
+        if self.watchdog_fired:
+            return CommanderState.SHUTDOWN
+        stale = self.staleness(now)
+        if self._last_fed_at is not None and stale > self.firmware.commander_watchdog_timeout_s:
+            self.watchdog_fired = True
+            return CommanderState.SHUTDOWN
+        if stale > self.firmware.setpoint_level_timeout_s:
+            return CommanderState.LEVELED
+        return CommanderState.CONTROLLED

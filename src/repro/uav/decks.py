@@ -1,0 +1,71 @@
+"""Crazyflie expansion decks and the two-slot constraint.
+
+The Crazyflie 2.1 exposes two expansion slots (§II); the demo uses both:
+the Loco Positioning Deck for UWB localization and a custom prototyping
+deck carrying the ESP-01 REM receiver.  Decks contribute to the power
+budget — idle draw plus an extra draw while active (scanning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["Deck", "DeckSlots", "LOCO_DECK", "ESP_DECK", "MAX_DECKS"]
+
+#: The Crazyflie 2.1 has exactly two expansion slots.
+MAX_DECKS: int = 2
+
+
+@dataclass(frozen=True)
+class Deck:
+    """An expansion deck with its power profile."""
+
+    name: str
+    idle_current_ma: float
+    active_current_ma: float = 0.0
+
+    def current_ma(self, active: bool) -> float:
+        """Draw for the given activity state."""
+        return self.idle_current_ma + (self.active_current_ma if active else 0.0)
+
+
+#: Loco Positioning Deck (DWM1000 UWB transceiver).
+LOCO_DECK = Deck(name="loco_positioning", idle_current_ma=95.0)
+
+#: Custom prototyping deck with the AI-Thinker ESP-01 (extra draw while
+#: actively scanning / transmitting).
+ESP_DECK = Deck(name="esp8266_rem", idle_current_ma=85.0, active_current_ma=280.0)
+
+
+class DeckSlots:
+    """The UAV's expansion slots with attachment validation."""
+
+    def __init__(self):
+        self._decks: List[Deck] = []
+
+    def attach(self, deck: Deck) -> None:
+        """Mount a deck; at most :data:`MAX_DECKS` fit, no duplicates."""
+        if len(self._decks) >= MAX_DECKS:
+            raise ValueError(f"both expansion slots already used: {self.names}")
+        if any(d.name == deck.name for d in self._decks):
+            raise ValueError(f"deck {deck.name!r} already attached")
+        self._decks.append(deck)
+
+    @property
+    def decks(self) -> Tuple[Deck, ...]:
+        """Currently attached decks."""
+        return tuple(self._decks)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of attached decks."""
+        return tuple(d.name for d in self._decks)
+
+    def total_current_ma(self, scanning: bool = False) -> float:
+        """Summed deck draw; the ESP deck is *active* while scanning."""
+        total = 0.0
+        for deck in self._decks:
+            active = scanning and deck.active_current_ma > 0
+            total += deck.current_ma(active)
+        return total

@@ -1,0 +1,117 @@
+"""Kinematic flight model for a small indoor quadrotor.
+
+The REM toolchain does not need aerodynamic fidelity — it needs correct
+*timing* (4 s waypoint legs), plausible hold jitter while scanning, and
+drift when position control is lost (the commander leveling out after
+setpoint starvation).  The model is therefore first-order kinematic:
+velocity tracks the direction to the setpoint with speed and
+acceleration limits, hovering adds small Gaussian jitter, and leveled
+(uncontrolled) flight random-walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DynamicsConfig", "FlightDynamics"]
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Motion limits and disturbance levels."""
+
+    max_speed_mps: float = 0.7
+    max_accel_mps2: float = 1.5
+    #: Position error below which the UAV is considered "at" a setpoint.
+    arrival_tolerance_m: float = 0.08
+    #: Hover jitter around a held setpoint.
+    hover_jitter_std_m: float = 0.015
+    #: Random-walk rate of leveled, uncontrolled flight.
+    drift_std_mps: float = 0.15
+    #: Velocity decay time-constant while leveled (attitude-level flight
+    #: sheds horizontal/vertical speed over roughly a second).
+    drift_damping_tau_s: float = 1.0
+
+
+class FlightDynamics:
+    """Point-mass kinematics with setpoint tracking."""
+
+    def __init__(
+        self,
+        initial_position: Sequence[float],
+        config: DynamicsConfig = None,
+    ):
+        self.config = config or DynamicsConfig()
+        self.position = np.asarray(initial_position, dtype=float).copy()
+        self.velocity = np.zeros(3)
+        self.setpoint: Optional[np.ndarray] = None
+        self.airborne = False
+
+    # ------------------------------------------------------------------
+    def set_setpoint(self, target: Sequence[float]) -> None:
+        """Command a new position setpoint."""
+        self.setpoint = np.asarray(target, dtype=float).copy()
+
+    def clear_setpoint(self) -> None:
+        """Remove position control (commander leveled out)."""
+        self.setpoint = None
+
+    def distance_to_setpoint(self) -> float:
+        """Distance to the current setpoint (inf if none)."""
+        if self.setpoint is None:
+            return float("inf")
+        return float(np.linalg.norm(self.setpoint - self.position))
+
+    @property
+    def at_setpoint(self) -> bool:
+        """True when within the arrival tolerance of the setpoint."""
+        return self.distance_to_setpoint() <= self.config.arrival_tolerance_m
+
+    @property
+    def moving(self) -> bool:
+        """True while translating toward a setpoint."""
+        return (
+            self.airborne
+            and self.setpoint is not None
+            and not self.at_setpoint
+        )
+
+    # ------------------------------------------------------------------
+    def update(self, dt: float, rng: np.random.Generator) -> None:
+        """Advance the state by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if not self.airborne or dt == 0:
+            return
+        cfg = self.config
+        if self.setpoint is None:
+            # Leveled attitude, no position control: residual speed decays
+            # while disturbances random-walk the vehicle.
+            self.velocity *= np.exp(-dt / cfg.drift_damping_tau_s)
+            self.velocity += rng.normal(0.0, cfg.drift_std_mps, size=3) * dt
+            speed = float(np.linalg.norm(self.velocity))
+            if speed > cfg.max_speed_mps:
+                self.velocity *= cfg.max_speed_mps / speed
+            self.position += self.velocity * dt
+            return
+        error = self.setpoint - self.position
+        distance = float(np.linalg.norm(error))
+        if distance <= cfg.arrival_tolerance_m:
+            # Station keeping: damp velocity, jitter around the setpoint.
+            self.velocity = np.zeros(3)
+            self.position = self.setpoint + rng.normal(
+                0.0, cfg.hover_jitter_std_m, size=3
+            )
+            return
+        # Velocity command toward the setpoint, capped by speed and accel.
+        desired = error / distance * min(cfg.max_speed_mps, distance / dt * 0.5)
+        dv = desired - self.velocity
+        dv_norm = float(np.linalg.norm(dv))
+        max_dv = cfg.max_accel_mps2 * dt
+        if dv_norm > max_dv:
+            dv *= max_dv / dv_norm
+        self.velocity += dv
+        self.position += self.velocity * dt

@@ -1,0 +1,54 @@
+"""Firmware configuration: the stock 2021.06 release vs the paper's mods.
+
+§II-C describes two firmware changes needed to survive the radio-off
+scan window, plus one added task:
+
+* ``CRTP_TX_QUEUE_SIZE`` enlarged so a full scan result fits in the
+  downlink queue until the radio returns;
+* ``COMMANDER_WDT_TIMEOUT_SHUTDOWN`` raised to 10 s so the setpoint
+  watchdog does not kill the flight while the link is down;
+* a FreeRTOS task on the ESP deck driver that feeds the current
+  scanning position back to the commander every 100 ms during a scan.
+
+Both configurations are first-class here so the ablation bench can show
+what happens with the stock values (spoiler: the watchdog fires and the
+scan results overflow the queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FirmwareConfig"]
+
+
+@dataclass(frozen=True)
+class FirmwareConfig:
+    """Tunables of the (simulated) Crazyflie firmware."""
+
+    #: Downlink packet queue capacity (packets).
+    crtp_tx_queue_size: int = 16
+    #: Setpoint watchdog: no setpoint for this long → emergency shutdown.
+    commander_watchdog_timeout_s: float = 2.0
+    #: No setpoint for this long → level attitude (position control off).
+    setpoint_level_timeout_s: float = 0.5
+    #: Whether the ESP-deck position-feedback task exists.
+    feedback_task_enabled: bool = False
+    #: Period of the feedback task while a scan is running.
+    feedback_period_s: float = 0.1
+
+    @classmethod
+    def stock_2021_06(cls) -> "FirmwareConfig":
+        """The unmodified 2021.06 release the paper starts from."""
+        return cls()
+
+    @classmethod
+    def paper_modified(cls) -> "FirmwareConfig":
+        """The release with the paper's three §II-C modifications."""
+        return cls(
+            crtp_tx_queue_size=256,
+            commander_watchdog_timeout_s=10.0,
+            setpoint_level_timeout_s=0.5,
+            feedback_task_enabled=True,
+            feedback_period_s=0.1,
+        )

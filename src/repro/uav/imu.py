@@ -1,0 +1,50 @@
+"""IMU measurement model (BMI088-class accelerometer/gyroscope).
+
+The Crazyflie's 10-DOF IMU feeds the on-board EKF.  For REM generation
+only the translational channel matters; the model provides bias + white
+noise accelerometer readings the estimator can integrate, plus a
+pressure-based altitude channel (the 2.1's high-precision barometer)
+used as a coarse sanity reference in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ImuConfig", "Imu"]
+
+GRAVITY = np.array([0.0, 0.0, -9.81])
+
+
+@dataclass(frozen=True)
+class ImuConfig:
+    """Noise parameters of the accelerometer and barometer channels."""
+
+    accel_noise_std: float = 0.08
+    accel_bias_std: float = 0.02
+    baro_noise_std_m: float = 0.25
+
+
+class Imu:
+    """Noisy inertial measurements from ground-truth motion."""
+
+    def __init__(self, config: ImuConfig, rng: np.random.Generator):
+        self.config = config
+        self._bias = rng.normal(0.0, config.accel_bias_std, size=3)
+
+    def read_accel(
+        self, true_accel: Sequence[float], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Specific-force reading for a given true acceleration."""
+        accel = np.asarray(true_accel, dtype=float)
+        noise = rng.normal(0.0, self.config.accel_noise_std, size=3)
+        return accel - GRAVITY + self._bias + noise
+
+    def read_altitude(
+        self, true_altitude_m: float, rng: np.random.Generator
+    ) -> float:
+        """Barometric altitude reading."""
+        return float(true_altitude_m + rng.normal(0.0, self.config.baro_noise_std_m))

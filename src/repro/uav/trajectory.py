@@ -1,0 +1,179 @@
+"""Minimum-jerk trajectory generation (Crazyflie high-level commander).
+
+The real Crazyflie's high-level commander flies waypoint legs as
+polynomial trajectories with smooth boundary conditions rather than
+velocity steps.  This module implements the standard minimum-jerk
+(quintic) segment and a planner that strings segments through a
+waypoint list under speed/acceleration limits — the firmware-fidelity
+upgrade over the first-order kinematics in :mod:`repro.uav.dynamics`.
+
+A quintic with zero boundary velocity/acceleration has the closed form
+
+    s(τ) = 10 τ³ − 15 τ⁴ + 6 τ⁵,   τ = t / T
+
+per axis, with peak speed ``1.875 · d / T`` and peak acceleration
+``5.774 · d / T²`` over a displacement ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QuinticSegment", "Trajectory", "plan_min_jerk_leg", "plan_trajectory"]
+
+#: max |s'(τ)| of the normalized quintic (at τ = 1/2).
+_PEAK_SPEED_FACTOR = 1.875
+#: max |s''(τ)| of the normalized quintic (at τ = (5±√5)/10).
+_PEAK_ACCEL_FACTOR = 5.7735
+
+
+@dataclass(frozen=True)
+class QuinticSegment:
+    """One minimum-jerk leg from ``start`` to ``end`` in ``duration_s``."""
+
+    start: Tuple[float, float, float]
+    end: Tuple[float, float, float]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+
+    @property
+    def displacement(self) -> np.ndarray:
+        """End minus start."""
+        return np.asarray(self.end, float) - np.asarray(self.start, float)
+
+    @property
+    def length_m(self) -> float:
+        """Straight-line leg length."""
+        return float(np.linalg.norm(self.displacement))
+
+    # ------------------------------------------------------------------
+    def _tau(self, t: float) -> float:
+        return min(max(t / self.duration_s, 0.0), 1.0)
+
+    def position(self, t: float) -> np.ndarray:
+        """Position at ``t`` seconds into the segment (clamped)."""
+        tau = self._tau(t)
+        s = 10 * tau**3 - 15 * tau**4 + 6 * tau**5
+        return np.asarray(self.start, float) + s * self.displacement
+
+    def velocity(self, t: float) -> np.ndarray:
+        """Velocity at ``t`` (zero at both endpoints)."""
+        tau = self._tau(t)
+        ds = (30 * tau**2 - 60 * tau**3 + 30 * tau**4) / self.duration_s
+        return ds * self.displacement
+
+    def acceleration(self, t: float) -> np.ndarray:
+        """Acceleration at ``t`` (zero at both endpoints)."""
+        tau = self._tau(t)
+        dds = (60 * tau - 180 * tau**2 + 120 * tau**3) / self.duration_s**2
+        return dds * self.displacement
+
+    @property
+    def peak_speed_mps(self) -> float:
+        """Maximum speed along the segment."""
+        return _PEAK_SPEED_FACTOR * self.length_m / self.duration_s
+
+    @property
+    def peak_accel_mps2(self) -> float:
+        """Maximum acceleration magnitude along the segment."""
+        return _PEAK_ACCEL_FACTOR * self.length_m / self.duration_s**2
+
+
+def plan_min_jerk_leg(
+    start: Sequence[float],
+    end: Sequence[float],
+    max_speed_mps: float = 0.7,
+    max_accel_mps2: float = 1.5,
+    min_duration_s: float = 0.5,
+) -> QuinticSegment:
+    """The shortest-duration quintic leg honoring the motion limits."""
+    if max_speed_mps <= 0 or max_accel_mps2 <= 0:
+        raise ValueError("motion limits must be positive")
+    displacement = np.asarray(end, float) - np.asarray(start, float)
+    length = float(np.linalg.norm(displacement))
+    t_speed = _PEAK_SPEED_FACTOR * length / max_speed_mps
+    t_accel = float(np.sqrt(_PEAK_ACCEL_FACTOR * length / max_accel_mps2))
+    duration = max(t_speed, t_accel, min_duration_s)
+    return QuinticSegment(
+        start=tuple(float(v) for v in start),
+        end=tuple(float(v) for v in end),
+        duration_s=duration,
+    )
+
+
+class Trajectory:
+    """A sequence of quintic segments with global time lookup."""
+
+    def __init__(self, segments: Sequence[QuinticSegment]):
+        if not segments:
+            raise ValueError("trajectory needs at least one segment")
+        for a, b in zip(segments, segments[1:]):
+            if not np.allclose(a.end, b.start):
+                raise ValueError("segments must be position-continuous")
+        self.segments: Tuple[QuinticSegment, ...] = tuple(segments)
+        self._offsets = np.concatenate(
+            [[0.0], np.cumsum([s.duration_s for s in segments])]
+        )
+
+    @property
+    def duration_s(self) -> float:
+        """Total trajectory time."""
+        return float(self._offsets[-1])
+
+    @property
+    def length_m(self) -> float:
+        """Total straight-line path length."""
+        return float(sum(s.length_m for s in self.segments))
+
+    def _locate(self, t: float) -> Tuple[QuinticSegment, float]:
+        t = min(max(t, 0.0), self.duration_s)
+        index = int(np.searchsorted(self._offsets, t, side="right") - 1)
+        index = min(index, len(self.segments) - 1)
+        return self.segments[index], t - self._offsets[index]
+
+    def position(self, t: float) -> np.ndarray:
+        """Position at global time ``t`` (clamped to the trajectory)."""
+        segment, local = self._locate(t)
+        return segment.position(local)
+
+    def velocity(self, t: float) -> np.ndarray:
+        """Velocity at global time ``t``."""
+        segment, local = self._locate(t)
+        return segment.velocity(local)
+
+    def max_speed_mps(self) -> float:
+        """Peak speed over all segments."""
+        return max(s.peak_speed_mps for s in self.segments)
+
+
+def plan_trajectory(
+    waypoints: Sequence[Sequence[float]],
+    max_speed_mps: float = 0.7,
+    max_accel_mps2: float = 1.5,
+    min_leg_duration_s: float = 0.5,
+) -> Trajectory:
+    """Plan a full mission trajectory through ``waypoints``.
+
+    Each leg is an independent minimum-jerk segment (the vehicle stops
+    at every waypoint — exactly what the scan protocol wants).
+    """
+    points = [tuple(float(v) for v in p) for p in waypoints]
+    if len(points) < 2:
+        raise ValueError("need at least two waypoints")
+    segments = [
+        plan_min_jerk_leg(
+            a,
+            b,
+            max_speed_mps=max_speed_mps,
+            max_accel_mps2=max_accel_mps2,
+            min_duration_s=min_leg_duration_s,
+        )
+        for a, b in zip(points, points[1:])
+    ]
+    return Trajectory(segments)

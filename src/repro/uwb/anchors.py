@@ -1,0 +1,103 @@
+"""UWB anchor descriptions and layouts.
+
+The Loco Positioning System localizes a tag (the deck on the UAV) from
+UWB signals exchanged with fixed anchors.  The demo deployment puts one
+anchor at each of the 8 corners of the flight cuboid; Bitcraze advises
+at least 6 for robustness, and 4 is the geometric minimum for 3-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.geometry import Cuboid
+
+__all__ = ["Anchor", "AnchorLayout", "corner_layout"]
+
+#: Practical LPS range quoted by the paper (§II-B): about 10 m.
+LPS_RANGE_M: float = 10.0
+
+#: Minimum anchors for 3-D localization.
+MIN_ANCHORS_3D: int = 4
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A fixed UWB anchor with a surveyed position."""
+
+    anchor_id: int
+    position: Tuple[float, float, float]
+
+    @property
+    def position_array(self) -> np.ndarray:
+        """Position as a numpy array."""
+        return np.asarray(self.position, dtype=float)
+
+
+class AnchorLayout:
+    """An ordered set of anchors with geometry helpers."""
+
+    def __init__(self, anchors: Sequence[Anchor]):
+        if len({a.anchor_id for a in anchors}) != len(anchors):
+            raise ValueError("duplicate anchor ids in layout")
+        self.anchors: Tuple[Anchor, ...] = tuple(anchors)
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+    def __iter__(self):
+        return iter(self.anchors)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """(N, 3) array of anchor positions."""
+        return np.array([a.position for a in self.anchors], dtype=float)
+
+    def subset(self, count: int) -> "AnchorLayout":
+        """The first ``count`` anchors (ablation studies sweep this).
+
+        Corner layouts are ordered so that prefixes stay well spread:
+        see :func:`corner_layout`.
+        """
+        if not MIN_ANCHORS_3D <= count <= len(self.anchors):
+            raise ValueError(
+                f"anchor count must be in [{MIN_ANCHORS_3D}, {len(self.anchors)}]"
+            )
+        return AnchorLayout(self.anchors[:count])
+
+    def supports_3d(self) -> bool:
+        """True when the layout can localize in 3-D (≥4 non-coplanar)."""
+        if len(self.anchors) < MIN_ANCHORS_3D:
+            return False
+        pts = self.positions
+        centered = pts - pts.mean(axis=0)
+        return bool(np.linalg.matrix_rank(centered, tol=1e-9) >= 3)
+
+    def in_range(self, position: Sequence[float], max_range: float = LPS_RANGE_M) -> List[Anchor]:
+        """Anchors within UWB range of ``position``."""
+        p = np.asarray(position, dtype=float)
+        return [
+            a
+            for a in self.anchors
+            if np.linalg.norm(a.position_array - p) <= max_range
+        ]
+
+
+def corner_layout(volume: Cuboid) -> AnchorLayout:
+    """One anchor per corner of ``volume`` (the demo's 8-anchor setup).
+
+    Corners are ordered so every prefix is geometrically diverse: the
+    first four form a tetrahedron (alternating corners), so
+    ``layout.subset(k)`` remains usable for k from 4 to 8.
+    """
+    corners = volume.corners()
+    # Alternating-corner order: indices whose bit-parity differs first.
+    tetra = [0, 3, 5, 6]
+    rest = [i for i in range(8) if i not in tetra]
+    order = tetra + rest
+    return AnchorLayout(
+        [Anchor(anchor_id=i, position=tuple(corners[idx])) for i, idx in enumerate(order)]
+    )

@@ -1,0 +1,176 @@
+"""Extended Kalman filter for UAV state estimation from UWB + IMU.
+
+The Crazyflie fuses UWB measurements with its IMU in an EKF whose
+implementation follows Mueller et al., "Fusing ultra-wideband range
+measurements with accelerometers and rate gyroscopes for quadrocopter
+state estimation" (ICRA 2015) — the reference the paper cites for the
+on-board estimator.
+
+This module implements the position/velocity core of that filter:
+
+* state ``x = [px, py, pz, vx, vy, vz]``;
+* constant-velocity process model driven by white acceleration noise
+  (the IMU's role is reduced to setting that noise level — the full
+  attitude filter is out of scope and does not affect REM annotation);
+* nonlinear range (TWR) and range-difference (TDoA) updates with
+  analytic Jacobians, Joseph-form covariance updates and innovation
+  gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EkfConfig", "PositionVelocityEkf"]
+
+
+@dataclass(frozen=True)
+class EkfConfig:
+    """Filter tuning.
+
+    ``accel_noise_std`` is the white-acceleration process noise: larger
+    values track aggressive flight at the cost of hovering jitter.
+    ``gate_sigma`` rejects innovations beyond that many standard
+    deviations (NLoS outlier protection).
+    """
+
+    accel_noise_std: float = 0.8
+    initial_position_std: float = 1.0
+    initial_velocity_std: float = 0.5
+    gate_sigma: float = 4.0
+
+
+class PositionVelocityEkf:
+    """EKF over [position, velocity] with UWB range-type updates."""
+
+    STATE_DIM = 6
+
+    def __init__(
+        self,
+        initial_position: Sequence[float],
+        config: EkfConfig = None,
+        initial_velocity: Optional[Sequence[float]] = None,
+    ):
+        self.config = config or EkfConfig()
+        self.x = np.zeros(self.STATE_DIM)
+        self.x[:3] = np.asarray(initial_position, dtype=float)
+        if initial_velocity is not None:
+            self.x[3:] = np.asarray(initial_velocity, dtype=float)
+        p0 = self.config.initial_position_std**2
+        v0 = self.config.initial_velocity_std**2
+        self.P = np.diag([p0, p0, p0, v0, v0, v0])
+        self.rejected_updates = 0
+        self.accepted_updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> np.ndarray:
+        """Current position estimate."""
+        return self.x[:3].copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity estimate."""
+        return self.x[3:].copy()
+
+    def position_std(self) -> np.ndarray:
+        """Per-axis position standard deviation."""
+        return np.sqrt(np.clip(np.diag(self.P)[:3], 0.0, None))
+
+    # ------------------------------------------------------------------
+    def predict(self, dt: float) -> None:
+        """Propagate the constant-velocity model by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if dt == 0:
+            return
+        F = np.eye(self.STATE_DIM)
+        F[0, 3] = F[1, 4] = F[2, 5] = dt
+        q = self.config.accel_noise_std**2
+        dt2, dt3, dt4 = dt * dt, dt**3, dt**4
+        Q = np.zeros((self.STATE_DIM, self.STATE_DIM))
+        for i in range(3):
+            Q[i, i] = q * dt4 / 4.0
+            Q[i, i + 3] = Q[i + 3, i] = q * dt3 / 2.0
+            Q[i + 3, i + 3] = q * dt2
+        self.x = F @ self.x
+        self.P = F @ self.P @ F.T + Q
+        self._symmetrize()
+
+    # ------------------------------------------------------------------
+    def update_range(
+        self, anchor_position: Sequence[float], measured_range_m: float, sigma_m: float
+    ) -> bool:
+        """TWR update: ``z = |p - anchor| + noise``.
+
+        Returns True if the measurement passed the innovation gate.
+        """
+        a = np.asarray(anchor_position, dtype=float)
+        delta = self.x[:3] - a
+        predicted = float(np.linalg.norm(delta))
+        if predicted < 1e-6:
+            return False
+        H = np.zeros((1, self.STATE_DIM))
+        H[0, :3] = delta / predicted
+        return self._scalar_update(measured_range_m - predicted, H, sigma_m**2)
+
+    def update_tdoa(
+        self,
+        anchor_a: Sequence[float],
+        anchor_b: Sequence[float],
+        measured_difference_m: float,
+        sigma_m: float,
+    ) -> bool:
+        """TDoA update: ``z = |p - b| - |p - a| + noise``."""
+        a = np.asarray(anchor_a, dtype=float)
+        b = np.asarray(anchor_b, dtype=float)
+        da = self.x[:3] - a
+        db = self.x[:3] - b
+        norm_a = float(np.linalg.norm(da))
+        norm_b = float(np.linalg.norm(db))
+        if norm_a < 1e-6 or norm_b < 1e-6:
+            return False
+        predicted = norm_b - norm_a
+        H = np.zeros((1, self.STATE_DIM))
+        H[0, :3] = db / norm_b - da / norm_a
+        return self._scalar_update(measured_difference_m - predicted, H, sigma_m**2)
+
+    def update_linearized(
+        self,
+        innovation: float,
+        position_jacobian: Sequence[float],
+        sigma: float,
+    ) -> bool:
+        """Generic scalar update for position-only measurement models.
+
+        ``innovation`` is ``measured - predicted`` and
+        ``position_jacobian`` is ∂h/∂p evaluated at the current estimate
+        (velocity rows are zero).  Used by alternative localization
+        backends such as the Lighthouse sweep-angle model.
+        """
+        H = np.zeros((1, self.STATE_DIM))
+        H[0, :3] = np.asarray(position_jacobian, dtype=float)
+        return self._scalar_update(innovation, H, sigma**2)
+
+    # ------------------------------------------------------------------
+    def _scalar_update(self, innovation: float, H: np.ndarray, r_var: float) -> bool:
+        S = float((H @ self.P @ H.T).item()) + r_var
+        if S <= 0:
+            return False
+        if innovation * innovation > (self.config.gate_sigma**2) * S:
+            self.rejected_updates += 1
+            return False
+        K = (self.P @ H.T) / S  # (6,1)
+        self.x = self.x + (K * innovation).ravel()
+        ikh = np.eye(self.STATE_DIM) - K @ H
+        # Joseph form keeps P positive semi-definite under roundoff.
+        self.P = ikh @ self.P @ ikh.T + K @ K.T * r_var
+        self._symmetrize()
+        self.accepted_updates += 1
+        return True
+
+    def _symmetrize(self) -> None:
+        self.P = (self.P + self.P.T) / 2.0

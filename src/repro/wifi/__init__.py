@@ -1,0 +1,50 @@
+"""Wi-Fi scanning substrate: scanner, ESP-01 AT device, driver contract.
+
+Reproduces the paper's REM-sampling receiver stack: a channel-sweep
+scanner with SINR-based beacon detection, the AI-Thinker ESP-01 module
+behind its AT-over-UART protocol, and the modular four-instruction
+driver interface (§II-A) that makes the toolchain technology-agnostic.
+"""
+
+from .at_parser import (
+    AtParseError,
+    parse_cwlap_line,
+    parse_cwlap_response,
+    split_at_fields,
+)
+from .beacon import ScanRecord, ScanReport
+from .ble import (
+    BLE_ADV_CHANNELS,
+    BleDevice,
+    BleObserverModule,
+    BleReceiverDriver,
+    BleScanConfig,
+    generate_ble_population,
+)
+from .driver import DriverError, Esp01Driver, ReceiverState, RemReceiverDriver
+from .esp8266 import CwlapOutputMask, Esp01Module, UartTransport
+from .scanner import ChannelSweepScanner, ScanConfig
+
+__all__ = [
+    "ScanRecord",
+    "ScanReport",
+    "BLE_ADV_CHANNELS",
+    "BleDevice",
+    "BleObserverModule",
+    "BleReceiverDriver",
+    "BleScanConfig",
+    "generate_ble_population",
+    "ScanConfig",
+    "ChannelSweepScanner",
+    "Esp01Module",
+    "UartTransport",
+    "CwlapOutputMask",
+    "AtParseError",
+    "parse_cwlap_line",
+    "parse_cwlap_response",
+    "split_at_fields",
+    "RemReceiverDriver",
+    "Esp01Driver",
+    "ReceiverState",
+    "DriverError",
+]

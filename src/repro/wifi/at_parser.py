@@ -1,0 +1,96 @@
+"""Parsing of ESP8266 AT responses (``+CWLAP`` lines in particular).
+
+The paper's driver configures ``AT+CWLAPOPT`` so that ``AT+CWLAP``
+returns one line per AP of the form::
+
+    +CWLAP:("MySSID",-56,"aa:bb:cc:dd:ee:ff",6)
+
+SSIDs are arbitrary user strings — they may contain commas, parentheses
+and escaped quotes — so the parser is a small state machine rather than
+a ``split(',')``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .beacon import ScanRecord
+
+__all__ = ["AtParseError", "parse_cwlap_line", "parse_cwlap_response", "split_at_fields"]
+
+CWLAP_PREFIX = "+CWLAP:"
+
+
+class AtParseError(ValueError):
+    """Raised when an AT response line cannot be parsed."""
+
+
+def split_at_fields(body: str) -> List[str]:
+    """Split the parenthesised body of an AT record into raw fields.
+
+    Handles quoted strings with backslash escapes; returned fields keep
+    their quotes stripped (for quoted fields) or raw text (for numbers).
+    """
+    fields: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\" and in_quotes:
+            escaped = True
+        elif ch == '"':
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if in_quotes:
+        raise AtParseError(f"unterminated quote in AT fields: {body!r}")
+    fields.append("".join(current))
+    return fields
+
+
+def parse_cwlap_line(line: str) -> Optional[ScanRecord]:
+    """Parse one ``+CWLAP:(...)`` line into a :class:`ScanRecord`.
+
+    Returns ``None`` for unrelated lines (echo, blank, ``OK``).  Raises
+    :class:`AtParseError` for malformed ``+CWLAP`` records.
+    """
+    stripped = line.strip()
+    if not stripped.startswith(CWLAP_PREFIX):
+        return None
+    body = stripped[len(CWLAP_PREFIX):].strip()
+    if not (body.startswith("(") and body.endswith(")")):
+        raise AtParseError(f"malformed CWLAP record: {line!r}")
+    fields = split_at_fields(body[1:-1])
+    if len(fields) != 4:
+        raise AtParseError(
+            f"expected 4 fields (ssid,rssi,mac,channel), got {len(fields)}: {line!r}"
+        )
+    ssid, rssi_text, mac, channel_text = fields
+    try:
+        rssi = int(rssi_text)
+        channel = int(channel_text)
+    except ValueError as exc:
+        raise AtParseError(f"non-numeric rssi/channel in {line!r}") from exc
+    return ScanRecord(ssid=ssid, rssi_dbm=rssi, mac=mac.lower(), channel=channel)
+
+
+def parse_cwlap_response(lines: Sequence[str]) -> List[ScanRecord]:
+    """Parse a full ``AT+CWLAP`` response into scan records.
+
+    ``ERROR`` anywhere in the response raises; ``OK`` and echo lines are
+    skipped.
+    """
+    records: List[ScanRecord] = []
+    for line in lines:
+        if line.strip() == "ERROR":
+            raise AtParseError("AT+CWLAP returned ERROR")
+        record = parse_cwlap_line(line)
+        if record is not None:
+            records.append(record)
+    return records

@@ -1,0 +1,74 @@
+"""Scan record types shared across the Wi-Fi substrate.
+
+The unit of data in the whole toolchain is the tuple the paper
+configures the ESP-01 to emit for every detected AP:
+``(ssid, rssi, mac, channel)`` — see §III-A (AT+CWLAPOPT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["ScanRecord", "ScanReport"]
+
+
+@dataclass(frozen=True)
+class ScanRecord:
+    """One detected access point in one scan.
+
+    Field order deliberately mirrors the AT+CWLAPOPT configuration used
+    in the paper: ``(ssid, rssi, mac, channel)``.
+    """
+
+    ssid: str
+    rssi_dbm: int
+    mac: str
+    channel: int
+
+    def as_tuple(self) -> Tuple[str, int, str, int]:
+        """The raw 4-tuple as produced by the receiver."""
+        return (self.ssid, self.rssi_dbm, self.mac, self.channel)
+
+
+@dataclass
+class ScanReport:
+    """The outcome of one channel sweep at one position.
+
+    Attributes
+    ----------
+    records:
+        One entry per detected AP (an AP appears at most once per scan).
+    position:
+        Receiver position at which the sweep ran (true position; the
+        *annotated* position attached later comes from the UWB estimate).
+    duration_s:
+        Wall time of the sweep in simulated seconds.
+    channel_dwell_s:
+        Dwell time spent per scanned channel.
+    interference_active:
+        Whether the control link was transmitting during the sweep.
+    """
+
+    records: List[ScanRecord]
+    position: Tuple[float, float, float]
+    duration_s: float
+    channel_dwell_s: float
+    interference_active: bool = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def macs(self) -> List[str]:
+        """BSSIDs detected in this sweep."""
+        return [r.mac for r in self.records]
+
+    def count_on_channel(self, channel: int) -> int:
+        """Number of detected APs on ``channel``."""
+        return sum(1 for r in self.records if r.channel == channel)
+
+    def mean_rssi_dbm(self) -> float:
+        """Mean reported RSSI, NaN for an empty report."""
+        if not self.records:
+            return float("nan")
+        return sum(r.rssi_dbm for r in self.records) / len(self.records)

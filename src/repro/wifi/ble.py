@@ -1,0 +1,213 @@
+"""A second REM-receiver technology: BLE advertisement scanning.
+
+§II-A claims the UAV↔receiver interface is modular: "a simple
+integration of different REM-sampling device (e.g., Wi-Fi, LoRa, BLE,
+mmWave) with the UAV".  This module makes that claim executable: a BLE
+observer module (think nRF52 deck) scanning the three BLE advertising
+channels (37/38/39 at 2402/2426/2480 MHz), wrapped in a driver that
+implements the same four-instruction :class:`RemReceiverDriver`
+contract as the ESP-01 — so the identical firmware scan task, CRTP
+result path and ML pipeline run unchanged on BLE data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.accesspoint import format_mac
+from ..radio.environment import IndoorEnvironment
+from .beacon import ScanRecord
+from .driver import DriverError, ReceiverState, RemReceiverDriver
+
+__all__ = [
+    "BLE_ADV_CHANNELS",
+    "BleDevice",
+    "BleScanConfig",
+    "BleObserverModule",
+    "BleReceiverDriver",
+    "generate_ble_population",
+]
+
+#: BLE advertising channels and their center frequencies (MHz).
+BLE_ADV_CHANNELS = {37: 2402.0, 38: 2426.0, 39: 2480.0}
+
+_BLE_NAMES = (
+    "tile", "band", "watch", "tag", "bulb", "lock", "scale", "sensor",
+    "buds", "tv", "speaker", "thermo", "plug", "toothbrush",
+)
+
+
+@dataclass(frozen=True)
+class BleDevice:
+    """A BLE advertiser (wearable, beacon, smart-home gadget).
+
+    Exposes the transmitter surface (:attr:`mac`, :attr:`position`,
+    :attr:`tx_power_dbm`) that :class:`IndoorEnvironment` link-budget
+    queries expect, so the same propagation/shadowing substrate serves
+    both technologies.
+    """
+
+    mac: str
+    name: str
+    position: Tuple[float, float, float]
+    tx_power_dbm: float = 0.0
+    adv_interval_s: float = 0.2
+
+    @property
+    def position_array(self) -> np.ndarray:
+        """Position as a numpy array."""
+        return np.asarray(self.position, dtype=float)
+
+
+@dataclass(frozen=True)
+class BleScanConfig:
+    """BLE observer parameters (nRF52-class)."""
+
+    sensitivity_dbm: float = -96.0
+    snr_min_db: float = 4.0
+    collision_miss_probability: float = 0.15
+    rx_gain_offset_db: float = 0.0
+
+
+def generate_ble_population(
+    n_devices: int,
+    rng: np.random.Generator,
+    center: Sequence[float],
+    spread_m: Sequence[float],
+    tx_power_range_dbm: Tuple[float, float] = (-8.0, 4.0),
+) -> List[BleDevice]:
+    """Scatter BLE advertisers around the flat (they live close by)."""
+    devices: List[BleDevice] = []
+    base = int(rng.integers(2**40)) << 8 | 0x02  # locally administered
+    for i in range(n_devices):
+        position = rng.normal(np.asarray(center, float), np.asarray(spread_m, float))
+        name = f"{_BLE_NAMES[int(rng.integers(len(_BLE_NAMES)))]}-{int(rng.integers(100)):02d}"
+        devices.append(
+            BleDevice(
+                mac=format_mac((base + 13 * i) % 2**48),
+                name=name,
+                position=tuple(float(v) for v in position),
+                tx_power_dbm=float(rng.uniform(*tx_power_range_dbm)),
+                adv_interval_s=float(rng.choice([0.1, 0.2, 0.5, 1.0])),
+            )
+        )
+    return devices
+
+
+class BleObserverModule:
+    """The BLE counterpart of :class:`Esp01Module` (SPI deck, no AT).
+
+    Exposes the same carrier surface the UAV firmware expects:
+    ``set_position`` and ``scan_duration_s``; the scan itself listens on
+    each advertising channel in turn.
+    """
+
+    def __init__(
+        self,
+        environment: IndoorEnvironment,
+        devices: Sequence[BleDevice],
+        rng: np.random.Generator,
+        config: BleScanConfig = None,
+        scan_duration_s: float = 2.0,
+    ):
+        self.environment = environment
+        self.devices = tuple(devices)
+        self.rng = rng
+        self.config = config or BleScanConfig()
+        self.scan_duration_s = float(scan_duration_s)
+        self.position: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        self.powered = False
+
+    # ------------------------------------------------------------------
+    def set_position(self, position: Sequence[float]) -> None:
+        """Update the module's physical location."""
+        self.position = tuple(float(v) for v in position)
+
+    def power_on(self) -> bool:
+        """Bring the radio observer up."""
+        self.powered = True
+        return True
+
+    # ------------------------------------------------------------------
+    def run_scan(self) -> List[ScanRecord]:
+        """One observation window across the 3 advertising channels.
+
+        A device is listed once if at least one of its advertisements is
+        captured; the reported RSSI is the mean of captured frames.
+        """
+        if not self.powered:
+            raise DriverError("BLE observer not powered")
+        cfg = self.config
+        dwell = self.scan_duration_s / len(BLE_ADV_CHANNELS)
+        thermal = self.environment.thermal_floor_dbm()
+        duty = self.environment.interference_duty_cycle()
+        records: List[ScanRecord] = []
+        for channel in BLE_ADV_CHANNELS:
+            for device in self.devices:
+                opportunities = max(1, int(dwell / device.adv_interval_s))
+                captured: List[float] = []
+                for _ in range(opportunities):
+                    if self.rng.random() < cfg.collision_miss_probability:
+                        continue
+                    rss = (
+                        self.environment.sample_rss_dbm(device, self.position, self.rng)
+                        + cfg.rx_gain_offset_db
+                    )
+                    if rss < cfg.sensitivity_dbm:
+                        continue
+                    # BLE advertising survives narrowband interference on
+                    # 2/3 channels; approximate with the duty-cycle gate.
+                    if duty > 0.0 and self.rng.random() < duty:
+                        floor = self.environment.interference_floor_dbm(1)
+                        if rss - floor < cfg.snr_min_db:
+                            continue
+                    captured.append(rss)
+                if captured and not any(r.mac == device.mac for r in records):
+                    records.append(
+                        ScanRecord(
+                            ssid=device.name,
+                            rssi_dbm=int(round(float(np.mean(captured)))),
+                            mac=device.mac,
+                            channel=channel,
+                        )
+                    )
+        return records
+
+
+class BleReceiverDriver(RemReceiverDriver):
+    """The §II-A four-instruction driver for the BLE observer."""
+
+    def __init__(self, module: BleObserverModule):
+        self.module = module
+        self._state = ReceiverState.UNINITIALIZED
+        self._pending: List[ScanRecord] = []
+
+    def initialize(self) -> None:
+        """Power the observer (instruction i)."""
+        if not self.module.power_on():
+            self._state = ReceiverState.FAILED
+            raise DriverError("BLE observer failed to power on")
+        self._state = ReceiverState.READY
+
+    def check_state(self) -> ReceiverState:
+        """Report driver state (instruction ii)."""
+        return self._state
+
+    def start_measurement(self) -> float:
+        """Run one observation window (instruction iii)."""
+        if self._state is not ReceiverState.READY:
+            raise DriverError(f"receiver not ready (state={self._state})")
+        self._state = ReceiverState.MEASURING
+        self._pending = self.module.run_scan()
+        return self.module.scan_duration_s
+
+    def parse_output(self) -> List[ScanRecord]:
+        """Return the buffered records (instruction iv)."""
+        if self._state is not ReceiverState.MEASURING:
+            raise DriverError("no measurement in progress")
+        records, self._pending = self._pending, []
+        self._state = ReceiverState.READY
+        return records

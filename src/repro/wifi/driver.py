@@ -1,0 +1,140 @@
+"""The Crazyflie-side REM-receiver driver contract and its ESP-01 driver.
+
+§II-A of the paper defines a *modular* interface between the UAV and any
+REM-sampling receiver: the user supplies a driver implementing four
+instructions — initialize, check state, start a measurement, parse the
+output.  That contract is :class:`RemReceiverDriver`; any receiver
+technology (Wi-Fi, BLE, LoRa, mmWave...) integrates by subclassing it.
+
+:class:`Esp01Driver` is the concrete driver used in the demo: it speaks
+AT over the UART transport and produces :class:`ScanRecord` tuples.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import List, Optional, Sequence
+
+from .at_parser import AtParseError, parse_cwlap_response
+from .beacon import ScanRecord
+from .esp8266 import Esp01Module, UartTransport
+
+__all__ = ["ReceiverState", "RemReceiverDriver", "Esp01Driver", "DriverError"]
+
+
+class DriverError(RuntimeError):
+    """Raised when a receiver driver operation fails."""
+
+
+class ReceiverState(enum.Enum):
+    """Lifecycle states of a REM-sampling receiver."""
+
+    UNINITIALIZED = "uninitialized"
+    READY = "ready"
+    MEASURING = "measuring"
+    FAILED = "failed"
+
+
+class RemReceiverDriver(abc.ABC):
+    """The four-instruction driver contract of §II-A.
+
+    Implementations are deliberately tiny ("a four instructions-long
+    C-flavored driver" in the paper); anything heavier belongs in the
+    receiver firmware, not on the UAV.
+    """
+
+    @abc.abstractmethod
+    def initialize(self) -> None:
+        """Bring the receiver to the READY state (instruction i)."""
+
+    @abc.abstractmethod
+    def check_state(self) -> ReceiverState:
+        """Report the receiver state (instruction ii)."""
+
+    @abc.abstractmethod
+    def start_measurement(self) -> float:
+        """Trigger one measurement (instruction iii).
+
+        Returns the expected measurement duration in seconds so the
+        caller can budget its radio-off window.
+        """
+
+    @abc.abstractmethod
+    def parse_output(self) -> List[ScanRecord]:
+        """Parse and return the last measurement (instruction iv)."""
+
+
+class Esp01Driver(RemReceiverDriver):
+    """AT-over-UART driver for the simulated ESP-01 module.
+
+    Parameters
+    ----------
+    module:
+        The device to drive.  A fresh UART transport is created unless
+        one is supplied (tests inject their own to fault-inject framing).
+    """
+
+    #: CWLAPOPT: sort by RSSI disabled, mask = ssid|rssi|mac|channel.
+    LAPOPT_COMMAND = "AT+CWLAPOPT=0,30"
+
+    def __init__(self, module: Esp01Module, transport: Optional[UartTransport] = None):
+        self.module = module
+        self.transport = transport or UartTransport(module)
+        self._state = ReceiverState.UNINITIALIZED
+        self._pending_lines: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _command(self, command: str) -> List[str]:
+        self.transport.write((command + "\r\n").encode("utf-8"))
+        lines = self.transport.read_lines()
+        # Drop the echo of our own command if present.
+        return [l for l in lines if l.strip() != command]
+
+    @staticmethod
+    def _ok(lines: Sequence[str]) -> bool:
+        return any(l.strip() == "OK" for l in lines)
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Probe with AT, set station mode, configure the output tuple."""
+        if not self._ok(self._command("AT")):
+            self._state = ReceiverState.FAILED
+            raise DriverError("ESP-01 did not answer AT probe")
+        if not self._ok(self._command("AT+CWMODE_CUR=1")):
+            self._state = ReceiverState.FAILED
+            raise DriverError("failed to enter station mode")
+        if not self._ok(self._command(self.LAPOPT_COMMAND)):
+            self._state = ReceiverState.FAILED
+            raise DriverError("failed to configure CWLAP output")
+        self._state = ReceiverState.READY
+
+    def check_state(self) -> ReceiverState:
+        """Current driver-visible receiver state."""
+        return self._state
+
+    def start_measurement(self) -> float:
+        """Issue AT+CWLAP; response lines are buffered for parse_output."""
+        if self._state is not ReceiverState.READY:
+            raise DriverError(f"receiver not ready (state={self._state})")
+        self._state = ReceiverState.MEASURING
+        lines = self._command("AT+CWLAP")
+        if not self._ok(lines):
+            self._state = ReceiverState.FAILED
+            raise DriverError("AT+CWLAP failed")
+        self._pending_lines = lines
+        return self.module.scan_duration_s
+
+    def parse_output(self) -> List[ScanRecord]:
+        """Parse the buffered CWLAP response into scan records."""
+        if self._state is not ReceiverState.MEASURING:
+            raise DriverError("no measurement in progress")
+        try:
+            records = parse_cwlap_response(self._pending_lines)
+        except AtParseError as exc:
+            self._state = ReceiverState.FAILED
+            raise DriverError(f"unparseable scan output: {exc}") from exc
+        finally:
+            self._pending_lines = []
+        self._state = ReceiverState.READY
+        return records

@@ -1,0 +1,223 @@
+"""Simulated AI-Thinker ESP-01 (ESP8266) module with AT firmware.
+
+The real module is soldered on a Crazyflie prototyping deck and spoken
+to over UART with AT commands.  This simulation reproduces the protocol
+surface the paper's driver uses (§III-A):
+
+* ``AT`` — liveness test;
+* ``AT+CWMODE_CUR=1`` — put the module in station mode;
+* ``AT+CWLAPOPT=<sort>,<mask>`` — configure the CWLAP output format
+  (the paper selects the ``(ssid, rssi, mac, channel)`` tuple);
+* ``AT+CWLAP`` — sweep for APs and list them.
+
+The module is *not* time-aware: ``AT+CWLAP`` computes its result
+synchronously and reports the sweep duration that the caller (the
+firmware scan task) must burn in simulated time.  A byte-level
+:class:`UartTransport` wraps the module so the Crazyflie-side driver
+exercises real framing (``\\r\\n`` termination, echo, ``busy p...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.environment import IndoorEnvironment
+from .beacon import ScanReport
+from .scanner import ChannelSweepScanner, ScanConfig
+
+__all__ = ["Esp01Module", "UartTransport", "CwlapOutputMask"]
+
+
+@dataclass(frozen=True)
+class CwlapOutputMask:
+    """The AT+CWLAPOPT print mask (bit layout of the real AT firmware)."""
+
+    ecn: bool = False
+    ssid: bool = True
+    rssi: bool = True
+    mac: bool = True
+    channel: bool = True
+
+    @classmethod
+    def from_int(cls, mask: int) -> "CwlapOutputMask":
+        """Decode the integer mask: bit0=ecn,1=ssid,2=rssi,3=mac,4=channel."""
+        return cls(
+            ecn=bool(mask & 1),
+            ssid=bool(mask & 2),
+            rssi=bool(mask & 4),
+            mac=bool(mask & 8),
+            channel=bool(mask & 16),
+        )
+
+    def to_int(self) -> int:
+        """Encode back to the integer form."""
+        return (
+            (1 if self.ecn else 0)
+            | (2 if self.ssid else 0)
+            | (4 if self.rssi else 0)
+            | (8 if self.mac else 0)
+            | (16 if self.channel else 0)
+        )
+
+
+#: Mask selecting the paper's (ssid, rssi, mac, channel) tuple.
+PAPER_MASK = CwlapOutputMask(ecn=False, ssid=True, rssi=True, mac=True, channel=True)
+
+
+class Esp01Module:
+    """AT-command engine bound to a scanner and a carrier position.
+
+    Parameters
+    ----------
+    environment:
+        RF world the module scans.
+    scan_config:
+        Receiver parameters.
+    rng:
+        Randomness for fading/detection draws.
+    scan_duration_s:
+        Simulated duration of one full AT+CWLAP sweep (the paper budgets
+        ~2-3 s per scan).
+    """
+
+    def __init__(
+        self,
+        environment: IndoorEnvironment,
+        rng: np.random.Generator,
+        scan_config: ScanConfig = None,
+        scan_duration_s: float = 2.0,
+    ):
+        self.scanner = ChannelSweepScanner(environment, scan_config)
+        self.rng = rng
+        self.scan_duration_s = float(scan_duration_s)
+        self.position: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        self.station_mode = False
+        self.output_mask = CwlapOutputMask()
+        self.last_report: Optional[ScanReport] = None
+        self.commands_seen: List[str] = []
+
+    # ------------------------------------------------------------------
+    def set_position(self, position: Sequence[float]) -> None:
+        """Update the module's physical location (it rides on the UAV)."""
+        self.position = tuple(float(v) for v in position)
+
+    # ------------------------------------------------------------------
+    def execute(self, command: str) -> List[str]:
+        """Execute one AT command; returns the response lines.
+
+        The final line is always ``OK`` or ``ERROR`` like the real
+        firmware.
+        """
+        cmd = command.strip()
+        self.commands_seen.append(cmd)
+        if cmd == "AT":
+            return ["OK"]
+        if cmd.startswith("AT+CWMODE_CUR="):
+            return self._set_mode(cmd)
+        if cmd.startswith("AT+CWLAPOPT="):
+            return self._set_lap_options(cmd)
+        if cmd == "AT+CWLAP":
+            return self._run_scan()
+        return ["ERROR"]
+
+    # ------------------------------------------------------------------
+    def _set_mode(self, cmd: str) -> List[str]:
+        value = cmd.split("=", 1)[1]
+        if value not in ("1", "2", "3"):
+            return ["ERROR"]
+        self.station_mode = value in ("1", "3")
+        return ["OK"]
+
+    def _set_lap_options(self, cmd: str) -> List[str]:
+        try:
+            parts = cmd.split("=", 1)[1].split(",")
+            _sort_enable = int(parts[0])
+            mask = int(parts[1])
+        except (IndexError, ValueError):
+            return ["ERROR"]
+        self.output_mask = CwlapOutputMask.from_int(mask)
+        return ["OK"]
+
+    def _run_scan(self) -> List[str]:
+        if not self.station_mode:
+            return ["ERROR"]
+        report = self.scanner.scan(
+            self.position, self.rng, duration_s=self.scan_duration_s
+        )
+        self.last_report = report
+        lines = [self._format_record(r) for r in report.records]
+        lines.append("OK")
+        return lines
+
+    def _format_record(self, record) -> str:
+        mask = self.output_mask
+        fields: List[str] = []
+        if mask.ecn:
+            fields.append("4")  # WPA2-PSK placeholder; not modelled further
+        if mask.ssid:
+            escaped = record.ssid.replace("\\", "\\\\").replace('"', '\\"')
+            fields.append(f'"{escaped}"')
+        if mask.rssi:
+            fields.append(str(record.rssi_dbm))
+        if mask.mac:
+            fields.append(f'"{record.mac}"')
+        if mask.channel:
+            fields.append(str(record.channel))
+        return f"+CWLAP:({','.join(fields)})"
+
+
+class UartTransport:
+    """Byte-level UART framing between the Crazyflie deck and the ESP-01.
+
+    The host writes command bytes terminated by CRLF; the device answers
+    with an echo of the command followed by its response lines, each
+    CRLF-terminated.  Reads drain the device-to-host buffer.
+    """
+
+    def __init__(self, module: Esp01Module, echo: bool = True):
+        self.module = module
+        self.echo = echo
+        self._rx_buffer = bytearray()  # host -> device accumulation
+        self._tx_buffer = bytearray()  # device -> host pending output
+
+    def write(self, data: bytes) -> None:
+        """Host writes bytes toward the device."""
+        self._rx_buffer.extend(data)
+        while b"\r\n" in self._rx_buffer:
+            line, _, rest = bytes(self._rx_buffer).partition(b"\r\n")
+            self._rx_buffer = bytearray(rest)
+            self._handle_command(line.decode("utf-8", errors="replace"))
+
+    def _handle_command(self, command: str) -> None:
+        if self.echo:
+            self._tx_buffer.extend((command + "\r\n").encode("utf-8"))
+        for line in self.module.execute(command):
+            self._tx_buffer.extend((line + "\r\n").encode("utf-8"))
+
+    def read(self, max_bytes: int = None) -> bytes:
+        """Host reads pending device output (all of it by default)."""
+        if max_bytes is None:
+            max_bytes = len(self._tx_buffer)
+        out = bytes(self._tx_buffer[:max_bytes])
+        del self._tx_buffer[:max_bytes]
+        return out
+
+    def read_lines(self) -> List[str]:
+        """Drain complete output lines (decoded, CRLF stripped)."""
+        data = bytes(self._tx_buffer)
+        if b"\r\n" not in data:
+            return []
+        complete, _, remainder = data.rpartition(b"\r\n")
+        self._tx_buffer = bytearray(remainder)
+        return [
+            line.decode("utf-8", errors="replace")
+            for line in complete.split(b"\r\n")
+        ]
+
+    @property
+    def pending_output_bytes(self) -> int:
+        """Bytes waiting to be read by the host."""
+        return len(self._tx_buffer)

@@ -1,0 +1,184 @@
+"""Channel-sweep Wi-Fi scanner with an SINR-based detection model.
+
+The ESP-01's ``AT+CWLAP`` performs a sweep over the 2.4 GHz channels,
+dwelling long enough on each to catch beacon transmissions (the default
+802.11 beacon interval is 102.4 ms).  An AP is listed when at least one
+of its beacons is decoded during the dwell; decoding requires the beacon
+to clear both the receiver sensitivity and a minimum SINR over the
+*effective* noise floor — which the active control link can raise
+dramatically (see :mod:`repro.radio.interference`).
+
+Detection bookkeeping is per-beacon: each beacon opportunity draws its
+own fast-fading realisation and its own interference on/off state, so a
+bursty interferer lets some beacons through — matching the partial (not
+total) degradation visible in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.accesspoint import AccessPoint
+from ..radio.environment import IndoorEnvironment
+from ..radio.spectrum import WIFI_CHANNELS
+from .beacon import ScanRecord, ScanReport
+
+__all__ = ["ScanConfig", "ChannelSweepScanner"]
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Tunables of the scanning receiver.
+
+    Defaults model the ESP8266: ~-91 dBm sensitivity for beacon-rate
+    frames and a few dB of required SINR margin.
+
+    ``collision_miss_probability`` models everything that makes a single
+    sweep miss even a strong AP in a busy 2.4 GHz band: beacon/data
+    collisions, dwell-vs-beacon timing misalignment, and scan-engine
+    truncation.  It is what keeps per-scan AP counts well below the
+    number of theoretically detectable APs — and what gives individual
+    scan counts the location-to-location spread visible in Fig. 6.
+
+    ``rx_gain_offset_db`` is a per-receiver gain calibration: the demo's
+    ESP-01 decks are hand-soldered, and unit-to-unit sensitivity spread
+    of a couple of dB is normal.  The campaign assigns each UAV's module
+    its own offset.
+    """
+
+    channels: Tuple[int, ...] = WIFI_CHANNELS
+    sensitivity_dbm: float = -89.0
+    snr_min_db: float = 4.0
+    beacon_interval_s: float = 0.1024
+    min_opportunities: int = 1
+    collision_miss_probability: float = 0.55
+    rx_gain_offset_db: float = 0.0
+
+    def dwell_s(self, duration_s: float) -> float:
+        """Dwell per channel for a sweep of ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"scan duration must be positive, got {duration_s}")
+        return duration_s / len(self.channels)
+
+    def opportunities(self, duration_s: float) -> int:
+        """Beacon reception opportunities per AP during one dwell."""
+        dwell = self.dwell_s(duration_s)
+        return max(self.min_opportunities, int(dwell / self.beacon_interval_s))
+
+
+class ChannelSweepScanner:
+    """Simulated AP scanner bound to an environment.
+
+    Parameters
+    ----------
+    environment:
+        The RF world to scan (APs, propagation, interference state).
+    config:
+        Receiver parameters.
+    """
+
+    def __init__(self, environment: IndoorEnvironment, config: ScanConfig = None):
+        self.environment = environment
+        self.config = config or ScanConfig()
+
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        position: Sequence[float],
+        rng: np.random.Generator,
+        duration_s: float = 3.0,
+    ) -> ScanReport:
+        """Run one channel sweep at ``position``.
+
+        The environment's currently registered interference sources are
+        applied; callers model "radio off during scan" by clearing the
+        environment's sources before invoking this.
+        """
+        cfg = self.config
+        env = self.environment
+        opportunities = cfg.opportunities(duration_s)
+        duty = env.interference_duty_cycle()
+        interference_active = duty > 0.0
+
+        records: List[ScanRecord] = []
+        for channel in cfg.channels:
+            thermal = env.thermal_floor_dbm()
+            raised = env.interference_floor_dbm(channel) if interference_active else thermal
+            for ap in env.aps_on_channel(channel):
+                detected_levels = self._detect_beacons(
+                    ap, position, rng, opportunities, duty, thermal, raised
+                )
+                if detected_levels:
+                    records.append(
+                        ScanRecord(
+                            ssid=ap.ssid,
+                            rssi_dbm=int(round(float(np.mean(detected_levels)))),
+                            mac=ap.mac,
+                            channel=channel,
+                        )
+                    )
+        return ScanReport(
+            records=records,
+            position=tuple(float(v) for v in position),
+            duration_s=float(duration_s),
+            channel_dwell_s=cfg.dwell_s(duration_s),
+            interference_active=interference_active,
+        )
+
+    # ------------------------------------------------------------------
+    def _detect_beacons(
+        self,
+        ap: AccessPoint,
+        position: Sequence[float],
+        rng: np.random.Generator,
+        opportunities: int,
+        duty: float,
+        thermal_floor_dbm: float,
+        raised_floor_dbm: float,
+    ) -> List[float]:
+        """RSS of every successfully decoded beacon of ``ap`` in a dwell."""
+        cfg = self.config
+        detected: List[float] = []
+        for _ in range(opportunities):
+            if cfg.collision_miss_probability > 0.0 and (
+                rng.random() < cfg.collision_miss_probability
+            ):
+                continue
+            rss = (
+                self.environment.sample_rss_dbm(ap, position, rng)
+                + cfg.rx_gain_offset_db
+            )
+            if rss < cfg.sensitivity_dbm:
+                continue
+            jammed = duty > 0.0 and rng.random() < duty
+            floor = raised_floor_dbm if jammed else thermal_floor_dbm
+            if rss - floor >= cfg.snr_min_db:
+                detected.append(rss)
+        return detected
+
+    # ------------------------------------------------------------------
+    def detection_probability(
+        self,
+        ap: AccessPoint,
+        position: Sequence[float],
+        rng: np.random.Generator,
+        duration_s: float = 3.0,
+        trials: int = 200,
+    ) -> float:
+        """Monte-Carlo estimate of P(AP listed) for analysis/calibration."""
+        cfg = self.config
+        env = self.environment
+        opportunities = cfg.opportunities(duration_s)
+        duty = env.interference_duty_cycle()
+        thermal = env.thermal_floor_dbm()
+        raised = env.interference_floor_dbm(ap.channel) if duty > 0 else thermal
+        hits = 0
+        for _ in range(trials):
+            if self._detect_beacons(
+                ap, position, rng, opportunities, duty, thermal, raised
+            ):
+                hits += 1
+        return hits / trials

@@ -1,0 +1,54 @@
+"""Unit tests for figure-data export."""
+
+import json
+
+import pytest
+
+from repro.analysis import campaign_stats, figure6, figure7, figure8
+from repro.analysis.export import (
+    campaign_stats_to_dict,
+    figure6_to_dict,
+    figure7_to_dict,
+    figure8_to_dict,
+    save_csv_rows,
+    save_json,
+)
+
+
+class TestDictExports:
+    def test_figure6_roundtrips_through_json(self, campaign_result):
+        data = figure6_to_dict(figure6(campaign_result))
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        assert parsed["figure"] == 6
+        assert parsed["totals"]["UAV-A"] > parsed["totals"]["UAV-B"]
+        assert len(parsed["per_location"]["UAV-A"]) == 36
+
+    def test_figure7_dict(self, campaign_result):
+        data = figure7_to_dict(figure7(campaign_result))
+        assert data["increasing_in_x"] is True
+        assert data["decreasing_in_y"] is True
+        assert sum(data["x_histogram"]["counts"]) == len(campaign_result.log)
+
+    def test_figure8_dict(self, campaign_result):
+        data = figure8_to_dict(figure8(campaign_result.log))
+        json.dumps(data)  # must be serializable
+        assert "baseline-mean-per-mac" in data["rmse_dbm"]
+        assert data["paper_rmse_dbm"]["knn-onehot3-k16"] == pytest.approx(4.4186)
+
+    def test_campaign_stats_dict(self, campaign_result):
+        data = campaign_stats_to_dict(campaign_stats(campaign_result))
+        assert data["paper"]["total_samples"] == 2696
+        assert data["measured"]["distinct_macs"] > 0
+
+
+class TestFileWriters:
+    def test_save_json(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "x.json")
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_save_csv(self, tmp_path):
+        path = save_csv_rows(["a", "b"], [[1, 2], [3, 4]], tmp_path / "x.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3

@@ -1,0 +1,110 @@
+"""Tests for the figure-by-figure reproduction (Figs. 5-8 + stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIG5_FREQUENCIES_MHZ,
+    campaign_stats,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5(demo_scenario):
+    return figure5(scenario=demo_scenario, scans_per_setting=3)
+
+
+class TestFigure5:
+    def test_all_settings_present(self, fig5):
+        assert set(fig5.series) == {"off"} | {f"{f:.0f} MHz" for f in FIG5_FREQUENCIES_MHZ}
+
+    def test_radio_off_detects_most(self, fig5):
+        off_total = fig5.total("off")
+        for freq in FIG5_FREQUENCIES_MHZ:
+            assert fig5.total(f"{freq:.0f} MHz") < off_total
+
+    def test_interference_significant_at_every_frequency(self, fig5):
+        # Paper: "the interference from the Crazyradio is significant,
+        # irrespective of its operating frequency."
+        off_total = fig5.total("off")
+        for freq in FIG5_FREQUENCIES_MHZ:
+            assert fig5.total(f"{freq:.0f} MHz") < 0.75 * off_total
+
+    def test_channels_with_detections_nonempty(self, fig5):
+        channels = fig5.channels_with_detections()
+        assert channels
+        assert all(1 <= c <= 13 for c in channels)
+
+
+class TestFigure6:
+    def test_per_location_counts(self, campaign_result):
+        fig6 = figure6(campaign_result)
+        assert set(fig6.per_location) == {"UAV-A", "UAV-B"}
+        totals = fig6.totals()
+        assert totals["UAV-A"] > totals["UAV-B"]
+        assert len(fig6.counts("UAV-A")) == 36
+
+    def test_counts_sum_to_log(self, campaign_result):
+        fig6 = figure6(campaign_result)
+        assert sum(fig6.totals().values()) == len(campaign_result.log)
+
+
+class TestFigure7:
+    def test_trends_match_paper(self, campaign_result):
+        fig7 = figure7(campaign_result)
+        assert fig7.increasing_in_x()
+        assert fig7.decreasing_in_y()
+
+    def test_histogram_totals(self, campaign_result):
+        fig7 = figure7(campaign_result)
+        assert fig7.x_histogram.total == len(campaign_result.log)
+        assert fig7.y_histogram.total == len(campaign_result.log)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def fig8(self, campaign_result):
+        return figure8(campaign_result.log)
+
+    def test_all_models_scored(self, fig8):
+        expected = {
+            "baseline-mean-per-mac",
+            "knn-base",
+            "knn-onehot3-k16",
+            "knn-per-mac",
+            "neural-network",
+            "ordinary-kriging",
+        }
+        assert set(fig8.rmse_dbm) == expected
+
+    def test_rmse_magnitudes_near_paper(self, fig8):
+        # Paper values sit in 4.4-4.9 dBm; ours must land in the band.
+        for name, value in fig8.rmse_dbm.items():
+            assert 3.0 < value < 6.5, (name, value)
+
+    def test_ladder_matches_paper(self, fig8):
+        assert fig8.ladder_matches_paper()
+
+    def test_best_is_scaled_onehot_knn_among_paper_models(self, fig8):
+        paper_models = {
+            k: v for k, v in fig8.rmse_dbm.items() if k != "ordinary-kriging"
+        }
+        assert min(paper_models, key=paper_models.get) == "knn-onehot3-k16"
+
+    def test_preprocess_stats_recorded(self, fig8):
+        assert fig8.preprocess_stats["retained"] > 2000
+        assert fig8.preprocess_stats["train"] > fig8.preprocess_stats["test"]
+
+
+class TestCampaignStats:
+    def test_statistics_shape(self, campaign_result):
+        stats = campaign_stats(campaign_result)
+        assert stats.total_samples == len(campaign_result.log)
+        assert stats.samples_by_uav["UAV-A"] > stats.samples_by_uav["UAV-B"]
+        assert 60 <= stats.distinct_macs <= 85
+        assert 40 <= stats.distinct_ssids <= 60
+        assert -78 < stats.mean_rss_dbm < -68

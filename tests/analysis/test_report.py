@@ -1,0 +1,38 @@
+"""Unit tests for ASCII rendering."""
+
+from repro.analysis import bar_chart, render_figure8, table
+from repro.analysis.figures import Figure8Result
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart({"alpha": 2.0, "beta": 4.0})
+        assert "alpha" in chart and "beta" in chart
+        assert "4.00" in chart
+
+    def test_longest_bar_for_max(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0})
+        lines = {l.split("|")[0].strip(): l for l in chart.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(empty)"
+
+
+class TestTable:
+    def test_layout(self):
+        text = table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+
+class TestRenderFigure8:
+    def test_includes_paper_reference(self):
+        result = Figure8Result(
+            rmse_dbm={"baseline-mean-per-mac": 5.0, "knn-onehot3-k16": 4.1}
+        )
+        text = render_figure8(result)
+        assert "4.8107" in text  # paper baseline value
+        assert "dBm" in text

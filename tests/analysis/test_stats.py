@@ -1,0 +1,46 @@
+"""Unit tests for histogram helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Histogram, bin_by_axis, histogram
+
+
+class TestHistogram:
+    def test_counts_and_edges(self):
+        hist = histogram([0.1, 0.2, 0.7, 1.4], bin_width=0.5)
+        assert list(hist.counts) == [2, 1, 1]
+        assert hist.total == 4
+        assert hist.edges[0] == 0.0
+
+    def test_centers(self):
+        hist = histogram([0.25, 0.75], bin_width=0.5)
+        assert np.allclose(hist.centers, [0.25, 0.75])
+
+    def test_empty_input(self):
+        hist = histogram([], bin_width=0.5)
+        assert hist.total == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bin_width=0.0)
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=np.array([0.0, 1.0]), counts=np.array([1, 2]))
+
+    def test_as_dict(self):
+        hist = histogram([0.1], bin_width=0.5)
+        data = hist.as_dict()
+        assert data["counts"] == [1]
+
+
+class TestBinByAxis:
+    def test_bins_along_requested_axis(self):
+        positions = np.array([[0.1, 2.0, 0.0], [0.2, 2.1, 0.0], [0.9, 2.2, 0.0]])
+        hist_x = bin_by_axis(positions, axis=0, bin_width=0.5)
+        assert list(hist_x.counts) == [2, 1]
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            bin_by_axis(np.zeros(5), axis=0)

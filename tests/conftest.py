@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+The full demo campaign takes a few seconds of wall time, so it runs
+once per session and is shared by every test that only *reads* its
+results (figure builders, ML stage, statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import preprocess
+from repro.radio import build_demo_scenario
+from repro.station import run_campaign
+
+
+@pytest.fixture(scope="session")
+def demo_scenario():
+    """The default demo scenario (seed 57)."""
+    return build_demo_scenario()
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    """One full 2-UAV campaign, shared session-wide (read-only)."""
+    return run_campaign()
+
+
+@pytest.fixture(scope="session")
+def preprocessed(campaign_result):
+    """Preprocessed campaign data (train/test split included)."""
+    return preprocess(campaign_result.log)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,88 @@
+"""Unit tests for the ML dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core import REMDataset
+from repro.station import Sample
+
+
+def make_sample(mac, pos, rssi, channel=6):
+    return Sample(
+        uav_name="UAV-A",
+        waypoint_index=0,
+        timestamp_s=0.0,
+        x=pos[0], y=pos[1], z=pos[2],
+        true_x=pos[0], true_y=pos[1], true_z=pos[2],
+        ssid="net", rssi_dbm=rssi, mac=mac, channel=channel,
+    )
+
+
+@pytest.fixture()
+def dataset():
+    samples = [
+        make_sample("aa:aa:aa:aa:aa:01", (0.0, 0.0, 0.0), -60, channel=1),
+        make_sample("aa:aa:aa:aa:aa:02", (1.0, 0.0, 0.0), -70, channel=6),
+        make_sample("aa:aa:aa:aa:aa:01", (0.0, 1.0, 0.0), -65, channel=1),
+    ]
+    return REMDataset.from_samples(samples)
+
+
+class TestConstruction:
+    def test_shapes(self, dataset):
+        assert len(dataset) == 3
+        assert dataset.positions.shape == (3, 3)
+        assert dataset.n_macs == 2
+
+    def test_vocabulary_sorted_and_indexed(self, dataset):
+        assert dataset.mac_vocabulary == ("aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:02")
+        assert list(dataset.mac_indices) == [0, 1, 0]
+
+    def test_samples_per_mac(self, dataset):
+        counts = dataset.samples_per_mac()
+        assert counts["aa:aa:aa:aa:aa:01"] == 2
+        assert counts["aa:aa:aa:aa:aa:02"] == 1
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            REMDataset(
+                positions=np.zeros((2, 3)),
+                mac_indices=np.zeros(3, dtype=int),
+                channels=np.zeros(3, dtype=int),
+                rssi_dbm=np.zeros(3),
+                mac_vocabulary=("m",),
+            )
+
+
+class TestEncodings:
+    def test_onehot_basic(self, dataset):
+        onehot = dataset.mac_onehot()
+        assert onehot.shape == (3, 2)
+        assert onehot[0, 0] == 1.0 and onehot[0, 1] == 0.0
+        assert (onehot.sum(axis=1) == 1.0).all()
+
+    def test_onehot_scaling(self, dataset):
+        scaled = dataset.mac_onehot(scale=3.0)
+        assert scaled.max() == 3.0
+        # Distance between different-MAC feature rows: 3*sqrt(2).
+        delta = np.linalg.norm(scaled[0] - scaled[1])
+        assert delta == pytest.approx(3.0 * np.sqrt(2.0))
+
+    def test_features_layout(self, dataset):
+        features = dataset.features()
+        assert features.shape == (3, 3 + 2)
+        assert np.allclose(features[:, :3], dataset.positions)
+
+    def test_channel_onehot(self, dataset):
+        onehot = dataset.channel_onehot()
+        assert onehot.shape == (3, 13)
+        assert onehot[0, 0] == 1.0  # channel 1 -> column 0
+        assert onehot[1, 5] == 1.0  # channel 6 -> column 5
+
+
+class TestSubset:
+    def test_subset_keeps_vocabulary(self, dataset):
+        subset = dataset.subset([0, 2])
+        assert len(subset) == 2
+        assert subset.mac_vocabulary == dataset.mac_vocabulary
+        assert list(subset.mac_indices) == [0, 0]

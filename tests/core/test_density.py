@@ -1,0 +1,63 @@
+"""Unit tests for the REM density study (§IV future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import density_sweep
+from repro.core.density import DensityPoint, DensityStudyResult
+
+
+class TestDensitySweep:
+    def test_sweep_on_campaign(self, campaign_result):
+        result = density_sweep(
+            campaign_result.log, location_counts=[5, 15, 30, 54], seed=11
+        )
+        assert len(result.points) == 4
+        assert result.n_test_locations > 0
+        counts = [p.n_locations for p in result.points]
+        assert counts == [5, 15, 30, 54]
+        # More locations never dramatically hurts: best point should be
+        # at a moderate-to-high density.
+        locations, rmses = result.as_series()
+        assert rmses[-1] <= rmses[0] + 0.3
+
+    def test_density_improves_from_sparse(self, campaign_result):
+        result = density_sweep(
+            campaign_result.log, location_counts=[3, 54], seed=11
+        )
+        sparse = result.points[0].rmse_dbm
+        dense = result.points[1].rmse_dbm
+        assert dense < sparse
+
+    def test_train_samples_scale_with_locations(self, campaign_result):
+        result = density_sweep(
+            campaign_result.log, location_counts=[10, 40], seed=11
+        )
+        assert result.points[1].n_train_samples > result.points[0].n_train_samples
+
+    def test_knee_detection(self):
+        result = DensityStudyResult(
+            points=[
+                DensityPoint(5, 100, 6.0),
+                DensityPoint(10, 200, 5.0),
+                DensityPoint(20, 400, 4.6),
+                DensityPoint(40, 800, 4.5),
+            ],
+            n_test_locations=10,
+            n_test_samples=300,
+        )
+        assert result.knee_locations(tolerance_db=0.2) == 20
+        assert result.knee_locations(tolerance_db=1.0) == 10
+
+    def test_invalid_location_count(self, campaign_result):
+        with pytest.raises(ValueError):
+            density_sweep(campaign_result.log, location_counts=[10_000])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            density_sweep([], location_counts=[1])
+
+    def test_deterministic(self, campaign_result):
+        a = density_sweep(campaign_result.log, location_counts=[20], seed=5)
+        b = density_sweep(campaign_result.log, location_counts=[20], seed=5)
+        assert a.points[0].rmse_dbm == b.points[0].rmse_dbm

@@ -1,0 +1,72 @@
+"""Unit tests for grid search and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import (
+    KnnRegressor,
+    ParamGrid,
+    cross_validate,
+    grid_search,
+    rmse,
+)
+from tests.core.test_predictors import dataset_from_arrays
+
+
+@pytest.fixture()
+def spatial_data(rng):
+    positions = rng.uniform(0, 5, size=(200, 3))
+    rssi = -60.0 - 5.0 * positions[:, 0] + rng.normal(0, 0.5, 200)
+    return dataset_from_arrays(positions, np.zeros(200, dtype=int), rssi)
+
+
+class TestParamGrid:
+    def test_cartesian_product(self):
+        grid = ParamGrid(a=[1, 2], b=["x", "y", "z"])
+        combos = list(grid)
+        assert len(combos) == len(grid) == 6
+        assert {(c["a"], c["b"]) for c in combos} == {
+            (a, b) for a in (1, 2) for b in ("x", "y", "z")
+        }
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ParamGrid()
+        with pytest.raises(ValueError):
+            ParamGrid(a=[])
+
+
+class TestCrossValidate:
+    def test_fold_count(self, spatial_data):
+        result = cross_validate(
+            KnnRegressor(), spatial_data, {"n_neighbors": 3}, k_folds=4
+        )
+        assert len(result.fold_rmses) == 4
+        assert result.mean_rmse > 0
+        assert result.std_rmse >= 0
+
+    def test_needs_two_folds(self, spatial_data):
+        with pytest.raises(ValueError):
+            cross_validate(KnnRegressor(), spatial_data, {}, k_folds=1)
+
+    def test_deterministic(self, spatial_data):
+        a = cross_validate(KnnRegressor(), spatial_data, {"n_neighbors": 3}, seed=5)
+        b = cross_validate(KnnRegressor(), spatial_data, {"n_neighbors": 3}, seed=5)
+        assert a.fold_rmses == b.fold_rmses
+
+
+class TestGridSearch:
+    def test_finds_sensible_winner(self, spatial_data):
+        grid = ParamGrid(n_neighbors=[1, 3, 8], weights=["uniform", "distance"])
+        result = grid_search(KnnRegressor(), spatial_data, grid)
+        assert len(result.results) == 6
+        assert result.best_params in [r.params for r in result.results]
+        # Winner must beat (or tie) every other combination on CV RMSE.
+        ranking = result.ranking()
+        assert ranking[0].params == result.best_params
+
+    def test_best_model_refit_on_full_train(self, spatial_data):
+        grid = ParamGrid(n_neighbors=[3])
+        result = grid_search(KnnRegressor(), spatial_data, grid)
+        predictions = result.best.predict(spatial_data)
+        assert rmse(spatial_data.rssi_dbm, predictions) < 2.0

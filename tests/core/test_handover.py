@@ -1,0 +1,97 @@
+"""Unit tests for REM-based handover planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.handover import hysteresis_tradeoff, plan_handovers
+from repro.core.rem import RadioEnvironmentMap, RemGrid
+from repro.radio import Cuboid
+
+
+@pytest.fixture()
+def two_ap_rem():
+    """AP 'left' strong at -x, AP 'right' strong at +x: one crossover."""
+    grid = RemGrid(volume=Cuboid((0.0, 0.0, 0.0), (4.0, 2.0, 2.0)), resolution_m=0.25)
+    rem = RadioEnvironmentMap(grid, ["left", "right"])
+    ax, ay, az = grid.axes()
+    xs, _, _ = np.meshgrid(ax, ay, az, indexing="ij")
+    rem.set_field("left", -40.0 - 10.0 * xs)
+    rem.set_field("right", -80.0 + 10.0 * xs)
+    return rem
+
+
+def straight_path(n=41):
+    return [(x, 1.0, 1.0) for x in np.linspace(0.0, 4.0, n)]
+
+
+class TestPlanHandovers:
+    def test_single_crossover(self, two_ap_rem):
+        plan = plan_handovers(two_ap_rem, straight_path(), hysteresis_db=1.0)
+        assert plan.n_handovers == 1
+        event = plan.events[0]
+        assert event.from_mac == "left"
+        assert event.to_mac == "right"
+        # The crossover of the two linear fields is at x = 2.0; with
+        # 1 dB hysteresis the switch happens just past it.
+        assert 1.9 < event.position[0] < 2.6
+
+    def test_serving_sequence_contiguous(self, two_ap_rem):
+        plan = plan_handovers(two_ap_rem, straight_path())
+        switches = sum(
+            1 for a, b in zip(plan.serving_macs, plan.serving_macs[1:]) if a != b
+        )
+        assert switches == plan.n_handovers
+
+    def test_zero_hysteresis_tracks_best(self, two_ap_rem):
+        plan = plan_handovers(two_ap_rem, straight_path(), hysteresis_db=0.0)
+        best = [
+            max(
+                two_ap_rem.query(p, "left"),
+                two_ap_rem.query(p, "right"),
+            )
+            for p in straight_path()
+        ]
+        assert plan.rss_regret_db(best) < 0.3
+
+    def test_huge_hysteresis_never_switches(self, two_ap_rem):
+        plan = plan_handovers(two_ap_rem, straight_path(), hysteresis_db=60.0)
+        assert plan.n_handovers == 0
+        assert set(plan.serving_macs) == {"left"}
+
+    def test_validation(self, two_ap_rem):
+        with pytest.raises(ValueError):
+            plan_handovers(two_ap_rem, straight_path(), hysteresis_db=-1.0)
+        with pytest.raises(ValueError):
+            plan_handovers(two_ap_rem, [])
+
+
+class TestHysteresisTradeoff:
+    def test_monotone_handover_count(self, two_ap_rem):
+        rows = hysteresis_tradeoff(two_ap_rem, straight_path())
+        handovers = [n for _, n, _ in rows]
+        assert handovers == sorted(handovers, reverse=True)
+
+    def test_serving_rss_degrades_with_margin(self, two_ap_rem):
+        rows = hysteresis_tradeoff(two_ap_rem, straight_path(), margins_db=(0.0, 30.0))
+        assert rows[0][2] >= rows[1][2]
+
+    def test_on_campaign_rem(self, campaign_result, preprocessed):
+        from repro.core import build_rem
+        from repro.core.predictors import KnnRegressor
+
+        counts = preprocessed.dataset.samples_per_mac()
+        top = sorted(counts, key=counts.get, reverse=True)[:5]
+        model = KnnRegressor(n_neighbors=16, onehot_scale=3.0).fit(preprocessed.train)
+        rem = build_rem(
+            model,
+            preprocessed.dataset,
+            campaign_result.scenario.flight_volume,
+            resolution_m=0.4,
+            macs=top,
+        )
+        path = [(x, 1.6, 1.0) for x in np.linspace(0.3, 3.4, 30)]
+        rows = hysteresis_tradeoff(rem, path)
+        handovers = [n for _, n, _ in rows]
+        assert handovers == sorted(handovers, reverse=True)
+        # Mean serving RSS must stay plausible.
+        assert all(-95 < rss < -20 for _, _, rss in rows)

@@ -1,0 +1,47 @@
+"""Unit tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import error_summary, mae, r2_score, rmse
+
+
+class TestRmse:
+    def test_zero_for_perfect(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == 2.0
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = error_summary([0.0, 1.0, 2.0], [0.1, 1.2, 1.7])
+        assert set(summary) == {"rmse", "mae", "r2", "p95_abs_error"}
+        assert summary["rmse"] >= summary["mae"]

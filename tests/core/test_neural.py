@@ -1,0 +1,59 @@
+"""Unit tests for the numpy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import MlpRegressor
+from tests.core.test_predictors import dataset_from_arrays
+
+
+@pytest.fixture()
+def linear_data(rng):
+    # RSS = -60 - 3x + 2y (+ tiny noise): learnable by a small MLP.
+    positions = rng.uniform(0, 3, size=(300, 3))
+    rssi = -60.0 - 3.0 * positions[:, 0] + 2.0 * positions[:, 1] + rng.normal(0, 0.2, 300)
+    return dataset_from_arrays(positions, np.zeros(300, dtype=int), rssi)
+
+
+class TestTraining:
+    def test_loss_decreases(self, linear_data):
+        model = MlpRegressor(epochs=60, seed=1)
+        model.fit(linear_data)
+        losses = model.training_loss
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_fits_linear_function(self, linear_data):
+        model = MlpRegressor(epochs=300, seed=1)
+        model.fit(linear_data)
+        predictions = model.predict(linear_data)
+        rmse = float(np.sqrt(np.mean((predictions - linear_data.rssi_dbm) ** 2)))
+        assert rmse < 1.5
+
+    def test_deterministic_given_seed(self, linear_data):
+        a = MlpRegressor(epochs=30, seed=5).fit(linear_data).predict(linear_data)
+        b = MlpRegressor(epochs=30, seed=5).fit(linear_data).predict(linear_data)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self, linear_data):
+        a = MlpRegressor(epochs=30, seed=5).fit(linear_data).predict(linear_data)
+        b = MlpRegressor(epochs=30, seed=6).fit(linear_data).predict(linear_data)
+        assert not np.allclose(a, b)
+
+    def test_predictions_in_sane_range(self, linear_data):
+        model = MlpRegressor(epochs=100, seed=2).fit(linear_data)
+        predictions = model.predict(linear_data)
+        assert predictions.min() > -100.0
+        assert predictions.max() < -40.0
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MlpRegressor(hidden_units=0)
+        with pytest.raises(ValueError):
+            MlpRegressor(epochs=0)
+
+    def test_clone_preserves_params(self):
+        model = MlpRegressor(hidden_units=8, learning_rate=1e-2, epochs=10, seed=3)
+        clone = model.clone()
+        assert clone.get_params() == model.get_params()

@@ -1,0 +1,163 @@
+"""Unit tests for baseline / k-NN predictor families."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import REMDataset
+from repro.core.predictors import (
+    KnnRegressor,
+    MeanPerMacBaseline,
+    NotFittedError,
+    PerMacKnnRegressor,
+)
+
+
+def dataset_from_arrays(positions, macs, rssi, vocabulary=None):
+    positions = np.asarray(positions, dtype=float)
+    macs = np.asarray(macs, dtype=int)
+    rssi = np.asarray(rssi, dtype=float)
+    if vocabulary is None:
+        vocabulary = tuple(f"aa:aa:aa:aa:aa:{i:02x}" for i in range(int(macs.max()) + 1))
+    return REMDataset(
+        positions=positions,
+        mac_indices=macs,
+        channels=np.full(len(rssi), 6, dtype=int),
+        rssi_dbm=rssi,
+        mac_vocabulary=vocabulary,
+    )
+
+
+@pytest.fixture()
+def two_mac_data():
+    # MAC 0: RSS falls linearly along x; MAC 1: constant -80.
+    positions = [[float(i), 0.0, 0.0] for i in range(8)] * 2
+    macs = [0] * 8 + [1] * 8
+    rssi = [-50.0 - 2.0 * i for i in range(8)] + [-80.0] * 8
+    return dataset_from_arrays(positions, macs, rssi)
+
+
+class TestBaseline:
+    def test_predicts_per_mac_mean(self, two_mac_data):
+        model = MeanPerMacBaseline().fit(two_mac_data)
+        predictions = model.predict(two_mac_data)
+        assert predictions[0] == pytest.approx(-57.0)  # mean of -50..-64
+        assert predictions[8] == pytest.approx(-80.0)
+
+    def test_unseen_mac_falls_back_to_global_mean(self, two_mac_data):
+        model = MeanPerMacBaseline().fit(two_mac_data)
+        query = dataset_from_arrays(
+            [[0.0, 0.0, 0.0]], [2], [0.0],
+            vocabulary=two_mac_data.mac_vocabulary + ("aa:aa:aa:aa:aa:99",),
+        )
+        assert model.predict(query)[0] == pytest.approx(two_mac_data.rssi_dbm.mean())
+
+    def test_unfitted_raises(self, two_mac_data):
+        with pytest.raises(NotFittedError):
+            MeanPerMacBaseline().predict(two_mac_data)
+
+    def test_empty_fit_rejected(self, two_mac_data):
+        with pytest.raises(ValueError):
+            MeanPerMacBaseline().fit(two_mac_data.subset([]))
+
+
+class TestKnn:
+    def test_exact_interpolation_on_training_points_k1(self, two_mac_data):
+        model = KnnRegressor(n_neighbors=1).fit(two_mac_data)
+        predictions = model.predict(two_mac_data)
+        assert np.allclose(predictions, two_mac_data.rssi_dbm)
+
+    def test_distance_weighting_exact_on_duplicates(self, two_mac_data):
+        model = KnnRegressor(n_neighbors=3, weights="distance").fit(two_mac_data)
+        predictions = model.predict(two_mac_data)
+        # Distance weighting gives training points their own value back.
+        assert np.allclose(predictions, two_mac_data.rssi_dbm)
+
+    def test_interpolates_between_neighbors(self, two_mac_data):
+        model = KnnRegressor(n_neighbors=2, weights="distance").fit(two_mac_data)
+        query = dataset_from_arrays(
+            [[2.5, 0.0, 0.0]], [0], [0.0], vocabulary=two_mac_data.mac_vocabulary
+        )
+        # Between -54 (x=2) and -56 (x=3), equidistant: -55.
+        assert model.predict(query)[0] == pytest.approx(-55.0, abs=0.2)
+
+    def test_onehot_scale_separates_macs(self):
+        # Two co-located APs with very different RSS: with a large one-hot
+        # scale, neighbors come only from the right MAC.
+        positions = [[0.0, 0.0, 0.0], [0.1, 0.0, 0.0], [0.0, 0.1, 0.0]] * 2
+        macs = [0] * 3 + [1] * 3
+        rssi = [-50.0] * 3 + [-90.0] * 3
+        data = dataset_from_arrays(positions, macs, rssi)
+        query = dataset_from_arrays(
+            [[0.05, 0.05, 0.0]], [0], [0.0], vocabulary=data.mac_vocabulary
+        )
+        scaled = KnnRegressor(n_neighbors=3, onehot_scale=3.0).fit(data)
+        assert scaled.predict(query)[0] == pytest.approx(-50.0, abs=0.5)
+        unscaled = KnnRegressor(n_neighbors=6, onehot_scale=0.0).fit(data)
+        assert unscaled.predict(query)[0] == pytest.approx(-70.0, abs=2.0)
+
+    def test_uniform_weights_average(self):
+        positions = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]
+        data = dataset_from_arrays(positions, [0, 0], [-60.0, -70.0])
+        model = KnnRegressor(n_neighbors=2, weights="uniform").fit(data)
+        query = dataset_from_arrays(
+            [[0.2, 0.0, 0.0]], [0], [0.0], vocabulary=data.mac_vocabulary
+        )
+        assert model.predict(query)[0] == pytest.approx(-65.0)
+
+    def test_k_larger_than_train_set_clamped(self, two_mac_data):
+        model = KnnRegressor(n_neighbors=1000, weights="uniform").fit(two_mac_data)
+        predictions = model.predict(two_mac_data)
+        assert np.isfinite(predictions).all()
+
+    def test_minkowski_p1_differs_from_p2(self, two_mac_data):
+        q = dataset_from_arrays(
+            [[2.3, 0.7, 0.4]], [0], [0.0], vocabulary=two_mac_data.mac_vocabulary
+        )
+        p1 = KnnRegressor(n_neighbors=3, p=1.0).fit(two_mac_data).predict(q)
+        p2 = KnnRegressor(n_neighbors=3, p=2.0).fit(two_mac_data).predict(q)
+        assert np.isfinite(p1).all() and np.isfinite(p2).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KnnRegressor(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KnnRegressor(weights="magic")
+        with pytest.raises(ValueError):
+            KnnRegressor(p=0.5)
+        with pytest.raises(ValueError):
+            KnnRegressor(onehot_scale=-1.0)
+
+    def test_clone_and_params(self):
+        model = KnnRegressor(n_neighbors=7, weights="uniform", p=1.0, onehot_scale=2.0)
+        clone = model.clone(n_neighbors=9)
+        assert clone.n_neighbors == 9
+        assert clone.weights == "uniform"
+        assert clone.get_params()["onehot_scale"] == 2.0
+
+
+class TestPerMacKnn:
+    def test_dispatches_by_mac(self, two_mac_data):
+        model = PerMacKnnRegressor(n_neighbors=1).fit(two_mac_data)
+        predictions = model.predict(two_mac_data)
+        assert np.allclose(predictions, two_mac_data.rssi_dbm)
+
+    def test_unseen_mac_gets_global_mean(self, two_mac_data):
+        model = PerMacKnnRegressor(n_neighbors=1).fit(two_mac_data)
+        query = dataset_from_arrays(
+            [[0.0, 0.0, 0.0]], [2], [0.0],
+            vocabulary=two_mac_data.mac_vocabulary + ("aa:aa:aa:aa:aa:99",),
+        )
+        assert model.predict(query)[0] == pytest.approx(two_mac_data.rssi_dbm.mean())
+
+    def test_never_mixes_macs(self):
+        # MAC 1 has wildly different values; per-MAC predictions for MAC 0
+        # must be unaffected by them even at k covering everything.
+        positions = [[float(i), 0.0, 0.0] for i in range(4)] * 2
+        macs = [0] * 4 + [1] * 4
+        rssi = [-60.0] * 4 + [-10.0] * 4
+        data = dataset_from_arrays(positions, macs, rssi)
+        model = PerMacKnnRegressor(n_neighbors=8, weights="uniform").fit(data)
+        query = dataset_from_arrays(
+            [[1.5, 0.0, 0.0]], [0], [0.0], vocabulary=data.mac_vocabulary
+        )
+        assert model.predict(query)[0] == pytest.approx(-60.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the §III-B preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreprocessConfig, preprocess, train_test_split
+from repro.core.dataset import REMDataset
+from tests.core.test_dataset import make_sample
+
+
+def many_samples(mac, count, rssi=-70):
+    return [make_sample(mac, (float(i), 0.0, 0.0), rssi) for i in range(count)]
+
+
+class TestMacThreshold:
+    def test_rare_macs_dropped(self):
+        samples = many_samples("aa:aa:aa:aa:aa:01", 20) + many_samples(
+            "aa:aa:aa:aa:aa:02", 5
+        )
+        result = preprocess(samples, PreprocessConfig(min_samples_per_mac=16))
+        assert result.retained_samples == 20
+        assert result.dropped_samples == 5
+        assert result.dropped_macs == 1
+        assert result.dataset.n_macs == 1
+
+    def test_threshold_is_inclusive(self):
+        samples = many_samples("aa:aa:aa:aa:aa:01", 16)
+        result = preprocess(samples, PreprocessConfig(min_samples_per_mac=16))
+        assert result.dropped_samples == 0
+
+    def test_campaign_preprocessing_matches_paper_shape(self, campaign_result):
+        # Paper: 2565 of 2696 retained (131 dropped).
+        result = preprocess(campaign_result.log)
+        drop_fraction = result.dropped_samples / len(campaign_result.log)
+        assert 0.0 < drop_fraction < 0.12
+        assert result.dropped_macs > 0
+
+
+class TestTrainTestSplit:
+    def _dataset(self, n=100):
+        return REMDataset.from_samples(many_samples("aa:aa:aa:aa:aa:01", n))
+
+    def test_split_sizes(self):
+        train, test = train_test_split(self._dataset(100), 0.25, seed=1)
+        assert len(test) == 25
+        assert len(train) == 75
+
+    def test_split_disjoint_and_complete(self):
+        dataset = self._dataset(60)
+        train, test = train_test_split(dataset, 0.25, seed=2)
+        train_x = set(map(tuple, train.positions))
+        test_x = set(map(tuple, test.positions))
+        assert train_x.isdisjoint(test_x)
+        assert len(train_x | test_x) == 60
+
+    def test_split_deterministic(self):
+        dataset = self._dataset(40)
+        a_train, _ = train_test_split(dataset, 0.25, seed=3)
+        b_train, _ = train_test_split(dataset, 0.25, seed=3)
+        assert np.array_equal(a_train.positions, b_train.positions)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(self._dataset(10), 0.0, seed=1)
+        with pytest.raises(ValueError):
+            train_test_split(self._dataset(10), 1.0, seed=1)

@@ -1,0 +1,101 @@
+"""Cross-module integration tests: scan → driver → protocol → log → ML."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_rem, preprocess
+from repro.core.predictors import KnnRegressor, rmse
+from repro.radio import build_demo_scenario
+from repro.station import SampleLog
+from repro.wifi import Esp01Driver, Esp01Module, ScanConfig, parse_cwlap_response
+
+
+class TestScanDriverChain:
+    """Byte-level chain: environment → ESP AT firmware → driver → records."""
+
+    def test_driver_output_matches_environment(self, demo_scenario, rng):
+        module = Esp01Module(
+            demo_scenario.environment,
+            rng,
+            scan_config=ScanConfig(collision_miss_probability=0.0),
+        )
+        module.set_position(tuple(demo_scenario.flight_volume.center))
+        driver = Esp01Driver(module)
+        driver.initialize()
+        driver.start_measurement()
+        records = driver.parse_output()
+        known_macs = {ap.mac for ap in demo_scenario.access_points}
+        assert records
+        for record in records:
+            assert record.mac in known_macs
+            ap = demo_scenario.environment.ap_by_mac(record.mac)
+            assert record.channel == ap.channel
+            assert record.ssid == ap.ssid[: len(record.ssid)] or record.ssid == ap.ssid
+
+    def test_raw_uart_bytes_parse_identically(self, demo_scenario, rng):
+        module = Esp01Module(
+            demo_scenario.environment,
+            rng,
+            scan_config=ScanConfig(collision_miss_probability=0.0),
+        )
+        module.set_position((1.0, 1.0, 1.0))
+        module.execute("AT+CWMODE_CUR=1")
+        module.execute("AT+CWLAPOPT=0,30")
+        lines = module.execute("AT+CWLAP")
+        records = parse_cwlap_response(lines)
+        assert len(records) == len(lines) - 1  # all lines but the OK
+
+
+class TestCampaignToRem:
+    """Campaign log → preprocessing → model → REM end to end."""
+
+    def test_rem_from_campaign(self, campaign_result, preprocessed):
+        model = KnnRegressor(n_neighbors=16, onehot_scale=3.0).fit(preprocessed.train)
+        score = rmse(preprocessed.test.rssi_dbm, model.predict(preprocessed.test))
+        assert score < 5.5
+        rem = build_rem(
+            model,
+            preprocessed.dataset,
+            campaign_result.scenario.flight_volume,
+            resolution_m=0.6,
+            macs=preprocessed.dataset.mac_vocabulary[:5],
+        )
+        for mac in rem.macs:
+            field = rem.field(mac)
+            assert np.isfinite(field).all()
+            assert -110 < field.mean() < -30
+
+    def test_rem_queries_consistent_with_training_data(self, campaign_result, preprocessed):
+        model = KnnRegressor(n_neighbors=8).fit(preprocessed.train)
+        mac = preprocessed.dataset.mac_vocabulary[0]
+        rem = build_rem(
+            model,
+            preprocessed.dataset,
+            campaign_result.scenario.flight_volume,
+            resolution_m=0.4,
+            macs=[mac],
+        )
+        # Queries at training points of this MAC should be within a few dB
+        # of the recorded values on average (interpolation smooths fading).
+        mask = preprocessed.train.mac_indices == 0
+        positions = preprocessed.train.positions[mask][:30]
+        recorded = preprocessed.train.rssi_dbm[mask][:30]
+        predicted = np.array([rem.query(p, mac) for p in positions])
+        assert np.abs(predicted - recorded).mean() < 6.0
+
+
+class TestLogPersistenceChain:
+    def test_campaign_log_csv_roundtrip_preserves_ml_results(
+        self, campaign_result, tmp_path
+    ):
+        path = tmp_path / "campaign.csv"
+        campaign_result.log.save_csv(path)
+        loaded = SampleLog.load_csv(path)
+        original = preprocess(campaign_result.log)
+        reloaded = preprocess(loaded)
+        assert len(original.dataset) == len(reloaded.dataset)
+        model_a = KnnRegressor(n_neighbors=3).fit(original.train)
+        model_b = KnnRegressor(n_neighbors=3).fit(reloaded.train)
+        score_a = rmse(original.test.rssi_dbm, model_a.predict(original.test))
+        score_b = rmse(reloaded.test.rssi_dbm, model_b.predict(reloaded.test))
+        assert score_a == pytest.approx(score_b)

@@ -1,0 +1,42 @@
+"""The tuned pipeline path: generate_rem with the §III-B grid search."""
+
+import pytest
+
+from repro import ToolchainConfig, generate_rem
+
+
+@pytest.fixture(scope="module")
+def tuned_result():
+    return generate_rem(
+        config=ToolchainConfig(
+            tune_hyperparameters=True, rem_resolution_m=0.5, cv_folds=3
+        )
+    )
+
+
+class TestTunedPipeline:
+    def test_search_attached(self, tuned_result):
+        assert tuned_result.search is not None
+        assert set(tuned_result.search.best_params) <= {
+            "n_neighbors",
+            "weights",
+            "p",
+            "onehot_scale",
+        }
+
+    def test_winner_uses_distance_weights(self, tuned_result):
+        # The paper's grid search selected distance weighting.
+        assert tuned_result.search.best_params["weights"] == "distance"
+
+    def test_tuned_beats_or_matches_baseline(self, tuned_result):
+        from repro.core.predictors import MeanPerMacBaseline, rmse
+
+        prep = tuned_result.preprocessing
+        baseline = MeanPerMacBaseline().fit(prep.train)
+        baseline_rmse = rmse(prep.test.rssi_dbm, baseline.predict(prep.test))
+        assert tuned_result.test_rmse_dbm < baseline_rmse
+
+    def test_ranking_sorted(self, tuned_result):
+        ranking = tuned_result.search.ranking()
+        scores = [cv.mean_rmse for cv in ranking]
+        assert scores == sorted(scores)

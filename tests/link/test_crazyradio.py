@@ -1,0 +1,98 @@
+"""Unit tests for the Crazyradio and link transport."""
+
+import pytest
+
+from repro.link import Crazyradio, CrazyradioLink, CrtpPacket, CrtpPort, RadioConfig
+from repro.radio import AccessPoint, IndoorEnvironment, LinkBudget
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def environment():
+    ap = AccessPoint("aa:aa:aa:aa:aa:01", "net", 6, (5.0, 0.0, 0.0))
+    return IndoorEnvironment([], [ap], budget=LinkBudget(), seed=1)
+
+
+@pytest.fixture()
+def radio(environment):
+    return Crazyradio(environment, RadioConfig(freq_mhz=2475.0))
+
+
+def packet(tag=b"x"):
+    return CrtpPacket(port=CrtpPort.APP, channel=0, payload=tag)
+
+
+class TestCrazyradio:
+    def test_interference_registered_while_on(self, radio, environment):
+        assert environment.interference_sources == ()
+        radio.turn_on()
+        assert len(environment.interference_sources) == 1
+        assert environment.interference_sources[0].freq_mhz == 2475.0
+        radio.turn_off()
+        assert environment.interference_sources == ()
+
+    def test_retune_while_on_updates_source(self, radio, environment):
+        radio.turn_on()
+        radio.set_frequency(2412.0)
+        assert environment.interference_sources[0].freq_mhz == 2412.0
+
+    def test_channel_mapping(self, radio):
+        radio.set_channel(80)
+        assert radio.freq_mhz == 2480.0
+        assert radio.nrf24_channel == 80
+
+    def test_frequency_validation(self, radio, environment):
+        with pytest.raises(ValueError):
+            radio.set_frequency(2600.0)
+        with pytest.raises(ValueError):
+            Crazyradio(environment, RadioConfig(freq_mhz=2300.0))
+
+    def test_transition_counter(self, radio):
+        radio.turn_on()
+        radio.turn_on()  # idempotent
+        radio.turn_off()
+        assert radio.on_off_transitions == 2
+
+
+class TestCrazyradioLink:
+    def test_uplink_requires_radio_on(self, radio):
+        sim = Simulator()
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=16)
+        received = []
+        link.attach_uav(received.append)
+        assert not link.station_send(packet())
+        assert link.uplink_lost == 1
+        radio.turn_on()
+        assert link.station_send(packet())
+        sim.run()
+        assert len(received) == 1
+
+    def test_uplink_has_latency(self, radio):
+        sim = Simulator()
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=16)
+        arrival = []
+        link.attach_uav(lambda p: arrival.append(sim.now))
+        radio.turn_on()
+        link.station_send(packet())
+        sim.run()
+        assert arrival[0] == pytest.approx(radio.config.uplink_latency_s)
+
+    def test_downlink_buffers_while_off(self, radio):
+        sim = Simulator()
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=4)
+        for i in range(3):
+            assert link.uav_send(packet(bytes([i])))
+        # Radio off: polling yields nothing but the queue holds packets.
+        assert link.station_poll() == []
+        assert len(link.uav_tx_queue) == 3
+        radio.turn_on()
+        drained = link.station_poll()
+        assert [p.payload for p in drained] == [b"\x00", b"\x01", b"\x02"]
+
+    def test_downlink_drops_beyond_capacity(self, radio):
+        sim = Simulator()
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=2)
+        assert link.uav_send(packet(b"a"))
+        assert link.uav_send(packet(b"b"))
+        assert not link.uav_send(packet(b"c"))
+        assert link.uav_tx_queue.stats.dropped == 1

@@ -1,0 +1,29 @@
+"""Unit tests for CRTP packets."""
+
+import pytest
+
+from repro.link import MAX_PAYLOAD_BYTES, CrtpPacket, CrtpPort
+
+
+class TestCrtpPacket:
+    def test_header_byte_layout(self):
+        packet = CrtpPacket(port=CrtpPort.COMMANDER, channel=2, payload=b"xy")
+        assert packet.header_byte == (0x03 << 4) | 0x02
+
+    def test_size_includes_header(self):
+        packet = CrtpPacket(port=CrtpPort.APP, channel=0, payload=b"abc")
+        assert packet.size_bytes == 4
+
+    def test_payload_limit_enforced(self):
+        CrtpPacket(port=CrtpPort.APP, channel=0, payload=b"x" * MAX_PAYLOAD_BYTES)
+        with pytest.raises(ValueError):
+            CrtpPacket(
+                port=CrtpPort.APP, channel=0, payload=b"x" * (MAX_PAYLOAD_BYTES + 1)
+            )
+
+    def test_channel_range_enforced(self):
+        with pytest.raises(ValueError):
+            CrtpPacket(port=CrtpPort.APP, channel=4)
+
+    def test_empty_payload_allowed(self):
+        assert CrtpPacket(port=CrtpPort.LINK).size_bytes == 1

@@ -1,0 +1,64 @@
+"""Unit tests for the bounded firmware queue."""
+
+import pytest
+
+from repro.link import BoundedQueue
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for item in (1, 2, 3):
+            assert queue.offer(item)
+        assert queue.poll() == 1
+        assert queue.poll() == 2
+
+    def test_rejects_when_full(self):
+        queue = BoundedQueue(2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")
+        assert queue.stats.dropped == 1
+        assert len(queue) == 2
+
+    def test_drop_then_room_again(self):
+        queue = BoundedQueue(1)
+        queue.offer("a")
+        queue.offer("b")  # dropped
+        queue.poll()
+        assert queue.offer("c")
+        assert queue.poll() == "c"
+
+    def test_poll_empty_returns_none(self):
+        assert BoundedQueue(1).poll() is None
+
+    def test_drain_all_and_limited(self):
+        queue = BoundedQueue(8)
+        for i in range(5):
+            queue.offer(i)
+        assert queue.drain(limit=2) == [0, 1]
+        assert queue.drain() == [2, 3, 4]
+        assert queue.empty
+
+    def test_stats_accounting(self):
+        queue = BoundedQueue(2)
+        queue.offer(1)
+        queue.offer(2)
+        queue.offer(3)  # drop
+        queue.drain()
+        stats = queue.stats
+        assert stats.enqueued == 2
+        assert stats.dropped == 1
+        assert stats.dequeued == 2
+        assert stats.high_watermark == 2
+
+    def test_clear(self):
+        queue = BoundedQueue(4)
+        for i in range(3):
+            queue.offer(i)
+        assert queue.clear() == 3
+        assert queue.empty
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)

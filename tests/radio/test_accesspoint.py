@@ -1,0 +1,99 @@
+"""Unit tests for AP population generation."""
+
+import numpy as np
+import pytest
+
+from repro.radio import AccessPoint, format_mac, generate_population
+from repro.radio.spectrum import WIFI_CHANNELS
+
+
+class TestFormatMac:
+    def test_format(self):
+        assert format_mac(0x0011223344FF) == "00:11:22:33:44:ff"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            format_mac(2**48)
+        with pytest.raises(ValueError):
+            format_mac(-1)
+
+
+class TestAccessPoint:
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPoint("aa:bb:cc:dd:ee:ff", "net", 14, (0, 0, 0))
+
+    def test_position_array(self):
+        ap = AccessPoint("aa:bb:cc:dd:ee:ff", "net", 6, (1.0, 2.0, 3.0))
+        assert np.allclose(ap.position_array, [1.0, 2.0, 3.0])
+
+
+class TestGeneratePopulation:
+    def _population(self, rng, **kwargs):
+        defaults = dict(
+            n_aps=60,
+            n_ssids=40,
+            building_center=(5.0, -5.0, 0.0),
+            spread_m=(5.0, 5.0, 3.0),
+            rng=rng,
+            bounds_min=(-10.0, -20.0, -8.0),
+            bounds_max=(20.0, 5.0, 8.0),
+        )
+        defaults.update(kwargs)
+        return generate_population(**defaults)
+
+    def test_counts(self, rng):
+        aps = self._population(rng)
+        assert len(aps) == 60
+        assert len({ap.mac for ap in aps}) == 60
+        assert len({ap.ssid for ap in aps}) == 40
+
+    def test_ssids_reused_not_invented(self, rng):
+        aps = self._population(rng)
+        ssids = [ap.ssid for ap in aps]
+        # 60 APs over 40 SSIDs: some SSID must repeat.
+        assert len(set(ssids)) < len(ssids)
+
+    def test_channels_valid_and_primary_heavy(self, rng):
+        aps = self._population(rng)
+        assert all(ap.channel in WIFI_CHANNELS for ap in aps)
+        primary = sum(1 for ap in aps if ap.channel in (1, 6, 11))
+        assert primary / len(aps) > 0.6
+
+    def test_positions_within_bounds(self, rng):
+        aps = self._population(rng)
+        for ap in aps:
+            assert -10.0 <= ap.position[0] <= 20.0
+            assert -20.0 <= ap.position[1] <= 5.0
+            assert -8.0 <= ap.position[2] <= 8.0
+
+    def test_exclusion_sphere_respected(self, rng):
+        aps = self._population(
+            rng, exclusion_center=(5.0, -5.0, 0.0), exclusion_radius_m=3.0
+        )
+        for ap in aps:
+            distance = np.linalg.norm(ap.position_array - np.array([5.0, -5.0, 0.0]))
+            assert distance >= 3.0 - 1e-9
+
+    def test_ssid_count_cannot_exceed_ap_count(self, rng):
+        with pytest.raises(ValueError):
+            self._population(rng, n_aps=5, n_ssids=10)
+
+    def test_uniform_fraction_requires_bounds(self, rng):
+        with pytest.raises(ValueError):
+            generate_population(
+                n_aps=5,
+                n_ssids=5,
+                building_center=(0, 0, 0),
+                spread_m=(1, 1, 1),
+                rng=rng,
+                uniform_fraction=0.5,
+            )
+
+    def test_uniform_fraction_validated(self, rng):
+        with pytest.raises(ValueError):
+            self._population(rng, uniform_fraction=1.5)
+
+    def test_tx_power_range(self, rng):
+        aps = self._population(rng, tx_power_range_dbm=(10.0, 12.0))
+        assert all(10.0 <= ap.tx_power_dbm <= 12.0 for ap in aps)

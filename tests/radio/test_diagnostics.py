@@ -1,0 +1,43 @@
+"""Unit tests for scenario diagnostics."""
+
+import pytest
+
+from repro.radio import build_demo_scenario
+from repro.radio.diagnostics import diagnose_scenario
+
+
+@pytest.fixture(scope="module")
+def diagnostics(demo_scenario):
+    return diagnose_scenario(demo_scenario)
+
+
+class TestDemoScenarioDiagnostics:
+    def test_default_world_is_paper_shaped(self, diagnostics):
+        assert diagnostics.paper_shape_warnings() == []
+
+    def test_counts_in_expected_band(self, diagnostics):
+        assert 25 <= diagnostics.mean_aps_per_scan <= 50
+        assert 2000 <= diagnostics.samples_projected_72_waypoints <= 3300
+
+    def test_gradients_positive(self, diagnostics):
+        assert diagnostics.x_gradient_ratio > 1.0
+        assert diagnostics.y_gradient_ratio > 1.0
+
+    def test_distinct_macs_near_paper(self, diagnostics):
+        assert 55 <= diagnostics.distinct_macs_seen <= 90
+
+
+class TestWarningPaths:
+    def test_dead_world_raises_warnings(self):
+        from dataclasses import replace
+
+        from repro.radio import DemoScenarioConfig
+
+        config = DemoScenarioConfig(seed=63)
+        # Kill all transmitters: everything below sensitivity.
+        config = replace(config, ap_tx_power_range_dbm=(-60.0, -50.0))
+        scenario = build_demo_scenario(seed=63, config=config)
+        diagnostics = diagnose_scenario(scenario)
+        warnings = diagnostics.paper_shape_warnings()
+        assert warnings
+        assert any("APs per scan" in w for w in warnings)

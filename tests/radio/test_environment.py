@@ -1,0 +1,103 @@
+"""Unit tests for the composed environment and the demo scenario."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    AccessPoint,
+    DemoScenarioConfig,
+    IndoorEnvironment,
+    LinkBudget,
+    build_demo_scenario,
+    crazyradio_source,
+)
+
+
+def tiny_environment(fading=0.0):
+    aps = [
+        AccessPoint("aa:aa:aa:aa:aa:01", "one", 1, (5.0, 0.0, 0.0), tx_power_dbm=17.0),
+        AccessPoint("aa:aa:aa:aa:aa:02", "two", 6, (0.0, 5.0, 0.0), tx_power_dbm=17.0),
+    ]
+    budget = LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=fading)
+    return IndoorEnvironment([], aps, budget=budget, seed=1)
+
+
+class TestIndoorEnvironment:
+    def test_mean_rss_deterministic(self):
+        env = tiny_environment()
+        ap = env.access_points[0]
+        assert env.mean_rss_dbm(ap, (1, 1, 1)) == env.mean_rss_dbm(ap, (1, 1, 1))
+
+    def test_mean_rss_decreases_with_distance(self):
+        env = tiny_environment()
+        ap = env.access_points[0]
+        near = env.mean_rss_dbm(ap, (4.0, 0.0, 0.0))
+        far = env.mean_rss_dbm(ap, (-4.0, 0.0, 0.0))
+        assert near > far
+
+    def test_sample_rss_adds_fading(self, rng):
+        env = tiny_environment(fading=3.0)
+        ap = env.access_points[0]
+        draws = [env.sample_rss_dbm(ap, (1, 1, 1), rng) for _ in range(500)]
+        assert np.std(draws) == pytest.approx(3.0, rel=0.2)
+
+    def test_duplicate_mac_rejected(self):
+        ap = AccessPoint("aa:aa:aa:aa:aa:01", "x", 1, (0, 0, 0))
+        with pytest.raises(ValueError):
+            IndoorEnvironment([], [ap, ap])
+
+    def test_interference_lifecycle(self):
+        env = tiny_environment()
+        thermal = env.thermal_floor_dbm()
+        assert env.interference_duty_cycle() == 0.0
+        env.set_interference_sources([crazyradio_source(2412.0)])
+        assert env.interference_duty_cycle() > 0.0
+        assert env.interference_floor_dbm(1) > thermal
+        env.clear_interference()
+        assert env.interference_floor_dbm(1) == pytest.approx(thermal)
+
+    def test_aps_on_channel(self):
+        env = tiny_environment()
+        assert [ap.channel for ap in env.aps_on_channel(1)] == [1]
+        assert env.aps_on_channel(11) == []
+
+    def test_ap_lookup(self):
+        env = tiny_environment()
+        assert env.ap_by_mac("aa:aa:aa:aa:aa:02").ssid == "two"
+        with pytest.raises(KeyError):
+            env.ap_by_mac("ff:ff:ff:ff:ff:ff")
+
+
+class TestDemoScenario:
+    def test_build_is_deterministic(self):
+        a = build_demo_scenario(seed=5)
+        b = build_demo_scenario(seed=5)
+        assert [ap.mac for ap in a.access_points] == [ap.mac for ap in b.access_points]
+        assert np.allclose(
+            [ap.position for ap in a.access_points],
+            [ap.position for ap in b.access_points],
+        )
+
+    def test_flight_volume_dimensions(self, demo_scenario):
+        assert demo_scenario.flight_volume.size == pytest.approx((3.74, 3.20, 2.10))
+
+    def test_eight_corner_anchors(self, demo_scenario):
+        assert demo_scenario.anchor_positions.shape == (8, 3)
+
+    def test_population_statistics(self, demo_scenario):
+        config = demo_scenario.config
+        assert len(demo_scenario.access_points) == config.n_aps
+        assert len({ap.ssid for ap in demo_scenario.access_points}) == config.n_ssids
+
+    def test_aps_outside_flight_volume(self, demo_scenario):
+        volume = demo_scenario.flight_volume
+        for ap in demo_scenario.access_points:
+            assert not volume.contains(ap.position)
+
+    def test_walls_exist(self, demo_scenario):
+        assert len(demo_scenario.environment.walls) > 10
+
+    def test_config_seed_override(self):
+        config = DemoScenarioConfig(seed=1)
+        scenario = build_demo_scenario(seed=2, config=config)
+        assert scenario.config.seed == 2

@@ -1,0 +1,108 @@
+"""Unit tests for geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.radio import BRICK, DRYWALL, Cuboid, Wall, crossed_walls
+from repro.radio.geometry import segment_plane_intersection
+
+
+def wall_x(offset, material=DRYWALL):
+    return Wall(0, offset, ((-10.0, 10.0), (-10.0, 10.0)), material)
+
+
+class TestSegmentPlaneIntersection:
+    def test_crossing_detected(self):
+        p = np.array([0.0, 0.0, 0.0])
+        q = np.array([2.0, 0.0, 0.0])
+        point = segment_plane_intersection(p, q, 0, 1.0)
+        assert point is not None
+        assert np.allclose(point, [1.0, 0.0, 0.0])
+
+    def test_no_crossing_same_side(self):
+        p = np.array([0.0, 0.0, 0.0])
+        q = np.array([0.5, 0.0, 0.0])
+        assert segment_plane_intersection(p, q, 0, 1.0) is None
+
+    def test_endpoint_on_plane_is_not_a_crossing(self):
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([2.0, 0.0, 0.0])
+        assert segment_plane_intersection(p, q, 0, 1.0) is None
+
+    def test_interpolates_other_axes(self):
+        p = np.array([0.0, 0.0, 0.0])
+        q = np.array([2.0, 4.0, 6.0])
+        point = segment_plane_intersection(p, q, 0, 1.0)
+        assert np.allclose(point, [1.0, 2.0, 3.0])
+
+
+class TestCrossedWalls:
+    def test_counts_walls_between_points(self):
+        walls = [wall_x(1.0), wall_x(2.0), wall_x(5.0)]
+        hits = crossed_walls([0, 0, 0], [3, 0, 0], walls)
+        assert {w.offset for w in hits} == {1.0, 2.0}
+
+    def test_direction_symmetric(self):
+        walls = [wall_x(1.0), wall_x(2.0)]
+        forward = crossed_walls([0, 0, 0], [3, 0, 0], walls)
+        backward = crossed_walls([3, 0, 0], [0, 0, 0], walls)
+        assert {w.offset for w in forward} == {w.offset for w in backward}
+
+    def test_bounded_wall_missed_outside_extent(self):
+        narrow = Wall(0, 1.0, ((0.0, 1.0), (0.0, 1.0)), BRICK)
+        # Path crosses the x=1 plane at y=5 — outside the wall rectangle.
+        assert crossed_walls([0, 5, 0.5], [2, 5, 0.5], [narrow]) == []
+        # And through the rectangle it hits.
+        assert len(crossed_walls([0, 0.5, 0.5], [2, 0.5, 0.5], [narrow])) == 1
+
+
+class TestWallValidation:
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Wall(3, 0.0, ((0, 1), (0, 1)), DRYWALL)
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Wall(0, 0.0, ((1.0, 0.0), (0.0, 1.0)), DRYWALL)
+
+    def test_in_plane_axes(self):
+        assert Wall(1, 0.0, ((0, 1), (0, 1)), DRYWALL).in_plane_axes == (0, 2)
+
+
+class TestCuboid:
+    def test_size_center_volume(self):
+        box = Cuboid((0.0, 0.0, 0.0), (2.0, 4.0, 6.0))
+        assert box.size == (2.0, 4.0, 6.0)
+        assert np.allclose(box.center, [1.0, 2.0, 3.0])
+        assert box.volume == 48.0
+
+    def test_contains(self):
+        box = Cuboid((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert box.contains((0.5, 0.5, 0.5))
+        assert box.contains((0.0, 0.0, 0.0))
+        assert not box.contains((1.5, 0.5, 0.5))
+
+    def test_corners_count_and_extremes(self):
+        box = Cuboid((0.0, 0.0, 0.0), (1.0, 2.0, 3.0))
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert {tuple(c) for c in corners} == {
+            (x, y, z) for x in (0.0, 1.0) for y in (0.0, 2.0) for z in (0.0, 3.0)
+        }
+
+    def test_grid_counts_and_margin(self):
+        box = Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10))
+        grid = box.grid(6, 4, 3, margin=0.25)
+        assert grid.shape == (72, 3)
+        assert grid[:, 0].min() == pytest.approx(0.25)
+        assert grid[:, 0].max() == pytest.approx(3.49)
+        assert grid[:, 2].min() == pytest.approx(0.25)
+
+    def test_grid_excessive_margin_rejected(self):
+        box = Cuboid((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            box.grid(2, 2, 2, margin=0.6)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Cuboid((1.0, 0.0, 0.0), (0.0, 1.0, 1.0))

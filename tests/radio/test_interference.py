@@ -1,0 +1,87 @@
+"""Unit tests for the self-interference model."""
+
+import pytest
+
+from repro.radio import (
+    CrazyradioInterference,
+    InterferenceSource,
+    ReceiverSelectivity,
+    crazyradio_source,
+)
+
+
+def source_at(freq, power=-20.0, duty=0.9):
+    return InterferenceSource(
+        freq_mhz=freq, bandwidth_mhz=2.0, power_at_receiver_dbm=power, duty_cycle=duty
+    )
+
+
+class TestReceiverSelectivity:
+    def test_in_band_no_rejection(self):
+        sel = ReceiverSelectivity()
+        assert sel.rejection_db(0.0) == 0.0
+        assert sel.rejection_db(11.0) == 0.0
+
+    def test_rolloff_and_saturation(self):
+        sel = ReceiverSelectivity(
+            adjacent_rejection_db=20.0,
+            rolloff_db_per_mhz=1.0,
+            ultimate_rejection_db=55.0,
+            adjacent_start_mhz=11.0,
+        )
+        assert sel.rejection_db(21.0) == pytest.approx(30.0)
+        assert sel.rejection_db(500.0) == 55.0
+
+    def test_symmetric_in_sign(self):
+        sel = ReceiverSelectivity()
+        assert sel.rejection_db(30.0) == sel.rejection_db(-30.0)
+
+
+class TestInterferenceFloor:
+    def test_co_channel_worse_than_far(self):
+        model = CrazyradioInterference()
+        thermal = -95.0
+        co = model.floor_dbm([source_at(2412.0)], 1, thermal)
+        far = model.floor_dbm([source_at(2525.0)], 1, thermal)
+        assert co > far > thermal
+
+    def test_far_off_channel_still_raises_floor(self):
+        # The blocking mechanism: even a fully out-of-band strong source
+        # lifts the floor above thermal (finite ultimate rejection).
+        model = CrazyradioInterference()
+        far = model.floor_dbm([source_at(2525.0)], 1, -95.0)
+        assert far > -95.0 + 5.0
+
+    def test_no_sources_thermal(self):
+        model = CrazyradioInterference()
+        assert model.floor_dbm([], 6, -95.0) == pytest.approx(-95.0)
+
+    def test_in_band_power_scales_with_source_power(self):
+        model = CrazyradioInterference()
+        weak = model.in_band_power_dbm(source_at(2412.0, power=-40.0), 1)
+        strong = model.in_band_power_dbm(source_at(2412.0, power=-20.0), 1)
+        assert strong - weak == pytest.approx(20.0)
+
+
+class TestDutyCycle:
+    def test_combined_duty_cycle(self):
+        model = CrazyradioInterference()
+        assert model.combined_duty_cycle([]) == 0.0
+        assert model.combined_duty_cycle([source_at(2400, duty=0.5)]) == 0.5
+        combined = model.combined_duty_cycle(
+            [source_at(2400, duty=0.5), source_at(2410, duty=0.5)]
+        )
+        assert combined == pytest.approx(0.75)
+
+    def test_duty_cycle_validation(self):
+        with pytest.raises(ValueError):
+            source_at(2400, duty=1.5)
+
+
+class TestCrazyradioSource:
+    def test_constructor_defaults(self):
+        src = crazyradio_source(2475.0)
+        assert src.freq_mhz == 2475.0
+        assert 0.0 < src.duty_cycle <= 1.0
+        assert src.bandwidth_mhz > 0
+        assert "2475" in src.label

@@ -1,0 +1,37 @@
+"""Unit tests for building materials."""
+
+import pytest
+
+from repro.radio import BRICK, CONCRETE, DRYWALL, MATERIALS, Material
+
+
+class TestMaterials:
+    def test_registry_complete(self):
+        assert {"drywall", "brick", "concrete", "reinforced_concrete", "glass", "wood"} <= set(
+            MATERIALS
+        )
+
+    def test_attenuations_ordered_by_heaviness(self):
+        assert DRYWALL.attenuation_db < BRICK.attenuation_db < CONCRETE.attenuation_db
+
+    def test_scaled_doubles_with_thickness(self):
+        thick = BRICK.scaled(BRICK.thickness_m * 2)
+        assert thick.attenuation_db == pytest.approx(2 * BRICK.attenuation_db)
+        assert thick.thickness_m == pytest.approx(2 * BRICK.thickness_m)
+
+    def test_scaled_name_annotated(self):
+        assert "0.40" in BRICK.scaled(0.4).name
+
+    def test_scaled_invalid_thickness(self):
+        with pytest.raises(ValueError):
+            BRICK.scaled(0.0)
+        with pytest.raises(ValueError):
+            BRICK.scaled(-1.0)
+
+    def test_materials_frozen(self):
+        with pytest.raises(AttributeError):
+            DRYWALL.attenuation_db = 99.0  # type: ignore[misc]
+
+    def test_custom_material(self):
+        metal = Material("metal", attenuation_db=30.0, thickness_m=0.02)
+        assert metal.scaled(0.04).attenuation_db == pytest.approx(60.0)

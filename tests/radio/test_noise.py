@@ -1,0 +1,83 @@
+"""Unit tests for noise and fading models."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    GaussianFading,
+    NoiseModel,
+    RicianFading,
+    db_to_linear,
+    linear_to_db,
+    power_sum_dbm,
+    thermal_noise_dbm,
+)
+
+
+class TestThermalNoise:
+    def test_20mhz_floor(self):
+        # kTB for 20 MHz ≈ -100.8 dBm; +6 dB NF ≈ -94.8 dBm.
+        assert thermal_noise_dbm(20e6, 6.0) == pytest.approx(-94.8, abs=0.5)
+
+    def test_bandwidth_scaling(self):
+        # 10x bandwidth = +10 dB noise.
+        delta = thermal_noise_dbm(10e6) - thermal_noise_dbm(1e6)
+        assert delta == pytest.approx(10.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+
+
+class TestDbConversions:
+    def test_roundtrip(self):
+        for value in (-90.0, 0.0, 17.0):
+            assert linear_to_db(db_to_linear(value)) == pytest.approx(value)
+
+    def test_zero_power_is_minus_inf(self):
+        assert linear_to_db(0.0) == float("-inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+
+class TestPowerSum:
+    def test_equal_powers_add_3db(self):
+        assert power_sum_dbm([-90.0, -90.0]) == pytest.approx(-86.99, abs=0.01)
+
+    def test_dominant_term_wins(self):
+        assert power_sum_dbm([-50.0, -120.0]) == pytest.approx(-50.0, abs=0.01)
+
+    def test_ignores_minus_inf(self):
+        assert power_sum_dbm([-80.0, float("-inf")]) == pytest.approx(-80.0)
+
+
+class TestGaussianFading:
+    def test_statistics(self, rng):
+        fading = GaussianFading(sigma_db=2.5)
+        draws = np.array([fading.sample_db(rng) for _ in range(4000)])
+        assert draws.std() == pytest.approx(2.5, rel=0.1)
+        assert abs(draws.mean()) < 0.15
+
+    def test_zero_sigma(self, rng):
+        assert GaussianFading(sigma_db=0.0).sample_db(rng) == 0.0
+
+
+class TestRicianFading:
+    def test_mean_power_near_unity(self, rng):
+        fading = RicianFading(k_db=6.0)
+        draws_db = np.array([fading.sample_db(rng) for _ in range(6000)])
+        mean_power = np.mean(10 ** (draws_db / 10.0))
+        assert mean_power == pytest.approx(1.0, rel=0.1)
+
+    def test_high_k_less_variance(self, rng):
+        low = np.std([RicianFading(k_db=0.0).sample_db(rng) for _ in range(3000)])
+        high = np.std([RicianFading(k_db=15.0).sample_db(rng) for _ in range(3000)])
+        assert high < low
+
+
+class TestNoiseModel:
+    def test_floor_property(self):
+        model = NoiseModel(bandwidth_hz=20e6, noise_figure_db=6.0)
+        assert model.floor_dbm == thermal_noise_dbm(20e6, 6.0)

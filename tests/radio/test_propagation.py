@@ -1,0 +1,81 @@
+"""Unit tests for path-loss models."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    BRICK,
+    DRYWALL,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+    Wall,
+    fspl_db,
+)
+
+
+class TestFspl:
+    def test_known_value_at_1m_2442mhz(self):
+        # 20 log10(4 pi d f / c): ~40.2 dB at 1 m in the ISM band.
+        assert fspl_db(1.0, 2442.0) == pytest.approx(40.2, abs=0.3)
+
+    def test_doubles_distance_adds_6db(self):
+        assert fspl_db(20.0, 2442.0) - fspl_db(10.0, 2442.0) == pytest.approx(6.02, abs=0.01)
+
+    def test_clamps_tiny_distance(self):
+        assert fspl_db(0.0, 2442.0) == fspl_db(0.1, 2442.0)
+
+
+class TestLogDistance:
+    def test_slope_matches_exponent(self):
+        model = LogDistancePathLoss(exponent=3.0, pl0_db=40.0)
+        loss_10 = model.path_loss_db((0, 0, 0), (10, 0, 0))
+        loss_100 = model.path_loss_db((0, 0, 0), (100, 0, 0))
+        assert loss_100 - loss_10 == pytest.approx(30.0)
+
+    def test_reference_at_d0(self):
+        model = LogDistancePathLoss(exponent=2.0, pl0_db=40.0, d0_m=1.0)
+        assert model.path_loss_db((0, 0, 0), (1, 0, 0)) == pytest.approx(40.0)
+
+    def test_monotone_in_distance(self):
+        model = LogDistancePathLoss()
+        losses = [model.path_loss_db((0, 0, 0), (d, 0, 0)) for d in (1, 2, 5, 10, 20)]
+        assert losses == sorted(losses)
+
+
+class TestMultiWall:
+    def _wall(self, x, material):
+        return Wall(0, x, ((-5.0, 5.0), (-5.0, 5.0)), material)
+
+    def test_adds_wall_losses(self):
+        base = LogDistancePathLoss(exponent=2.0, pl0_db=40.0)
+        clear = MultiWallPathLoss([], base=base)
+        blocked = MultiWallPathLoss(
+            [self._wall(1.0, DRYWALL), self._wall(2.0, BRICK)], base=base
+        )
+        p, q = (0, 0, 0), (3, 0, 0)
+        extra = blocked.path_loss_db(p, q) - clear.path_loss_db(p, q)
+        assert extra == pytest.approx(DRYWALL.attenuation_db + BRICK.attenuation_db)
+
+    def test_wall_loss_capped(self):
+        walls = [self._wall(0.5 + 0.1 * i, BRICK) for i in range(20)]  # 160 dB raw
+        model = MultiWallPathLoss(walls, max_wall_loss_db=30.0)
+        assert model.wall_loss_db((0, 0, 0), (3, 0, 0)) == 30.0
+
+    def test_no_walls_crossed_when_parallel(self):
+        model = MultiWallPathLoss([self._wall(1.0, BRICK)])
+        # Path parallel to the wall plane on one side.
+        assert model.wall_loss_db((0, -1, 0), (0, 1, 0)) == 0.0
+
+    def test_crossings_listed(self):
+        wall = self._wall(1.0, BRICK)
+        model = MultiWallPathLoss([wall])
+        assert model.crossings((0, 0, 0), (2, 0, 0)) == [wall]
+
+
+class TestFreeSpace:
+    def test_matches_fspl(self):
+        model = FreeSpacePathLoss(freq_mhz=2442.0)
+        assert model.path_loss_db((0, 0, 0), (0, 0, 7)) == pytest.approx(
+            fspl_db(7.0, 2442.0)
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the correlated shadowing model."""
+
+import numpy as np
+import pytest
+
+from repro.radio import GaussianRandomField, ShadowingModel
+
+
+class TestGaussianRandomField:
+    def test_deterministic_given_rng_seed(self):
+        a = GaussianRandomField(3.0, 2.0, np.random.default_rng(7))
+        b = GaussianRandomField(3.0, 2.0, np.random.default_rng(7))
+        point = (1.0, 2.0, 0.5)
+        assert a.sample(point) == b.sample(point)
+
+    def test_marginal_std_close_to_sigma(self):
+        field = GaussianRandomField(3.0, 2.0, np.random.default_rng(3), n_components=256)
+        rng = np.random.default_rng(11)
+        points = rng.uniform(-50, 50, size=(4000, 3))
+        values = field.sample_many(points)
+        assert values.std() == pytest.approx(3.0, rel=0.15)
+        assert abs(values.mean()) < 0.3
+
+    def test_nearby_points_correlated_far_points_not(self):
+        field = GaussianRandomField(3.0, 2.0, np.random.default_rng(5), n_components=256)
+        rng = np.random.default_rng(13)
+        base = rng.uniform(-30, 30, size=(800, 3))
+        near = base + rng.normal(0, 0.1, size=base.shape)
+        far = base + 50.0
+        v0 = field.sample_many(base)
+        corr_near = np.corrcoef(v0, field.sample_many(near))[0, 1]
+        corr_far = np.corrcoef(v0, field.sample_many(far))[0, 1]
+        assert corr_near > 0.9
+        assert abs(corr_far) < 0.2
+
+    def test_sample_many_matches_scalar_sample(self):
+        field = GaussianRandomField(2.0, 1.5, np.random.default_rng(1))
+        points = np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]])
+        many = field.sample_many(points)
+        assert many[0] == pytest.approx(field.sample(points[0]))
+        assert many[1] == pytest.approx(field.sample(points[1]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianRandomField(-1.0, 2.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            GaussianRandomField(1.0, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            GaussianRandomField(1.0, 1.0, np.random.default_rng(0)).sample_many(
+                np.zeros((3, 2))
+            )
+
+
+class TestShadowingModel:
+    def test_fields_keyed_and_cached(self):
+        model = ShadowingModel(sigma_db=2.0, seed=4)
+        assert model.field_for("aa") is model.field_for("aa")
+        assert model.field_for("aa") is not model.field_for("bb")
+
+    def test_loss_deterministic_per_key_and_point(self):
+        a = ShadowingModel(sigma_db=2.0, seed=4)
+        b = ShadowingModel(sigma_db=2.0, seed=4)
+        assert a.loss_db("mac", (1, 2, 3)) == b.loss_db("mac", (1, 2, 3))
+
+    def test_zero_sigma_shortcut(self):
+        model = ShadowingModel(sigma_db=0.0, seed=4)
+        assert model.loss_db("mac", (5, 5, 5)) == 0.0
+
+    def test_different_keys_decorrelated(self):
+        model = ShadowingModel(sigma_db=3.0, seed=4)
+        rng = np.random.default_rng(2)
+        points = rng.uniform(-20, 20, size=(500, 3))
+        va = model.field_for("a").sample_many(points)
+        vb = model.field_for("b").sample_many(points)
+        assert abs(np.corrcoef(va, vb)[0, 1]) < 0.25

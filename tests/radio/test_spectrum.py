@@ -1,0 +1,81 @@
+"""Unit tests for the 2.4 GHz spectrum model."""
+
+import pytest
+
+from repro.radio import (
+    BandSegment,
+    band_overlap_mhz,
+    nrf24_band,
+    nrf24_channel_center_mhz,
+    nrf24_channel_for_mhz,
+    overlap_fraction,
+    overlapping_wifi_channels,
+    wifi_band,
+    wifi_channel_center_mhz,
+)
+
+
+class TestChannelFrequencies:
+    def test_known_centers(self):
+        assert wifi_channel_center_mhz(1) == 2412.0
+        assert wifi_channel_center_mhz(6) == 2437.0
+        assert wifi_channel_center_mhz(11) == 2462.0
+        assert wifi_channel_center_mhz(13) == 2472.0
+
+    def test_invalid_channel_rejected(self):
+        for channel in (0, 14, -1):
+            with pytest.raises(ValueError):
+                wifi_channel_center_mhz(channel)
+
+    def test_nrf24_centers(self):
+        assert nrf24_channel_center_mhz(0) == 2400.0
+        assert nrf24_channel_center_mhz(125) == 2525.0
+
+    def test_nrf24_roundtrip(self):
+        for channel in (0, 50, 125):
+            assert nrf24_channel_for_mhz(nrf24_channel_center_mhz(channel)) == channel
+
+    def test_nrf24_out_of_range(self):
+        with pytest.raises(ValueError):
+            nrf24_channel_center_mhz(126)
+        with pytest.raises(ValueError):
+            nrf24_channel_for_mhz(2600.0)
+
+
+class TestOverlap:
+    def test_full_containment(self):
+        inner = BandSegment(2412.0, 2.0)
+        outer = BandSegment(2412.0, 22.0)
+        assert overlap_fraction(inner, outer) == 1.0
+
+    def test_no_overlap(self):
+        a = BandSegment(2400.0, 2.0)
+        b = BandSegment(2472.0, 22.0)
+        assert band_overlap_mhz(a, b) == 0.0
+        assert overlap_fraction(a, b) == 0.0
+
+    def test_overlap_symmetric_in_width(self):
+        a = BandSegment(2410.0, 10.0)
+        b = BandSegment(2415.0, 10.0)
+        assert band_overlap_mhz(a, b) == band_overlap_mhz(b, a) == 5.0
+
+    def test_partial_fraction(self):
+        interferer = BandSegment(2423.0, 2.0)  # 2422-2424
+        victim = wifi_band(1)  # 2401-2423
+        assert overlap_fraction(interferer, victim) == pytest.approx(0.5)
+
+    def test_adjacent_wifi_channels_overlap(self):
+        # Channels 1 and 2 are 5 MHz apart with 22 MHz width: big overlap.
+        assert band_overlap_mhz(wifi_band(1), wifi_band(2)) == pytest.approx(17.0)
+        # Channels 1 and 6 are the classic non-overlapping pair.
+        assert band_overlap_mhz(wifi_band(1), wifi_band(6)) == 0.0
+
+
+class TestOverlappingChannels:
+    def test_radio_at_2412_hits_channel_1(self):
+        channels = overlapping_wifi_channels(2412.0)
+        assert 1 in channels
+        assert 13 not in channels
+
+    def test_radio_at_2525_hits_nothing(self):
+        assert overlapping_wifi_channels(2525.0) == []

@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append("late"))
+    sim.schedule(1.0, lambda: seen.append("early"))
+    sim.schedule(1.5, lambda: seen.append("middle"))
+    sim.run()
+    assert seen == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(1.0, lambda tag=tag: seen.append(tag))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(5.0, lambda: seen.append(5))
+    end = sim.run(until=2.0)
+    assert seen == [1]
+    assert end == 2.0
+    assert sim.now == 2.0
+    # The later event still fires on a subsequent run.
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, lambda: seen.append("x"))
+    event.cancel()
+    sim.run()
+    assert seen == []
+    assert not event.pending
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+    # Remaining event still pending.
+    assert sim.pending_events == 1
+
+
+def test_peek_returns_next_pending_time():
+    sim = Simulator()
+    e1 = sim.schedule(3.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.peek() == 3.0
+    e1.cancel()
+    assert sim.peek() == 5.0
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [101.0]

@@ -1,0 +1,130 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Condition, Interrupted, Simulator, Timeout, WaitFor, spawn
+
+
+def test_timeout_advances_process():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield Timeout(1.5)
+        trace.append(sim.now)
+        yield Timeout(0.5)
+        trace.append(sim.now)
+
+    spawn(sim, worker())
+    sim.run()
+    assert trace == [0.0, 1.5, 2.0]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(1.0)
+        return 42
+
+    process = spawn(sim, worker())
+    sim.run()
+    assert process.finished
+    assert process.result == 42
+
+
+def test_condition_wakes_waiters_with_value():
+    sim = Simulator()
+    condition = Condition(sim)
+    got = []
+
+    def waiter():
+        value = yield WaitFor(condition)
+        got.append((sim.now, value))
+
+    def firer():
+        yield Timeout(2.0)
+        condition.trigger("done")
+
+    spawn(sim, waiter())
+    spawn(sim, waiter())
+    spawn(sim, firer())
+    sim.run()
+    assert got == [(2.0, "done"), (2.0, "done")]
+
+
+def test_wait_on_already_triggered_condition():
+    sim = Simulator()
+    condition = Condition(sim)
+    condition.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield WaitFor(condition)
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_condition_cannot_trigger_twice():
+    sim = Simulator()
+    condition = Condition(sim)
+    condition.trigger(None)
+    with pytest.raises(Exception):
+        condition.trigger(None)
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+    trace = []
+
+    def inner():
+        yield Timeout(3.0)
+        return "inner-result"
+
+    def outer():
+        child = spawn(sim, inner())
+        result = yield child
+        trace.append((sim.now, result))
+
+    spawn(sim, outer())
+    sim.run()
+    assert trace == [(3.0, "inner-result")]
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        try:
+            while True:
+                yield Timeout(1.0)
+                trace.append(sim.now)
+        except Interrupted:
+            trace.append("interrupted")
+
+    process = spawn(sim, worker())
+    sim.schedule(2.5, process.interrupt)
+    sim.run()
+    assert trace == [1.0, 2.0, "interrupted"]
+    assert process.finished
+
+
+def test_invalid_directive_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "not-a-directive"
+
+    spawn(sim, worker())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)

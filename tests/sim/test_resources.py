@@ -1,0 +1,159 @@
+"""Unit tests for DES resources (semaphore / mutex / store)."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Timeout, spawn
+from repro.sim.resources import Mutex, Semaphore, Store
+
+
+class TestSemaphore:
+    def test_immediate_acquire_within_capacity(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=2)
+        trace = []
+
+        def worker(tag):
+            yield from sem.acquire()
+            trace.append((tag, sim.now))
+
+        spawn(sim, worker("a"))
+        spawn(sim, worker("b"))
+        sim.run()
+        assert [t for t, _ in trace] == ["a", "b"]
+        assert sem.available == 0
+
+    def test_blocks_beyond_capacity_fifo(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        trace = []
+
+        def holder():
+            yield from sem.acquire()
+            trace.append(("hold", sim.now))
+            yield Timeout(5.0)
+            sem.release()
+
+        def waiter(tag):
+            yield from sem.acquire()
+            trace.append((tag, sim.now))
+            sem.release()
+
+        spawn(sim, holder())
+        spawn(sim, waiter("w1"))
+        spawn(sim, waiter("w2"))
+        sim.run()
+        assert trace[0] == ("hold", 0.0)
+        assert trace[1][0] == "w1" and trace[1][1] == 5.0
+        assert trace[2][0] == "w2" and trace[2][1] == 5.0
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=1)
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.try_acquire()
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Semaphore(sim).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Semaphore(Simulator(), capacity=0)
+
+    def test_sequential_fleet_pattern(self):
+        """The campaign pattern: one radio, missions strictly serialized."""
+        sim = Simulator()
+        radio = Mutex(sim)
+        flight_windows = []
+
+        def mission(name, flight_time):
+            yield from radio.acquire()
+            start = sim.now
+            yield Timeout(flight_time)
+            flight_windows.append((name, start, sim.now))
+            radio.release()
+
+        for name, duration in (("A", 280.0), ("B", 280.0)):
+            spawn(sim, mission(name, duration))
+        sim.run()
+        (name_a, a0, a1), (name_b, b0, b1) = flight_windows
+        assert name_a == "A" and name_b == "B"
+        assert b0 >= a1  # no overlap: one UAV in the air at a time
+
+
+class TestMutex:
+    def test_locked_property(self):
+        sim = Simulator()
+        mutex = Mutex(sim)
+        assert not mutex.locked
+        assert mutex.try_acquire()
+        assert mutex.locked
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        store.put("x")
+        spawn(sim, consumer())
+        sim.run()
+        assert got == [("x", 0.0)]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield Timeout(3.0)
+            store.put(42)
+
+        spawn(sim, consumer())
+        spawn(sim, producer())
+        sim.run()
+        assert got == [(42, 3.0)]
+
+    def test_fifo_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield from store.get()
+            got.append((tag, item))
+
+        spawn(sim, consumer("first"))
+        spawn(sim, consumer("second"))
+
+        def producer():
+            yield Timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        spawn(sim, producer())
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_try_get_and_drain(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        store.put(2)
+        assert store.try_get() == 1
+        store.put(3)
+        assert store.drain() == [2, 3]
+        assert len(store) == 0

@@ -1,0 +1,84 @@
+"""Integration tests for the full campaign (shared session fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.station import CampaignConfig, run_campaign
+from repro.uav import FirmwareConfig, FlightState
+
+
+class TestCampaignOutcome:
+    def test_all_waypoints_visited(self, campaign_result):
+        for report in campaign_result.reports:
+            assert report.waypoints_visited == report.waypoints_planned == 36
+            assert not report.aborted
+            assert report.final_state is FlightState.LANDED
+
+    def test_no_result_packets_lost(self, campaign_result):
+        for report in campaign_result.reports:
+            assert report.result_packets_lost == 0
+
+    def test_sample_totals_in_paper_range(self, campaign_result):
+        # Paper: 2696 samples (A: 1495, B: 1201).
+        total = len(campaign_result.log)
+        assert 2200 < total < 3100
+        by_uav = campaign_result.samples_by_uav()
+        assert by_uav["UAV-A"] > by_uav["UAV-B"]
+
+    def test_distinct_mac_and_ssid_counts(self, campaign_result):
+        # Paper: 73 MACs, 49 SSIDs.
+        assert 60 <= len(campaign_result.log.macs()) <= 85
+        assert 40 <= len(campaign_result.log.ssids()) <= 60
+
+    def test_mean_rss_near_paper(self, campaign_result):
+        # Paper: "mean RSS of around -73 dBm".
+        assert -78.0 < campaign_result.log.mean_rss_dbm() < -68.0
+
+    def test_active_times_near_paper(self, campaign_result):
+        # Paper: UAV A 5 min 3 s, UAV B 5 min.
+        for report in campaign_result.reports:
+            assert 230 < report.active_time_s < 330
+
+    def test_annotation_error_decimeter_level(self, campaign_result):
+        errors = campaign_result.log.annotation_error_m()
+        assert np.mean(errors) < 0.12
+        assert np.percentile(errors, 95) < 0.25
+
+    def test_flight_time_fits_battery(self, campaign_result):
+        # The mission must complete without the battery turning erratic.
+        for report in campaign_result.reports:
+            assert report.abort_reason == ""
+
+    def test_samples_reference_known_positions(self, campaign_result):
+        volume = campaign_result.scenario.flight_volume
+        for sample in campaign_result.log:
+            assert volume.contains(sample.true_position, tol=0.3)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_outcome(self, campaign_result):
+        repeat = run_campaign()
+        assert len(repeat.log) == len(campaign_result.log)
+        assert repeat.samples_by_uav() == campaign_result.samples_by_uav()
+        assert repeat.log.mean_rss_dbm() == campaign_result.log.mean_rss_dbm()
+
+
+class TestStockFirmwareCampaign:
+    def test_stock_firmware_loses_the_uav(self, demo_scenario):
+        from repro.station import plan_demo_mission, Mission
+
+        mission = plan_demo_mission(demo_scenario)
+        # Just the first few waypoints of UAV A are enough to show the crash.
+        conf, plan = mission.assignments[0]
+        from repro.station import WaypointPlan
+
+        short = Mission()
+        short.add(conf, WaypointPlan(waypoints=plan.waypoints[:3]))
+        result = run_campaign(
+            scenario=demo_scenario,
+            mission=short,
+            config=CampaignConfig(firmware=FirmwareConfig.stock_2021_06()),
+        )
+        report = result.reports[0]
+        assert report.aborted
+        assert report.final_state is FlightState.CRASHED

@@ -1,0 +1,33 @@
+"""Integration test for the §III-A endurance protocol."""
+
+import pytest
+
+from repro.station import run_endurance_test
+from repro.uav import FlightState
+
+
+@pytest.fixture(scope="module")
+def endurance_result():
+    return run_endurance_test()
+
+
+class TestEndurance:
+    def test_scan_count_near_paper(self, endurance_result):
+        # Paper: 36 scans before erratic behaviour.
+        assert 30 <= endurance_result.scans_completed <= 42
+
+    def test_duration_near_paper(self, endurance_result):
+        # Paper: 6 min 12 s = 372 s.
+        assert 330 <= endurance_result.time_to_erratic_s <= 420
+
+    def test_uav_survives_to_landing(self, endurance_result):
+        # The protocol lands the UAV at the erratic threshold; it must
+        # not have crashed outright.
+        assert endurance_result.final_state in (FlightState.LANDED, FlightState.FLYING)
+
+    def test_battery_at_reserve(self, endurance_result):
+        assert endurance_result.battery_remaining_fraction <= 0.06
+
+    def test_human_readable_duration(self, endurance_result):
+        text = endurance_result.minutes_seconds
+        assert "min" in text and "s" in text

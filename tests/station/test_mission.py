@@ -1,0 +1,67 @@
+"""Unit tests for mission planning."""
+
+import numpy as np
+import pytest
+
+from repro.station import Mission, UavMissionConfig, WaypointPlan, plan_demo_mission
+
+
+class TestWaypointPlan:
+    def test_expected_duration_matches_paper_math(self):
+        # §III-A: 36 waypoints at 4 s + 3 s = "at least 4 min and 12 sec".
+        plan = WaypointPlan(
+            waypoints=tuple((float(i), 0.0, 0.5) for i in range(36)),
+            flight_leg_s=4.0,
+            scan_window_s=3.0,
+        )
+        assert plan.expected_duration_s() == pytest.approx(252.0)
+
+    def test_waypoint_array(self):
+        plan = WaypointPlan(waypoints=((1.0, 2.0, 3.0),))
+        assert plan.waypoint_array.shape == (1, 3)
+
+
+class TestPlanDemoMission:
+    def test_two_uavs_36_each(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario)
+        assert len(mission.assignments) == 2
+        assert [len(plan) for _, plan in mission.assignments] == [36, 36]
+        assert mission.total_waypoints == 72
+
+    def test_uav_names_and_addresses_distinct(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario)
+        names = [conf.name for conf, _ in mission.assignments]
+        addresses = [conf.radio_address for conf, _ in mission.assignments]
+        assert len(set(names)) == 2
+        assert len(set(addresses)) == 2
+
+    def test_uav_a_takes_lower_y_half(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario)
+        (conf_a, plan_a), (conf_b, plan_b) = mission.assignments
+        assert conf_a.name == "UAV-A"
+        assert plan_a.waypoint_array[:, 1].max() < plan_b.waypoint_array[:, 1].min()
+
+    def test_uav_b_carries_gain_offset(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario, uav_b_rx_offset_db=-3.0)
+        (conf_a, _), (conf_b, _) = mission.assignments
+        assert conf_a.rx_gain_offset_db == 0.0
+        assert conf_b.rx_gain_offset_db == -3.0
+
+    def test_waypoints_inside_flight_volume(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario)
+        for _, plan in mission.assignments:
+            for waypoint in plan.waypoint_array:
+                assert demo_scenario.flight_volume.contains(waypoint)
+
+    def test_scalable_to_more_uavs(self, demo_scenario):
+        mission = plan_demo_mission(demo_scenario, n_uavs=3)
+        assert len(mission.assignments) == 3
+        assert mission.total_waypoints == 72
+
+
+class TestMissionContainer:
+    def test_add_and_total(self):
+        mission = Mission()
+        config = UavMissionConfig("U", "radio://0/80/2M", (0, 0, 0))
+        mission.add(config, WaypointPlan(waypoints=((0.0, 0.0, 0.5),)))
+        assert mission.total_waypoints == 1

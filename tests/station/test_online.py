@@ -1,0 +1,94 @@
+"""Unit tests for the online REM builder."""
+
+import numpy as np
+import pytest
+
+from repro.station.online import OnlineRemBuilder
+from repro.wifi import ScanRecord
+
+
+def scan_records(rng, macs, position, base=-70.0):
+    records = []
+    for i, mac in enumerate(macs):
+        rssi = int(base - 2 * i - 3.0 * position[0] + rng.normal(0, 1.0))
+        records.append(ScanRecord(ssid=f"net{i}", rssi_dbm=rssi, mac=mac, channel=6))
+    return records
+
+
+MACS = [f"aa:aa:aa:aa:aa:{i:02x}" for i in range(4)]
+
+
+class TestIngestion:
+    def test_refit_cadence(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=3, holdout_fraction=0.0)
+        snapshots = []
+        for i in range(9):
+            position = (0.3 * i, 0.5, 1.0)
+            snap = builder.add_scan(position, scan_records(rng, MACS, position))
+            if snap is not None:
+                snapshots.append(snap)
+        assert len(snapshots) == 3
+        assert snapshots[-1].scans_ingested == 9
+        assert builder.ready
+
+    def test_not_ready_before_first_refit(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=5, holdout_fraction=0.0)
+        builder.add_scan((0, 0, 1), scan_records(rng, MACS, (0, 0, 1)))
+        assert not builder.ready
+        with pytest.raises(RuntimeError):
+            builder.predict((0, 0, 1), MACS[0])
+
+    def test_prediction_tracks_field(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=4, holdout_fraction=0.0)
+        for i in range(16):
+            position = (0.25 * i % 3.0, (i % 4) * 0.8, 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        near = builder.predict((0.2, 0.5, 1.0), MACS[0])
+        far = builder.predict((2.8, 0.5, 1.0), MACS[0])
+        # The synthetic field decays 3 dB per meter of x.
+        assert near > far
+
+    def test_unknown_mac_rejected(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=2, holdout_fraction=0.0)
+        for i in range(4):
+            builder.add_scan((float(i), 0, 1), scan_records(rng, MACS, (float(i), 0, 1)))
+        with pytest.raises(KeyError):
+            builder.predict((0, 0, 1), "ff:ff:ff:ff:ff:ff")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OnlineRemBuilder(refit_every_scans=0)
+        with pytest.raises(ValueError):
+            OnlineRemBuilder(holdout_fraction=1.0)
+
+
+class TestConvergence:
+    def test_holdout_rmse_improves_with_data(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=5, holdout_fraction=0.3, seed=7)
+        for i in range(60):
+            position = (3.0 * rng.random(), 2.5 * rng.random(), 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        scores = [s.holdout_rmse_dbm for s in builder.history if s.holdout_rmse_dbm]
+        assert len(scores) >= 2
+        # Later refits should be no worse than the first (within noise).
+        assert scores[-1] <= scores[0] + 0.75
+
+    def test_on_campaign_scans(self, campaign_result):
+        """Replay the real campaign through the online builder."""
+        by_scan = {}
+        for s in campaign_result.log:
+            key = (s.uav_name, s.waypoint_index)
+            by_scan.setdefault(key, []).append(s)
+        builder = OnlineRemBuilder(refit_every_scans=12, holdout_fraction=0.25, seed=3)
+        for key in sorted(by_scan):
+            samples = by_scan[key]
+            records = [
+                ScanRecord(ssid=s.ssid, rssi_dbm=s.rssi_dbm, mac=s.mac, channel=s.channel)
+                for s in samples
+            ]
+            builder.add_scan(samples[0].position, records)
+        assert builder.ready
+        assert builder.scans_ingested == 72
+        final = builder.history[-1]
+        assert final.holdout_rmse_dbm is not None
+        assert final.holdout_rmse_dbm < 6.5

@@ -1,0 +1,76 @@
+"""Unit tests for fleet partition strategies."""
+
+import numpy as np
+import pytest
+
+from repro.station import (
+    evaluate_partition,
+    partition_waypoints,
+    waypoint_grid,
+)
+from repro.radio import Cuboid
+
+
+@pytest.fixture()
+def grid():
+    return waypoint_grid(Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10)))
+
+
+class TestPartitionStrategies:
+    @pytest.mark.parametrize("strategy", ["axis-y", "axis-x", "layers-z", "kmeans"])
+    def test_partitions_cover_all_points(self, grid, strategy):
+        plan = partition_waypoints(grid, n_uavs=2, strategy=strategy)
+        union = np.vstack(plan.partitions)
+        assert sorted(map(tuple, union)) == sorted(map(tuple, grid))
+
+    @pytest.mark.parametrize("strategy", ["axis-y", "kmeans"])
+    def test_partitions_balanced(self, grid, strategy):
+        plan = partition_waypoints(grid, n_uavs=2, strategy=strategy)
+        sizes = [len(p) for p in plan.partitions]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_three_uav_split(self, grid):
+        plan = partition_waypoints(grid, n_uavs=3, strategy="layers-z")
+        assert plan.n_uavs == 3
+        assert sum(len(p) for p in plan.partitions) == 72
+
+    def test_kmeans_clusters_are_spatially_compact(self, grid):
+        plan = partition_waypoints(grid, n_uavs=2, strategy="kmeans", seed=3)
+        # Intra-cluster spread should be below the full-lattice spread.
+        full_spread = np.linalg.norm(grid.std(axis=0))
+        for part in plan.partitions:
+            assert np.linalg.norm(np.asarray(part).std(axis=0)) < full_spread * 1.05
+
+    def test_unknown_strategy_rejected(self, grid):
+        with pytest.raises(ValueError):
+            partition_waypoints(grid, n_uavs=2, strategy="magic")
+
+
+class TestFeasibility:
+    def test_demo_partition_is_feasible(self, grid):
+        plan = partition_waypoints(grid, n_uavs=2, strategy="axis-y")
+        report = evaluate_partition(plan)
+        assert report.feasible
+        assert report.per_uav_waypoints == [36, 36]
+        # §III-A: 36 waypoints at 7 s each ≈ 252 s + takeoff/landing,
+        # within the ~6-minute endurance envelope.
+        for duration in report.per_uav_duration_s:
+            assert 250 < duration < 280
+            assert duration < report.endurance_budget_s
+
+    def test_single_uav_for_72_waypoints_is_infeasible(self, grid):
+        plan = partition_waypoints(grid, n_uavs=1, strategy="axis-y")
+        report = evaluate_partition(plan)
+        # 72 waypoints × 7 s ≈ 504 s — beyond one battery. This is WHY
+        # the paper flies two UAVs sequentially.
+        assert not report.feasible
+
+    def test_makespan_sums_fleet(self, grid):
+        plan = partition_waypoints(grid, n_uavs=2)
+        report = evaluate_partition(plan)
+        assert report.makespan_s == pytest.approx(sum(report.per_uav_duration_s))
+
+    def test_travel_lengths_positive(self, grid):
+        plan = partition_waypoints(grid, n_uavs=2)
+        report = evaluate_partition(plan)
+        assert all(t > 0 for t in report.per_uav_travel_m)

@@ -1,0 +1,82 @@
+"""Unit tests for sample storage."""
+
+import math
+
+import pytest
+
+from repro.station import Sample, SampleLog
+
+
+def sample(uav="UAV-A", waypoint=0, mac="aa:aa:aa:aa:aa:01", ssid="net", rssi=-70,
+           pos=(1.0, 1.0, 1.0), true_pos=None, channel=6, t=0.0):
+    true_pos = true_pos or pos
+    return Sample(
+        uav_name=uav,
+        waypoint_index=waypoint,
+        timestamp_s=t,
+        x=pos[0], y=pos[1], z=pos[2],
+        true_x=true_pos[0], true_y=true_pos[1], true_z=true_pos[2],
+        ssid=ssid, rssi_dbm=rssi, mac=mac, channel=channel,
+    )
+
+
+class TestSampleLog:
+    def test_append_and_len(self):
+        log = SampleLog()
+        log.append(sample())
+        log.extend([sample(waypoint=1), sample(waypoint=2)])
+        assert len(log) == 3
+
+    def test_summary_statistics(self):
+        log = SampleLog([
+            sample(mac="aa:aa:aa:aa:aa:01", ssid="one", rssi=-60),
+            sample(mac="aa:aa:aa:aa:aa:02", ssid="one", rssi=-80),
+            sample(mac="aa:aa:aa:aa:aa:03", ssid="two", rssi=-70),
+        ])
+        assert log.macs() == {"aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:02", "aa:aa:aa:aa:aa:03"}
+        assert log.ssids() == {"one", "two"}
+        assert log.mean_rss_dbm() == -70.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(SampleLog().mean_rss_dbm())
+
+    def test_by_uav_partition(self):
+        log = SampleLog([sample(uav="UAV-A"), sample(uav="UAV-B"), sample(uav="UAV-A")])
+        split = log.by_uav()
+        assert len(split["UAV-A"]) == 2
+        assert len(split["UAV-B"]) == 1
+
+    def test_by_mac_partition(self):
+        log = SampleLog([sample(mac="aa:aa:aa:aa:aa:01"), sample(mac="aa:aa:aa:aa:aa:02")])
+        assert set(log.by_mac()) == {"aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:02"}
+
+    def test_samples_per_waypoint(self):
+        log = SampleLog([
+            sample(waypoint=0), sample(waypoint=0), sample(waypoint=1),
+            sample(uav="UAV-B", waypoint=0),
+        ])
+        counts = log.samples_per_waypoint()
+        assert counts[("UAV-A", 0)] == 2
+        assert counts[("UAV-A", 1)] == 1
+        assert counts[("UAV-B", 0)] == 1
+
+    def test_annotation_error(self):
+        log = SampleLog([sample(pos=(1.0, 0.0, 0.0), true_pos=(0.0, 0.0, 0.0))])
+        assert log.annotation_error_m() == [pytest.approx(1.0)]
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        log = SampleLog([
+            sample(rssi=-55, ssid="café,net"),  # comma + unicode in SSID
+            sample(uav="UAV-B", waypoint=7, rssi=-88),
+        ])
+        path = tmp_path / "samples.csv"
+        log.save_csv(path)
+        loaded = SampleLog.load_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].ssid == "café,net"
+        assert loaded[0].rssi_dbm == -55
+        assert loaded[1].uav_name == "UAV-B"
+        assert loaded[1].waypoint_index == 7
+        assert loaded[0].position == log[0].position

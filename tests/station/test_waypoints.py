@@ -1,0 +1,83 @@
+"""Unit tests for waypoint lattices and fleet assignment."""
+
+import numpy as np
+import pytest
+
+from repro.radio import Cuboid
+from repro.station import snake_order, split_between_uavs, waypoint_grid
+
+
+@pytest.fixture()
+def volume():
+    return Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10))
+
+
+class TestWaypointGrid:
+    def test_demo_lattice_has_72_points(self, volume):
+        grid = waypoint_grid(volume)
+        assert grid.shape == (72, 3)
+
+    def test_points_inside_volume_with_margin(self, volume):
+        grid = waypoint_grid(volume, margin=0.25)
+        assert grid[:, 0].min() >= 0.25
+        assert grid[:, 0].max() <= 3.74 - 0.25
+        assert grid[:, 2].max() <= 2.10 - 0.25
+
+
+class TestSnakeOrder:
+    def test_preserves_point_set(self, volume):
+        grid = waypoint_grid(volume)
+        ordered = snake_order(grid)
+        assert sorted(map(tuple, ordered)) == sorted(map(tuple, grid))
+
+    def test_consecutive_legs_short(self, volume):
+        """Every leg must fit the 4-second flight budget at 0.7 m/s."""
+        grid = waypoint_grid(volume)
+        ordered = snake_order(grid)
+        legs = np.linalg.norm(np.diff(ordered, axis=0), axis=1)
+        assert legs.max() < 0.7 * 4.0 * 0.6  # comfortable margin
+
+    def test_layer_transition_is_vertical_hop(self, volume):
+        """Regression test: the z-layer hand-off must not cross the room."""
+        grid = waypoint_grid(volume)
+        ordered = snake_order(grid)
+        z_values = np.unique(ordered[:, 2])
+        per_layer = len(ordered) // len(z_values)
+        for i in range(1, len(z_values)):
+            before = ordered[i * per_layer - 1]
+            after = ordered[i * per_layer]
+            horizontal = np.linalg.norm(after[:2] - before[:2])
+            assert horizontal < 0.1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            snake_order(np.zeros((5, 2)))
+
+
+class TestSplitBetweenUavs:
+    def test_even_split_along_y(self, volume):
+        grid = waypoint_grid(volume)
+        parts = split_between_uavs(grid, n_uavs=2, axis=1)
+        assert [len(p) for p in parts] == [36, 36]
+        assert parts[0][:, 1].max() < parts[1][:, 1].min()
+
+    def test_union_is_original_set(self, volume):
+        grid = waypoint_grid(volume)
+        parts = split_between_uavs(grid, n_uavs=2)
+        union = np.vstack(parts)
+        assert sorted(map(tuple, union)) == sorted(map(tuple, grid))
+
+    def test_single_uav_gets_everything(self, volume):
+        grid = waypoint_grid(volume)
+        parts = split_between_uavs(grid, n_uavs=1)
+        assert len(parts) == 1 and len(parts[0]) == 72
+
+    def test_each_partition_keeps_short_legs(self, volume):
+        grid = waypoint_grid(volume)
+        for part in split_between_uavs(grid, n_uavs=2):
+            legs = np.linalg.norm(np.diff(part, axis=0), axis=1)
+            assert legs.max() < 1.7
+
+    def test_invalid_uav_count(self, volume):
+        with pytest.raises(ValueError):
+            split_between_uavs(waypoint_grid(volume), n_uavs=0)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["campaign"],
+            ["campaign", "--output", "x.csv"],
+            ["figures", "--figure", "5"],
+            ["endurance"],
+            ["localization"],
+            ["density", "--counts", "3,6"],
+            ["rem", "--resolution", "0.5"],
+            ["--seed", "7", "campaign"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command
+
+    def test_bad_figure_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "9"])
+
+
+class TestCommands:
+    def test_campaign_with_csv(self, tmp_path, capsys):
+        output = tmp_path / "samples.csv"
+        code = main(["campaign", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "total samples" in out
+        assert "distinct MACs" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figures", "--figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "off" in out
+
+    def test_endurance(self, capsys):
+        assert main(["endurance"]) == 0
+        out = capsys.readouterr().out
+        assert "scans in" in out
+
+    def test_localization(self, capsys):
+        assert main(["localization"]) == 0
+        out = capsys.readouterr().out
+        assert "anchors" in out
+        assert "twr" in out and "tdoa" in out
+
+    def test_rem_export(self, tmp_path, capsys):
+        output = tmp_path / "rem.json"
+        code = main(["rem", "--output", str(output), "--resolution", "0.6"])
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["resolution_m"] == 0.6
+        assert data["fields"]

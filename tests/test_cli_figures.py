@@ -1,0 +1,23 @@
+"""CLI figure-regeneration paths (the campaign-backed subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("figure", ["7", "8"])
+def test_cli_figure_commands(figure, capsys):
+    assert main(["figures", "--figure", figure]) == 0
+    out = capsys.readouterr().out
+    assert f"Figure {figure}" in out
+    if figure == "7":
+        assert "0.5 m bin" in out
+    else:
+        assert "dBm" in out
+
+
+def test_cli_density(capsys):
+    assert main(["density", "--counts", "6,30"]) == 0
+    out = capsys.readouterr().out
+    assert "locations" in out
+    assert "knee" in out

@@ -1,0 +1,98 @@
+"""Unit tests for the station↔UAV app protocol."""
+
+import pytest
+
+from repro.link import CrtpPacket, CrtpPort
+from repro.uav.app_protocol import (
+    MAX_SSID_BYTES,
+    Goto,
+    Land,
+    ScanEnd,
+    ScanRecordMsg,
+    StartScan,
+    Status,
+    StatusRequest,
+    Takeoff,
+    decode,
+    encode,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            Takeoff(height_m=0.5),
+            Goto(x=1.25, y=2.5, z=0.75),
+            StartScan(),
+            Land(),
+            StatusRequest(),
+            Status(state=1, battery_fraction=0.75, x=1.0, y=2.0, z=0.5),
+            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-71, channel=11, ssid="net"),
+            ScanEnd(record_count=37, x=1.0, y=2.0, z=0.5, battery_fraction=0.4),
+        ],
+    )
+    def test_roundtrip(self, message):
+        packet = encode(message)
+        assert packet.port == CrtpPort.APP
+        decoded = decode(packet)
+        if isinstance(message, (StartScan, Land, StatusRequest)):
+            assert type(decoded) is type(message)
+        elif isinstance(message, Goto):
+            assert decoded.position == pytest.approx(message.position)
+        elif isinstance(message, Takeoff):
+            assert decoded.height_m == pytest.approx(message.height_m)
+        elif isinstance(message, Status):
+            assert decoded.state == message.state
+            assert decoded.battery_fraction == pytest.approx(message.battery_fraction)
+        elif isinstance(message, ScanRecordMsg):
+            assert decoded == message
+        elif isinstance(message, ScanEnd):
+            assert decoded.record_count == message.record_count
+            assert decoded.position == pytest.approx(message.position)
+
+
+class TestSsidHandling:
+    def test_long_ssid_truncated(self):
+        long_ssid = "x" * 40
+        packet = encode(
+            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid=long_ssid)
+        )
+        decoded = decode(packet)
+        assert decoded.ssid == "x" * MAX_SSID_BYTES
+
+    def test_unicode_ssid_survives(self):
+        packet = encode(
+            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid="café")
+        )
+        assert decode(packet).ssid == "café"
+
+    def test_empty_ssid(self):
+        packet = encode(
+            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid="")
+        )
+        assert decode(packet).ssid == ""
+
+
+class TestErrors:
+    def test_wrong_port_rejected(self):
+        with pytest.raises(ValueError):
+            decode(CrtpPacket(port=CrtpPort.LOG, channel=0, payload=b"\x01"))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode(CrtpPacket(port=CrtpPort.APP, channel=0, payload=b""))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            decode(CrtpPacket(port=CrtpPort.APP, channel=0, payload=b"\x7f"))
+
+    def test_malformed_mac_rejected(self):
+        with pytest.raises(ValueError):
+            encode(ScanRecordMsg(mac="nonsense", rssi_dbm=-60, channel=1, ssid="x"))
+
+    def test_rssi_clamped_to_int8(self):
+        packet = encode(
+            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-250, channel=1, ssid="x")
+        )
+        assert decode(packet).rssi_dbm == -128

@@ -1,0 +1,67 @@
+"""Unit tests for the battery/endurance model."""
+
+import pytest
+
+from repro.uav import Battery, BatteryConfig
+
+
+class TestBattery:
+    def test_draw_accounting(self):
+        battery = Battery(BatteryConfig(capacity_mah=250.0))
+        battery.draw(1000.0, 3600.0)  # 1 A for an hour = 1000 mAh
+        assert battery.consumed_mah == pytest.approx(1000.0)
+        assert battery.remaining_mah == 0.0
+        assert battery.depleted
+
+    def test_remaining_fraction(self):
+        battery = Battery(BatteryConfig(capacity_mah=100.0))
+        battery.draw(50.0, 3600.0)
+        assert battery.remaining_fraction == pytest.approx(0.5)
+
+    def test_erratic_before_depleted(self):
+        config = BatteryConfig(capacity_mah=100.0, erratic_reserve_fraction=0.1)
+        battery = Battery(config)
+        battery.draw(91.0, 3600.0)
+        assert battery.erratic
+        assert not battery.depleted
+
+    def test_reset(self):
+        battery = Battery()
+        battery.draw(100.0, 60.0)
+        battery.reset()
+        assert battery.consumed_mah == 0.0
+
+    def test_invalid_draw(self):
+        battery = Battery()
+        with pytest.raises(ValueError):
+            battery.draw(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            battery.draw(1.0, -1.0)
+
+
+class TestEnduranceCalibration:
+    def test_bare_hover_near_seven_minutes(self):
+        config = BatteryConfig()
+        endurance = config.endurance_s(config.hover_current_ma)
+        # "advertised as having a flight time of up to 7 min"
+        assert 6.3 * 60 < endurance < 7.2 * 60
+
+    def test_loaded_hover_near_paper_endurance(self):
+        from repro.uav.decks import ESP_DECK, LOCO_DECK
+
+        config = BatteryConfig()
+        # Hover + both decks idle + ESP scanning ~22 % of the time
+        # (the §III-A periodic-scan protocol).
+        current = (
+            config.hover_current_ma
+            + LOCO_DECK.idle_current_ma
+            + ESP_DECK.idle_current_ma
+            + ESP_DECK.active_current_ma * 0.22
+        )
+        endurance = config.endurance_s(current)
+        # Paper: 6 min 12 s = 372 s.
+        assert 330 < endurance < 420
+
+    def test_endurance_requires_positive_current(self):
+        with pytest.raises(ValueError):
+            BatteryConfig().endurance_s(0.0)

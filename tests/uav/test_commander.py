@@ -1,0 +1,69 @@
+"""Unit tests for the commander watchdog (§II-C)."""
+
+import numpy as np
+
+from repro.uav import Commander, CommanderState, FirmwareConfig
+
+
+def commander(watchdog=2.0, level=0.5):
+    return Commander(
+        FirmwareConfig(
+            commander_watchdog_timeout_s=watchdog, setpoint_level_timeout_s=level
+        )
+    )
+
+
+class TestWatchdogStates:
+    def test_controlled_while_fresh(self):
+        cmd = commander()
+        cmd.feed((1, 1, 1), now=10.0)
+        assert cmd.state(10.3) is CommanderState.CONTROLLED
+
+    def test_levels_after_half_second(self):
+        cmd = commander()
+        cmd.feed((1, 1, 1), now=10.0)
+        assert cmd.state(10.6) is CommanderState.LEVELED
+
+    def test_shutdown_after_watchdog_timeout(self):
+        cmd = commander(watchdog=2.0)
+        cmd.feed((1, 1, 1), now=10.0)
+        assert cmd.state(12.1) is CommanderState.SHUTDOWN
+        assert cmd.watchdog_fired
+
+    def test_shutdown_latches(self):
+        cmd = commander(watchdog=2.0)
+        cmd.feed((1, 1, 1), now=0.0)
+        assert cmd.state(3.0) is CommanderState.SHUTDOWN
+        cmd.feed((1, 1, 1), now=3.1)
+        assert cmd.state(3.2) is CommanderState.SHUTDOWN
+
+    def test_modified_firmware_survives_scan_window(self):
+        # The paper raises the watchdog to 10 s to bridge radio-off scans.
+        cmd = Commander(FirmwareConfig.paper_modified())
+        cmd.feed((1, 1, 1), now=0.0)
+        assert cmd.state(3.6) is not CommanderState.SHUTDOWN
+
+    def test_stock_firmware_dies_during_scan_window(self):
+        cmd = Commander(FirmwareConfig.stock_2021_06())
+        cmd.feed((1, 1, 1), now=0.0)
+        assert cmd.state(3.6) is CommanderState.SHUTDOWN
+
+
+class TestSetpointBookkeeping:
+    def test_setpoint_returned_as_copy(self):
+        cmd = commander()
+        cmd.feed((1.0, 2.0, 3.0), now=0.0)
+        setpoint = cmd.setpoint
+        setpoint[0] = 99.0
+        assert np.allclose(cmd.setpoint, [1.0, 2.0, 3.0])
+
+    def test_no_setpoint_before_first_feed(self):
+        cmd = commander()
+        assert cmd.setpoint is None
+        assert cmd.staleness(5.0) == float("inf")
+
+    def test_counts_setpoints(self):
+        cmd = commander()
+        for i in range(5):
+            cmd.feed((0, 0, 0), now=float(i))
+        assert cmd.setpoints_received == 5

@@ -1,0 +1,41 @@
+"""Unit tests for expansion decks."""
+
+import pytest
+
+from repro.uav import ESP_DECK, LOCO_DECK, Deck, DeckSlots
+
+
+class TestDeckSlots:
+    def test_two_slots_maximum(self):
+        slots = DeckSlots()
+        slots.attach(LOCO_DECK)
+        slots.attach(ESP_DECK)
+        with pytest.raises(ValueError):
+            slots.attach(Deck("third", 10.0))
+
+    def test_duplicate_rejected(self):
+        slots = DeckSlots()
+        slots.attach(LOCO_DECK)
+        with pytest.raises(ValueError):
+            slots.attach(LOCO_DECK)
+
+    def test_names(self):
+        slots = DeckSlots()
+        slots.attach(LOCO_DECK)
+        assert slots.names == ("loco_positioning",)
+
+    def test_total_current_idle_vs_scanning(self):
+        slots = DeckSlots()
+        slots.attach(LOCO_DECK)
+        slots.attach(ESP_DECK)
+        idle = slots.total_current_ma(scanning=False)
+        scanning = slots.total_current_ma(scanning=True)
+        assert idle == LOCO_DECK.idle_current_ma + ESP_DECK.idle_current_ma
+        assert scanning == idle + ESP_DECK.active_current_ma
+
+
+class TestDeck:
+    def test_current_for_state(self):
+        deck = Deck("d", idle_current_ma=10.0, active_current_ma=5.0)
+        assert deck.current_ma(False) == 10.0
+        assert deck.current_ma(True) == 15.0

@@ -1,0 +1,73 @@
+"""Unit tests for the kinematic flight model."""
+
+import numpy as np
+import pytest
+
+from repro.uav import DynamicsConfig, FlightDynamics
+
+
+def airborne_dynamics(start=(0.0, 0.0, 0.5), **config_kwargs):
+    dynamics = FlightDynamics(start, DynamicsConfig(**config_kwargs))
+    dynamics.airborne = True
+    return dynamics
+
+
+class TestSetpointTracking:
+    def test_reaches_nearby_setpoint_within_leg_budget(self, rng):
+        dynamics = airborne_dynamics()
+        dynamics.set_setpoint((0.65, 0.0, 0.5))  # one lattice hop
+        for _ in range(100):  # 4 s at 25 Hz
+            dynamics.update(0.04, rng)
+        assert dynamics.at_setpoint
+
+    def test_speed_capped(self, rng):
+        dynamics = airborne_dynamics(max_speed_mps=0.7)
+        dynamics.set_setpoint((10.0, 0.0, 0.5))
+        for _ in range(50):
+            dynamics.update(0.04, rng)
+            assert np.linalg.norm(dynamics.velocity) <= 0.7 + 1e-9
+
+    def test_hold_jitter_small(self, rng):
+        dynamics = airborne_dynamics(hover_jitter_std_m=0.015)
+        dynamics.set_setpoint((0.0, 0.0, 0.5))
+        deviations = []
+        for _ in range(200):
+            dynamics.update(0.04, rng)
+            deviations.append(np.linalg.norm(dynamics.position - [0, 0, 0.5]))
+        assert max(deviations) < 0.1
+
+    def test_not_airborne_does_not_move(self, rng):
+        dynamics = FlightDynamics((0.0, 0.0, 0.0))
+        dynamics.set_setpoint((1.0, 1.0, 1.0))
+        dynamics.update(1.0, rng)
+        assert np.allclose(dynamics.position, [0.0, 0.0, 0.0])
+
+
+class TestUncontrolledDrift:
+    def test_drifts_without_setpoint(self, rng):
+        dynamics = airborne_dynamics()
+        dynamics.clear_setpoint()
+        start = dynamics.position.copy()
+        for _ in range(250):  # 10 s leveled
+            dynamics.update(0.04, rng)
+        assert np.linalg.norm(dynamics.position - start) > 0.05
+
+    def test_distance_to_setpoint_inf_without_setpoint(self):
+        dynamics = airborne_dynamics()
+        assert dynamics.distance_to_setpoint() == float("inf")
+        assert not dynamics.at_setpoint
+
+
+class TestMovingFlag:
+    def test_moving_only_en_route(self, rng):
+        dynamics = airborne_dynamics()
+        assert not dynamics.moving
+        dynamics.set_setpoint((2.0, 0.0, 0.5))
+        assert dynamics.moving
+        for _ in range(200):
+            dynamics.update(0.04, rng)
+        assert not dynamics.moving
+
+    def test_invalid_dt(self, rng):
+        with pytest.raises(ValueError):
+            airborne_dynamics().update(-0.1, rng)

@@ -1,0 +1,26 @@
+"""Unit tests for firmware configurations (§II-C)."""
+
+from repro.uav import FirmwareConfig
+
+
+class TestStockFirmware:
+    def test_stock_defaults(self):
+        stock = FirmwareConfig.stock_2021_06()
+        assert stock.crtp_tx_queue_size == 16
+        assert stock.commander_watchdog_timeout_s == 2.0
+        assert not stock.feedback_task_enabled
+
+
+class TestModifiedFirmware:
+    def test_paper_modifications(self):
+        modified = FirmwareConfig.paper_modified()
+        # The three §II-C changes relative to stock:
+        stock = FirmwareConfig.stock_2021_06()
+        assert modified.crtp_tx_queue_size > stock.crtp_tx_queue_size
+        assert modified.commander_watchdog_timeout_s == 10.0
+        assert modified.feedback_task_enabled
+        assert modified.feedback_period_s == 0.1
+
+    def test_level_timeout_unchanged(self):
+        # The 500 ms leveling behaviour is stock firmware behaviour.
+        assert FirmwareConfig.paper_modified().setpoint_level_timeout_s == 0.5

@@ -1,0 +1,32 @@
+"""Unit tests for the IMU measurement model."""
+
+import numpy as np
+import pytest
+
+from repro.uav import Imu, ImuConfig
+
+
+class TestAccelerometer:
+    def test_reports_specific_force_at_rest(self, rng):
+        imu = Imu(ImuConfig(accel_noise_std=0.0, accel_bias_std=0.0), rng)
+        reading = imu.read_accel((0.0, 0.0, 0.0), rng)
+        assert np.allclose(reading, [0.0, 0.0, 9.81])
+
+    def test_noise_statistics(self, rng):
+        imu = Imu(ImuConfig(accel_noise_std=0.1, accel_bias_std=0.0), rng)
+        readings = np.array([imu.read_accel((0, 0, 0), rng) for _ in range(2000)])
+        assert readings[:, 0].std() == pytest.approx(0.1, rel=0.15)
+
+    def test_bias_is_constant_per_instance(self, rng):
+        imu = Imu(ImuConfig(accel_noise_std=0.0, accel_bias_std=0.5), rng)
+        a = imu.read_accel((0, 0, 0), rng)
+        b = imu.read_accel((0, 0, 0), rng)
+        assert np.allclose(a, b)
+
+
+class TestBarometer:
+    def test_altitude_noise(self, rng):
+        imu = Imu(ImuConfig(baro_noise_std_m=0.25), rng)
+        readings = [imu.read_altitude(1.0, rng) for _ in range(2000)]
+        assert np.mean(readings) == pytest.approx(1.0, abs=0.05)
+        assert np.std(readings) == pytest.approx(0.25, rel=0.15)

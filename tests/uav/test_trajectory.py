@@ -1,0 +1,115 @@
+"""Unit tests for minimum-jerk trajectory generation."""
+
+import numpy as np
+import pytest
+
+from repro.uav.trajectory import (
+    QuinticSegment,
+    Trajectory,
+    plan_min_jerk_leg,
+    plan_trajectory,
+)
+
+
+class TestQuinticSegment:
+    def test_boundary_conditions(self):
+        seg = QuinticSegment((0, 0, 0), (1, 2, 0.5), duration_s=2.0)
+        assert np.allclose(seg.position(0.0), [0, 0, 0])
+        assert np.allclose(seg.position(2.0), [1, 2, 0.5])
+        assert np.allclose(seg.velocity(0.0), 0.0)
+        assert np.allclose(seg.velocity(2.0), 0.0, atol=1e-12)
+        assert np.allclose(seg.acceleration(0.0), 0.0)
+        assert np.allclose(seg.acceleration(2.0), 0.0, atol=1e-9)
+
+    def test_midpoint_is_halfway(self):
+        seg = QuinticSegment((0, 0, 0), (2, 0, 0), duration_s=4.0)
+        assert np.allclose(seg.position(2.0), [1, 0, 0])
+
+    def test_peak_speed_formula(self):
+        seg = QuinticSegment((0, 0, 0), (1, 0, 0), duration_s=1.0)
+        times = np.linspace(0, 1, 2001)
+        speeds = [np.linalg.norm(seg.velocity(t)) for t in times]
+        assert max(speeds) == pytest.approx(seg.peak_speed_mps, rel=1e-3)
+
+    def test_peak_accel_formula(self):
+        seg = QuinticSegment((0, 0, 0), (1, 0, 0), duration_s=1.0)
+        times = np.linspace(0, 1, 4001)
+        accels = [np.linalg.norm(seg.acceleration(t)) for t in times]
+        assert max(accels) == pytest.approx(seg.peak_accel_mps2, rel=1e-3)
+
+    def test_time_clamping(self):
+        seg = QuinticSegment((0, 0, 0), (1, 0, 0), duration_s=1.0)
+        assert np.allclose(seg.position(-1.0), [0, 0, 0])
+        assert np.allclose(seg.position(99.0), [1, 0, 0])
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            QuinticSegment((0, 0, 0), (1, 0, 0), duration_s=0.0)
+
+
+class TestPlanLeg:
+    def test_respects_speed_limit(self):
+        seg = plan_min_jerk_leg((0, 0, 0), (3, 0, 0), max_speed_mps=0.7)
+        assert seg.peak_speed_mps <= 0.7 + 1e-9
+
+    def test_respects_accel_limit(self):
+        seg = plan_min_jerk_leg((0, 0, 0), (0.1, 0, 0), max_accel_mps2=1.5)
+        assert seg.peak_accel_mps2 <= 1.5 + 1e-9
+
+    def test_short_leg_uses_min_duration(self):
+        seg = plan_min_jerk_leg((0, 0, 0), (0.01, 0, 0), min_duration_s=0.5)
+        assert seg.duration_s == 0.5
+
+    def test_lattice_leg_fits_four_second_budget(self):
+        # The §III-A lattice hop (~0.65 m) must fit the 4 s leg budget.
+        seg = plan_min_jerk_leg((0, 0, 0), (0.65, 0, 0))
+        assert seg.duration_s < 4.0
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            plan_min_jerk_leg((0, 0, 0), (1, 0, 0), max_speed_mps=0.0)
+
+
+class TestTrajectory:
+    def test_multi_segment_lookup(self):
+        traj = plan_trajectory([(0, 0, 0), (1, 0, 0), (1, 1, 0)])
+        assert np.allclose(traj.position(0.0), [0, 0, 0])
+        assert np.allclose(traj.position(traj.duration_s), [1, 1, 0])
+        first_duration = traj.segments[0].duration_s
+        assert np.allclose(traj.position(first_duration), [1, 0, 0])
+
+    def test_length_sums_legs(self):
+        traj = plan_trajectory([(0, 0, 0), (1, 0, 0), (1, 2, 0)])
+        assert traj.length_m == pytest.approx(3.0)
+
+    def test_position_continuity(self):
+        traj = plan_trajectory([(0, 0, 0), (0.6, 0, 0), (0.6, 0.9, 0), (0, 0.9, 0.8)])
+        times = np.linspace(0, traj.duration_s, 500)
+        positions = np.array([traj.position(t) for t in times])
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        assert steps.max() < 0.05  # no jumps
+
+    def test_speed_limit_global(self):
+        traj = plan_trajectory([(0, 0, 0), (2, 0, 0), (2, 2, 0)], max_speed_mps=0.7)
+        assert traj.max_speed_mps() <= 0.7 + 1e-9
+
+    def test_discontinuous_segments_rejected(self):
+        a = QuinticSegment((0, 0, 0), (1, 0, 0), 1.0)
+        b = QuinticSegment((5, 0, 0), (6, 0, 0), 1.0)
+        with pytest.raises(ValueError):
+            Trajectory([a, b])
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            plan_trajectory([(0, 0, 0)])
+
+    def test_demo_mission_trajectory_fits_budget(self, demo_scenario):
+        """The 36-waypoint snake path is flyable within the §III-A timing."""
+        from repro.station import plan_demo_mission
+
+        mission = plan_demo_mission(demo_scenario)
+        _, plan = mission.assignments[0]
+        traj = plan_trajectory(plan.waypoints)
+        # 35 legs at 4 s each is the paper's budget; the planner should
+        # comfortably beat it at the same speed limit.
+        assert traj.duration_s < 35 * 4.0

@@ -1,0 +1,56 @@
+"""Unit tests for anchor layouts."""
+
+import numpy as np
+import pytest
+
+from repro.radio import Cuboid
+from repro.uwb import Anchor, AnchorLayout, corner_layout
+
+
+@pytest.fixture()
+def volume():
+    return Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10))
+
+
+class TestCornerLayout:
+    def test_eight_anchors_on_corners(self, volume):
+        layout = corner_layout(volume)
+        assert len(layout) == 8
+        corners = {tuple(c) for c in volume.corners()}
+        assert {a.position for a in layout} == corners
+
+    def test_every_prefix_supports_3d(self, volume):
+        layout = corner_layout(volume)
+        for count in range(4, 9):
+            assert layout.subset(count).supports_3d()
+
+    def test_subset_bounds(self, volume):
+        layout = corner_layout(volume)
+        with pytest.raises(ValueError):
+            layout.subset(3)
+        with pytest.raises(ValueError):
+            layout.subset(9)
+
+
+class TestAnchorLayout:
+    def test_duplicate_ids_rejected(self):
+        a = Anchor(0, (0, 0, 0))
+        b = Anchor(0, (1, 1, 1))
+        with pytest.raises(ValueError):
+            AnchorLayout([a, b])
+
+    def test_coplanar_layout_not_3d(self):
+        anchors = [
+            Anchor(i, (float(x), float(y), 0.0))
+            for i, (x, y) in enumerate([(0, 0), (1, 0), (0, 1), (1, 1)])
+        ]
+        assert not AnchorLayout(anchors).supports_3d()
+
+    def test_in_range_filtering(self, volume):
+        layout = corner_layout(volume)
+        center = volume.center
+        assert len(layout.in_range(center, max_range=10.0)) == 8
+        assert len(layout.in_range(center, max_range=0.5)) == 0
+
+    def test_positions_shape(self, volume):
+        assert corner_layout(volume).positions.shape == (8, 3)

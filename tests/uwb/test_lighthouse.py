@@ -1,0 +1,105 @@
+"""Unit tests for the Lighthouse positioning extension (§IV future work)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import Cuboid
+from repro.uwb import (
+    LighthouseBaseStation,
+    LighthouseConfig,
+    LighthouseEstimator,
+    LocalizationMode,
+    corner_layout,
+    default_base_stations,
+    evaluate_hovering_accuracy,
+    evaluate_lighthouse_hovering,
+)
+from repro.uwb.lighthouse import _wrap_angle
+
+
+@pytest.fixture()
+def volume():
+    return Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10))
+
+
+class TestSetup:
+    def test_two_default_base_stations_in_upper_corners(self, volume):
+        stations = default_base_stations(volume)
+        assert len(stations) == 2
+        for station in stations:
+            assert station.position[2] > volume.max_corner[2]
+
+    def test_needs_two_stations(self, volume):
+        with pytest.raises(ValueError):
+            LighthouseEstimator([default_base_stations(volume)[0]])
+
+
+class TestAngleWrap:
+    def test_wrap(self):
+        assert _wrap_angle(0.1) == pytest.approx(0.1)
+        assert _wrap_angle(2 * np.pi + 0.1) == pytest.approx(0.1)
+        assert _wrap_angle(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+
+class TestTracking:
+    def test_converges_while_hovering(self, volume, rng):
+        estimator = LighthouseEstimator(
+            default_base_stations(volume),
+            LighthouseConfig(occlusion_probability=0.0),
+            initial_position=(1.5, 1.5, 1.0),
+        )
+        truth = np.array([1.87, 1.6, 1.0])
+        for _ in range(150):
+            estimator.step(1.0 / 30.0, truth, rng)
+        assert estimator.error_m(truth) < 0.05
+
+    def test_tracks_translation(self, volume, rng):
+        estimator = LighthouseEstimator(
+            default_base_stations(volume),
+            initial_position=(0.5, 0.5, 0.5),
+        )
+        position = np.array([0.5, 0.5, 0.5])
+        for _ in range(200):
+            position = position + np.array([0.008, 0.006, 0.003])
+            estimator.step(1.0 / 30.0, position, rng)
+        assert estimator.error_m(position) < 0.12
+
+    def test_out_of_range_stations_ignored(self, volume, rng):
+        distant = [
+            LighthouseBaseStation(0, (100.0, 0.0, 2.0)),
+            LighthouseBaseStation(1, (0.0, 100.0, 2.0)),
+        ]
+        estimator = LighthouseEstimator(distant, initial_position=(1.0, 1.0, 1.0))
+        before = estimator.position.copy()
+        estimator.step(1.0 / 30.0, (2.0, 2.0, 1.0), rng)
+        # No update possible; only the predict step ran.
+        assert np.allclose(estimator.position, before, atol=1e-6)
+
+
+class TestFutureWorkClaims:
+    def test_comparable_precision_with_fewer_anchors(self, volume, rng):
+        """§IV: 'comparable precision, while requiring less anchors'."""
+        lighthouse_error = evaluate_lighthouse_hovering(
+            volume, (1.87, 1.6, 1.0), rng
+        )
+        uwb = evaluate_hovering_accuracy(
+            corner_layout(volume).subset(6),
+            LocalizationMode.TWR,
+            (1.87, 1.6, 1.0),
+            rng,
+        )
+        # Two optical base stations vs six UWB anchors: at least as good.
+        assert lighthouse_error < uwb.mean_error_m
+        assert lighthouse_error < 0.06
+
+    def test_no_rf_interference_registered(self, volume, rng):
+        """The optical system must not touch the 2.4 GHz environment."""
+        from repro.radio import build_demo_scenario
+
+        scenario = build_demo_scenario(seed=5)
+        estimator = LighthouseEstimator(
+            default_base_stations(scenario.flight_volume),
+            initial_position=(1.0, 1.0, 1.0),
+        )
+        estimator.step(1.0 / 30.0, (1.0, 1.0, 1.0), rng)
+        assert scenario.environment.interference_sources == ()

@@ -1,0 +1,72 @@
+"""Unit tests for the AT response parser."""
+
+import pytest
+
+from repro.wifi import (
+    AtParseError,
+    ScanRecord,
+    parse_cwlap_line,
+    parse_cwlap_response,
+    split_at_fields,
+)
+
+
+class TestSplitFields:
+    def test_simple(self):
+        assert split_at_fields('"ssid",-70,"aa:bb",6') == ["ssid", "-70", "aa:bb", "6"]
+
+    def test_comma_inside_quotes(self):
+        assert split_at_fields('"my,net",-70,"aa",1') == ["my,net", "-70", "aa", "1"]
+
+    def test_escaped_quote(self):
+        assert split_at_fields('"say \\"hi\\"",-1,"m",2') == ['say "hi"', "-1", "m", "2"]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(AtParseError):
+            split_at_fields('"oops,-70')
+
+
+class TestParseLine:
+    def test_good_line(self):
+        record = parse_cwlap_line('+CWLAP:("HomeNet",-56,"aa:bb:cc:dd:ee:ff",6)')
+        assert record == ScanRecord(ssid="HomeNet", rssi_dbm=-56, mac="aa:bb:cc:dd:ee:ff", channel=6)
+
+    def test_mac_normalized_to_lowercase(self):
+        record = parse_cwlap_line('+CWLAP:("x",-70,"AA:BB:CC:DD:EE:FF",1)')
+        assert record.mac == "aa:bb:cc:dd:ee:ff"
+
+    def test_unrelated_lines_return_none(self):
+        assert parse_cwlap_line("OK") is None
+        assert parse_cwlap_line("") is None
+        assert parse_cwlap_line("AT+CWLAP") is None
+
+    def test_missing_parens_raises(self):
+        with pytest.raises(AtParseError):
+            parse_cwlap_line('+CWLAP:"HomeNet",-56,"aa",6')
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(AtParseError):
+            parse_cwlap_line('+CWLAP:("x",-70,"aa:bb:cc:dd:ee:ff")')
+
+    def test_non_numeric_rssi_raises(self):
+        with pytest.raises(AtParseError):
+            parse_cwlap_line('+CWLAP:("x","strong","aa",6)')
+
+
+class TestParseResponse:
+    def test_full_response(self):
+        lines = [
+            "AT+CWLAP",
+            '+CWLAP:("a",-50,"aa:aa:aa:aa:aa:01",1)',
+            '+CWLAP:("b",-60,"aa:aa:aa:aa:aa:02",6)',
+            "OK",
+        ]
+        records = parse_cwlap_response(lines)
+        assert [r.ssid for r in records] == ["a", "b"]
+
+    def test_error_response_raises(self):
+        with pytest.raises(AtParseError):
+            parse_cwlap_response(["ERROR"])
+
+    def test_empty_scan_is_valid(self):
+        assert parse_cwlap_response(["OK"]) == []

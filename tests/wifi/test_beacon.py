@@ -1,0 +1,43 @@
+"""Unit tests for scan record/report containers."""
+
+import math
+
+from repro.wifi import ScanRecord, ScanReport
+
+
+def report(records):
+    return ScanReport(
+        records=records,
+        position=(1.0, 2.0, 0.5),
+        duration_s=3.0,
+        channel_dwell_s=3.0 / 13,
+    )
+
+
+def rec(mac, channel=6, rssi=-70):
+    return ScanRecord(ssid="net", rssi_dbm=rssi, mac=mac, channel=channel)
+
+
+class TestScanRecord:
+    def test_tuple_order_matches_paper(self):
+        r = ScanRecord(ssid="s", rssi_dbm=-60, mac="aa", channel=3)
+        assert r.as_tuple() == ("s", -60, "aa", 3)
+
+
+class TestScanReport:
+    def test_len_and_macs(self):
+        rep = report([rec("a"), rec("b")])
+        assert len(rep) == 2
+        assert rep.macs() == ["a", "b"]
+
+    def test_count_on_channel(self):
+        rep = report([rec("a", channel=1), rec("b", channel=6), rec("c", channel=6)])
+        assert rep.count_on_channel(6) == 2
+        assert rep.count_on_channel(11) == 0
+
+    def test_mean_rssi(self):
+        rep = report([rec("a", rssi=-60), rec("b", rssi=-80)])
+        assert rep.mean_rssi_dbm() == -70.0
+
+    def test_mean_rssi_empty_is_nan(self):
+        assert math.isnan(report([]).mean_rssi_dbm())

@@ -1,0 +1,187 @@
+"""Unit tests for the BLE receiver (the §II-A modularity claim)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import IndoorEnvironment, LinkBudget
+from repro.wifi import (
+    BLE_ADV_CHANNELS,
+    BleDevice,
+    BleObserverModule,
+    BleReceiverDriver,
+    BleScanConfig,
+    DriverError,
+    ReceiverState,
+    RemReceiverDriver,
+    generate_ble_population,
+)
+
+
+@pytest.fixture()
+def environment():
+    return IndoorEnvironment(
+        [], [], budget=LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=0.0), seed=1
+    )
+
+
+def near_device(mac="02:00:00:00:00:01", name="tag-01", interval=0.1):
+    return BleDevice(
+        mac=mac, name=name, position=(2.0, 0.0, 0.0),
+        tx_power_dbm=0.0, adv_interval_s=interval,
+    )
+
+
+@pytest.fixture()
+def module(environment, rng):
+    return BleObserverModule(
+        environment,
+        [near_device()],
+        rng,
+        config=BleScanConfig(collision_miss_probability=0.0),
+    )
+
+
+class TestPopulation:
+    def test_generate_population(self, rng):
+        devices = generate_ble_population(
+            12, rng, center=(2.0, 2.0, 1.0), spread_m=(3.0, 3.0, 1.0)
+        )
+        assert len(devices) == 12
+        assert len({d.mac for d in devices}) == 12
+        assert all(-10.0 <= d.tx_power_dbm <= 5.0 for d in devices)
+
+
+class TestObserver:
+    def test_requires_power(self, module):
+        with pytest.raises(DriverError):
+            module.run_scan()
+
+    def test_detects_near_device(self, module):
+        module.power_on()
+        module.set_position((0.0, 0.0, 0.0))
+        records = module.run_scan()
+        assert len(records) == 1
+        record = records[0]
+        assert record.mac == "02:00:00:00:00:01"
+        assert record.ssid == "tag-01"
+        assert record.channel in BLE_ADV_CHANNELS
+
+    def test_device_listed_once_across_channels(self, module):
+        module.power_on()
+        module.set_position((0.0, 0.0, 0.0))
+        macs = [r.mac for r in module.run_scan()]
+        assert len(macs) == len(set(macs))
+
+    def test_far_device_not_detected(self, environment, rng):
+        far = BleDevice(
+            mac="02:00:00:00:00:02", name="far", position=(500.0, 0.0, 0.0)
+        )
+        module = BleObserverModule(
+            environment, [far], rng, config=BleScanConfig(collision_miss_probability=0.0)
+        )
+        module.power_on()
+        assert module.run_scan() == []
+
+
+class TestDriverContract:
+    def test_is_a_rem_receiver_driver(self, module):
+        driver = BleReceiverDriver(module)
+        assert isinstance(driver, RemReceiverDriver)
+
+    def test_four_instruction_cycle(self, module):
+        driver = BleReceiverDriver(module)
+        assert driver.check_state() is ReceiverState.UNINITIALIZED
+        driver.initialize()
+        assert driver.check_state() is ReceiverState.READY
+        duration = driver.start_measurement()
+        assert duration == module.scan_duration_s
+        records = driver.parse_output()
+        assert driver.check_state() is ReceiverState.READY
+        assert len(records) == 1
+
+    def test_measurement_requires_ready(self, module):
+        driver = BleReceiverDriver(module)
+        with pytest.raises(DriverError):
+            driver.start_measurement()
+
+
+class TestUavIntegration:
+    def test_crazyflie_flies_ble_campaign(self, demo_scenario, rng):
+        """The same firmware scan task runs a BLE receiver unchanged."""
+        from repro.link import Crazyradio, CrazyradioLink, RadioConfig
+        from repro.sim import Simulator, Timeout, spawn
+        from repro.uav import Crazyflie, FirmwareConfig, FlightState, UavConfig
+        from repro.uav import app_protocol as proto
+        from repro.uwb import corner_layout
+
+        devices = generate_ble_population(
+            10, rng, center=(2.0, 1.5, 1.0), spread_m=(4.0, 4.0, 1.5)
+        )
+        sim = Simulator()
+        firmware = FirmwareConfig.paper_modified()
+        radio = Crazyradio(demo_scenario.environment, RadioConfig())
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=firmware.crtp_tx_queue_size)
+        module = BleObserverModule(
+            demo_scenario.environment, devices, rng,
+            config=BleScanConfig(collision_miss_probability=0.0),
+        )
+        uav = Crazyflie(
+            sim,
+            demo_scenario.environment,
+            corner_layout(demo_scenario.flight_volume),
+            link,
+            firmware,
+            demo_scenario.streams.fork("ble-test"),
+            config=UavConfig(name="ble-uav", start_position=(0.3, 0.3, 0.0)),
+            receiver_module=module,
+            receiver_driver=BleReceiverDriver(module),
+        )
+        radio.turn_on()
+        link.station_send(proto.encode(proto.Takeoff(0.5)))
+        outcome = {}
+
+        def pilot():
+            elapsed = 0.0
+            while elapsed < 2.0:
+                link.station_send(proto.encode(proto.Goto(1.5, 1.5, 1.0)))
+                yield Timeout(0.2)
+                elapsed += 0.2
+            link.station_send(proto.encode(proto.StartScan()))
+            yield Timeout(0.15)
+            radio.turn_off()
+            yield Timeout(3.5)
+            radio.turn_on()
+            outcome["messages"] = [proto.decode(p) for p in link.station_poll()]
+
+        spawn(sim, pilot())
+        sim.run(until=12.0)
+
+        assert uav.state is FlightState.FLYING
+        records = [
+            m for m in outcome["messages"]
+            if isinstance(m, proto.ScanRecordMsg)
+        ]
+        known = {d.mac for d in devices}
+        assert records, "the BLE scan must deliver records over CRTP"
+        assert all(r.mac in known for r in records)
+        assert all(r.channel in BLE_ADV_CHANNELS for r in records)
+
+    def test_custom_module_requires_driver(self, demo_scenario, module):
+        from repro.link import Crazyradio, CrazyradioLink, RadioConfig
+        from repro.sim import Simulator
+        from repro.uav import Crazyflie, FirmwareConfig
+        from repro.uwb import corner_layout
+
+        sim = Simulator()
+        radio = Crazyradio(demo_scenario.environment, RadioConfig())
+        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=16)
+        with pytest.raises(ValueError):
+            Crazyflie(
+                sim,
+                demo_scenario.environment,
+                corner_layout(demo_scenario.flight_volume),
+                link,
+                FirmwareConfig.paper_modified(),
+                demo_scenario.streams.fork("x"),
+                receiver_module=module,
+            )

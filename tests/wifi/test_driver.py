@@ -1,0 +1,63 @@
+"""Unit tests for the four-instruction REM receiver driver (§II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import AccessPoint, IndoorEnvironment, LinkBudget
+from repro.wifi import (
+    DriverError,
+    Esp01Driver,
+    Esp01Module,
+    ReceiverState,
+    ScanConfig,
+)
+
+
+@pytest.fixture()
+def driver(rng):
+    aps = [
+        AccessPoint("aa:aa:aa:aa:aa:01", "one", 1, (4.0, 0.0, 0.0), tx_power_dbm=17.0),
+    ]
+    env = IndoorEnvironment(
+        [], aps, budget=LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=0.0), seed=2
+    )
+    module = Esp01Module(env, rng, scan_config=ScanConfig(collision_miss_probability=0.0))
+    return Esp01Driver(module)
+
+
+class TestDriverLifecycle:
+    def test_initial_state(self, driver):
+        assert driver.check_state() is ReceiverState.UNINITIALIZED
+
+    def test_initialize_reaches_ready(self, driver):
+        driver.initialize()
+        assert driver.check_state() is ReceiverState.READY
+        assert driver.module.station_mode
+        # Output mask configured to the paper's tuple.
+        assert driver.module.output_mask.to_int() == 30
+
+    def test_full_measurement_cycle(self, driver):
+        driver.initialize()
+        duration = driver.start_measurement()
+        assert duration == driver.module.scan_duration_s
+        assert driver.check_state() is ReceiverState.MEASURING
+        records = driver.parse_output()
+        assert driver.check_state() is ReceiverState.READY
+        assert len(records) == 1
+        assert records[0].mac == "aa:aa:aa:aa:aa:01"
+        assert records[0].channel == 1
+
+    def test_measurement_requires_ready(self, driver):
+        with pytest.raises(DriverError):
+            driver.start_measurement()
+
+    def test_parse_requires_measurement(self, driver):
+        driver.initialize()
+        with pytest.raises(DriverError):
+            driver.parse_output()
+
+    def test_repeat_measurements(self, driver):
+        driver.initialize()
+        for _ in range(3):
+            driver.start_measurement()
+            assert len(driver.parse_output()) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the simulated ESP-01 module and UART transport."""
+
+import numpy as np
+import pytest
+
+from repro.radio import AccessPoint, IndoorEnvironment, LinkBudget
+from repro.wifi import CwlapOutputMask, Esp01Module, ScanConfig, UartTransport
+
+
+@pytest.fixture()
+def module(rng):
+    aps = [
+        AccessPoint("aa:aa:aa:aa:aa:01", "one", 1, (4.0, 0.0, 0.0), tx_power_dbm=17.0),
+        AccessPoint("aa:aa:aa:aa:aa:02", "two", 6, (0.0, 4.0, 0.0), tx_power_dbm=17.0),
+    ]
+    env = IndoorEnvironment(
+        [], aps, budget=LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=0.0), seed=2
+    )
+    return Esp01Module(
+        env, rng, scan_config=ScanConfig(collision_miss_probability=0.0)
+    )
+
+
+class TestAtProtocol:
+    def test_at_probe(self, module):
+        assert module.execute("AT") == ["OK"]
+
+    def test_unknown_command_errors(self, module):
+        assert module.execute("AT+BOGUS") == ["ERROR"]
+
+    def test_scan_requires_station_mode(self, module):
+        assert module.execute("AT+CWLAP") == ["ERROR"]
+        assert module.execute("AT+CWMODE_CUR=1") == ["OK"]
+        lines = module.execute("AT+CWLAP")
+        assert lines[-1] == "OK"
+        assert len(lines) == 3  # two APs + OK
+
+    def test_cwmode_validation(self, module):
+        assert module.execute("AT+CWMODE_CUR=9") == ["ERROR"]
+
+    def test_scan_output_format(self, module):
+        module.execute("AT+CWMODE_CUR=1")
+        module.execute("AT+CWLAPOPT=0,30")
+        lines = module.execute("AT+CWLAP")
+        assert lines[0].startswith('+CWLAP:("')
+        # (ssid, rssi, mac, channel) — 4 comma-separated fields.
+        assert lines[0].count(",") == 3
+
+    def test_lapopt_mask_controls_fields(self, module):
+        module.execute("AT+CWMODE_CUR=1")
+        module.execute("AT+CWLAPOPT=0,4")  # rssi only
+        lines = module.execute("AT+CWLAP")
+        body = lines[0][len("+CWLAP:("):-1]
+        assert body.lstrip("-").isdigit()
+
+    def test_lapopt_bad_args(self, module):
+        assert module.execute("AT+CWLAPOPT=zzz") == ["ERROR"]
+
+    def test_commands_logged(self, module):
+        module.execute("AT")
+        module.execute("AT+CWMODE_CUR=1")
+        assert module.commands_seen == ["AT", "AT+CWMODE_CUR=1"]
+
+
+class TestCwlapOutputMask:
+    def test_roundtrip(self):
+        for mask_int in (0, 30, 31, 2, 16):
+            assert CwlapOutputMask.from_int(mask_int).to_int() == mask_int
+
+    def test_paper_mask_is_30(self):
+        mask = CwlapOutputMask.from_int(30)
+        assert (mask.ssid, mask.rssi, mask.mac, mask.channel) == (True,) * 4
+        assert not mask.ecn
+
+
+class TestUartTransport:
+    def test_command_echo_and_response(self, module):
+        uart = UartTransport(module, echo=True)
+        uart.write(b"AT\r\n")
+        lines = uart.read_lines()
+        assert lines == ["AT", "OK"]
+
+    def test_no_echo_mode(self, module):
+        uart = UartTransport(module, echo=False)
+        uart.write(b"AT\r\n")
+        assert uart.read_lines() == ["OK"]
+
+    def test_partial_writes_buffered(self, module):
+        uart = UartTransport(module, echo=False)
+        uart.write(b"A")
+        assert uart.read_lines() == []
+        uart.write(b"T\r\n")
+        assert uart.read_lines() == ["OK"]
+
+    def test_read_bytes_interface(self, module):
+        uart = UartTransport(module, echo=False)
+        uart.write(b"AT\r\n")
+        assert uart.read() == b"OK\r\n"
+        assert uart.read() == b""
+
+    def test_pending_output_bytes(self, module):
+        uart = UartTransport(module, echo=False)
+        assert uart.pending_output_bytes == 0
+        uart.write(b"AT\r\n")
+        assert uart.pending_output_bytes == 4
+
+    def test_multiple_commands_in_one_write(self, module):
+        uart = UartTransport(module, echo=False)
+        uart.write(b"AT\r\nAT\r\n")
+        assert uart.read_lines() == ["OK", "OK"]

@@ -1,0 +1,123 @@
+"""Unit tests for the channel-sweep scanner."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    AccessPoint,
+    IndoorEnvironment,
+    LinkBudget,
+    crazyradio_source,
+)
+from repro.wifi import ChannelSweepScanner, ScanConfig
+
+
+def env_with_aps(aps, fading=0.0):
+    budget = LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=fading)
+    return IndoorEnvironment([], aps, budget=budget, seed=3)
+
+
+def strong_ap(mac="aa:aa:aa:aa:aa:01", channel=6, distance=3.0):
+    return AccessPoint(mac, "net", channel, (distance, 0.0, 0.0), tx_power_dbm=17.0)
+
+
+def scan_config(**kwargs):
+    defaults = dict(collision_miss_probability=0.0)
+    defaults.update(kwargs)
+    return ScanConfig(**defaults)
+
+
+class TestDetection:
+    def test_strong_ap_always_detected_without_collisions(self, rng):
+        env = env_with_aps([strong_ap()])
+        scanner = ChannelSweepScanner(env, scan_config())
+        report = scanner.scan((0, 0, 0), rng, duration_s=3.0)
+        assert len(report) == 1
+        assert report.records[0].mac == "aa:aa:aa:aa:aa:01"
+        assert report.records[0].channel == 6
+
+    def test_ap_below_sensitivity_never_detected(self, rng):
+        # 17 dBm - PL(3.5 exponent, far) way below -89 dBm at 100 m+.
+        far = AccessPoint("aa:aa:aa:aa:aa:02", "far", 6, (500.0, 0.0, 0.0))
+        env = env_with_aps([far])
+        scanner = ChannelSweepScanner(env, scan_config())
+        report = scanner.scan((0, 0, 0), rng, duration_s=3.0)
+        assert len(report) == 0
+
+    def test_rssi_reported_as_integer_near_mean(self, rng):
+        ap = strong_ap(distance=5.0)
+        env = env_with_aps([ap])
+        scanner = ChannelSweepScanner(env, scan_config())
+        report = scanner.scan((0, 0, 0), rng, duration_s=3.0)
+        expected = env.mean_rss_dbm(ap, (0, 0, 0))
+        assert isinstance(report.records[0].rssi_dbm, int)
+        assert report.records[0].rssi_dbm == pytest.approx(expected, abs=1.0)
+
+    def test_each_ap_listed_once(self, rng):
+        env = env_with_aps([strong_ap(), strong_ap("aa:aa:aa:aa:aa:03", channel=6)])
+        scanner = ChannelSweepScanner(env, scan_config())
+        report = scanner.scan((0, 0, 0), rng, duration_s=3.0)
+        assert sorted(report.macs()) == ["aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:03"]
+
+    def test_collision_probability_one_detects_nothing(self, rng):
+        env = env_with_aps([strong_ap()])
+        scanner = ChannelSweepScanner(env, scan_config(collision_miss_probability=1.0))
+        assert len(scanner.scan((0, 0, 0), rng, 3.0)) == 0
+
+    def test_rx_gain_offset_shifts_detection(self, rng):
+        # An AP just above threshold disappears with a -30 dB deaf receiver.
+        ap = strong_ap(distance=10.0)
+        env = env_with_aps([ap])
+        ok = ChannelSweepScanner(env, scan_config()).scan((0, 0, 0), rng, 3.0)
+        deaf = ChannelSweepScanner(
+            env, scan_config(rx_gain_offset_db=-60.0)
+        ).scan((0, 0, 0), rng, 3.0)
+        assert len(ok) == 1
+        assert len(deaf) == 0
+
+
+class TestInterferenceEffect:
+    def test_radio_on_detects_fewer(self, demo_scenario):
+        env = demo_scenario.environment
+        rng_off = np.random.default_rng(5)
+        rng_on = np.random.default_rng(5)
+        scanner = ChannelSweepScanner(env)
+        env.clear_interference()
+        off_counts = [len(scanner.scan(demo_scenario.flight_volume.center, rng_off, 3.0)) for _ in range(5)]
+        env.set_interference_sources([crazyradio_source(2450.0)])
+        on_counts = [len(scanner.scan(demo_scenario.flight_volume.center, rng_on, 3.0)) for _ in range(5)]
+        env.clear_interference()
+        assert np.mean(on_counts) < np.mean(off_counts)
+
+    def test_report_flags_interference(self, demo_scenario, rng):
+        env = demo_scenario.environment
+        scanner = ChannelSweepScanner(env)
+        env.set_interference_sources([crazyradio_source(2450.0)])
+        report = scanner.scan((1, 1, 1), rng, 3.0)
+        env.clear_interference()
+        assert report.interference_active
+        clean = scanner.scan((1, 1, 1), rng, 3.0)
+        assert not clean.interference_active
+
+
+class TestScanConfig:
+    def test_dwell_and_opportunities(self):
+        cfg = ScanConfig()
+        assert cfg.dwell_s(3.0) == pytest.approx(3.0 / 13)
+        assert cfg.opportunities(3.0) == 2
+        assert cfg.opportunities(0.5) == 1  # min_opportunities floor
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            ScanConfig().dwell_s(0.0)
+
+
+class TestDetectionProbability:
+    def test_monotone_in_distance(self, rng):
+        near = strong_ap(distance=5.0)
+        far = strong_ap("aa:aa:aa:aa:aa:09", distance=100.0)
+        env = env_with_aps([near, far], fading=3.0)
+        scanner = ChannelSweepScanner(env, scan_config(collision_miss_probability=0.3))
+        p_near = scanner.detection_probability(near, (0, 0, 0), rng, trials=200)
+        p_far = scanner.detection_probability(far, (0, 0, 0), rng, trials=200)
+        assert p_near > p_far
