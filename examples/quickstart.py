@@ -7,16 +7,27 @@ construction — then queries the map.
 
 Usage::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [scenario]
+
+where ``scenario`` is a registered name (condo, office, warehouse; the
+demo condo by default).
 """
 
+import sys
+
 from repro import ToolchainConfig, generate_rem
+from repro.station import CampaignConfig
 
 
 def main() -> None:
-    print("Flying the 72-waypoint demo campaign (simulated)...")
+    scenario = sys.argv[1] if len(sys.argv) > 1 else "condo"
+    print(f"Flying the 72-waypoint {scenario!r} campaign (simulated)...")
     result = generate_rem(
-        config=ToolchainConfig(tune_hyperparameters=False, rem_resolution_m=0.25)
+        config=ToolchainConfig(
+            campaign=CampaignConfig(scenario=scenario),
+            tune_hyperparameters=False,
+            rem_resolution_m=0.25,
+        )
     )
 
     summary = result.summary()
@@ -33,13 +44,14 @@ def main() -> None:
     print(f"strongest AP at the room center: {mac} at {rss:.1f} dBm")
 
     print()
-    print("predicted RSS of that AP along the room diagonal:")
+    print("predicted RSS of that AP along the room diagonal (one batched query):")
     sx, sy, sz = result.scenario.flight_volume.size
-    for t in (0.1, 0.3, 0.5, 0.7, 0.9):
-        point = (t * sx, t * sy, t * sz)
+    diagonal = [(t * sx, t * sy, t * sz) for t in (0.1, 0.3, 0.5, 0.7, 0.9)]
+    rss_along = rem.query_many(diagonal, [mac])[:, 0]
+    for point, value in zip(diagonal, rss_along):
         print(
             f"  ({point[0]:.2f}, {point[1]:.2f}, {point[2]:.2f}) -> "
-            f"{rem.query(point, mac):6.1f} dBm"
+            f"{value:6.1f} dBm"
         )
 
     dark = rem.dark_fraction(-70.0)

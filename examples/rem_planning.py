@@ -41,12 +41,7 @@ def main() -> None:
         # The demo room is brightly lit; raise the service bar until a
         # dark region appears so the planning flow can be demonstrated.
         print("\nno dark region at this threshold — raising the service bar:")
-        best = np.array(
-            [
-                max(rem.query(p, mac) for mac in rem.macs)
-                for p in rem.grid.points()[:: max(1, len(rem.grid.points()) // 400)]
-            ]
-        )
+        best = rem.best_rss_field().ravel()
         threshold = float(np.percentile(best, 25.0))
         print(f"using the 25th percentile of best-server RSS: {threshold:.1f} dBm")
         dark = rem.dark_points(threshold)

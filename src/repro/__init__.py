@@ -33,7 +33,14 @@ from .core import (
     generate_rem,
     preprocess,
 )
-from .radio import DemoScenario, DemoScenarioConfig, build_demo_scenario
+from .radio import (
+    DemoScenario,
+    DemoScenarioConfig,
+    available_scenarios,
+    build_demo_scenario,
+    build_scenario,
+    register_scenario,
+)
 from .station import (
     CampaignConfig,
     CampaignResult,
@@ -54,7 +61,10 @@ __all__ = [
     "preprocess",
     "DemoScenario",
     "DemoScenarioConfig",
+    "available_scenarios",
     "build_demo_scenario",
+    "build_scenario",
+    "register_scenario",
     "CampaignConfig",
     "CampaignResult",
     "SampleLog",

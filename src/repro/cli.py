@@ -33,6 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=63, help="master scenario seed (default 63)"
     )
+    parser.add_argument(
+        "--scenario",
+        default="condo",
+        help=(
+            "registered RF scenario to run in (e.g. condo, office, "
+            "warehouse; default condo)"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     campaign = commands.add_parser("campaign", help="fly the demo campaign")
@@ -68,11 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_campaign(args) -> int:
     from .analysis import campaign_stats
-    from .radio import build_demo_scenario
+    from .radio import build_scenario
     from .station import run_campaign
 
-    scenario = build_demo_scenario(seed=args.seed)
-    print(f"flying the demo campaign (seed {args.seed})...")
+    scenario = build_scenario(args.scenario, seed=args.seed)
+    print(f"flying the {args.scenario!r} campaign (seed {args.seed})...")
     result = run_campaign(scenario=scenario)
     stats = campaign_stats(result)
     print(f"total samples : {stats.total_samples} (paper: 2696)")
@@ -97,11 +105,11 @@ def _cmd_figures(args) -> int:
         render_figure7,
         render_figure8,
     )
-    from .radio import build_demo_scenario
+    from .radio import build_scenario
     from .station import run_campaign
 
     wanted = args.figure
-    scenario = build_demo_scenario(seed=args.seed)
+    scenario = build_scenario(args.scenario, seed=args.seed)
     if wanted in ("5", "all"):
         print("=== Figure 5 ===")
         print(render_figure5(figure5(scenario=scenario)))
@@ -143,10 +151,10 @@ def _cmd_localization(args) -> int:
     import numpy as np
 
     from .analysis import table
-    from .radio import build_demo_scenario
+    from .radio import build_scenario
     from .uwb import LocalizationMode, corner_layout, evaluate_hovering_accuracy
 
-    scenario = build_demo_scenario(seed=args.seed)
+    scenario = build_scenario(args.scenario, seed=args.seed)
     layout = corner_layout(scenario.flight_volume)
     rng = np.random.default_rng(args.seed)
     rows = []
@@ -163,11 +171,11 @@ def _cmd_localization(args) -> int:
 
 def _cmd_density(args) -> int:
     from .core import density_sweep
-    from .radio import build_demo_scenario
+    from .radio import build_scenario
     from .station import run_campaign
 
     counts = [int(c) for c in args.counts.split(",")]
-    scenario = build_demo_scenario(seed=args.seed)
+    scenario = build_scenario(args.scenario, seed=args.seed)
     print("flying the campaign for the density study...")
     campaign = run_campaign(scenario=scenario)
     result = density_sweep(campaign.log, location_counts=counts)
@@ -185,11 +193,14 @@ def _cmd_rem(args) -> int:
     from .station import CampaignConfig
 
     config = ToolchainConfig(
-        campaign=CampaignConfig(seed=args.seed),
+        campaign=CampaignConfig(seed=args.seed, scenario=args.scenario),
         tune_hyperparameters=args.tune,
         rem_resolution_m=args.resolution,
     )
-    print(f"generating the REM (seed {args.seed}, {args.resolution} m lattice)...")
+    print(
+        f"generating the {args.scenario!r} REM "
+        f"(seed {args.seed}, {args.resolution} m lattice)..."
+    )
     result = generate_rem(config=config)
     summary = result.summary()
     print(

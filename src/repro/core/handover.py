@@ -11,7 +11,7 @@ stable but serves a weaker AP for longer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,35 +76,35 @@ def plan_handovers(
     if not points:
         raise ValueError("empty path")
 
-    rss_by_mac: Dict[str, List[float]] = {
-        mac: [rem.query(p, mac) for p in points] for mac in mac_list
-    }
+    # One batched query for the whole path × candidate set.
+    rss_matrix = rem.query_many(points, mac_list)  # (n_points, n_macs)
+    best_columns = rss_matrix.argmax(axis=1)
 
-    serving: Optional[str] = None
+    serving_col: Optional[int] = None
     serving_sequence: List[str] = []
     serving_rss: List[float] = []
     events: List[HandoverEvent] = []
     for index, point in enumerate(points):
-        best_mac = max(mac_list, key=lambda m: rss_by_mac[m][index])
-        if serving is None:
-            serving = best_mac
+        best_col = int(best_columns[index])
+        if serving_col is None:
+            serving_col = best_col
         else:
-            current = rss_by_mac[serving][index]
-            challenger = rss_by_mac[best_mac][index]
-            if best_mac != serving and challenger > current + hysteresis_db:
+            current = float(rss_matrix[index, serving_col])
+            challenger = float(rss_matrix[index, best_col])
+            if best_col != serving_col and challenger > current + hysteresis_db:
                 events.append(
                     HandoverEvent(
                         path_index=index,
                         position=point,
-                        from_mac=serving,
-                        to_mac=best_mac,
+                        from_mac=mac_list[serving_col],
+                        to_mac=mac_list[best_col],
                         from_rss_dbm=current,
                         to_rss_dbm=challenger,
                     )
                 )
-                serving = best_mac
-        serving_sequence.append(serving)
-        serving_rss.append(rss_by_mac[serving][index])
+                serving_col = best_col
+        serving_sequence.append(mac_list[serving_col])
+        serving_rss.append(float(rss_matrix[index, serving_col]))
     return HandoverPlan(
         serving_macs=serving_sequence,
         serving_rss_dbm=serving_rss,

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..radio.scenarios import DemoScenario, build_demo_scenario
+from ..radio.scenarios import DemoScenario, build_scenario
 from ..station.campaign import CampaignConfig, CampaignResult, run_campaign
 from .predictors import (
     GridSearchResult,
@@ -71,14 +71,15 @@ class ToolchainResult:
 def generate_rem(
     scenario: Optional[DemoScenario] = None,
     predictor: Optional[Predictor] = None,
-    config: ToolchainConfig = None,
+    config: Optional[ToolchainConfig] = None,
 ) -> ToolchainResult:
     """Run the complete toolchain and return the REM plus diagnostics.
 
     Parameters
     ----------
     scenario:
-        RF world (demo scenario when omitted).
+        RF world; built from ``config.campaign.scenario`` (the registry
+        name) when omitted.
     predictor:
         Estimator to use.  When omitted, a k-NN regressor is grid-search
         tuned exactly as in §III-B (unless ``tune_hyperparameters`` is
@@ -88,7 +89,9 @@ def generate_rem(
     """
     config = config or ToolchainConfig()
     if scenario is None:
-        scenario = build_demo_scenario(seed=config.campaign.seed)
+        scenario = build_scenario(
+            config.campaign.scenario, seed=config.campaign.seed
+        )
     campaign = run_campaign(scenario=scenario, config=config.campaign)
     prep = preprocess(campaign.log, config.preprocess)
 

@@ -4,12 +4,24 @@ Predictors consume :class:`repro.core.REMDataset` views directly (not
 raw matrices) because several of the paper's estimators need the MAC
 identity of each sample, not just its feature encoding — the
 mean-per-MAC baseline and the per-MAC k-NN ensemble most obviously.
+
+Beyond the row-wise :meth:`Predictor.predict`, the contract exposes two
+batched entry points that the REM engine drives:
+
+* :meth:`Predictor.predict_points` — predict at raw ``(N, 3)`` points
+  with one MAC index per row, without building a dataset view;
+* :meth:`Predictor.predict_mac_grid` — the REM cross product: one point
+  set evaluated for *every* requested MAC, returned as ``(M, N)``.
+
+The base class provides shims that route both through the legacy
+:meth:`predict` path, so third-party predictors keep working unchanged;
+the in-tree estimators override them with vectorized fast paths.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +50,7 @@ class Predictor(abc.ABC):
 
     def __init__(self):
         self._fitted = False
+        self._train_vocabulary: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -47,6 +60,100 @@ class Predictor(abc.ABC):
     @abc.abstractmethod
     def predict(self, data: REMDataset) -> np.ndarray:
         """Predict RSS (dBm) for every row of ``data``."""
+
+    # ------------------------------------------------------------------
+    # batched query API (the REM engine's entry points)
+    # ------------------------------------------------------------------
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Predict RSS at raw ``(N, 3)`` points, one MAC index per row.
+
+        The default shim wraps the inputs in a :class:`REMDataset` over
+        the fitted vocabulary and defers to :meth:`predict`, preserving
+        the legacy per-dataset path bit for bit.  Subclasses override it
+        with native vectorized implementations.
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        return self.predict(self._as_dataset(points, mac_indices))
+
+    def predict_mac_grid(
+        self, points: np.ndarray, mac_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Evaluate one point set for every MAC in ``mac_indices``.
+
+        Returns an ``(M, N)`` array: row ``m`` is the field of
+        ``mac_indices[m]`` over all ``N`` points.  The default stacks
+        per-MAC :meth:`predict_points` calls; estimators that can share
+        work across MACs (the one-hot k-NN most notably) override it.
+        """
+        self._require_fitted()
+        points, macs = self._coerce_grid_query(points, mac_indices)
+        n = len(points)
+        out = np.empty((len(macs), n))
+        for row, mac_index in enumerate(macs):
+            out[row] = self.predict_points(
+                points, np.full(n, int(mac_index), dtype=int)
+            )
+        return out
+
+    def bind_vocabulary(self, mac_vocabulary: Sequence[str]) -> None:
+        """Record the MAC vocabulary the batched shims should assume.
+
+        A no-op when :meth:`fit` already recorded one (every in-tree
+        estimator does); consumers like ``build_rem`` call this so that
+        legacy subclasses whose ``fit`` predates the batched API still
+        get correctly-shaped dataset views from the shims.
+        """
+        if self._train_vocabulary is None:
+            self._train_vocabulary = tuple(mac_vocabulary)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_grid_query(
+        points: np.ndarray, mac_indices: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalize a (point set, MAC list) grid-query pair."""
+        points = np.ascontiguousarray(
+            np.asarray(points, dtype=float).reshape(-1, 3)
+        )
+        return points, np.asarray(mac_indices, dtype=int).reshape(-1)
+
+    def _coerce_point_query(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate/normalize a (points, mac_indices) query pair."""
+        points = np.asarray(points, dtype=float).reshape(-1, 3)
+        mac_indices = np.asarray(mac_indices, dtype=int)
+        if mac_indices.ndim == 0:
+            mac_indices = np.full(len(points), int(mac_indices), dtype=int)
+        if mac_indices.shape != (len(points),):
+            raise ValueError(
+                f"mac_indices shape {mac_indices.shape} does not match "
+                f"{len(points)} query points"
+            )
+        return points, mac_indices
+
+    def _as_dataset(self, points: np.ndarray, mac_indices: np.ndarray) -> REMDataset:
+        """A throwaway dataset view over raw query points."""
+        vocabulary = self._train_vocabulary
+        if vocabulary is None or (
+            len(mac_indices) and int(mac_indices.max()) >= len(vocabulary)
+        ):
+            # Unknown training vocabulary (or indices beyond it): make a
+            # synthetic one wide enough — per-MAC estimators only key on
+            # the integer index anyway.
+            width = int(mac_indices.max()) + 1 if len(mac_indices) else 1
+            vocabulary = tuple(f"mac-{i:02d}" for i in range(width))
+        n = len(points)
+        return REMDataset(
+            positions=points,
+            mac_indices=mac_indices,
+            channels=np.ones(n, dtype=int),
+            rssi_dbm=np.zeros(n),
+            mac_vocabulary=vocabulary,
+        )
 
     # ------------------------------------------------------------------
     def get_params(self) -> Dict[str, Any]:
@@ -69,8 +176,10 @@ class Predictor(abc.ABC):
         return type(self)(**params)
 
     # ------------------------------------------------------------------
-    def _mark_fitted(self) -> None:
+    def _mark_fitted(self, train: Optional[REMDataset] = None) -> None:
         self._fitted = True
+        if train is not None:
+            self._train_vocabulary = train.mac_vocabulary
 
     def _require_fitted(self) -> None:
         if not self._fitted:

@@ -28,6 +28,7 @@ class MeanPerMacBaseline(Predictor):
     def __init__(self):
         super().__init__()
         self._means: Dict[int, float] = {}
+        self._means_table: np.ndarray = np.zeros(0)
         self._global_mean = 0.0
 
     def fit(self, train: REMDataset) -> "MeanPerMacBaseline":
@@ -39,15 +40,37 @@ class MeanPerMacBaseline(Predictor):
         for mac_index in np.unique(train.mac_indices):
             mask = train.mac_indices == mac_index
             self._means[int(mac_index)] = float(train.rssi_dbm[mask].mean())
-        self._mark_fitted()
+        # Dense lookup table over the vocabulary for the batched paths
+        # (vocabulary entries never observed in training keep the global
+        # mean, matching the dict's .get() fallback).
+        self._means_table = np.full(train.n_macs, self._global_mean)
+        for key, value in self._means.items():
+            self._means_table[key] = value
+        self._mark_fitted(train)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:
         """Per-MAC training mean; global mean for unseen MACs."""
         self._require_fitted()
-        return np.array(
-            [
-                self._means.get(int(idx), self._global_mean)
-                for idx in data.mac_indices
-            ]
-        )
+        return self._lookup(data.mac_indices)
+
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized table lookup (positions are irrelevant here)."""
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        return self._lookup(mac_indices)
+
+    def predict_mac_grid(self, points: np.ndarray, mac_indices) -> np.ndarray:
+        """Each MAC's field is a constant plane at its training mean."""
+        self._require_fitted()
+        points, macs = self._coerce_grid_query(points, mac_indices)
+        return np.repeat(self._lookup(macs)[:, None], len(points), axis=1)
+
+    def _lookup(self, mac_indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(mac_indices, dtype=int)
+        out = np.full(indices.shape, self._global_mean)
+        known = (indices >= 0) & (indices < len(self._means_table))
+        out[known] = self._means_table[indices[known]]
+        return out

@@ -58,31 +58,46 @@ class IdwRegressor(Predictor):
                 train.positions[mask],
                 train.rssi_dbm[mask].astype(float),
             )
-        self._mark_fitted()
+        self._mark_fitted(train)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:
         """Shepard-weighted average of same-MAC samples per query."""
         self._require_fitted()
-        out = np.full(len(data), self._global_mean)
-        for mac_index in np.unique(data.mac_indices):
+        return self.predict_points(data.positions, data.mac_indices)
+
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched prediction: one vectorized Shepard kernel per MAC."""
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        out = np.full(len(points), self._global_mean)
+        for mac_index in np.unique(mac_indices):
             key = int(mac_index)
             if key not in self._per_mac:
                 continue
             positions, values = self._per_mac[key]
-            mask = data.mac_indices == mac_index
-            queries = data.positions[mask]
-            distances = np.linalg.norm(
-                queries[:, None, :] - positions[None, :, :], axis=2
-            )
-            estimates = np.empty(len(queries))
-            exact = distances.min(axis=1) < self.epsilon_m
-            for row in np.where(exact)[0]:
-                matches = distances[row] < self.epsilon_m
-                estimates[row] = float(values[matches].mean())
-            inexact = ~exact
-            if inexact.any():
-                weights = 1.0 / np.power(distances[inexact], self.power)
-                estimates[inexact] = (weights @ values) / weights.sum(axis=1)
-            out[mask] = estimates
+            mask = mac_indices == mac_index
+            out[mask] = self._shepard(positions, values, points[mask])
         return out
+
+    # ------------------------------------------------------------------
+    def _shepard(
+        self, positions: np.ndarray, values: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        distances = np.linalg.norm(
+            queries[:, None, :] - positions[None, :, :], axis=2
+        )
+        estimates = np.empty(len(queries))
+        exact = distances.min(axis=1) < self.epsilon_m
+        if exact.any():
+            matches = distances[exact] < self.epsilon_m
+            estimates[exact] = np.where(matches, values[None, :], 0.0).sum(
+                axis=1
+            ) / matches.sum(axis=1)
+        inexact = ~exact
+        if inexact.any():
+            weights = 1.0 / np.power(distances[inexact], self.power)
+            estimates[inexact] = (weights @ values) / weights.sum(axis=1)
+        return estimates

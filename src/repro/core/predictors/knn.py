@@ -12,11 +12,22 @@ searched within the same AP first.  The paper evaluates:
 
 Implemented directly on numpy (no scikit-learn available offline):
 brute-force Minkowski distances, chunked to bound memory.
+
+The batched fast path exploits the one-hot structure analytically: for
+any Minkowski exponent ``p``, the distance between a query of MAC ``m``
+and a training sample of MAC ``m'`` satisfies
+
+    d^p = d_xyz^p + 2 * onehot_scale^p * [m != m'],
+
+so instead of forming the full ``(3 + n_macs)``-dimensional feature
+matrix per MAC, :meth:`KnnRegressor.predict_mac_grid` computes the
+3-D powered distance matrix **once** and adds the constant cross-MAC
+penalty per MAC — one small matrix instead of 73 wide ones.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -26,18 +37,89 @@ from .base import Predictor
 __all__ = ["KnnRegressor"]
 
 _CHUNK_ROWS = 512
+#: Larger chunks for the grid path: the per-chunk matrix is reused
+#: across every MAC, so python overhead dominates at small sizes.
+_GRID_CHUNK_ROWS = 4096
+
+
+def _squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances via the quadratic expansion.
+
+    ``||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b`` cancels catastrophically
+    at coincident points, leaving a BLAS-batch-dependent residual of
+    order ``eps * (||a||^2 + ||b||^2)``; such residuals are snapped to
+    exact zero so the exact-match convention downstream fires
+    identically in every path regardless of chunk size.
+    """
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    scale = aa + bb
+    sq = np.maximum(scale - 2.0 * (a @ b.T), 0.0)
+    sq[sq <= 1e-12 * scale] = 0.0
+    return sq
 
 
 def _minkowski_distances(a: np.ndarray, b: np.ndarray, p: float) -> np.ndarray:
     """Pairwise Minkowski-p distances between rows of ``a`` and ``b``."""
     if p == 2.0:
-        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (fast path)
-        aa = np.sum(a * a, axis=1)[:, None]
-        bb = np.sum(b * b, axis=1)[None, :]
-        sq = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
-        return np.sqrt(sq)
+        return np.sqrt(_squared_distances(a, b))
     diff = np.abs(a[:, None, :] - b[None, :, :])
     return np.power(np.sum(np.power(diff, p), axis=2), 1.0 / p)
+
+
+def _powered_distances(a: np.ndarray, b: np.ndarray, p: float) -> np.ndarray:
+    """Pairwise Minkowski-p distances **raised to p** (monotone proxy)."""
+    if p == 2.0:
+        return _squared_distances(a, b)
+    diff = np.abs(a[:, None, :] - b[None, :, :])
+    return np.sum(np.power(diff, p), axis=2)
+
+
+#: Relative tolerance for k-th-neighbor boundary ties.  Values this
+#: close are either genuine duplicates (every beacon of one scan shares
+#: that scan's position estimate, so cross-MAC distances collide) or
+#: representation noise: the legacy 60-dim feature path places each
+#: MAC's one-hot term at a different column of its norm summation,
+#: splitting exact ties into ±1-ulp subgroups.
+_TIE_RTOL = 1e-9
+
+
+def _stable_topk(powered: np.ndarray, k: int):
+    """Row-wise indices/values of the ``k`` smallest entries.
+
+    Ties at the k-th-neighbor boundary (within ``_TIE_RTOL`` relative)
+    are broken by **lowest column index** — a deterministic convention,
+    unlike raw ``argpartition`` whose introselect pivots make tie
+    resolution depend on floating-point noise elsewhere in the row.
+    """
+    n, m = powered.shape
+    if k >= m:
+        idx = np.broadcast_to(np.arange(m), powered.shape)
+        return idx, powered
+    part = np.argpartition(powered, k - 1, axis=1)[:, :k]
+    thresh = np.take_along_axis(powered, part, axis=1).max(axis=1, keepdims=True)
+    eps = _TIE_RTOL * thresh + 1e-15
+    less = powered < thresh - eps
+    need = k - less.sum(axis=1, keepdims=True)
+    tied = np.abs(powered - thresh) <= eps
+    mask = less | (tied & (np.cumsum(tied, axis=1) <= need))
+    idx = np.nonzero(mask)[1].reshape(n, k)
+    return idx, np.take_along_axis(powered, idx, axis=1)
+
+
+def _inverse_distance_average(
+    neighbor_dist: np.ndarray, neighbor_y: np.ndarray
+) -> np.ndarray:
+    """Row-wise inverse-distance weighted average with the exact-match
+    convention: rows containing zero distances average only the exact
+    matches (scikit-learn's behavior)."""
+    zero_mask = neighbor_dist <= 1e-12
+    has_zero = zero_mask.any(axis=1)
+    with np.errstate(divide="ignore"):
+        w = 1.0 / neighbor_dist
+    if has_zero.any():
+        w[has_zero] = zero_mask[has_zero].astype(float)
+    return np.sum(w * neighbor_y, axis=1) / np.sum(w, axis=1)
 
 
 class KnnRegressor(Predictor):
@@ -81,6 +163,9 @@ class KnnRegressor(Predictor):
         self.onehot_scale = float(onehot_scale)
         self._train_features: Optional[np.ndarray] = None
         self._train_targets: Optional[np.ndarray] = None
+        self._train_positions: Optional[np.ndarray] = None
+        self._train_macs: Optional[np.ndarray] = None
+        self._mac_columns: dict = {}
 
     # ------------------------------------------------------------------
     def fit(self, train: REMDataset) -> "KnnRegressor":
@@ -89,7 +174,15 @@ class KnnRegressor(Predictor):
             raise ValueError("cannot fit on an empty dataset")
         self._train_features = train.features(self.onehot_scale)
         self._train_targets = train.rssi_dbm.astype(float).copy()
-        self._mark_fitted()
+        self._train_positions = np.ascontiguousarray(
+            train.positions.astype(float)
+        )
+        self._train_macs = train.mac_indices.astype(int).copy()
+        self._mac_columns = {
+            int(mac): np.flatnonzero(self._train_macs == mac)
+            for mac in np.unique(self._train_macs)
+        }
+        self._mark_fitted(train)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:
@@ -103,27 +196,149 @@ class KnnRegressor(Predictor):
         return out
 
     # ------------------------------------------------------------------
+    # batched fast paths
+    # ------------------------------------------------------------------
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched prediction via the partitioned-penalty decomposition."""
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        assert self._train_macs is not None
+        out = np.empty(len(points))
+        for start in range(0, len(points), _GRID_CHUNK_ROWS):
+            sl = slice(start, min(start + _GRID_CHUNK_ROWS, len(points)))
+            base = _powered_distances(points[sl], self._train_positions, self.p)
+            global_idx, global_pow = self._global_candidates(base)
+            chunk_macs = mac_indices[sl]
+            chunk_out = out[sl]
+            for mac_index in np.unique(chunk_macs):
+                rows = chunk_macs == mac_index
+                chunk_out[rows] = self._reduce_for_mac(
+                    base[rows], global_idx[rows], global_pow[rows], int(mac_index)
+                )
+        return out
+
+    def predict_mac_grid(
+        self, points: np.ndarray, mac_indices: Sequence[int]
+    ) -> np.ndarray:
+        """One shared 3-D distance matrix serves every MAC's field.
+
+        The cross-MAC penalty is a constant per MAC, so the expensive
+        parts — the powered 3-D distance matrix and its global top-2k
+        neighbor candidates — are computed once and reused by every MAC;
+        each MAC then only refines candidates against its own (small)
+        training partition.
+        """
+        self._require_fitted()
+        assert self._train_macs is not None
+        points, macs = self._coerce_grid_query(points, mac_indices)
+        out = np.empty((len(macs), len(points)))
+        for start in range(0, len(points), _GRID_CHUNK_ROWS):
+            sl = slice(start, min(start + _GRID_CHUNK_ROWS, len(points)))
+            base = _powered_distances(points[sl], self._train_positions, self.p)
+            global_idx, global_pow = self._global_candidates(base)
+            for row, mac_index in enumerate(macs):
+                out[row, sl] = self._reduce_for_mac(
+                    base, global_idx, global_pow, int(mac_index)
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def _global_candidates(self, base: np.ndarray):
+        """Top-2k xyz neighbors regardless of MAC, shared across MACs."""
+        width = min(2 * self.n_neighbors, base.shape[1])
+        return _stable_topk(base, width)
+
+    def _reduce_for_mac(
+        self,
+        base: np.ndarray,
+        global_idx: np.ndarray,
+        global_pow: np.ndarray,
+        mac_index: int,
+    ) -> np.ndarray:
+        """Exact top-k under the penalty decomposition for one MAC.
+
+        True penalized neighbors are either same-MAC (covered by the
+        per-MAC top-k over that MAC's training partition) or other-MAC
+        (covered by the global top-2k whenever it holds enough other-MAC
+        entries — rows where it does not fall back to the dense search).
+        """
+        assert self._train_macs is not None and self._train_targets is not None
+        n_train = len(self._train_targets)
+        k = min(self.n_neighbors, n_train)
+        penalty = 2.0 * self.onehot_scale**self.p
+        if penalty == 0.0 or global_pow.shape[1] >= n_train:
+            return self._reduce_dense(base, mac_index, penalty)
+
+        columns = self._mac_columns.get(mac_index)
+        n_queries = len(base)
+        if columns is None or len(columns) == 0:
+            same_idx = np.empty((n_queries, 0), dtype=int)
+            same_pow = np.empty((n_queries, 0))
+        elif len(columns) <= k:
+            same_idx = np.broadcast_to(columns, (n_queries, len(columns)))
+            same_pow = base[:, columns]
+        else:
+            pick, same_pow = _stable_topk(base[:, columns], k)
+            same_idx = columns[pick]
+
+        other_mask = self._train_macs[global_idx] != mac_index
+        n_other = n_train - (0 if columns is None else len(columns))
+        covered = other_mask.sum(axis=1) >= min(k, n_other)
+        other_pow = np.where(other_mask, global_pow + penalty, np.inf)
+
+        cand_pow = np.concatenate([same_pow, other_pow], axis=1)
+        cand_idx = np.concatenate([same_idx, global_idx], axis=1)
+        pick, neighbor_pow = _stable_topk(cand_pow, k)
+        neighbor_idx = np.take_along_axis(cand_idx, pick, axis=1)
+        out = self._weighted_average(
+            neighbor_pow, self._train_targets[neighbor_idx]
+        )
+        if not covered.all():
+            uncovered = ~covered
+            out[uncovered] = self._reduce_dense(base[uncovered], mac_index, penalty)
+        return out
+
+    def _reduce_dense(
+        self, base: np.ndarray, mac_index: int, penalty: float
+    ) -> np.ndarray:
+        """Dense fallback: penalize every column, then top-k."""
+        assert self._train_macs is not None
+        if penalty != 0.0:
+            powered = base + penalty * (self._train_macs != mac_index)
+        else:
+            powered = base
+        return self._reduce_neighbors(powered)
+
+    def _reduce_neighbors(self, powered: np.ndarray) -> np.ndarray:
+        """Top-k selection + weighting on a powered-distance matrix."""
+        assert self._train_targets is not None
+        k = min(self.n_neighbors, len(self._train_targets))
+        neighbor_idx, neighbor_pow = _stable_topk(powered, k)
+        return self._weighted_average(
+            neighbor_pow, self._train_targets[neighbor_idx]
+        )
+
+    def _weighted_average(
+        self, neighbor_pow: np.ndarray, neighbor_y: np.ndarray
+    ) -> np.ndarray:
+        """Uniform or inverse-distance weighting over selected neighbors."""
+        if self.weights == "uniform":
+            return neighbor_y.mean(axis=1)
+        if self.p == 2.0:
+            neighbor_dist = np.sqrt(neighbor_pow)
+        else:
+            neighbor_dist = np.power(neighbor_pow, 1.0 / self.p)
+        return _inverse_distance_average(neighbor_dist, neighbor_y)
+
+    # ------------------------------------------------------------------
     def _predict_chunk(self, queries: np.ndarray) -> np.ndarray:
         assert self._train_features is not None and self._train_targets is not None
         k = min(self.n_neighbors, len(self._train_targets))
         distances = _minkowski_distances(queries, self._train_features, self.p)
-        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
-        rows = np.arange(len(queries))[:, None]
-        neighbor_dist = distances[rows, neighbor_idx]
+        neighbor_idx, neighbor_dist = _stable_topk(distances, k)
         neighbor_y = self._train_targets[neighbor_idx]
         if self.weights == "uniform":
             return neighbor_y.mean(axis=1)
-        # Inverse-distance weights with the exact-match convention:
-        # rows containing zero distances average only the exact matches.
-        out = np.empty(len(queries))
-        zero_mask = neighbor_dist <= 1e-12
-        has_zero = zero_mask.any(axis=1)
-        with np.errstate(divide="ignore"):
-            w = 1.0 / neighbor_dist
-        for i in range(len(queries)):
-            if has_zero[i]:
-                out[i] = neighbor_y[i][zero_mask[i]].mean()
-            else:
-                wi = w[i]
-                out[i] = float(np.sum(wi * neighbor_y[i]) / np.sum(wi))
-        return out
+        return _inverse_distance_average(neighbor_dist, neighbor_y)

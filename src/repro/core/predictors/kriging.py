@@ -24,6 +24,9 @@ from .base import Predictor
 
 __all__ = ["ExponentialVariogram", "OrdinaryKrigingRegressor", "fit_variogram"]
 
+#: Query block size bounding the stacked-system memory footprint.
+_BLOCK_ROWS = 2048
+
 
 @dataclass(frozen=True)
 class ExponentialVariogram:
@@ -119,7 +122,7 @@ class OrdinaryKrigingRegressor(Predictor):
             values = train.rssi_dbm[mask].astype(float)
             variogram = fit_variogram(positions, values, n_bins=self.n_bins)
             self._models[int(mac_index)] = (positions, values, variogram)
-        self._mark_fitted()
+        self._mark_fitted(train)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:
@@ -134,52 +137,88 @@ class OrdinaryKrigingRegressor(Predictor):
         _, stds = self._predict_with_std(data)
         return stds
 
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched prediction: one stacked kriging solve per MAC group."""
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        means, _ = self._predict_arrays_with_std(points, mac_indices)
+        return means
+
     # ------------------------------------------------------------------
     def _predict_with_std(self, data: REMDataset) -> Tuple[np.ndarray, np.ndarray]:
-        means = np.full(len(data), self._global_mean)
-        stds = np.zeros(len(data))
-        for mac_index in np.unique(data.mac_indices):
+        return self._predict_arrays_with_std(data.positions, data.mac_indices)
+
+    def _predict_arrays_with_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        means = np.full(len(points), self._global_mean)
+        stds = np.zeros(len(points))
+        for mac_index in np.unique(mac_indices):
             key = int(mac_index)
-            mask = data.mac_indices == mac_index
+            mask = mac_indices == mac_index
             if key not in self._models:
                 continue
             positions, values, variogram = self._models[key]
-            for row in np.where(mask)[0]:
-                means[row], stds[row] = self._krige_point(
-                    data.positions[row], positions, values, variogram
-                )
+            means[mask], stds[mask] = self._krige_block(
+                points[mask], positions, values, variogram
+            )
         return means, stds
 
-    def _krige_point(
+    def _krige_block(
         self,
-        query: np.ndarray,
+        queries: np.ndarray,
         positions: np.ndarray,
         values: np.ndarray,
         variogram: ExponentialVariogram,
-    ) -> Tuple[float, float]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve the ordinary-kriging system for a block of queries.
+
+        The per-query ``(k+1, k+1)`` systems are stacked and handed to
+        one batched ``np.linalg.solve`` call; singular batches fall back
+        to row-wise least squares (the legacy behavior).
+        """
+        n_queries = len(queries)
         n = len(values)
         if n == 1:
-            return float(values[0]), float(np.sqrt(max(variogram.sill, 0.0)))
+            sill_std = float(np.sqrt(max(variogram.sill, 0.0)))
+            return np.full(n_queries, float(values[0])), np.full(n_queries, sill_std)
         k = min(self.n_neighbors, n)
-        dists = np.linalg.norm(positions - query, axis=1)
-        nearest = np.argpartition(dists, k - 1)[:k]
-        pts = positions[nearest]
-        vals = values[nearest]
-        # Ordinary kriging system with a Lagrange multiplier.
-        pair_lags = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
-        gamma_matrix = variogram(pair_lags)
-        a = np.zeros((k + 1, k + 1))
-        a[:k, :k] = gamma_matrix
-        a[k, :k] = 1.0
-        a[:k, k] = 1.0
-        b = np.zeros(k + 1)
-        b[:k] = variogram(dists[nearest])
-        b[k] = 1.0
-        try:
-            solution = np.linalg.solve(a, b)
-        except np.linalg.LinAlgError:
-            solution, *_ = np.linalg.lstsq(a, b, rcond=None)
-        weights = solution[:k]
-        mean = float(weights @ vals)
-        variance = float(weights @ b[:k] + solution[k])
-        return mean, float(np.sqrt(max(variance, 0.0)))
+        out_means = np.empty(n_queries)
+        out_stds = np.empty(n_queries)
+        for start in range(0, n_queries, _BLOCK_ROWS):
+            sl = slice(start, min(start + _BLOCK_ROWS, n_queries))
+            block = queries[sl]
+            q = len(block)
+            dists = np.linalg.norm(
+                block[:, None, :] - positions[None, :, :], axis=2
+            )
+            nearest = np.argpartition(dists, k - 1, axis=1)[:, :k]
+            pts = positions[nearest]  # (q, k, 3)
+            vals = values[nearest]  # (q, k)
+            # Ordinary kriging systems with a Lagrange multiplier.
+            pair_lags = np.linalg.norm(
+                pts[:, :, None, :] - pts[:, None, :, :], axis=3
+            )
+            a = np.zeros((q, k + 1, k + 1))
+            a[:, :k, :k] = variogram(pair_lags)
+            a[:, k, :k] = 1.0
+            a[:, :k, k] = 1.0
+            b = np.zeros((q, k + 1))
+            b[:, :k] = variogram(np.take_along_axis(dists, nearest, axis=1))
+            b[:, k] = 1.0
+            try:
+                solution = np.linalg.solve(a, b[..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                solution = np.empty((q, k + 1))
+                for i in range(q):
+                    try:
+                        solution[i] = np.linalg.solve(a[i], b[i])
+                    except np.linalg.LinAlgError:
+                        solution[i], *_ = np.linalg.lstsq(a[i], b[i], rcond=None)
+            weights = solution[:, :k]
+            out_means[sl] = np.sum(weights * vals, axis=1)
+            variance = np.sum(weights * b[:, :k], axis=1) + solution[:, k]
+            out_stds[sl] = np.sqrt(np.maximum(variance, 0.0))
+        return out_means, out_stds

@@ -142,7 +142,7 @@ class MlpRegressor(Predictor):
                     )
             self.training_loss.append(epoch_loss / n)
         self._weights = params
-        self._mark_fitted()
+        self._mark_fitted(train)
         return self
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..dataset import REMDataset
 from .base import Predictor
-from .knn import _minkowski_distances
+from .knn import _inverse_distance_average, _minkowski_distances, _stable_topk
 
 __all__ = ["PerMacKnnRegressor"]
 
@@ -55,19 +55,27 @@ class PerMacKnnRegressor(Predictor):
             mask = train.mac_indices == mac_index
             self._positions[int(mac_index)] = train.positions[mask]
             self._targets[int(mac_index)] = train.rssi_dbm[mask].astype(float)
-        self._mark_fitted()
+        self._mark_fitted(train)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:
         """Dispatch each query to its MAC's spatial regressor."""
         self._require_fitted()
-        out = np.full(len(data), self._global_mean)
-        for mac_index in np.unique(data.mac_indices):
-            mask = data.mac_indices == mac_index
+        return self.predict_points(data.positions, data.mac_indices)
+
+    def predict_points(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched prediction: group queries by MAC, one search per group."""
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        out = np.full(len(points), self._global_mean)
+        for mac_index in np.unique(mac_indices):
+            mask = mac_indices == mac_index
             key = int(mac_index)
             if key not in self._positions:
                 continue
-            out[mask] = self._predict_for_mac(key, data.positions[mask])
+            out[mask] = self._predict_for_mac(key, points[mask])
         return out
 
     # ------------------------------------------------------------------
@@ -76,20 +84,8 @@ class PerMacKnnRegressor(Predictor):
         targets = self._targets[mac_index]
         k = min(self.n_neighbors, len(targets))
         distances = _minkowski_distances(queries, positions, self.p)
-        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
-        rows = np.arange(len(queries))[:, None]
-        neighbor_dist = distances[rows, neighbor_idx]
+        neighbor_idx, neighbor_dist = _stable_topk(distances, k)
         neighbor_y = targets[neighbor_idx]
         if self.weights == "uniform":
             return neighbor_y.mean(axis=1)
-        out = np.empty(len(queries))
-        zero_mask = neighbor_dist <= 1e-12
-        has_zero = zero_mask.any(axis=1)
-        with np.errstate(divide="ignore"):
-            w = 1.0 / neighbor_dist
-        for i in range(len(queries)):
-            if has_zero[i]:
-                out[i] = neighbor_y[i][zero_mask[i]].mean()
-            else:
-                out[i] = float(np.sum(w[i] * neighbor_y[i]) / np.sum(w[i]))
-        return out
+        return _inverse_distance_average(neighbor_dist, neighbor_y)

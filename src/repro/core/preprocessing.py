@@ -15,7 +15,7 @@ Steps, exactly as the paper describes them:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ def train_test_split(
 
 
 def preprocess(
-    samples, config: PreprocessConfig = None
+    samples, config: Optional[PreprocessConfig] = None
 ) -> PreprocessResult:
     """Run the paper's preprocessing over raw campaign samples.
 

@@ -71,18 +71,16 @@ def place_relay(
     points = rem.grid.points()
     field = rem.field(mac).ravel()
 
-    best_index: Optional[int] = None
-    best_bottleneck = -np.inf
-    for index, point in enumerate(points):
-        if np.linalg.norm(point - client) < min_clearance_m:
-            continue
-        downlink = _relay_link_dbm(point, client, relay_tx_power_dbm, freq_mhz)
-        bottleneck = min(float(field[index]), downlink)
-        if bottleneck > best_bottleneck:
-            best_bottleneck = bottleneck
-            best_index = index
-    if best_index is None:
+    # Vectorized sweep of the whole lattice: free-space downlink per
+    # point, bottleneck against the REM field, clearance as a mask.
+    distances = np.linalg.norm(points - client, axis=1)
+    feasible = distances >= min_clearance_m
+    if not feasible.any():
         raise ValueError("no feasible relay position (clearance too large?)")
+    downlink = relay_tx_power_dbm - fspl_db(distances, freq_mhz)
+    bottleneck = np.minimum(field, downlink)
+    bottleneck[~feasible] = -np.inf
+    best_index = int(bottleneck.argmax())
 
     relay_point = points[best_index]
     return RelayPlacement(

@@ -10,13 +10,21 @@ the paper motivates in its introduction:
 * "dark region" extraction — sub-volumes where *no* AP exceeds a
   service threshold, i.e. where the operator should add an AP (§I).
 
+Internally all per-AP fields live in one stacked ``(n_macs, nx, ny,
+nz)`` tensor, so every consumer-facing operation — :meth:`query_many`,
+:meth:`strongest_ap_many`, the coverage and dark-region reductions —
+is a vectorized reduction over that tensor rather than a per-point
+Python loop.  :func:`build_rem` fills the tensor with **one** batched
+predictor call (:meth:`Predictor.predict_mac_grid`) instead of one
+full lattice pass per MAC.
+
 Maps serialize to plain dicts (JSON-compatible) for archival.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +54,12 @@ class RemGrid:
             max(2, int(round(s / self.resolution_m)) + 1) for s in size
         )  # type: ignore[return-value]
 
+    @property
+    def n_points(self) -> int:
+        """Total number of lattice points."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
     def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-axis coordinate vectors."""
         lo = np.asarray(self.volume.min_corner, dtype=float)
@@ -65,68 +79,195 @@ class RemGrid:
 
 
 class RadioEnvironmentMap:
-    """Per-AP predicted RSS over a 3-D lattice."""
+    """Per-AP predicted RSS over a 3-D lattice, stored as one tensor.
+
+    Fields of individual APs may be filled incrementally with
+    :meth:`set_field` or in bulk with :meth:`set_fields`; :attr:`macs`
+    lists the APs whose fields are present, in vocabulary order.
+    """
 
     def __init__(self, grid: RemGrid, mac_vocabulary: Sequence[str]):
         self.grid = grid
         self.mac_vocabulary: Tuple[str, ...] = tuple(mac_vocabulary)
-        self._fields: Dict[str, np.ndarray] = {}
+        self._index: Dict[str, int] = {
+            mac: i for i, mac in enumerate(self.mac_vocabulary)
+        }
+        # The stack holds one row per *stored* field (not per vocabulary
+        # entry — vocabularies can be much wider than the mapped subset).
+        self._stack = np.empty((0,) + grid.shape)
+        self._row_of: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def set_field(self, mac: str, values: np.ndarray) -> None:
         """Store the lattice field for one AP (shape must match grid)."""
-        if mac not in self.mac_vocabulary:
+        if mac not in self._index:
             raise KeyError(f"unknown MAC {mac!r}")
         expected = self.grid.shape
         if values.shape != expected:
             raise ValueError(f"field shape {values.shape} != grid shape {expected}")
-        self._fields[mac] = values.astype(float)
+        row = self._row_of.get(mac)
+        if row is None:
+            self._row_of[mac] = len(self._stack)
+            self._stack = np.concatenate(
+                [self._stack, values[None].astype(float)], axis=0
+            )
+        else:
+            self._stack[row] = values.astype(float)
+
+    def set_fields(self, macs: Sequence[str], tensor: np.ndarray) -> None:
+        """Bulk store: ``tensor`` is ``(len(macs), nx, ny, nz)``."""
+        expected = (len(macs),) + self.grid.shape
+        if tensor.shape != expected:
+            raise ValueError(f"tensor shape {tensor.shape} != expected {expected}")
+        for mac in macs:
+            if mac not in self._index:
+                raise KeyError(f"unknown MAC {mac!r}")
+        fresh = [mac for mac in macs if mac not in self._row_of]
+        if len(fresh) == len(macs) and len(set(macs)) == len(macs):
+            # Common case (build_rem): one allocation for the whole batch.
+            for offset, mac in enumerate(macs):
+                self._row_of[mac] = len(self._stack) + offset
+            self._stack = np.concatenate(
+                [self._stack, tensor.astype(float)], axis=0
+            )
+        else:
+            for mac, values in zip(macs, tensor):
+                self.set_field(mac, values)
 
     def field(self, mac: str) -> np.ndarray:
-        """The (nx, ny, nz) RSS lattice of one AP."""
-        return self._fields[mac]
+        """The (nx, ny, nz) RSS lattice of one AP (read-only view).
+
+        The view is marked non-writeable because storing another field
+        may reallocate the backing tensor, which would silently detach
+        in-place writes; use :meth:`set_field` to replace a field.
+        """
+        row = self._row_of.get(mac)
+        if row is None:
+            raise KeyError(mac)
+        view = self._stack[row]
+        view.flags.writeable = False
+        return view
+
+    def field_tensor(
+        self, macs: Optional[Sequence[str]] = None
+    ) -> np.ndarray:
+        """The stacked ``(M, nx, ny, nz)`` tensor over ``macs``.
+
+        Defaults to every present AP in vocabulary order.
+        """
+        rows = self._rows(macs)
+        return self._stack[rows]
 
     @property
     def macs(self) -> Tuple[str, ...]:
-        """APs with stored fields."""
-        return tuple(self._fields)
+        """APs with stored fields, in vocabulary order."""
+        return tuple(
+            sorted(self._row_of, key=self._index.__getitem__)
+        )
 
+    def _rows(self, macs: Optional[Sequence[str]]) -> np.ndarray:
+        """Stack rows for the requested (or all present) MACs."""
+        if macs is None:
+            macs = self.macs
+        rows = []
+        for mac in macs:
+            row = self._row_of.get(mac)
+            if row is None:
+                raise KeyError(mac)
+            rows.append(row)
+        return np.asarray(rows, dtype=int)
+
+    # ------------------------------------------------------------------
+    # queries
     # ------------------------------------------------------------------
     def query(self, position: Sequence[float], mac: str) -> float:
         """Trilinearly interpolated RSS of ``mac`` at ``position``."""
-        values = self._fields[mac]
-        ax, ay, az = self.grid.axes()
-        p = np.asarray(position, dtype=float)
-        idx = []
-        frac = []
-        for axis_values, coord in zip((ax, ay, az), p):
-            i = int(np.clip(np.searchsorted(axis_values, coord) - 1, 0, len(axis_values) - 2))
+        return float(self.query_many([position], [mac])[0, 0])
+
+    def query_many(
+        self,
+        positions: Union[np.ndarray, Sequence[Sequence[float]]],
+        macs: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Trilinear interpolation of many positions against many APs.
+
+        Returns an ``(N, M)`` array — one row per position, one column
+        per MAC (all present APs when ``macs`` is omitted).  Positions
+        outside the mapped volume are clipped onto its boundary, like
+        the scalar query always did.
+        """
+        rows = self._rows(macs)
+        stack = self._stack[rows]
+        pts = np.asarray(positions, dtype=float).reshape(-1, 3)
+        axes = self.grid.axes()
+
+        cell: List[np.ndarray] = []
+        frac: List[np.ndarray] = []
+        for axis, axis_values in enumerate(axes):
+            coords = pts[:, axis]
+            i = np.clip(
+                np.searchsorted(axis_values, coords) - 1, 0, len(axis_values) - 2
+            )
             span = axis_values[i + 1] - axis_values[i]
-            t = 0.0 if span == 0 else float((coord - axis_values[i]) / span)
-            idx.append(i)
+            safe_span = np.where(span == 0, 1.0, span)
+            t = np.where(span == 0, 0.0, (coords - axis_values[i]) / safe_span)
+            cell.append(i)
             frac.append(np.clip(t, 0.0, 1.0))
-        (i, j, k), (tx, ty, tz) = idx, frac
-        c = values[i : i + 2, j : j + 2, k : k + 2]
-        cx = c[0] * (1 - tx) + c[1] * tx
-        cy = cx[0] * (1 - ty) + cx[1] * ty
-        return float(cy[0] * (1 - tz) + cy[1] * tz)
+        (i, j, k), (tx, ty, tz) = cell, frac
+
+        # Gather the 8 cell corners for every (mac, point) pair; the
+        # blend order matches the legacy scalar query exactly.
+        c00 = stack[:, i, j, k] * (1 - tx) + stack[:, i + 1, j, k] * tx
+        c01 = stack[:, i, j, k + 1] * (1 - tx) + stack[:, i + 1, j, k + 1] * tx
+        c10 = stack[:, i, j + 1, k] * (1 - tx) + stack[:, i + 1, j + 1, k] * tx
+        c11 = (
+            stack[:, i, j + 1, k + 1] * (1 - tx)
+            + stack[:, i + 1, j + 1, k + 1] * tx
+        )
+        c0 = c00 * (1 - ty) + c10 * ty
+        c1 = c01 * (1 - ty) + c11 * ty
+        return (c0 * (1 - tz) + c1 * tz).T
 
     def strongest_ap(self, position: Sequence[float]) -> Tuple[str, float]:
         """The best-serving AP and its RSS at ``position``."""
-        if not self._fields:
-            raise ValueError("REM has no fields")
-        best_mac, best_rss = "", -np.inf
-        for mac in self._fields:
-            rss = self.query(position, mac)
-            if rss > best_rss:
-                best_mac, best_rss = mac, rss
-        return best_mac, best_rss
+        macs, rss = self.strongest_ap_many([position])
+        return macs[0], float(rss[0])
 
+    def strongest_ap_many(
+        self, positions: Union[np.ndarray, Sequence[Sequence[float]]]
+    ) -> Tuple[List[str], np.ndarray]:
+        """Best-serving AP and RSS for every position.
+
+        Returns ``(macs, rss)``: a list of N MAC strings and the
+        matching ``(N,)`` RSS array.  Ties resolve to the earliest MAC
+        in vocabulary order (the legacy iteration order).
+        """
+        if not self._row_of:
+            raise ValueError("REM has no fields")
+        present = self.macs
+        values = self.query_many(positions)  # (N, M)
+        best = values.argmax(axis=1)
+        rss = values[np.arange(len(values)), best]
+        return [present[b] for b in best], rss
+
+    # ------------------------------------------------------------------
+    # coverage reductions
     # ------------------------------------------------------------------
     def coverage_fraction(self, mac: str, threshold_dbm: float) -> float:
         """Fraction of lattice points where ``mac`` exceeds ``threshold``."""
-        values = self._fields[mac]
-        return float((values >= threshold_dbm).mean())
+        return float((self.field(mac) >= threshold_dbm).mean())
+
+    def coverage_by_mac(self, threshold_dbm: float) -> Dict[str, float]:
+        """Coverage fraction of every present AP in one reduction."""
+        stack = self.field_tensor()
+        fractions = (stack >= threshold_dbm).mean(axis=(1, 2, 3))
+        return {mac: float(f) for mac, f in zip(self.macs, fractions)}
+
+    def best_rss_field(self) -> np.ndarray:
+        """Point-wise maximum RSS over all present APs (nx, ny, nz)."""
+        if not self._row_of:
+            return np.full(self.grid.shape, -np.inf)
+        return self._stack.max(axis=0)
 
     def dark_fraction(self, threshold_dbm: float) -> float:
         """Fraction of lattice points where *no* AP reaches ``threshold``.
@@ -134,21 +275,15 @@ class RadioEnvironmentMap:
         The planning primitive of §I: dark regions are where the
         operator should consider adding infrastructure.
         """
-        if not self._fields:
+        if not self._row_of:
             return 1.0
-        best = np.full(self.grid.shape, -np.inf)
-        for values in self._fields.values():
-            best = np.maximum(best, values)
-        return float((best < threshold_dbm).mean())
+        return float((self.best_rss_field() < threshold_dbm).mean())
 
     def dark_points(self, threshold_dbm: float) -> np.ndarray:
         """Lattice points of the dark region, as an (N, 3) array."""
-        if not self._fields:
+        if not self._row_of:
             return self.grid.points()
-        best = np.full(self.grid.shape, -np.inf)
-        for values in self._fields.values():
-            best = np.maximum(best, values)
-        mask = (best < threshold_dbm).ravel()
+        mask = (self.best_rss_field() < threshold_dbm).ravel()
         return self.grid.points()[mask]
 
     # ------------------------------------------------------------------
@@ -159,7 +294,7 @@ class RadioEnvironmentMap:
             "volume_max": list(self.grid.volume.max_corner),
             "resolution_m": self.grid.resolution_m,
             "macs": list(self.mac_vocabulary),
-            "fields": {mac: values.tolist() for mac, values in self._fields.items()},
+            "fields": {mac: self.field(mac).tolist() for mac in self.macs},
         }
 
     @classmethod
@@ -170,8 +305,13 @@ class RadioEnvironmentMap:
             resolution_m=float(data["resolution_m"]),
         )
         rem = cls(grid, data["macs"])
-        for mac, values in data["fields"].items():
-            rem.set_field(mac, np.asarray(values, dtype=float))
+        fields = data["fields"]
+        if fields:
+            # One stacked allocation instead of a concatenate per MAC.
+            rem.set_fields(
+                list(fields),
+                np.asarray(list(fields.values()), dtype=float),
+            )
         return rem
 
 
@@ -182,27 +322,27 @@ def build_rem(
     resolution_m: float = 0.25,
     macs: Optional[Sequence[str]] = None,
 ) -> RadioEnvironmentMap:
-    """Build a REM by querying a fitted predictor over a lattice.
+    """Build a REM with one batched predictor call over the lattice.
 
     ``macs`` restricts the map to a subset of APs (defaults to the
-    training vocabulary).
+    training vocabulary).  All selected MACs are evaluated through
+    :meth:`Predictor.predict_mac_grid`, which estimators implement as a
+    shared-work fast path (the one-hot k-NN computes a single 3-D
+    distance matrix for every MAC).
     """
     grid = RemGrid(volume=volume, resolution_m=resolution_m)
     rem = RadioEnvironmentMap(grid, train.mac_vocabulary)
-    points = grid.points()
-    n_points = len(points)
     selected = tuple(macs) if macs is not None else train.mac_vocabulary
     mac_to_index = {mac: i for i, mac in enumerate(train.mac_vocabulary)}
     for mac in selected:
         if mac not in mac_to_index:
             raise KeyError(f"MAC {mac!r} not in training vocabulary")
-        query = REMDataset(
-            positions=points,
-            mac_indices=np.full(n_points, mac_to_index[mac], dtype=int),
-            channels=np.zeros(n_points, dtype=int) + 1,
-            rssi_dbm=np.zeros(n_points),
-            mac_vocabulary=train.mac_vocabulary,
-        )
-        predictions = predictor.predict(query)
-        rem.set_field(mac, predictions.reshape(grid.shape))
+    indices = np.array([mac_to_index[mac] for mac in selected], dtype=int)
+    # Legacy subclasses fitted before the batched API recorded no
+    # vocabulary; bind the training one so the base shims build
+    # correctly-shaped dataset views.
+    if hasattr(predictor, "bind_vocabulary"):
+        predictor.bind_vocabulary(train.mac_vocabulary)
+    fields = predictor.predict_mac_grid(grid.points(), indices)
+    rem.set_fields(selected, fields.reshape((len(selected),) + grid.shape))
     return rem

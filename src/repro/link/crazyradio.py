@@ -50,7 +50,7 @@ class RadioConfig:
 class Crazyradio:
     """The dongle: tunable carrier, on/off state, interference coupling."""
 
-    def __init__(self, environment: IndoorEnvironment, config: RadioConfig = None):
+    def __init__(self, environment: IndoorEnvironment, config: Optional[RadioConfig] = None):
         self.environment = environment
         self.config = config or RadioConfig()
         if not CRAZYRADIO_MIN_MHZ <= self.config.freq_mhz <= CRAZYRADIO_MAX_MHZ:

@@ -41,7 +41,17 @@ from .propagation import (
     MultiWallPathLoss,
     fspl_db,
 )
-from .scenarios import DemoScenario, DemoScenarioConfig, build_demo_scenario
+from .scenarios import (
+    DemoScenario,
+    DemoScenarioConfig,
+    available_scenarios,
+    build_demo_scenario,
+    build_office_scenario,
+    build_scenario,
+    build_warehouse_scenario,
+    get_scenario,
+    register_scenario,
+)
 from .shadowing import GaussianRandomField, ShadowingModel
 from .spectrum import (
     WIFI_CHANNELS,
@@ -93,7 +103,13 @@ __all__ = [
     "fspl_db",
     "DemoScenario",
     "DemoScenarioConfig",
+    "available_scenarios",
     "build_demo_scenario",
+    "build_office_scenario",
+    "build_scenario",
+    "build_warehouse_scenario",
+    "get_scenario",
+    "register_scenario",
     "GaussianRandomField",
     "ShadowingModel",
     "WIFI_CHANNELS",

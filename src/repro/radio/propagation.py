@@ -30,15 +30,19 @@ __all__ = [
 SPEED_OF_LIGHT: float = 299_792_458.0
 
 
-def fspl_db(distance_m: float, freq_mhz: float) -> float:
+def fspl_db(distance_m, freq_mhz: float):
     """Free-space path loss in dB at ``distance_m`` / ``freq_mhz``.
 
-    Distances below 10 cm are clamped: the scan receiver is never closer
-    than that to any transmitter of interest, and the far-field formula
-    diverges at zero.
+    Accepts a scalar distance (returns a float) or an ndarray of
+    distances (returns an elementwise ndarray).  Distances below 10 cm
+    are clamped: the scan receiver is never closer than that to any
+    transmitter of interest, and the far-field formula diverges at zero.
     """
-    d = max(distance_m, 0.1)
     freq_hz = freq_mhz * 1e6
+    if isinstance(distance_m, np.ndarray):
+        d = np.maximum(distance_m, 0.1)
+        return 20.0 * np.log10(4.0 * np.pi * d * freq_hz / SPEED_OF_LIGHT)
+    d = max(distance_m, 0.1)
     return 20.0 * math.log10(4.0 * math.pi * d * freq_hz / SPEED_OF_LIGHT)
 
 

@@ -1,10 +1,22 @@
-"""The demo scenario: a condo living room in a large apartment building.
+"""RF scenarios: the paper's condo demo plus a registry of alternates.
 
-This module reconstructs, synthetically, the environment of the paper's
-validation (§III): a 3.74 m × 3.20 m × 2.10 m flight volume inside a
-living room, embedded in a multi-storey apartment building populated
-with 73 Wi-Fi APs under 49 SSIDs.  Three empirical observations from the
-paper pin the geometry:
+Every scenario builder returns a :class:`DemoScenario` — a fully built
+RF world (walls, AP population, link budget) plus its reference
+geometry — and is looked up by name through the **scenario registry**
+(:func:`register_scenario` / :func:`get_scenario` /
+:func:`build_scenario`).  Built-ins:
+
+* ``condo`` (alias ``demo``) — the paper's validation environment;
+* ``office`` — an open-plan office floor: glass/drywall partitions, a
+  denser ceiling-mounted corporate AP deployment under few SSIDs;
+* ``warehouse`` — a multi-room warehouse: concrete dividers, a high
+  ceiling, and a sparse population of high-power APs.
+
+The demo scenario reconstructs, synthetically, the environment of the
+paper's validation (§III): a 3.74 m × 3.20 m × 2.10 m flight volume
+inside a living room, embedded in a multi-storey apartment building
+populated with 73 Wi-Fi APs under 49 SSIDs.  Three empirical
+observations from the paper pin the geometry:
 
 * the building center lies toward **+x / −y** of the room, so AP density
   (and collected sample counts) rises in that direction (Figs. 6-7);
@@ -21,7 +33,7 @@ mean RSS ≈ −73 dBm — see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +41,22 @@ from ..sim.rng import RandomStreams
 from .accesspoint import AccessPoint, generate_population
 from .environment import IndoorEnvironment, LinkBudget
 from .geometry import Cuboid, Wall
-from .materials import BRICK, CONCRETE, DRYWALL, REINFORCED_CONCRETE
+from .materials import BRICK, CONCRETE, DRYWALL, GLASS, REINFORCED_CONCRETE
 
-__all__ = ["DemoScenarioConfig", "DemoScenario", "build_demo_scenario"]
+__all__ = [
+    "DemoScenarioConfig",
+    "DemoScenario",
+    "build_demo_scenario",
+    "build_office_scenario",
+    "build_warehouse_scenario",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "build_scenario",
+]
+
+#: A scenario builder: (seed, optional config overrides) → built world.
+ScenarioBuilder = Callable[..., "DemoScenario"]
 
 
 @dataclass(frozen=True)
@@ -181,7 +206,7 @@ def build_building_walls(config: DemoScenarioConfig) -> List[Wall]:
 
 
 def build_demo_scenario(
-    seed: int = 63, config: DemoScenarioConfig = None
+    seed: int = 63, config: Optional[DemoScenarioConfig] = None
 ) -> DemoScenario:
     """Build the demo environment with the given master ``seed``.
 
@@ -192,12 +217,24 @@ def build_demo_scenario(
         config = DemoScenarioConfig(seed=seed)
     elif config.seed != seed:
         config = replace(config, seed=seed)
+    return _assemble_scenario(
+        config, build_building_walls(config), "demo_apartment", _room_cuboid(config)
+    )
 
+
+# ----------------------------------------------------------------------
+# additional scenarios
+# ----------------------------------------------------------------------
+def _assemble_scenario(
+    config: DemoScenarioConfig,
+    walls: List[Wall],
+    name: str,
+    room: Cuboid,
+) -> DemoScenario:
+    """Common tail of every builder: population + environment + frame."""
     streams = RandomStreams(seed=config.seed)
     flight_volume = config.flight_volume
-    room = _room_cuboid(config)
     building = config.building
-
     aps = generate_population(
         n_aps=config.n_aps,
         n_ssids=config.n_ssids,
@@ -211,13 +248,12 @@ def build_demo_scenario(
         exclusion_radius_m=config.ap_exclusion_radius_m,
         uniform_fraction=config.ap_uniform_fraction,
     )
-    walls = build_building_walls(config)
     environment = IndoorEnvironment(
         walls=walls,
         access_points=aps,
         budget=config.budget,
         seed=config.seed,
-        name="demo_apartment",
+        name=name,
     )
     return DemoScenario(
         config=config,
@@ -228,3 +264,175 @@ def build_demo_scenario(
         anchor_positions=flight_volume.corners(),
         streams=streams,
     )
+
+
+def build_office_scenario(
+    seed: int = 63, config: Optional[DemoScenarioConfig] = None
+) -> DemoScenario:
+    """An open-plan office floor.
+
+    One storey of a commercial building: a large open area swept by the
+    fleet, a glass-walled meeting-room block along +x, a drywall service
+    core toward −y, and concrete slabs above and below.  The AP
+    deployment is corporate — ceiling-mounted units spread fairly
+    uniformly under a handful of SSIDs (mesh/managed networks own many
+    BSSIDs each), with a moderate one-slope exponent for the lightly
+    obstructed floor.
+    """
+    if config is None:
+        config = DemoScenarioConfig(
+            seed=seed,
+            flight_volume_size=(6.4, 5.0, 2.2),
+            building_min=(-6.0, -8.0, -3.0),
+            building_max=(14.0, 10.0, 3.0),
+            n_aps=36,
+            n_ssids=7,
+            ap_center=(4.0, 1.0, 2.4),
+            ap_spread=(5.0, 4.5, 0.3),
+            ap_tx_power_range_dbm=(15.0, 20.0),
+            ap_uniform_fraction=0.5,
+            ap_exclusion_radius_m=1.2,
+            ceiling_height_m=2.7,
+            budget=LinkBudget(path_loss_exponent=3.0, shadowing_sigma_db=2.5),
+        )
+    elif config.seed != seed:
+        config = replace(config, seed=seed)
+
+    fx, fy, fz = config.flight_volume_size
+    room = Cuboid((-0.5, -0.5, 0.0), (fx + 0.5, fy + 0.5, config.ceiling_height_m))
+    building = config.building
+    bx, by, bz = building.min_corner
+    ex, ey, ez = building.max_corner
+    z_span = (bz, ez)
+
+    walls: List[Wall] = [
+        # Building envelope: brick on all four sides.
+        Wall(0, bx, ((by, ey), z_span), BRICK.scaled(0.25), name="shell_x_min"),
+        Wall(0, ex, ((by, ey), z_span), BRICK.scaled(0.25), name="shell_x_max"),
+        Wall(1, by, ((bx, ex), z_span), BRICK.scaled(0.25), name="shell_y_min"),
+        Wall(1, ey, ((bx, ex), z_span), BRICK.scaled(0.25), name="shell_y_max"),
+        # Meeting-room block beyond the +x edge of the open area.
+        Wall(0, fx + 1.0, ((by, ey), z_span), GLASS.scaled(0.012), name="meeting_glass"),
+        Wall(1, 2.5, ((fx + 1.0, ex), z_span), GLASS.scaled(0.012), name="meeting_split"),
+        # Service core (stairs, printers) toward -y, light construction.
+        Wall(1, -1.5, ((bx, ex), z_span), DRYWALL, name="core_y"),
+        Wall(0, -2.5, ((by, -1.5), z_span), DRYWALL, name="core_x"),
+        # Floor and ceiling slabs of this storey and its neighbors.
+        Wall(2, 0.0, ((bx, ex), (by, ey)), REINFORCED_CONCRETE, name="slab_floor"),
+        Wall(
+            2,
+            config.ceiling_height_m,
+            ((bx, ex), (by, ey)),
+            REINFORCED_CONCRETE,
+            name="slab_ceiling",
+        ),
+    ]
+    return _assemble_scenario(config, walls, "office_floor", room)
+
+
+def build_warehouse_scenario(
+    seed: int = 63, config: Optional[DemoScenarioConfig] = None
+) -> DemoScenario:
+    """A multi-room warehouse with concrete dividers and a high ceiling.
+
+    Three halls split by full-height concrete walls, a 6 m ceiling, and
+    a sparse population of high-power APs mounted near the roof — the
+    opposite regime from the condo: few strong emitters, hard interior
+    walls, and large open spans (a near-free-space exponent).
+    """
+    if config is None:
+        config = DemoScenarioConfig(
+            seed=seed,
+            flight_volume_size=(9.0, 6.0, 3.5),
+            building_min=(-2.0, -14.0, -0.5),
+            building_max=(24.0, 8.0, 6.5),
+            n_aps=14,
+            n_ssids=4,
+            ap_center=(11.0, -3.0, 5.5),
+            ap_spread=(7.0, 6.0, 0.4),
+            ap_tx_power_range_dbm=(20.0, 27.0),
+            ap_uniform_fraction=0.4,
+            ap_exclusion_radius_m=1.5,
+            ceiling_height_m=6.0,
+            budget=LinkBudget(
+                path_loss_exponent=2.4,
+                shadowing_sigma_db=3.0,
+                fading_sigma_db=5.0,
+            ),
+        )
+    elif config.seed != seed:
+        config = replace(config, seed=seed)
+
+    fx, fy, fz = config.flight_volume_size
+    room = Cuboid((-1.0, -1.0, 0.0), (fx + 1.0, fy + 1.0, config.ceiling_height_m))
+    building = config.building
+    bx, by, bz = building.min_corner
+    ex, ey, ez = building.max_corner
+    z_span = (bz, ez)
+
+    thick_concrete = CONCRETE.scaled(0.3)
+    walls: List[Wall] = [
+        # Envelope: heavy concrete shell.
+        Wall(0, bx, ((by, ey), z_span), thick_concrete, name="shell_x_min"),
+        Wall(0, ex, ((by, ey), z_span), thick_concrete, name="shell_x_max"),
+        Wall(1, by, ((bx, ex), z_span), thick_concrete, name="shell_y_min"),
+        Wall(1, ey, ((bx, ex), z_span), thick_concrete, name="shell_y_max"),
+        # Interior hall dividers: full-height concrete.
+        Wall(0, fx + 2.0, ((by, ey), z_span), CONCRETE.scaled(0.2), name="divider_x"),
+        Wall(1, -2.0, ((bx, ex), z_span), CONCRETE.scaled(0.2), name="divider_y"),
+        # Roof slab and ground slab.
+        Wall(2, bz, ((bx, ex), (by, ey)), REINFORCED_CONCRETE, name="slab_ground"),
+        Wall(2, ez, ((bx, ex), (by, ey)), REINFORCED_CONCRETE, name="slab_roof"),
+    ]
+    return _assemble_scenario(config, walls, "warehouse", room)
+
+
+# ----------------------------------------------------------------------
+# the scenario registry
+# ----------------------------------------------------------------------
+_SCENARIOS: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str, builder: Optional[ScenarioBuilder] = None):
+    """Register ``builder`` under ``name`` (usable as a decorator).
+
+    ``register_scenario("lab")`` decorates a builder function;
+    ``register_scenario("lab", build_lab)`` registers directly.
+    Re-registering a name overwrites it (deliberate: tests and
+    downstream deployments override built-ins).
+    """
+    if builder is not None:
+        _SCENARIOS[name] = builder
+        return builder
+
+    def decorator(fn: ScenarioBuilder) -> ScenarioBuilder:
+        _SCENARIOS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioBuilder:
+    """The builder registered under ``name`` (KeyError with choices)."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def build_scenario(name: str, seed: int = 63, **kwargs) -> DemoScenario:
+    """Build the named scenario: ``get_scenario(name)(seed=seed, ...)``."""
+    return get_scenario(name)(seed=seed, **kwargs)
+
+
+register_scenario("condo", build_demo_scenario)
+register_scenario("demo", build_demo_scenario)
+register_scenario("office", build_office_scenario)
+register_scenario("warehouse", build_warehouse_scenario)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..link.crazyradio import Crazyradio, CrazyradioLink, RadioConfig
-from ..radio.scenarios import DemoScenario, build_demo_scenario
+from ..radio.scenarios import DemoScenario, build_scenario
 from ..sim.kernel import Simulator
 from ..sim.process import spawn
 from ..uav.crazyflie import Crazyflie, UavConfig
@@ -32,6 +32,8 @@ class CampaignConfig:
     """Everything a campaign needs beyond the RF scenario."""
 
     seed: int = 63
+    #: Registered scenario name used when no scenario object is passed.
+    scenario: str = "condo"
     firmware: FirmwareConfig = field(default_factory=FirmwareConfig.paper_modified)
     localization_mode: str = LocalizationMode.TDOA
     anchor_count: int = 8
@@ -74,14 +76,15 @@ class CampaignResult:
 def run_campaign(
     scenario: Optional[DemoScenario] = None,
     mission: Optional[Mission] = None,
-    config: CampaignConfig = None,
+    config: Optional[CampaignConfig] = None,
 ) -> CampaignResult:
     """Fly the full demo campaign and return the collected data.
 
     Parameters
     ----------
     scenario:
-        RF world to fly in; the demo scenario is built when omitted.
+        RF world to fly in; built from ``config.scenario`` (the registry
+        name, demo condo by default) when omitted.
     mission:
         Fleet plan; the 72-waypoint / 2-UAV demo mission when omitted.
     config:
@@ -89,7 +92,7 @@ def run_campaign(
     """
     config = config or CampaignConfig()
     if scenario is None:
-        scenario = build_demo_scenario(seed=config.seed)
+        scenario = build_scenario(config.scenario, seed=config.seed)
     if mission is None:
         mission = plan_demo_mission(scenario)
 

@@ -79,7 +79,7 @@ class BaseStationClient:
         mission_config: UavMissionConfig,
         plan: WaypointPlan,
         log: SampleLog,
-        config: ClientConfig = None,
+        config: Optional[ClientConfig] = None,
     ):
         self.sim = sim
         self.radio = radio

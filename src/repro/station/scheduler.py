@@ -10,7 +10,7 @@ the battery/endurance envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -121,7 +121,7 @@ def evaluate_partition(
     flight_leg_s: float = 4.0,
     scan_window_s: float = 3.0,
     takeoff_landing_s: float = 4.0,
-    battery: BatteryConfig = None,
+    battery: Optional[BatteryConfig] = None,
 ) -> PartitionReport:
     """Check a partition against the §III-A timing and battery envelope."""
     battery = battery or BatteryConfig()

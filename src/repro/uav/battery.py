@@ -16,6 +16,8 @@ is the operational end-of-flight the paper measures.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 __all__ = ["BatteryConfig", "Battery"]
@@ -45,7 +47,7 @@ class BatteryConfig:
 class Battery:
     """Coulomb-counting battery state."""
 
-    def __init__(self, config: BatteryConfig = None):
+    def __init__(self, config: Optional[BatteryConfig] = None):
         self.config = config or BatteryConfig()
         self.consumed_mah = 0.0
 

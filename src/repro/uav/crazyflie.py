@@ -79,11 +79,11 @@ class Crazyflie:
         link: CrazyradioLink,
         firmware: FirmwareConfig,
         streams: RandomStreams,
-        config: UavConfig = None,
-        scan_config: ScanConfig = None,
-        battery_config: BatteryConfig = None,
-        dynamics_config: DynamicsConfig = None,
-        ranging_config: RangingConfig = None,
+        config: Optional[UavConfig] = None,
+        scan_config: Optional[ScanConfig] = None,
+        battery_config: Optional[BatteryConfig] = None,
+        dynamics_config: Optional[DynamicsConfig] = None,
+        ranging_config: Optional[RangingConfig] = None,
         receiver_module=None,
         receiver_driver=None,
     ):

@@ -42,7 +42,7 @@ class FlightDynamics:
     def __init__(
         self,
         initial_position: Sequence[float],
-        config: DynamicsConfig = None,
+        config: Optional[DynamicsConfig] = None,
     ):
         self.config = config or DynamicsConfig()
         self.position = np.asarray(initial_position, dtype=float).copy()

@@ -51,7 +51,7 @@ class PositionVelocityEkf:
     def __init__(
         self,
         initial_position: Sequence[float],
-        config: EkfConfig = None,
+        config: Optional[EkfConfig] = None,
         initial_velocity: Optional[Sequence[float]] = None,
     ):
         self.config = config or EkfConfig()

@@ -21,7 +21,7 @@ PositionEstimator`, so campaigns can swap localization backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,8 +93,8 @@ class LighthouseEstimator:
     def __init__(
         self,
         base_stations: Sequence[LighthouseBaseStation],
-        config: LighthouseConfig = None,
-        ekf_config: EkfConfig = None,
+        config: Optional[LighthouseConfig] = None,
+        ekf_config: Optional[EkfConfig] = None,
         initial_position: Sequence[float] = (0.0, 0.0, 0.0),
     ):
         if len(base_stations) < 2:
@@ -195,7 +195,7 @@ def evaluate_lighthouse_hovering(
     rng: np.random.Generator,
     duration_s: float = 10.0,
     settle_s: float = 3.0,
-    config: LighthouseConfig = None,
+    config: Optional[LighthouseConfig] = None,
     hover_jitter_std_m: float = 0.02,
 ) -> float:
     """Mean hovering error of the 2-base-station Lighthouse setup."""

@@ -91,8 +91,8 @@ class PositionEstimator:
         self,
         layout: AnchorLayout,
         mode: str = LocalizationMode.TDOA,
-        ranging_config: RangingConfig = None,
-        ekf_config: EkfConfig = None,
+        ranging_config: Optional[RangingConfig] = None,
+        ekf_config: Optional[EkfConfig] = None,
         initial_position: Sequence[float] = (0.0, 0.0, 0.0),
     ):
         if mode not in (LocalizationMode.TWR, LocalizationMode.TDOA):
@@ -166,8 +166,8 @@ def evaluate_hovering_accuracy(
     rng: np.random.Generator,
     duration_s: float = 10.0,
     settle_s: float = 3.0,
-    ranging_config: RangingConfig = None,
-    ekf_config: EkfConfig = None,
+    ranging_config: Optional[RangingConfig] = None,
+    ekf_config: Optional[EkfConfig] = None,
     hover_jitter_std_m: float = 0.02,
 ) -> HoveringAccuracyResult:
     """Simulate a hovering tag and report filtered localization error.

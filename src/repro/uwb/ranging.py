@@ -20,7 +20,7 @@ the path stretches the first path, always *adding* range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -74,7 +74,7 @@ class TdoaMeasurement:
 class _RangingBase:
     """Shared noise machinery for both ranging modes."""
 
-    def __init__(self, layout: AnchorLayout, config: RangingConfig = None):
+    def __init__(self, layout: AnchorLayout, config: Optional[RangingConfig] = None):
         self.layout = layout
         self.config = config or RangingConfig()
 

@@ -13,7 +13,7 @@ result path and ML pipeline run unchanged on BLE data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class BleObserverModule:
         environment: IndoorEnvironment,
         devices: Sequence[BleDevice],
         rng: np.random.Generator,
-        config: BleScanConfig = None,
+        config: Optional[BleScanConfig] = None,
         scan_duration_s: float = 2.0,
     ):
         self.environment = environment

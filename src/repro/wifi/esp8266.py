@@ -87,7 +87,7 @@ class Esp01Module:
         self,
         environment: IndoorEnvironment,
         rng: np.random.Generator,
-        scan_config: ScanConfig = None,
+        scan_config: Optional[ScanConfig] = None,
         scan_duration_s: float = 2.0,
     ):
         self.scanner = ChannelSweepScanner(environment, scan_config)

@@ -17,7 +17,7 @@ total) degradation visible in Fig. 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class ChannelSweepScanner:
         Receiver parameters.
     """
 
-    def __init__(self, environment: IndoorEnvironment, config: ScanConfig = None):
+    def __init__(self, environment: IndoorEnvironment, config: Optional[ScanConfig] = None):
         self.environment = environment
         self.config = config or ScanConfig()
 

@@ -1,0 +1,114 @@
+"""Tests for the scenario registry and the non-demo scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    DemoScenario,
+    available_scenarios,
+    build_scenario,
+    build_office_scenario,
+    build_warehouse_scenario,
+    get_scenario,
+    register_scenario,
+)
+from repro.radio.scenarios import _SCENARIOS, build_demo_scenario
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_scenarios()
+        for name in ("condo", "demo", "office", "warehouse"):
+            assert name in names
+
+    def test_get_scenario_resolves(self):
+        assert get_scenario("condo") is build_demo_scenario
+        assert get_scenario("office") is build_office_scenario
+        assert get_scenario("warehouse") is build_warehouse_scenario
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("atlantis")
+
+    def test_register_direct_and_decorator(self):
+        try:
+            register_scenario("tmp-direct", build_demo_scenario)
+            assert get_scenario("tmp-direct") is build_demo_scenario
+
+            @register_scenario("tmp-decorated")
+            def build_tmp(seed=63, config=None):
+                return build_demo_scenario(seed=seed, config=config)
+
+            assert get_scenario("tmp-decorated") is build_tmp
+        finally:
+            _SCENARIOS.pop("tmp-direct", None)
+            _SCENARIOS.pop("tmp-decorated", None)
+
+    def test_build_scenario_passes_seed(self):
+        scenario = build_scenario("condo", seed=7)
+        assert scenario.config.seed == 7
+
+
+class TestOfficeScenario:
+    def test_builds_complete_world(self):
+        scenario = build_office_scenario(seed=11)
+        assert isinstance(scenario, DemoScenario)
+        assert scenario.environment.name == "office_floor"
+        assert len(scenario.environment.access_points) == 36
+        # Few corporate SSIDs, many BSSIDs.
+        ssids = {ap.ssid for ap in scenario.access_points}
+        assert len(ssids) <= 7
+        assert scenario.flight_volume.size == (6.4, 5.0, 2.2)
+        assert scenario.anchor_positions.shape == (8, 3)
+
+    def test_deterministic_per_seed(self):
+        a = build_office_scenario(seed=5)
+        b = build_office_scenario(seed=5)
+        c = build_office_scenario(seed=6)
+        macs_a = [ap.mac for ap in a.access_points]
+        macs_b = [ap.mac for ap in b.access_points]
+        macs_c = [ap.mac for ap in c.access_points]
+        assert macs_a == macs_b
+        assert macs_a != macs_c
+
+    def test_aps_inside_building(self):
+        scenario = build_office_scenario(seed=3)
+        for ap in scenario.access_points:
+            assert scenario.building.contains(ap.position, tol=1e-6)
+
+
+class TestWarehouseScenario:
+    def test_builds_complete_world(self):
+        scenario = build_warehouse_scenario(seed=11)
+        assert scenario.environment.name == "warehouse"
+        assert len(scenario.environment.access_points) == 14
+        # High-power units near the roof.
+        powers = [ap.tx_power_dbm for ap in scenario.access_points]
+        assert min(powers) >= 20.0
+        assert scenario.flight_volume.size == (9.0, 6.0, 3.5)
+
+    def test_detectable_signal_in_volume(self):
+        # The sparse high-power population must still be measurable from
+        # inside the flight volume (otherwise campaigns collect nothing).
+        scenario = build_warehouse_scenario(seed=11)
+        env = scenario.environment
+        center = tuple(scenario.flight_volume.center)
+        best = max(env.mean_rss_dbm(ap, center) for ap in env.access_points)
+        assert best > -85.0
+
+    def test_walls_attenuate_across_divider(self):
+        scenario = build_warehouse_scenario(seed=11)
+        env = scenario.environment
+        fx = scenario.config.flight_volume_size[0]
+        inside = np.array([fx / 2, 2.0, 1.5])
+        # An AP beyond the +x concrete divider loses wall attenuation
+        # relative to free space at the same distance.
+        from repro.radio import crossed_walls
+
+        far_ap = max(
+            env.access_points, key=lambda ap: ap.position[0]
+        )
+        crossings = crossed_walls(
+            np.asarray(far_ap.position), inside, env.walls
+        )
+        assert len(crossings) >= 1
