@@ -6,8 +6,6 @@ plus the kriging extension, quantifying each design choice's effect.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import bar_chart
 from repro.core.predictors import (
     IdwRegressor,
@@ -56,7 +54,9 @@ def test_onehot_scale_sweep(benchmark, preprocessed):
     scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
     print("=== RMSE vs one-hot scale (k=16) ===")
-    print(bar_chart({f"x{s:g}": v for s, v in scores.items()}, unit=" dBm", precision=3))
+    print(
+        bar_chart({f"x{s:g}": v for s, v in scores.items()}, unit=" dBm", precision=3)
+    )
     # Mixing MACs freely (scale 0) must hurt badly.
     assert scores[0.0] > scores[3.0]
     # Paper's factor 3 is near-optimal: within 0.25 dB of the sweep's best.

@@ -6,8 +6,6 @@ Paper: 36 scans over 6 min 12 s hovering at 1 m with 8 TWR anchors,
 
 from __future__ import annotations
 
-import pytest
-
 from repro.station import run_endurance_test
 
 

@@ -9,10 +9,8 @@ distinct-MAC/SSID counts land near the paper's.
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.analysis import campaign_stats, figure6, table
-from repro.station import CampaignConfig, run_campaign
+from repro.station import run_campaign
 
 
 def test_fig6_samples_per_location(benchmark, campaign_result):
@@ -61,8 +59,16 @@ def test_campaign_statistics(benchmark, campaign_result):
     ]
     print(table(["metric", "measured", "paper"], rows))
 
-    assert 0.8 * paper["total_samples"] < stats.total_samples < 1.25 * paper["total_samples"]
-    assert 0.8 * paper["distinct_macs"] < stats.distinct_macs < 1.2 * paper["distinct_macs"]
+    assert (
+        0.8 * paper["total_samples"]
+        < stats.total_samples
+        < 1.25 * paper["total_samples"]
+    )
+    assert (
+        0.8 * paper["distinct_macs"]
+        < stats.distinct_macs
+        < 1.2 * paper["distinct_macs"]
+    )
     assert abs(stats.mean_rss_dbm - paper["mean_rss_dbm"]) < 6.0
 
 

@@ -7,8 +7,6 @@ counts increase with increasing x and decrease with increasing y
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import figure7, render_figure7
 
 

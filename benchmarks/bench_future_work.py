@@ -8,8 +8,6 @@ Lighthouse positioning replacing UWB, the fundamental density limit of
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.analysis import table
 from repro.core import density_sweep
 from repro.station import evaluate_partition, partition_waypoints, waypoint_grid
@@ -44,7 +42,11 @@ def test_lighthouse_vs_uwb(benchmark, demo_scenario):
         table(
             ["backend", "infrastructure", "mean error (cm)"],
             [
-                ["Lighthouse (optical)", "2 base stations", f"{lighthouse_error*100:.1f}"],
+                [
+                    "Lighthouse (optical)",
+                    "2 base stations",
+                    f"{lighthouse_error*100:.1f}",
+                ],
                 ["UWB TWR", "6 anchors", f"{uwb6.mean_error_m*100:.1f}"],
                 ["UWB TDoA", "8 anchors", f"{uwb8.mean_error_m*100:.1f}"],
             ],

@@ -8,12 +8,16 @@ Times the two hot paths the engine refactor vectorized:
 
 Emits ``BENCH_rem_engine.json`` at the repo root as the perf record
 anchoring the engine's trajectory, including the measured speedup of
-the batched build over the per-MAC legacy loop.
+the batched build over the per-MAC legacy loop.  ``REPRO_BENCH_QUICK=1``
+(the CI smoke configuration) coarsens the lattice and relaxes the
+speedup floor; the emitted record carries a ``quick`` flag so smoke
+artifacts are never mistaken for real perf records.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -26,9 +30,13 @@ from repro.core.rem import build_rem
 
 #: The paper's tuned configuration (§III-B best performer).
 TUNED = dict(n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0)
-RESOLUTION_M = 0.25
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+RESOLUTION_M = 0.5 if QUICK else 0.25
+#: Smaller lattices amortize less BLAS work per python-loop iteration,
+#: so the smoke floor is looser than the full-protocol one.
+MIN_SPEEDUP = 2.0 if QUICK else 5.0
 
-_RECORD: dict = {}
+_RECORD: dict = {"quick": QUICK}
 
 
 @pytest.fixture(scope="module")
@@ -108,7 +116,7 @@ def test_build_rem_speedup_vs_per_mac(fitted_model, preprocessed, campaign_resul
     _RECORD["legacy_per_mac_s"] = legacy_s
     _RECORD["batched_s"] = batched_s
     _RECORD["speedup"] = speedup
-    assert speedup >= 5.0, f"batched build only {speedup:.2f}x faster"
+    assert speedup >= MIN_SPEEDUP, f"batched build only {speedup:.2f}x faster"
 
 
 def test_query_many_throughput(benchmark, demo_rem):

@@ -7,8 +7,6 @@ event-kernel throughput, propagation queries, EKF steps, k-NN predict.
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.core.predictors import KnnRegressor
 from repro.sim import Simulator, Timeout, spawn
 from repro.uwb import LocalizationMode, PositionEstimator, corner_layout
@@ -22,7 +20,9 @@ def test_event_kernel_throughput(benchmark):
         sim = Simulator()
         counter = {"fired": 0}
         for i in range(10_000):
-            sim.schedule(i * 1e-4, lambda: counter.__setitem__("fired", counter["fired"] + 1))
+            sim.schedule(
+                i * 1e-4, lambda: counter.__setitem__("fired", counter["fired"] + 1)
+            )
         sim.run()
         return counter["fired"]
 

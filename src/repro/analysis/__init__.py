@@ -4,6 +4,13 @@ One builder per paper figure (5-8) plus the in-text campaign
 statistics, and ASCII renderers for terminal-friendly output.
 """
 
+from .active import (
+    ActiveComparison,
+    compare_to_fixed_lattice,
+    ground_truth_fields,
+    ground_truth_map_rmse,
+    render_active_trajectory,
+)
 from .figures import (
     FIG5_FREQUENCIES_MHZ,
     PAPER_FIG8_RMSE,
@@ -32,6 +39,11 @@ from .report import bar_chart, render_figure5, render_figure7, render_figure8, t
 from .stats import Histogram, bin_by_axis, histogram
 
 __all__ = [
+    "ActiveComparison",
+    "compare_to_fixed_lattice",
+    "ground_truth_fields",
+    "ground_truth_map_rmse",
+    "render_active_trajectory",
     "FIG5_FREQUENCIES_MHZ",
     "PAPER_FIG8_RMSE",
     "CampaignStats",

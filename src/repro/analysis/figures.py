@@ -59,7 +59,14 @@ PAPER_FIG8_RMSE: Dict[str, float] = {
 }
 
 #: Crazyradio frequencies swept in the paper's Fig. 5 experiment.
-FIG5_FREQUENCIES_MHZ: Tuple[float, ...] = (2400.0, 2425.0, 2450.0, 2475.0, 2500.0, 2525.0)
+FIG5_FREQUENCIES_MHZ: Tuple[float, ...] = (
+    2400.0,
+    2425.0,
+    2450.0,
+    2475.0,
+    2500.0,
+    2525.0,
+)
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +165,9 @@ def figure6(campaign: CampaignResult) -> Figure6Result:
     counts = campaign.log.samples_per_waypoint()
     positions: Dict[Tuple[str, int], Tuple[float, float, float]] = {}
     for sample in campaign.log:
-        positions.setdefault((sample.uav_name, sample.waypoint_index), sample.true_position)
+        positions.setdefault(
+            (sample.uav_name, sample.waypoint_index), sample.true_position
+        )
     for (uav, waypoint), count in sorted(counts.items()):
         per_location.setdefault(uav, []).append(
             (waypoint, count, positions[(uav, waypoint)])
@@ -219,7 +228,9 @@ class Figure8Result:
     """RMSE of each evaluated predictor, paper values alongside."""
 
     rmse_dbm: Dict[str, float]
-    paper_rmse_dbm: Dict[str, float] = field(default_factory=lambda: dict(PAPER_FIG8_RMSE))
+    paper_rmse_dbm: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_FIG8_RMSE)
+    )
     preprocess_stats: Dict[str, int] = field(default_factory=dict)
 
     def best(self) -> Tuple[str, float]:

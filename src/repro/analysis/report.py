@@ -58,14 +58,16 @@ def render_figure5(result) -> str:
 def render_figure7(result) -> str:
     """Fig. 7 as two ASCII histograms."""
     out = ["samples per 0.5 m bin along x:"]
+    x_edges = result.x_histogram.edges
     x_items = {
-        f"[{result.x_histogram.edges[i]:.1f},{result.x_histogram.edges[i+1]:.1f})": float(c)
+        f"[{x_edges[i]:.1f},{x_edges[i+1]:.1f})": float(c)
         for i, c in enumerate(result.x_histogram.counts)
     }
     out.append(bar_chart(x_items, precision=0))
     out.append("samples per 0.5 m bin along y:")
+    y_edges = result.y_histogram.edges
     y_items = {
-        f"[{result.y_histogram.edges[i]:.1f},{result.y_histogram.edges[i+1]:.1f})": float(c)
+        f"[{y_edges[i]:.1f},{y_edges[i+1]:.1f})": float(c)
         for i, c in enumerate(result.y_histogram.counts)
     }
     out.append(bar_chart(y_items, precision=0))

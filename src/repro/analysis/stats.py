@@ -47,7 +47,9 @@ def histogram(
         raise ValueError(f"bin width must be positive, got {bin_width}")
     data = np.asarray(values, dtype=float)
     if data.size == 0:
-        return Histogram(edges=np.array([start, start + bin_width]), counts=np.array([0]))
+        return Histogram(
+            edges=np.array([start, start + bin_width]), counts=np.array([0])
+        )
     n_bins = int(np.ceil((data.max() - start) / bin_width)) or 1
     edges = start + bin_width * np.arange(n_bins + 1)
     counts, _ = np.histogram(data, bins=edges)

@@ -45,6 +45,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = commands.add_parser("campaign", help="fly the demo campaign")
     campaign.add_argument("--output", help="CSV path to archive the samples")
+    campaign.add_argument(
+        "--active",
+        action="store_true",
+        help=(
+            "uncertainty-driven acquisition instead of the fixed lattice: "
+            "fly a seed batch, refit online, fly where the map is least "
+            "certain, repeat until a stopping rule fires"
+        ),
+    )
+    campaign.add_argument(
+        "--budget",
+        type=int,
+        default=72,
+        help="active sampling: max waypoints to fly (default 72)",
+    )
+    campaign.add_argument(
+        "--target-rmse",
+        type=float,
+        default=None,
+        help=(
+            "active sampling: stop once the holdout RMSE (dB) drops to "
+            "this level (default: fly the whole budget)"
+        ),
+    )
+    campaign.add_argument(
+        "--batch",
+        type=int,
+        default=6,
+        help="active sampling: waypoints acquired per round (default 6)",
+    )
 
     figures = commands.add_parser("figures", help="regenerate paper figures")
     figures.add_argument(
@@ -79,6 +109,8 @@ def _cmd_campaign(args) -> int:
     from .radio import build_scenario
     from .station import run_campaign
 
+    if args.active:
+        return _cmd_campaign_active(args)
     scenario = build_scenario(args.scenario, seed=args.seed)
     print(f"flying the {args.scenario!r} campaign (seed {args.seed})...")
     result = run_campaign(scenario=scenario)
@@ -89,6 +121,50 @@ def _cmd_campaign(args) -> int:
     print(f"distinct MACs : {stats.distinct_macs} (paper: 73)")
     print(f"distinct SSIDs: {stats.distinct_ssids} (paper: 49)")
     print(f"mean RSS      : {stats.mean_rss_dbm:.1f} dBm (paper: ≈ -73)")
+    if args.output:
+        result.log.save_csv(args.output)
+        print(f"samples archived to {args.output}")
+    return 0
+
+
+def _cmd_campaign_active(args) -> int:
+    from .analysis import render_active_trajectory
+    from .radio import build_scenario
+    from .station import ActiveSamplingConfig, run_active_campaign
+
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    scenario = build_scenario(args.scenario, seed=args.seed)
+    active = ActiveSamplingConfig(
+        seed_waypoints=min(12, args.budget),
+        batch_size=args.batch,
+        budget_waypoints=args.budget,
+        target_rmse_dbm=args.target_rmse,
+    )
+    print(
+        f"flying the {args.scenario!r} campaign with active sampling "
+        f"(seed {args.seed}, budget {args.budget} waypoints"
+        + (
+            f", target RMSE {args.target_rmse:.2f} dB)..."
+            if args.target_rmse is not None
+            else ")..."
+        )
+    )
+    result = run_active_campaign(scenario=scenario, active=active)
+    print(render_active_trajectory(result.rounds))
+    summary = result.summary()
+    print(
+        f"stopped: {result.stop_reason} after "
+        f"{result.waypoints_flown}/{args.budget} waypoints, "
+        f"{summary['total_samples']:.0f} samples, "
+        f"{summary['distinct_macs']:.0f} MACs"
+    )
+    if result.final_rmse_dbm is not None:
+        print(f"final holdout RMSE: {result.final_rmse_dbm:.3f} dB")
     if args.output:
         result.log.save_csv(args.output)
         print(f"samples archived to {args.output}")

@@ -27,7 +27,7 @@ from .preprocessing import (
     preprocess,
     train_test_split,
 )
-from .rem import RadioEnvironmentMap, RemGrid, build_rem
+from .rem import RadioEnvironmentMap, RemGrid, build_rem, build_uncertainty_rem
 
 __all__ = [
     "predictors",
@@ -56,4 +56,5 @@ __all__ = [
     "RadioEnvironmentMap",
     "RemGrid",
     "build_rem",
+    "build_uncertainty_rem",
 ]

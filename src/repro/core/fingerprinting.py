@@ -82,7 +82,8 @@ class FingerprintLocalizer:
         k = min(k, len(distances))
         nearest = np.argpartition(distances, k - 1)[:k]
         weights = 1.0 / np.maximum(distances[nearest], 1e-6)
-        position = (self._points[nearest] * weights[:, None]).sum(axis=0) / weights.sum()
+        weighted = (self._points[nearest] * weights[:, None]).sum(axis=0)
+        position = weighted / weights.sum()
         return position, float(distances[nearest].min())
 
 

@@ -16,6 +16,20 @@ batched entry points that the REM engine drives:
 The base class provides shims that route both through the legacy
 :meth:`predict` path, so third-party predictors keep working unchanged;
 the in-tree estimators override them with vectorized fast paths.
+
+The contract also carries a batched **uncertainty** channel, which the
+active-sampling planner drives:
+
+* :meth:`Predictor.predict_points_std` — a per-query standard-deviation
+  estimate (dB) mirroring :meth:`predict_points`;
+* :meth:`Predictor.uncertainty_grid` — the ``(M, N)`` cross product
+  mirroring :meth:`predict_mac_grid`.
+
+Kriging answers with its native variance; the k-NN family answers with
+neighbor-disagreement proxies; everything else inherits the base-class
+fallback — a distance-to-nearest-same-MAC-sample proxy over the train
+support recorded at fit time — so *any* fitted predictor can steer an
+active campaign.
 """
 
 from __future__ import annotations
@@ -28,6 +42,22 @@ import numpy as np
 from ..dataset import REMDataset
 
 __all__ = ["Predictor", "NotFittedError"]
+
+#: Query rows per block in the distance-proxy paths: bounds the
+#: transient ``(rows, train, 3)`` delta tensor on lattice-sized queries.
+_STD_CHUNK_ROWS = 2048
+
+
+def nearest_distances(
+    queries: np.ndarray, support: np.ndarray
+) -> np.ndarray:
+    """Distance from each query to its nearest support point, chunked."""
+    out = np.empty(len(queries))
+    for start in range(0, len(queries), _STD_CHUNK_ROWS):
+        sl = slice(start, min(start + _STD_CHUNK_ROWS, len(queries)))
+        deltas = queries[sl, None, :] - support[None, :, :]
+        out[sl] = np.sqrt(np.sum(deltas * deltas, axis=2)).min(axis=1)
+    return out
 
 
 class NotFittedError(RuntimeError):
@@ -48,9 +78,16 @@ class Predictor(abc.ABC):
     #: Human-readable estimator name for reports.
     name: str = "predictor"
 
+    #: Length scale (m) of the base-class distance-uncertainty proxy:
+    #: the proxy saturates toward the training target spread once a
+    #: query is a few of these away from any same-MAC sample.
+    UNCERTAINTY_RANGE_M: float = 1.0
+
     def __init__(self):
         self._fitted = False
         self._train_vocabulary: Optional[Tuple[str, ...]] = None
+        self._train_support: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._train_target_std: float = 1.0
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -96,6 +133,66 @@ class Predictor(abc.ABC):
             out[row] = self.predict_points(
                 points, np.full(n, int(mac_index), dtype=int)
             )
+        return out
+
+    # ------------------------------------------------------------------
+    # batched uncertainty API (the active-sampling planner's entry points)
+    # ------------------------------------------------------------------
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Standard-deviation estimate (dB) per ``(point, MAC)`` query.
+
+        The base-class fallback is a *distance proxy* over the train
+        support recorded by :meth:`_mark_fitted`: uncertainty rises with
+        the distance to the nearest same-MAC training sample and
+        saturates at the training target spread,
+
+            std(q) = sigma_train * d / (d + UNCERTAINTY_RANGE_M),
+
+        with MACs never observed in training pinned at ``sigma_train``.
+        Estimators with a principled notion of uncertainty (kriging
+        variance, k-NN neighbor disagreement) override this.
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        if self._train_support is None:
+            return np.full(len(points), self._train_target_std)
+        return self._distance_std_proxy(points, mac_indices)
+
+    def uncertainty_grid(
+        self, points: np.ndarray, mac_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Uncertainty of one point set for every MAC in ``mac_indices``.
+
+        Returns an ``(M, N)`` array mirroring :meth:`predict_mac_grid`;
+        the default stacks per-MAC :meth:`predict_points_std` calls.
+        """
+        self._require_fitted()
+        points, macs = self._coerce_grid_query(points, mac_indices)
+        n = len(points)
+        out = np.empty((len(macs), n))
+        for row, mac_index in enumerate(macs):
+            out[row] = self.predict_points_std(
+                points, np.full(n, int(mac_index), dtype=int)
+            )
+        return out
+
+    def _distance_std_proxy(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """The saturating nearest-same-MAC-distance proxy."""
+        assert self._train_support is not None
+        train_points, train_macs = self._train_support
+        sigma = self._train_target_std
+        out = np.full(len(points), sigma)
+        for mac_index in np.unique(mac_indices):
+            columns = np.flatnonzero(train_macs == mac_index)
+            if len(columns) == 0:
+                continue
+            rows = mac_indices == mac_index
+            nearest = nearest_distances(points[rows], train_points[columns])
+            out[rows] = sigma * nearest / (nearest + self.UNCERTAINTY_RANGE_M)
         return out
 
     def bind_vocabulary(self, mac_vocabulary: Sequence[str]) -> None:
@@ -180,6 +277,14 @@ class Predictor(abc.ABC):
         self._fitted = True
         if train is not None:
             self._train_vocabulary = train.mac_vocabulary
+            # Train support for the fallback uncertainty proxy; copies so
+            # later mutation of the dataset cannot skew the proxy.
+            self._train_support = (
+                train.positions.astype(float).copy(),
+                train.mac_indices.astype(int).copy(),
+            )
+            spread = float(train.rssi_dbm.std()) if len(train) else 1.0
+            self._train_target_std = max(spread, 1e-6)
 
     def _require_fitted(self) -> None:
         if not self._fitted:

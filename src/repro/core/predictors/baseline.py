@@ -29,7 +29,9 @@ class MeanPerMacBaseline(Predictor):
         super().__init__()
         self._means: Dict[int, float] = {}
         self._means_table: np.ndarray = np.zeros(0)
+        self._stds_table: np.ndarray = np.zeros(0)
         self._global_mean = 0.0
+        self._global_std = 1.0
 
     def fit(self, train: REMDataset) -> "MeanPerMacBaseline":
         """Compute per-MAC and global training means."""
@@ -43,9 +45,15 @@ class MeanPerMacBaseline(Predictor):
         # Dense lookup table over the vocabulary for the batched paths
         # (vocabulary entries never observed in training keep the global
         # mean, matching the dict's .get() fallback).
+        self._global_std = max(float(train.rssi_dbm.std()), 1e-6)
         self._means_table = np.full(train.n_macs, self._global_mean)
-        for key, value in self._means.items():
-            self._means_table[key] = value
+        self._stds_table = np.full(train.n_macs, self._global_std)
+        for mac_index in np.unique(train.mac_indices):
+            mask = train.mac_indices == mac_index
+            self._means_table[mac_index] = self._means[int(mac_index)]
+            self._stds_table[mac_index] = max(
+                float(train.rssi_dbm[mask].std()), 1e-6
+            )
         self._mark_fitted(train)
         return self
 
@@ -67,6 +75,21 @@ class MeanPerMacBaseline(Predictor):
         self._require_fitted()
         points, macs = self._coerce_grid_query(points, mac_indices)
         return np.repeat(self._lookup(macs)[:, None], len(points), axis=1)
+
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Each MAC's training RSS spread — position-independent.
+
+        The baseline has no spatial structure, so its honest uncertainty
+        is the scatter it averages over (global spread for unseen MACs).
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        out = np.full(mac_indices.shape, self._global_std)
+        known = (mac_indices >= 0) & (mac_indices < len(self._stds_table))
+        out[known] = self._stds_table[mac_indices[known]]
+        return out
 
     def _lookup(self, mac_indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(mac_indices, dtype=int)

@@ -76,7 +76,9 @@ class GridSearchResult:
         return sorted(self.results, key=lambda r: r.mean_rmse)
 
 
-def _kfold_indices(n: int, k: int, seed: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+def _kfold_indices(
+    n: int, k: int, seed: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)
     folds = np.array_split(order, k)

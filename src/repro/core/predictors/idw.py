@@ -14,7 +14,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..dataset import REMDataset
-from .base import Predictor
+from .base import Predictor, nearest_distances
 
 __all__ = ["IdwRegressor"]
 
@@ -80,6 +80,32 @@ class IdwRegressor(Predictor):
             positions, values = self._per_mac[key]
             mask = mac_indices == mac_index
             out[mask] = self._shepard(positions, values, points[mask])
+        return out
+
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Distance proxy scaled by each MAC's own target spread.
+
+        Shepard weights give no disagreement signal (every sample always
+        contributes), so uncertainty is purely how far the query sits
+        from that MAC's sample cloud, saturating at the per-MAC spread.
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        out = np.full(len(points), self._train_target_std)
+        for mac_index in np.unique(mac_indices):
+            key = int(mac_index)
+            if key not in self._per_mac:
+                continue
+            positions, values = self._per_mac[key]
+            mask = mac_indices == mac_index
+            nearest = nearest_distances(points[mask], positions)
+            if len(values) > 1:
+                sigma = max(float(values.std()), 1e-6)
+            else:
+                sigma = self._train_target_std
+            out[mask] = sigma * nearest / (nearest + self.UNCERTAINTY_RANGE_M)
         return out
 
     # ------------------------------------------------------------------

@@ -152,7 +152,9 @@ class KnnRegressor(Predictor):
         if n_neighbors < 1:
             raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
         if weights not in ("uniform", "distance"):
-            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+            raise ValueError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
         if p < 1:
             raise ValueError(f"Minkowski p must be >= 1, got {p}")
         if onehot_scale < 0:
@@ -218,6 +220,50 @@ class KnnRegressor(Predictor):
                     base[rows], global_idx[rows], global_pow[rows], int(mac_index)
                 )
         return out
+
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Neighbor-disagreement uncertainty proxy.
+
+        Combines, in quadrature, the spread of the selected neighbors'
+        targets (model disagreement) with the saturating mean-neighbor-
+        distance term of the base class (extrapolation risk) — k-NN
+        fields are flat far from data, so distance must contribute or
+        unexplored space would look certain.
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        assert self._train_macs is not None
+        penalty = 2.0 * self.onehot_scale**self.p
+        out = np.empty(len(points))
+        for start in range(0, len(points), _GRID_CHUNK_ROWS):
+            sl = slice(start, min(start + _GRID_CHUNK_ROWS, len(points)))
+            base = _powered_distances(points[sl], self._train_positions, self.p)
+            chunk_macs = mac_indices[sl]
+            chunk_out = out[sl]
+            for mac_index in np.unique(chunk_macs):
+                rows = chunk_macs == mac_index
+                powered = base[rows]
+                if penalty != 0.0:
+                    powered = powered + penalty * (self._train_macs != mac_index)
+                chunk_out[rows] = self._neighbor_std(powered)
+        return out
+
+    def _neighbor_std(self, powered: np.ndarray) -> np.ndarray:
+        """Disagreement + distance proxy over a penalized-distance block."""
+        assert self._train_targets is not None
+        k = min(self.n_neighbors, len(self._train_targets))
+        neighbor_idx, neighbor_pow = _stable_topk(powered, k)
+        disagreement = self._train_targets[neighbor_idx].std(axis=1)
+        if self.p == 2.0:
+            neighbor_dist = np.sqrt(neighbor_pow)
+        else:
+            neighbor_dist = np.power(neighbor_pow, 1.0 / self.p)
+        mean_dist = neighbor_dist.mean(axis=1)
+        sigma = self._train_target_std
+        reach = sigma * mean_dist / (mean_dist + self.UNCERTAINTY_RANGE_M)
+        return np.sqrt(disagreement**2 + reach**2)
 
     def predict_mac_grid(
         self, points: np.ndarray, mac_indices: Sequence[int]

@@ -77,7 +77,10 @@ def fit_variogram(
     centers_arr = np.asarray(centers)
     means_arr = np.asarray(means)
     sill0 = float(np.var(values)) or 1.0
-    best: Tuple[float, ExponentialVariogram] = (np.inf, ExponentialVariogram(0.1, sill0, 1.0))
+    best: Tuple[float, ExponentialVariogram] = (
+        np.inf,
+        ExponentialVariogram(0.1, sill0, 1.0),
+    )
     # Coarse grid over range and nugget fraction; sill by least squares.
     for range_m in np.linspace(0.3, max_lag_m, 16):
         basis = 1.0 - np.exp(-centers_arr / range_m)
@@ -106,7 +109,9 @@ class OrdinaryKrigingRegressor(Predictor):
             raise ValueError(f"n_neighbors must be >= 2, got {n_neighbors}")
         self.n_neighbors = int(n_neighbors)
         self.n_bins = int(n_bins)
-        self._models: Dict[int, Tuple[np.ndarray, np.ndarray, ExponentialVariogram]] = {}
+        self._models: Dict[
+            int, Tuple[np.ndarray, np.ndarray, ExponentialVariogram]
+        ] = {}
         self._global_mean = 0.0
 
     # ------------------------------------------------------------------
@@ -145,6 +150,23 @@ class OrdinaryKrigingRegressor(Predictor):
         points, mac_indices = self._coerce_point_query(points, mac_indices)
         means, _ = self._predict_arrays_with_std(points, mac_indices)
         return means
+
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Native kriging standard deviation from the batched solve.
+
+        MACs without a fitted model report the global target spread
+        (consistent with the base-class unseen-MAC convention).
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        _, stds = self._predict_arrays_with_std(points, mac_indices)
+        unknown = ~np.isin(mac_indices, list(self._models))
+        if unknown.any():
+            stds = stds.copy()
+            stds[unknown] = self._train_target_std
+        return stds
 
     # ------------------------------------------------------------------
     def _predict_with_std(self, data: REMDataset) -> Tuple[np.ndarray, np.ndarray]:

@@ -35,7 +35,9 @@ class PerMacKnnRegressor(Predictor):
         if n_neighbors < 1:
             raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
         if weights not in ("uniform", "distance"):
-            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+            raise ValueError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
         self.n_neighbors = int(n_neighbors)
         self.weights = weights
         self.p = float(p)
@@ -76,6 +78,34 @@ class PerMacKnnRegressor(Predictor):
             if key not in self._positions:
                 continue
             out[mask] = self._predict_for_mac(key, points[mask])
+        return out
+
+    def predict_points_std(
+        self, points: np.ndarray, mac_indices: np.ndarray
+    ) -> np.ndarray:
+        """Disagreement + distance proxy over each MAC's own regressor.
+
+        Unseen MACs report the global target spread (no spatial model
+        exists for them at all — maximal uncertainty).
+        """
+        self._require_fitted()
+        points, mac_indices = self._coerce_point_query(points, mac_indices)
+        out = np.full(len(points), self._train_target_std)
+        for mac_index in np.unique(mac_indices):
+            key = int(mac_index)
+            if key not in self._positions:
+                continue
+            mask = mac_indices == mac_index
+            positions = self._positions[key]
+            targets = self._targets[key]
+            k = min(self.n_neighbors, len(targets))
+            distances = _minkowski_distances(points[mask], positions, self.p)
+            neighbor_idx, neighbor_dist = _stable_topk(distances, k)
+            disagreement = targets[neighbor_idx].std(axis=1)
+            mean_dist = neighbor_dist.mean(axis=1)
+            sigma = self._train_target_std
+            reach = sigma * mean_dist / (mean_dist + self.UNCERTAINTY_RANGE_M)
+            out[mask] = np.sqrt(disagreement**2 + reach**2)
         return out
 
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ relay→client by short-range free space) is as good as possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

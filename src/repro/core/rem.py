@@ -32,7 +32,7 @@ from ..radio.geometry import Cuboid
 from .dataset import REMDataset
 from .predictors.base import Predictor
 
-__all__ = ["RemGrid", "RadioEnvironmentMap", "build_rem"]
+__all__ = ["RemGrid", "RadioEnvironmentMap", "build_rem", "build_uncertainty_rem"]
 
 
 @dataclass(frozen=True)
@@ -344,5 +344,36 @@ def build_rem(
     if hasattr(predictor, "bind_vocabulary"):
         predictor.bind_vocabulary(train.mac_vocabulary)
     fields = predictor.predict_mac_grid(grid.points(), indices)
+    rem.set_fields(selected, fields.reshape((len(selected),) + grid.shape))
+    return rem
+
+
+def build_uncertainty_rem(
+    predictor: Predictor,
+    train: REMDataset,
+    volume: Cuboid,
+    resolution_m: float = 0.25,
+    macs: Optional[Sequence[str]] = None,
+) -> RadioEnvironmentMap:
+    """A map of predictive *uncertainty* (std, dB) instead of RSS.
+
+    Same lattice machinery as :func:`build_rem`, but fields come from
+    :meth:`Predictor.uncertainty_grid` — kriging variance where native,
+    distance/disagreement proxies elsewhere.  The active-sampling
+    planner reads this map to decide where the fleet flies next; its
+    ``dark_points`` / ``coverage`` reductions double as "where is the
+    map still unreliable" queries (with an uncertainty threshold).
+    """
+    grid = RemGrid(volume=volume, resolution_m=resolution_m)
+    rem = RadioEnvironmentMap(grid, train.mac_vocabulary)
+    selected = tuple(macs) if macs is not None else train.mac_vocabulary
+    mac_to_index = {mac: i for i, mac in enumerate(train.mac_vocabulary)}
+    for mac in selected:
+        if mac not in mac_to_index:
+            raise KeyError(f"MAC {mac!r} not in training vocabulary")
+    indices = np.array([mac_to_index[mac] for mac in selected], dtype=int)
+    if hasattr(predictor, "bind_vocabulary"):
+        predictor.bind_vocabulary(train.mac_vocabulary)
+    fields = predictor.uncertainty_grid(grid.points(), indices)
     rem.set_fields(selected, fields.reshape((len(selected),) + grid.shape))
     return rem

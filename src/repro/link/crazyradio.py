@@ -50,7 +50,9 @@ class RadioConfig:
 class Crazyradio:
     """The dongle: tunable carrier, on/off state, interference coupling."""
 
-    def __init__(self, environment: IndoorEnvironment, config: Optional[RadioConfig] = None):
+    def __init__(
+        self, environment: IndoorEnvironment, config: Optional[RadioConfig] = None
+    ):
         self.environment = environment
         self.config = config or RadioConfig()
         if not CRAZYRADIO_MIN_MHZ <= self.config.freq_mhz <= CRAZYRADIO_MAX_MHZ:
@@ -141,7 +143,9 @@ class CrazyradioLink:
         self.sim = sim
         self.radio = radio
         self.address = address
-        self.uav_tx_queue: BoundedQueue[CrtpPacket] = BoundedQueue(uav_tx_queue_capacity)
+        self.uav_tx_queue: BoundedQueue[CrtpPacket] = BoundedQueue(
+            uav_tx_queue_capacity
+        )
         self._uav_rx_handler: Optional[Callable[[CrtpPacket], None]] = None
         self.uplink_sent = 0
         self.uplink_lost = 0

@@ -103,7 +103,9 @@ def diagnose_scenario(
 
     return ScenarioDiagnostics(
         mean_aps_per_scan=float(counts_arr.mean()),
-        mean_detected_rss_dbm=float(np.mean(rss_values)) if rss_values else float("nan"),
+        mean_detected_rss_dbm=(
+            float(np.mean(rss_values)) if rss_values else float("nan")
+        ),
         distinct_macs_seen=len(macs),
         x_gradient_ratio=_ratio(xs_arr > x_mid),
         y_gradient_ratio=1.0 / max(_ratio(ys_arr > y_mid), 1e-9),

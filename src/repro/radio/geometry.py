@@ -57,7 +57,8 @@ class Wall:
     @property
     def in_plane_axes(self) -> Tuple[int, int]:
         """The two axes spanning the wall plane, in increasing order."""
-        return tuple(a for a in (0, 1, 2) if a != self.axis)  # type: ignore[return-value]
+        axes = tuple(a for a in (0, 1, 2) if a != self.axis)
+        return axes  # type: ignore[return-value]
 
     def contains_in_plane(self, point: np.ndarray, tol: float = 1e-9) -> bool:
         """True if ``point`` (on the wall plane) lies within the rectangle."""

@@ -58,7 +58,9 @@ class Material:
 DRYWALL = Material("drywall", attenuation_db=3.0, thickness_m=0.10)
 BRICK = Material("brick", attenuation_db=8.0, thickness_m=0.20)
 CONCRETE = Material("concrete", attenuation_db=12.0, thickness_m=0.20)
-REINFORCED_CONCRETE = Material("reinforced_concrete", attenuation_db=18.0, thickness_m=0.30)
+REINFORCED_CONCRETE = Material(
+    "reinforced_concrete", attenuation_db=18.0, thickness_m=0.30
+)
 GLASS = Material("glass", attenuation_db=2.0, thickness_m=0.01)
 WOOD = Material("wood", attenuation_db=4.0, thickness_m=0.05)
 

@@ -114,7 +114,9 @@ class MultiWallPathLoss:
 
     def wall_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
         """Summed (capped) penetration loss of all crossed walls."""
-        total = sum(w.material.attenuation_db for w in crossed_walls(tx, rx, self.walls))
+        total = sum(
+            w.material.attenuation_db for w in crossed_walls(tx, rx, self.walls)
+        )
         return min(total, self.max_wall_loss_db)
 
     def crossings(self, tx: Sequence[float], rx: Sequence[float]) -> list:

@@ -146,7 +146,9 @@ def build_building_walls(config: DemoScenarioConfig) -> List[Wall]:
     x_span = ((bx, ex), (bz, ez))  # (x, z) extents for y-normal walls
     xy_span = ((bx, ex), (by, ey))  # (x, y) extents for slabs
 
-    def _grid_planes(lo: float, hi: float, room_lo: float, room_hi: float) -> List[float]:
+    def _grid_planes(
+        lo: float, hi: float, room_lo: float, room_hi: float
+    ) -> List[float]:
         """Grid planes every wall_grid_m, skipping the room's interior span."""
         step = config.wall_grid_m
         planes: List[float] = []
@@ -312,8 +314,12 @@ def build_office_scenario(
         Wall(1, by, ((bx, ex), z_span), BRICK.scaled(0.25), name="shell_y_min"),
         Wall(1, ey, ((bx, ex), z_span), BRICK.scaled(0.25), name="shell_y_max"),
         # Meeting-room block beyond the +x edge of the open area.
-        Wall(0, fx + 1.0, ((by, ey), z_span), GLASS.scaled(0.012), name="meeting_glass"),
-        Wall(1, 2.5, ((fx + 1.0, ex), z_span), GLASS.scaled(0.012), name="meeting_split"),
+        Wall(
+            0, fx + 1.0, ((by, ey), z_span), GLASS.scaled(0.012), name="meeting_glass"
+        ),
+        Wall(
+            1, 2.5, ((fx + 1.0, ex), z_span), GLASS.scaled(0.012), name="meeting_split"
+        ),
         # Service core (stairs, printers) toward -y, light construction.
         Wall(1, -1.5, ((bx, ex), z_span), DRYWALL, name="core_y"),
         Wall(0, -2.5, ((by, -1.5), z_span), DRYWALL, name="core_x"),

@@ -59,7 +59,9 @@ class Event:
         return not self.cancelled and not self.fired
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        state = (
+            "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        )
         return f"Event(t={self.time:.6f}, {state})"
 
 

@@ -6,10 +6,23 @@ the per-UAV control loop (take-off → leg → scan with radio down → fetch
 test protocol.
 """
 
+from .active import (
+    ActiveCampaignResult,
+    ActiveRound,
+    ActiveSamplingConfig,
+    ActiveSamplingPlanner,
+    run_active_campaign,
+)
 from .campaign import CampaignConfig, CampaignResult, run_campaign
 from .client import BaseStationClient, ClientConfig, UavFlightReport
 from .endurance import EnduranceResult, run_endurance_test
-from .mission import Mission, UavMissionConfig, WaypointPlan, plan_demo_mission
+from .mission import (
+    Mission,
+    UavMissionConfig,
+    WaypointPlan,
+    plan_batch_mission,
+    plan_demo_mission,
+)
 from .online import OnlineRemBuilder, OnlineSnapshot
 from .scheduler import (
     PartitionPlan,
@@ -18,9 +31,14 @@ from .scheduler import (
     partition_waypoints,
 )
 from .storage import Sample, SampleLog
-from .waypoints import snake_order, split_between_uavs, waypoint_grid
+from .waypoints import snake_order, split_between_uavs, spread_subset, waypoint_grid
 
 __all__ = [
+    "ActiveCampaignResult",
+    "ActiveRound",
+    "ActiveSamplingConfig",
+    "ActiveSamplingPlanner",
+    "run_active_campaign",
     "CampaignConfig",
     "CampaignResult",
     "run_campaign",
@@ -32,10 +50,12 @@ __all__ = [
     "Mission",
     "UavMissionConfig",
     "WaypointPlan",
+    "plan_batch_mission",
     "plan_demo_mission",
     "Sample",
     "SampleLog",
     "snake_order",
+    "spread_subset",
     "split_between_uavs",
     "waypoint_grid",
     "PartitionPlan",

@@ -9,7 +9,7 @@ returning the sample log plus per-UAV flight reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..link.crazyradio import Crazyradio, CrazyradioLink, RadioConfig
 from ..radio.scenarios import DemoScenario, build_scenario
@@ -24,7 +24,13 @@ from .client import BaseStationClient, ClientConfig, UavFlightReport
 from .mission import Mission, plan_demo_mission
 from .storage import SampleLog
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .active import ActiveSamplingConfig
+
 __all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+#: Valid ``CampaignConfig.acquisition`` strategies.
+ACQUISITION_STRATEGIES = ("lattice", "active")
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,13 @@ class CampaignConfig:
     seed: int = 63
     #: Registered scenario name used when no scenario object is passed.
     scenario: str = "condo"
+    #: Waypoint acquisition strategy: ``"lattice"`` flies the paper's
+    #: fixed grid; ``"active"`` runs the uncertainty-driven loop
+    #: (:func:`repro.station.active.run_active_campaign`).
+    acquisition: str = "lattice"
+    #: Acquisition-loop tunables for ``acquisition="active"``
+    #: (defaults applied there when left as ``None``).
+    active: Optional["ActiveSamplingConfig"] = None
     firmware: FirmwareConfig = field(default_factory=FirmwareConfig.paper_modified)
     localization_mode: str = LocalizationMode.TDOA
     anchor_count: int = 8
@@ -77,7 +90,7 @@ def run_campaign(
     scenario: Optional[DemoScenario] = None,
     mission: Optional[Mission] = None,
     config: Optional[CampaignConfig] = None,
-) -> CampaignResult:
+):
     """Fly the full demo campaign and return the collected data.
 
     Parameters
@@ -88,9 +101,30 @@ def run_campaign(
     mission:
         Fleet plan; the 72-waypoint / 2-UAV demo mission when omitted.
     config:
-        Campaign tunables (firmware, localization mode, timing).
+        Campaign tunables (firmware, localization mode, timing).  With
+        ``config.acquisition == "active"`` the call delegates to
+        :func:`repro.station.active.run_active_campaign` and returns an
+        :class:`~repro.station.active.ActiveCampaignResult` instead
+        (``mission`` must then be omitted — the planner picks the
+        waypoints).
     """
     config = config or CampaignConfig()
+    if config.acquisition not in ACQUISITION_STRATEGIES:
+        raise ValueError(
+            f"unknown acquisition {config.acquisition!r}; "
+            f"choose from {ACQUISITION_STRATEGIES}"
+        )
+    if config.acquisition == "active":
+        if mission is not None:
+            raise ValueError(
+                "an explicit mission contradicts acquisition='active' "
+                "(the planner chooses the waypoints)"
+            )
+        from .active import run_active_campaign
+
+        return run_active_campaign(
+            scenario=scenario, config=config, active=config.active
+        )
     if scenario is None:
         scenario = build_scenario(config.scenario, seed=config.seed)
     if mission is None:

@@ -142,7 +142,9 @@ class BaseStationClient:
             + self.uav.config.scan_duration_s
             + cfg.scan_fetch_margin_s
         )
-        yield Timeout(max(scan_time, self.plan.scan_window_s - cfg.scan_command_margin_s))
+        yield Timeout(
+            max(scan_time, self.plan.scan_window_s - cfg.scan_command_margin_s)
+        )
         self.radio.turn_on()
 
         records: List[proto.ScanRecordMsg] = []

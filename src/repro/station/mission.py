@@ -16,7 +16,13 @@ import numpy as np
 from ..radio.scenarios import DemoScenario
 from .waypoints import split_between_uavs, waypoint_grid
 
-__all__ = ["WaypointPlan", "UavMissionConfig", "Mission", "plan_demo_mission"]
+__all__ = [
+    "WaypointPlan",
+    "UavMissionConfig",
+    "Mission",
+    "plan_demo_mission",
+    "plan_batch_mission",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,43 @@ class Mission:
     def total_waypoints(self) -> int:
         """Waypoints across the whole fleet."""
         return sum(len(plan) for _, plan in self.assignments)
+
+
+def plan_batch_mission(
+    waypoints: np.ndarray,
+    flight_leg_s: float = 4.0,
+    scan_window_s: float = 3.0,
+    uav_name: str = "UAV-A",
+    start_position: Tuple[float, float, float] = (0.3, 0.3, 0.0),
+) -> Mission:
+    """A single-UAV mission over an explicit waypoint batch.
+
+    The active-sampling loop flies one of these per acquisition round:
+    the planner picks the batch, this wraps it in the same mission
+    machinery the fixed-lattice campaign uses (so the client, radio
+    shutdown protocol and sample annotation are identical).  Waypoints
+    are flown in the given order — order them for short hops before
+    calling (``snake_order``); the fixed 4-second legs assume adjacent
+    waypoints.
+    """
+    pts = np.asarray(waypoints, dtype=float).reshape(-1, 3)
+    if len(pts) == 0:
+        raise ValueError("batch mission needs at least one waypoint")
+    mission = Mission()
+    mission.add(
+        UavMissionConfig(
+            name=uav_name,
+            radio_address="radio://0/80/2M",
+            start_position=start_position,
+            yaw_deg=0.0,
+        ),
+        WaypointPlan(
+            waypoints=tuple(tuple(float(v) for v in p) for p in pts),
+            flight_leg_s=flight_leg_s,
+            scan_window_s=scan_window_s,
+        ),
+    )
+    return mission
 
 
 def plan_demo_mission(

@@ -59,7 +59,9 @@ class OnlineRemBuilder:
         if not 0.0 <= holdout_fraction < 1.0:
             raise ValueError("holdout_fraction must be in [0, 1)")
         self._factory = predictor_factory or (
-            lambda: KnnRegressor(n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0)
+            lambda: KnnRegressor(
+                n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
+            )
         )
         self.refit_every_scans = int(refit_every_scans)
         self.holdout_fraction = float(holdout_fraction)
@@ -82,23 +84,65 @@ class OnlineRemBuilder:
         """True once a model has been fit."""
         return self.model is not None
 
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        """MACs the current model was trained over (refit order)."""
+        return self._vocabulary
+
     # ------------------------------------------------------------------
     def add_scan(
         self, position: Sequence[float], records: Sequence[ScanRecord]
     ) -> Optional[OnlineSnapshot]:
-        """Ingest one scan; returns a snapshot when a refit happened."""
+        """Ingest one scan; returns a snapshot when a refit happened.
+
+        Empty scans (no AP detected — a real occurrence in RF-dark
+        corners) still count toward the refit cadence but consume no
+        holdout draw, so sample-free scans cannot skew the split.
+        """
         pos = tuple(float(v) for v in position)
         rows = [(pos, r.mac, int(r.rssi_dbm), int(r.channel)) for r in records]
-        is_holdout = (
-            self.holdout_fraction > 0.0 and self._rng.random() < self.holdout_fraction
-        )
-        (self._holdout_rows if is_holdout else self._train_rows).extend(rows)
+        if rows:
+            is_holdout = (
+                self.holdout_fraction > 0.0
+                and self._rng.random() < self.holdout_fraction
+            )
+            (self._holdout_rows if is_holdout else self._train_rows).extend(rows)
         self.scans_ingested += 1
         if self.scans_ingested % self.refit_every_scans == 0 and self._train_rows:
             return self._refit()
         return None
 
+    def refit_now(self) -> Optional[OnlineSnapshot]:
+        """Force a refit outside the cadence (end of a flight batch).
+
+        Returns ``None`` when there is nothing to train on yet.  The
+        active-sampling loop calls this after each batch lands so the
+        planner always scores candidates against a current model.
+        """
+        if not self._train_rows:
+            return None
+        return self._refit()
+
     # ------------------------------------------------------------------
+    def dataset(self) -> REMDataset:
+        """Every ingested sample (train + holdout) as one dataset.
+
+        The shipped map should be fit on *all* collected data — the
+        holdout only exists to score refits while flying.  Uses its own
+        vocabulary over all rows, so holdout-only MACs are included.
+        """
+        rows = self._train_rows + self._holdout_rows
+        vocabulary = tuple(sorted({r[1] for r in rows}))
+        index = {mac: i for i, mac in enumerate(vocabulary)}
+        positions = np.array([r[0] for r in rows], dtype=float).reshape(-1, 3)
+        return REMDataset(
+            positions=positions,
+            mac_indices=np.array([index[r[1]] for r in rows], dtype=int),
+            channels=np.array([max(r[3], 1) for r in rows], dtype=int),
+            rssi_dbm=np.array([r[2] for r in rows], dtype=float),
+            mac_vocabulary=vocabulary,
+        )
+
     def _dataset(self, rows) -> REMDataset:
         index = {mac: i for i, mac in enumerate(self._vocabulary)}
         usable = [r for r in rows if r[1] in index]
@@ -128,6 +172,22 @@ class OnlineRemBuilder:
         )
         self.history.append(snapshot)
         return snapshot
+
+    # ------------------------------------------------------------------
+    def uncertainty(self, positions: Sequence[Sequence[float]]) -> np.ndarray:
+        """Mean predictive std (dB) across observed MACs per position.
+
+        This is the map-quality field the active planner maximizes over
+        candidate waypoints: one :meth:`Predictor.uncertainty_grid` call
+        over the full vocabulary, reduced across MACs.
+        """
+        if self.model is None:
+            raise RuntimeError("no model fitted yet (too few scans)")
+        points = np.asarray(positions, dtype=float).reshape(-1, 3)
+        grid = self.model.uncertainty_grid(
+            points, np.arange(len(self._vocabulary))
+        )
+        return grid.mean(axis=0)
 
     # ------------------------------------------------------------------
     def predict(self, position: Sequence[float], mac: str) -> float:

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..radio.geometry import Cuboid
 
-__all__ = ["waypoint_grid", "snake_order", "split_between_uavs"]
+__all__ = ["waypoint_grid", "snake_order", "split_between_uavs", "spread_subset"]
 
 
 def waypoint_grid(
@@ -63,6 +63,30 @@ def snake_order(points: np.ndarray) -> np.ndarray:
             row_counter += 1
             ordered.append(row)
     return np.vstack(ordered)
+
+
+def spread_subset(points: np.ndarray, count: int) -> np.ndarray:
+    """Indices of ``count`` points spread over the set (farthest-point).
+
+    Greedy k-center seeding for the active campaign's exploratory first
+    batch: start at the point closest to the centroid, then repeatedly
+    add the candidate farthest from everything selected so far.  Fully
+    deterministic — no RNG — so campaigns are reproducible.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {pts.shape}")
+    n = len(pts)
+    if not 1 <= count <= n:
+        raise ValueError(f"count must be in [1, {n}], got {count}")
+    centroid = pts.mean(axis=0)
+    selected = [int(np.argmin(np.linalg.norm(pts - centroid, axis=1)))]
+    min_dist = np.linalg.norm(pts - pts[selected[0]], axis=1)
+    while len(selected) < count:
+        nxt = int(np.argmax(min_dist))
+        selected.append(nxt)
+        min_dist = np.minimum(min_dist, np.linalg.norm(pts - pts[nxt], axis=1))
+    return np.asarray(selected, dtype=int)
 
 
 def split_between_uavs(

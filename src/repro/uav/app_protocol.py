@@ -157,7 +157,9 @@ def encode(message: Message) -> CrtpPacket:
     if isinstance(message, Takeoff):
         payload = struct.pack("<Bf", MessageType.TAKEOFF, message.height_m)
     elif isinstance(message, Goto):
-        payload = struct.pack("<Bfff", MessageType.GOTO, message.x, message.y, message.z)
+        payload = struct.pack(
+            "<Bfff", MessageType.GOTO, message.x, message.y, message.z
+        )
     elif isinstance(message, StartScan):
         payload = struct.pack("<B", MessageType.START_SCAN)
     elif isinstance(message, Land):

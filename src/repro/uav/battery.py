@@ -16,9 +16,8 @@ is the operational end-of-flight the paper measures.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["BatteryConfig", "Battery"]
 
@@ -42,6 +41,36 @@ class BatteryConfig:
             raise ValueError("current must be positive")
         usable_mah = self.capacity_mah * (1.0 - self.erratic_reserve_fraction)
         return usable_mah / average_current_ma * 3600.0
+
+    def endurance_waypoints(
+        self,
+        flight_leg_s: float = 4.0,
+        scan_window_s: float = 3.0,
+        deck_current_ma: float = 0.0,
+        safety_fraction: float = 0.15,
+    ) -> int:
+        """Waypoints one charge supports under the §III-A duty cycle.
+
+        Each waypoint costs a translating leg plus a hovering scan
+        window; ``safety_fraction`` of the usable endurance is reserved
+        for take-off, landing and return.  This bounds how large an
+        active-sampling batch a single flight may be.
+        """
+        if flight_leg_s <= 0 or scan_window_s <= 0:
+            raise ValueError("leg and scan durations must be positive")
+        if not 0.0 <= safety_fraction < 1.0:
+            raise ValueError("safety_fraction must be in [0, 1)")
+        leg_ma = self.hover_current_ma + self.translate_extra_ma + deck_current_ma
+        hover_ma = self.hover_current_ma + deck_current_ma
+        per_waypoint_mah = (
+            leg_ma * flight_leg_s + hover_ma * scan_window_s
+        ) / 3600.0
+        usable_mah = (
+            self.capacity_mah
+            * (1.0 - self.erratic_reserve_fraction)
+            * (1.0 - safety_fraction)
+        )
+        return max(int(usable_mah / per_waypoint_mah), 1)
 
 
 class Battery:

@@ -68,7 +68,10 @@ class Commander:
         if self.watchdog_fired:
             return CommanderState.SHUTDOWN
         stale = self.staleness(now)
-        if self._last_fed_at is not None and stale > self.firmware.commander_watchdog_timeout_s:
+        if (
+            self._last_fed_at is not None
+            and stale > self.firmware.commander_watchdog_timeout_s
+        ):
             self.watchdog_fired = True
             return CommanderState.SHUTDOWN
         if stale > self.firmware.setpoint_level_timeout_s:

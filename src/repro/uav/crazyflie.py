@@ -203,7 +203,9 @@ class Crazyflie:
             self.dynamics.update(dt, self._rng)
             self._uwb_accum_s += dt
             if self._uwb_accum_s >= uwb_period:
-                self.estimator.step(self._uwb_accum_s, self.dynamics.position, self._uwb_rng)
+                self.estimator.step(
+                    self._uwb_accum_s, self.dynamics.position, self._uwb_rng
+                )
                 self._uwb_accum_s = 0.0
             self.receiver_module.set_position(self.dynamics.position)
             # Power.

@@ -76,7 +76,9 @@ class AnchorLayout:
         centered = pts - pts.mean(axis=0)
         return bool(np.linalg.matrix_rank(centered, tol=1e-9) >= 3)
 
-    def in_range(self, position: Sequence[float], max_range: float = LPS_RANGE_M) -> List[Anchor]:
+    def in_range(
+        self, position: Sequence[float], max_range: float = LPS_RANGE_M
+    ) -> List[Anchor]:
         """Anchors within UWB range of ``position``."""
         p = np.asarray(position, dtype=float)
         return [
@@ -99,5 +101,8 @@ def corner_layout(volume: Cuboid) -> AnchorLayout:
     rest = [i for i in range(8) if i not in tetra]
     order = tetra + rest
     return AnchorLayout(
-        [Anchor(anchor_id=i, position=tuple(corners[idx])) for i, idx in enumerate(order)]
+        [
+            Anchor(anchor_id=i, position=tuple(corners[idx]))
+            for i, idx in enumerate(order)
+        ]
     )

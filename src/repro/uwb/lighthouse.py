@@ -72,7 +72,9 @@ class LighthouseConfig:
     max_range_m: float = 6.0
 
 
-def default_base_stations(volume: Cuboid, margin: float = 0.1) -> List[LighthouseBaseStation]:
+def default_base_stations(
+    volume: Cuboid, margin: float = 0.1
+) -> List[LighthouseBaseStation]:
     """Two base stations in opposite upper corners (the standard setup)."""
     lo = np.asarray(volume.min_corner, dtype=float)
     hi = np.asarray(volume.max_corner, dtype=float)
@@ -140,7 +142,10 @@ class LighthouseEstimator:
             delta_true = truth - station.position_array
             if float(np.linalg.norm(delta_true)) > cfg.max_range_m:
                 continue
-            if cfg.occlusion_probability > 0 and rng.random() < cfg.occlusion_probability:
+            if (
+                cfg.occlusion_probability > 0
+                and rng.random() < cfg.occlusion_probability
+            ):
                 continue
             az_true, el_true = self._angles(delta_true)
             az_meas = az_true + rng.normal(0.0, cfg.angle_sigma_rad)
@@ -163,7 +168,9 @@ class LighthouseEstimator:
             innovation, jacobian, self.config.filter_angle_sigma_rad
         )
 
-    def _update_elevation(self, station: LighthouseBaseStation, measured: float) -> None:
+    def _update_elevation(
+        self, station: LighthouseBaseStation, measured: float
+    ) -> None:
         delta = self.ekf.position - station.position_array
         dx, dy, dz = (float(v) for v in delta)
         horizontal = float(np.hypot(dx, dy))

@@ -110,7 +110,9 @@ class PositionEstimator:
     @property
     def update_rate_hz(self) -> float:
         """Measurement batch rate of the active mode."""
-        return self._twr.rate_hz() if self.mode == LocalizationMode.TWR else self._tdoa.rate_hz()
+        if self.mode == LocalizationMode.TWR:
+            return self._twr.rate_hz()
+        return self._tdoa.rate_hz()
 
     @property
     def position(self) -> np.ndarray:

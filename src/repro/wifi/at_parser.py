@@ -16,7 +16,12 @@ from typing import List, Optional, Sequence
 
 from .beacon import ScanRecord
 
-__all__ = ["AtParseError", "parse_cwlap_line", "parse_cwlap_response", "split_at_fields"]
+__all__ = [
+    "AtParseError",
+    "parse_cwlap_line",
+    "parse_cwlap_response",
+    "split_at_fields",
+]
 
 CWLAP_PREFIX = "+CWLAP:"
 

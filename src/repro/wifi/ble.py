@@ -84,7 +84,8 @@ def generate_ble_population(
     base = int(rng.integers(2**40)) << 8 | 0x02  # locally administered
     for i in range(n_devices):
         position = rng.normal(np.asarray(center, float), np.asarray(spread_m, float))
-        name = f"{_BLE_NAMES[int(rng.integers(len(_BLE_NAMES)))]}-{int(rng.integers(100)):02d}"
+        prefix = _BLE_NAMES[int(rng.integers(len(_BLE_NAMES)))]
+        name = f"{prefix}-{int(rng.integers(100)):02d}"
         devices.append(
             BleDevice(
                 mac=format_mac((base + 13 * i) % 2**48),

@@ -80,7 +80,9 @@ class ChannelSweepScanner:
         Receiver parameters.
     """
 
-    def __init__(self, environment: IndoorEnvironment, config: Optional[ScanConfig] = None):
+    def __init__(
+        self, environment: IndoorEnvironment, config: Optional[ScanConfig] = None
+    ):
         self.environment = environment
         self.config = config or ScanConfig()
 
@@ -106,7 +108,10 @@ class ChannelSweepScanner:
         records: List[ScanRecord] = []
         for channel in cfg.channels:
             thermal = env.thermal_floor_dbm()
-            raised = env.interference_floor_dbm(channel) if interference_active else thermal
+            if interference_active:
+                raised = env.interference_floor_dbm(channel)
+            else:
+                raised = thermal
             for ap in env.aps_on_channel(channel):
                 detected_levels = self._detect_beacons(
                     ap, position, rng, opportunities, duty, thermal, raised

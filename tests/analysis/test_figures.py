@@ -20,7 +20,8 @@ def fig5(demo_scenario):
 
 class TestFigure5:
     def test_all_settings_present(self, fig5):
-        assert set(fig5.series) == {"off"} | {f"{f:.0f} MHz" for f in FIG5_FREQUENCIES_MHZ}
+        expected = {"off"} | {f"{f:.0f} MHz" for f in FIG5_FREQUENCIES_MHZ}
+        assert set(fig5.series) == expected
 
     def test_radio_off_detects_most(self, fig5):
         off_total = fig5.total("off")

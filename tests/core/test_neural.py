@@ -11,7 +11,9 @@ from tests.core.test_predictors import dataset_from_arrays
 def linear_data(rng):
     # RSS = -60 - 3x + 2y (+ tiny noise): learnable by a small MLP.
     positions = rng.uniform(0, 3, size=(300, 3))
-    rssi = -60.0 - 3.0 * positions[:, 0] + 2.0 * positions[:, 1] + rng.normal(0, 0.2, 300)
+    rssi = (
+        -60.0 - 3.0 * positions[:, 0] + 2.0 * positions[:, 1] + rng.normal(0, 0.2, 300)
+    )
     return dataset_from_arrays(positions, np.zeros(300, dtype=int), rssi)
 
 

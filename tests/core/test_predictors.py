@@ -17,7 +17,9 @@ def dataset_from_arrays(positions, macs, rssi, vocabulary=None):
     macs = np.asarray(macs, dtype=int)
     rssi = np.asarray(rssi, dtype=float)
     if vocabulary is None:
-        vocabulary = tuple(f"aa:aa:aa:aa:aa:{i:02x}" for i in range(int(macs.max()) + 1))
+        vocabulary = tuple(
+            f"aa:aa:aa:aa:aa:{i:02x}" for i in range(int(macs.max()) + 1)
+        )
     return REMDataset(
         positions=positions,
         mac_indices=macs,

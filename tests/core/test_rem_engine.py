@@ -119,7 +119,9 @@ class TestDegenerateSpans:
         # A plane: zero z extent.  The grid still gets >= 2 points per
         # axis; interior spans collapse to zero and the query must not
         # divide by that zero span.
-        grid = RemGrid(volume=Cuboid((0.0, 0.0, 1.0), (2.0, 2.0, 1.0)), resolution_m=0.5)
+        grid = RemGrid(
+            volume=Cuboid((0.0, 0.0, 1.0), (2.0, 2.0, 1.0)), resolution_m=0.5
+        )
         assert grid.shape[2] == 2
         rem = RadioEnvironmentMap(grid, ["m"])
         rem.set_field("m", np.full(grid.shape, -55.0))
@@ -129,7 +131,9 @@ class TestDegenerateSpans:
         assert out[:, 0] == pytest.approx([-55.0, -55.0])
 
     def test_point_volume(self):
-        grid = RemGrid(volume=Cuboid((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)), resolution_m=0.25)
+        grid = RemGrid(
+            volume=Cuboid((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)), resolution_m=0.25
+        )
         assert grid.shape == (2, 2, 2)
         rem = RadioEnvironmentMap(grid, ["m"])
         rem.set_field("m", np.full(grid.shape, -42.0))
@@ -222,7 +226,9 @@ class TestBatchedEquivalence:
             rssi=[-50.0, -60.0, -90.0],
             vocabulary=("a", "b", "c"),
         )
-        model = KnnRegressor(n_neighbors=2, weights="uniform", onehot_scale=3.0).fit(data)
+        model = KnnRegressor(n_neighbors=2, weights="uniform", onehot_scale=3.0).fit(
+            data
+        )
         query = np.array([[1.0, 0.0, 0.0]])
         legacy = model.predict(_query_view(data, query, np.array([0])))
         batched = model.predict_points(query, np.array([0]))

@@ -1,0 +1,145 @@
+"""Tests for the batched uncertainty contract on every predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_uncertainty_rem
+from repro.core.dataset import REMDataset
+from repro.core.predictors import (
+    IdwRegressor,
+    KnnRegressor,
+    MeanPerMacBaseline,
+    MlpRegressor,
+    NotFittedError,
+    OrdinaryKrigingRegressor,
+    PerMacKnnRegressor,
+)
+from repro.radio.geometry import Cuboid
+
+ALL_PREDICTORS = [
+    MeanPerMacBaseline,
+    KnnRegressor,
+    PerMacKnnRegressor,
+    IdwRegressor,
+    OrdinaryKrigingRegressor,
+    MlpRegressor,  # no override: exercises the base-class fallback
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    n = 240
+    positions = rng.uniform(0.0, 3.0, size=(n, 3))
+    mac_indices = rng.integers(0, 3, size=n)
+    rssi = -60.0 - 4.0 * positions[:, 0] - 2.0 * mac_indices + rng.normal(0, 1.5, n)
+    return REMDataset(
+        positions=positions,
+        mac_indices=mac_indices,
+        channels=np.ones(n, dtype=int),
+        rssi_dbm=rssi,
+        # One vocabulary entry (index 3) never appears in training.
+        mac_vocabulary=("aa:00", "aa:01", "aa:02", "aa:03"),
+    )
+
+
+class TestContract:
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_std_shape_and_positivity(self, cls, dataset, rng):
+        model = cls().fit(dataset)
+        points = rng.uniform(0.0, 3.0, size=(17, 3))
+        stds = model.predict_points_std(points, np.zeros(17, dtype=int))
+        assert stds.shape == (17,)
+        assert np.isfinite(stds).all()
+        assert (stds >= 0.0).all()
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_grid_matches_per_mac_stds(self, cls, dataset, rng):
+        model = cls().fit(dataset)
+        points = rng.uniform(0.0, 3.0, size=(9, 3))
+        grid = model.uncertainty_grid(points, [0, 2, 3])
+        assert grid.shape == (3, 9)
+        for row, mac_index in enumerate([0, 2, 3]):
+            expected = model.predict_points_std(
+                points, np.full(9, mac_index, dtype=int)
+            )
+            np.testing.assert_allclose(grid[row], expected)
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_requires_fit(self, cls):
+        with pytest.raises(NotFittedError):
+            cls().predict_points_std(np.zeros((1, 3)), np.zeros(1, dtype=int))
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_unseen_mac_is_maximally_uncertain(self, cls, dataset, rng):
+        """Index 3 has zero training samples: std must not collapse."""
+        model = cls().fit(dataset)
+        points = rng.uniform(0.0, 3.0, size=(8, 3))
+        unseen = model.predict_points_std(points, np.full(8, 3, dtype=int))
+        assert (unseen > 0.1).all()
+
+
+class TestSpatialBehavior:
+    def test_base_fallback_grows_with_distance(self, dataset):
+        """The distance proxy: far from data beats on top of data."""
+        model = MlpRegressor().fit(dataset)
+        anchor = dataset.positions[0]
+        near = model.predict_points_std(anchor[None, :], np.array([0]))
+        far = model.predict_points_std(
+            anchor[None, :] + np.array([[25.0, 25.0, 25.0]]), np.array([0])
+        )
+        assert far[0] > near[0]
+
+    def test_base_fallback_zero_at_training_point(self, dataset):
+        model = MlpRegressor().fit(dataset)
+        row = int(np.flatnonzero(dataset.mac_indices == 1)[0])
+        std = model.predict_points_std(
+            dataset.positions[row][None, :], np.array([1])
+        )
+        assert std[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_knn_uncertainty_grows_with_distance(self, dataset):
+        model = KnnRegressor(n_neighbors=8, onehot_scale=3.0).fit(dataset)
+        inside = model.predict_points_std(
+            np.array([[1.5, 1.5, 1.5]]), np.array([0])
+        )
+        outside = model.predict_points_std(
+            np.array([[40.0, 40.0, 40.0]]), np.array([0])
+        )
+        assert outside[0] > inside[0]
+
+    def test_kriging_std_small_at_training_points(self, dataset):
+        model = OrdinaryKrigingRegressor(n_neighbors=8).fit(dataset)
+        rows = np.flatnonzero(dataset.mac_indices == 0)[:5]
+        at_train = model.predict_points_std(
+            dataset.positions[rows], np.zeros(len(rows), dtype=int)
+        )
+        far = model.predict_points_std(
+            np.array([[60.0, 60.0, 60.0]]), np.array([0])
+        )
+        assert far[0] > at_train.mean()
+
+    def test_baseline_std_is_position_independent(self, dataset, rng):
+        model = MeanPerMacBaseline().fit(dataset)
+        points = rng.uniform(0.0, 3.0, size=(6, 3))
+        stds = model.predict_points_std(points, np.zeros(6, dtype=int))
+        assert np.allclose(stds, stds[0])
+
+
+class TestUncertaintyRem:
+    def test_build_uncertainty_rem(self, dataset):
+        model = KnnRegressor(n_neighbors=8, onehot_scale=3.0).fit(dataset)
+        volume = Cuboid((0.0, 0.0, 0.0), (3.0, 3.0, 3.0))
+        rem = build_uncertainty_rem(model, dataset, volume, resolution_m=1.0)
+        assert set(rem.macs) == set(dataset.mac_vocabulary)
+        tensor = rem.field_tensor()
+        assert np.isfinite(tensor).all()
+        assert (tensor >= 0.0).all()
+
+    def test_unknown_mac_rejected(self, dataset):
+        model = KnnRegressor().fit(dataset)
+        volume = Cuboid((0.0, 0.0, 0.0), (3.0, 3.0, 3.0))
+        with pytest.raises(KeyError):
+            build_uncertainty_rem(
+                model, dataset, volume, resolution_m=1.0, macs=["zz:zz"]
+            )

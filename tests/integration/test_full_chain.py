@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import build_rem, preprocess
 from repro.core.predictors import KnnRegressor, rmse
-from repro.radio import build_demo_scenario
 from repro.station import SampleLog
 from repro.wifi import Esp01Driver, Esp01Module, ScanConfig, parse_cwlap_response
 
@@ -65,7 +64,9 @@ class TestCampaignToRem:
             assert np.isfinite(field).all()
             assert -110 < field.mean() < -30
 
-    def test_rem_queries_consistent_with_training_data(self, campaign_result, preprocessed):
+    def test_rem_queries_consistent_with_training_data(
+        self, campaign_result, preprocessed
+    ):
         model = KnnRegressor(n_neighbors=8).fit(preprocessed.train)
         mac = preprocessed.dataset.mac_vocabulary[0]
         rem = build_rem(

@@ -1,7 +1,6 @@
 """Fuzz/property tests for parsers, protocols and vehicle invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -55,7 +54,9 @@ class TestProtocolFuzz:
     )
     def test_scan_record_roundtrip(self, mac_bytes, rssi, channel, ssid):
         mac = ":".join(f"{b:02x}" for b in mac_bytes)
-        message = proto.ScanRecordMsg(mac=mac, rssi_dbm=rssi, channel=channel, ssid=ssid)
+        message = proto.ScanRecordMsg(
+            mac=mac, rssi_dbm=rssi, channel=channel, ssid=ssid
+        )
         decoded = proto.decode(proto.encode(message))
         assert decoded.mac == mac
         assert decoded.rssi_dbm == rssi
@@ -80,7 +81,9 @@ class TestProtocolFuzz:
 class TestBatteryProperties:
     @given(
         draws=st.lists(
-            st.tuples(st.floats(0, 5000, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+            st.tuples(
+                st.floats(0, 5000, allow_nan=False), st.floats(0, 100, allow_nan=False)
+            ),
             max_size=50,
         )
     )

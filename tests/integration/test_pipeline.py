@@ -4,7 +4,6 @@ import pytest
 
 from repro import ToolchainConfig, generate_rem
 from repro.core.pipeline import ToolchainResult
-from repro.station import CampaignConfig
 
 
 @pytest.fixture(scope="module")

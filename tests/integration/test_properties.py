@@ -151,4 +151,7 @@ class TestMetricProperties:
     @given(y=values, shift=st.floats(0.1, 20, allow_nan=False))
     def test_rmse_of_constant_shift(self, y, shift):
         shifted = [v + shift for v in y]
-        assert rmse(y, shifted) == np.float64(shift) or abs(rmse(y, shifted) - shift) < 1e-9
+        assert (
+            rmse(y, shifted) == np.float64(shift)
+            or abs(rmse(y, shifted) - shift) < 1e-9
+        )

@@ -7,7 +7,14 @@ from repro.radio import BRICK, CONCRETE, DRYWALL, MATERIALS, Material
 
 class TestMaterials:
     def test_registry_complete(self):
-        assert {"drywall", "brick", "concrete", "reinforced_concrete", "glass", "wood"} <= set(
+        assert {
+            "drywall",
+            "brick",
+            "concrete",
+            "reinforced_concrete",
+            "glass",
+            "wood",
+        } <= set(
             MATERIALS
         )
 

@@ -20,7 +20,9 @@ class TestFspl:
         assert fspl_db(1.0, 2442.0) == pytest.approx(40.2, abs=0.3)
 
     def test_doubles_distance_adds_6db(self):
-        assert fspl_db(20.0, 2442.0) - fspl_db(10.0, 2442.0) == pytest.approx(6.02, abs=0.01)
+        assert fspl_db(20.0, 2442.0) - fspl_db(10.0, 2442.0) == pytest.approx(
+            6.02, abs=0.01
+        )
 
     def test_clamps_tiny_distance(self):
         assert fspl_db(0.0, 2442.0) == fspl_db(0.1, 2442.0)

@@ -14,7 +14,9 @@ class TestGaussianRandomField:
         assert a.sample(point) == b.sample(point)
 
     def test_marginal_std_close_to_sigma(self):
-        field = GaussianRandomField(3.0, 2.0, np.random.default_rng(3), n_components=256)
+        field = GaussianRandomField(
+            3.0, 2.0, np.random.default_rng(3), n_components=256
+        )
         rng = np.random.default_rng(11)
         points = rng.uniform(-50, 50, size=(4000, 3))
         values = field.sample_many(points)
@@ -22,7 +24,9 @@ class TestGaussianRandomField:
         assert abs(values.mean()) < 0.3
 
     def test_nearby_points_correlated_far_points_not(self):
-        field = GaussianRandomField(3.0, 2.0, np.random.default_rng(5), n_components=256)
+        field = GaussianRandomField(
+            3.0, 2.0, np.random.default_rng(5), n_components=256
+        )
         rng = np.random.default_rng(13)
         base = rng.uniform(-30, 30, size=(800, 3))
         near = base + rng.normal(0, 0.1, size=base.shape)

@@ -1,8 +1,6 @@
 """Integration tests for the full campaign (shared session fixture)."""
 
 import numpy as np
-import pytest
-
 from repro.station import CampaignConfig, run_campaign
 from repro.uav import FirmwareConfig, FlightState
 

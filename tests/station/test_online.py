@@ -51,7 +51,9 @@ class TestIngestion:
     def test_unknown_mac_rejected(self, rng):
         builder = OnlineRemBuilder(refit_every_scans=2, holdout_fraction=0.0)
         for i in range(4):
-            builder.add_scan((float(i), 0, 1), scan_records(rng, MACS, (float(i), 0, 1)))
+            builder.add_scan(
+                (float(i), 0, 1), scan_records(rng, MACS, (float(i), 0, 1))
+            )
         with pytest.raises(KeyError):
             builder.predict((0, 0, 1), "ff:ff:ff:ff:ff:ff")
 
@@ -60,6 +62,105 @@ class TestIngestion:
             OnlineRemBuilder(refit_every_scans=0)
         with pytest.raises(ValueError):
             OnlineRemBuilder(holdout_fraction=1.0)
+
+
+class TestEdgeCases:
+    def test_empty_scans_count_toward_cadence_without_refitting(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=2, holdout_fraction=0.0)
+        for _ in range(6):
+            assert builder.add_scan((0.0, 0.0, 1.0), []) is None
+        assert builder.scans_ingested == 6
+        assert builder.samples_ingested == 0
+        assert not builder.ready
+
+    def test_empty_scan_completes_cadence_over_real_data(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=3, holdout_fraction=0.0)
+        builder.add_scan((0.0, 0.0, 1.0), scan_records(rng, MACS, (0.0, 0.0, 1.0)))
+        builder.add_scan((1.0, 0.0, 1.0), scan_records(rng, MACS, (1.0, 0.0, 1.0)))
+        snap = builder.add_scan((2.0, 0.0, 1.0), [])
+        assert snap is not None
+        assert snap.scans_ingested == 3
+        assert builder.ready
+
+    def test_empty_scans_do_not_consume_holdout_draws(self, rng):
+        """An RF-dark corner must not skew the later holdout split."""
+        plain = OnlineRemBuilder(refit_every_scans=100, holdout_fraction=0.5, seed=11)
+        interleaved = OnlineRemBuilder(
+            refit_every_scans=100, holdout_fraction=0.5, seed=11
+        )
+        for i in range(10):
+            position = (float(i), 0.0, 1.0)
+            records = scan_records(rng, MACS, position)
+            plain.add_scan(position, records)
+            interleaved.add_scan((9.9, 9.9, 9.9), [])  # dark scan between
+            interleaved.add_scan(position, records)
+        assert len(plain._holdout_rows) == len(interleaved._holdout_rows)
+
+    def test_refit_every_scan_cadence(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=1, holdout_fraction=0.0)
+        for i in range(4):
+            position = (float(i), 0.0, 1.0)
+            snap = builder.add_scan(position, scan_records(rng, MACS, position))
+            assert snap is not None
+        assert len(builder.history) == 4
+
+    def test_cadence_boundary_is_exact(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=5, holdout_fraction=0.0)
+        refits = []
+        for i in range(11):
+            position = (float(i), 0.0, 1.0)
+            snap = builder.add_scan(position, scan_records(rng, MACS, position))
+            if snap is not None:
+                refits.append(i + 1)
+        assert refits == [5, 10]
+
+    def test_refit_now_outside_cadence(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=50, holdout_fraction=0.0)
+        position = (0.5, 0.5, 1.0)
+        builder.add_scan(position, scan_records(rng, MACS, position))
+        assert not builder.ready
+        snap = builder.refit_now()
+        assert snap is not None
+        assert builder.ready
+        assert snap.scans_ingested == 1
+
+    def test_refit_now_without_data_returns_none(self):
+        builder = OnlineRemBuilder()
+        assert builder.refit_now() is None
+        assert not builder.ready
+
+    def test_snapshot_monotonicity(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=3, holdout_fraction=0.2, seed=2)
+        for i in range(18):
+            position = (0.3 * i, 0.2 * (i % 5), 1.0)
+            macs = MACS[: 2 + (i % 3)]  # vocabulary grows over time
+            builder.add_scan(position, scan_records(rng, macs, position))
+        history = builder.history
+        assert len(history) >= 3
+        for field in ("scans_ingested", "samples_ingested", "distinct_macs"):
+            values = [getattr(snap, field) for snap in history]
+            assert values == sorted(values), f"{field} regressed"
+
+    def test_dataset_includes_train_and_holdout(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=2, holdout_fraction=0.5, seed=9)
+        for i in range(8):
+            position = (float(i), 0.0, 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        dataset = builder.dataset()
+        assert len(dataset) == builder.samples_ingested
+        assert len(builder._holdout_rows) > 0  # split actually happened
+        assert set(dataset.mac_vocabulary) == set(MACS)
+
+    def test_uncertainty_requires_model(self, rng):
+        builder = OnlineRemBuilder(refit_every_scans=10)
+        with pytest.raises(RuntimeError):
+            builder.uncertainty([(0.0, 0.0, 1.0)])
+        for i in range(10):
+            position = (float(i), 0.0, 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        stds = builder.uncertainty([(0.0, 0.0, 1.0), (50.0, 50.0, 1.0)])
+        assert stds.shape == (2,)
+        assert stds[1] > stds[0]  # far from every sample => less certain
 
 
 class TestConvergence:
@@ -83,7 +184,9 @@ class TestConvergence:
         for key in sorted(by_scan):
             samples = by_scan[key]
             records = [
-                ScanRecord(ssid=s.ssid, rssi_dbm=s.rssi_dbm, mac=s.mac, channel=s.channel)
+                ScanRecord(
+                    ssid=s.ssid, rssi_dbm=s.rssi_dbm, mac=s.mac, channel=s.channel
+                )
                 for s in samples
             ]
             builder.add_scan(samples[0].position, records)

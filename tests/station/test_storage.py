@@ -33,7 +33,11 @@ class TestSampleLog:
             sample(mac="aa:aa:aa:aa:aa:02", ssid="one", rssi=-80),
             sample(mac="aa:aa:aa:aa:aa:03", ssid="two", rssi=-70),
         ])
-        assert log.macs() == {"aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:02", "aa:aa:aa:aa:aa:03"}
+        assert log.macs() == {
+            "aa:aa:aa:aa:aa:01",
+            "aa:aa:aa:aa:aa:02",
+            "aa:aa:aa:aa:aa:03",
+        }
         assert log.ssids() == {"one", "two"}
         assert log.mean_rss_dbm() == -70.0
 
@@ -47,7 +51,9 @@ class TestSampleLog:
         assert len(split["UAV-B"]) == 1
 
     def test_by_mac_partition(self):
-        log = SampleLog([sample(mac="aa:aa:aa:aa:aa:01"), sample(mac="aa:aa:aa:aa:aa:02")])
+        log = SampleLog(
+            [sample(mac="aa:aa:aa:aa:aa:01"), sample(mac="aa:aa:aa:aa:aa:02")]
+        )
         assert set(log.by_mac()) == {"aa:aa:aa:aa:aa:01", "aa:aa:aa:aa:aa:02"}
 
     def test_samples_per_waypoint(self):

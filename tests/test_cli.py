@@ -31,6 +31,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--figure", "9"])
 
+    def test_active_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--active", "--budget", "24", "--target-rmse", "4.5"]
+        )
+        assert args.active
+        assert args.budget == 24
+        assert args.target_rmse == pytest.approx(4.5)
+        assert args.batch == 6  # default
+
+    def test_active_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert not args.active
+        assert args.budget == 72
+        assert args.target_rmse is None
+
 
 class TestCommands:
     def test_campaign_with_csv(self, tmp_path, capsys):
@@ -41,6 +57,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "total samples" in out
         assert "distinct MACs" in out
+
+    def test_campaign_active(self, tmp_path, capsys):
+        output = tmp_path / "active.csv"
+        code = main(
+            [
+                "campaign",
+                "--active",
+                "--budget",
+                "10",
+                "--batch",
+                "4",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "active sampling" in out
+        assert "stopped: budget" in out
+        assert "final holdout RMSE" in out
+
+    def test_campaign_active_bad_budget(self, capsys):
+        assert main(["campaign", "--active", "--budget", "0"]) == 2
 
     def test_figure5(self, capsys):
         assert main(["figures", "--figure", "5"]) == 0

@@ -9,13 +9,13 @@ import importlib.util
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
 def _run_example(name, argv=()):
-    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
     module = importlib.util.module_from_spec(spec)
     old_argv = sys.argv
     sys.argv = [str(EXAMPLES / f"{name}.py"), *argv]

@@ -28,7 +28,9 @@ class TestRoundTrips:
             Land(),
             StatusRequest(),
             Status(state=1, battery_fraction=0.75, x=1.0, y=2.0, z=0.5),
-            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-71, channel=11, ssid="net"),
+            ScanRecordMsg(
+                mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-71, channel=11, ssid="net"
+            ),
             ScanEnd(record_count=37, x=1.0, y=2.0, z=0.5, battery_fraction=0.4),
         ],
     )
@@ -56,14 +58,18 @@ class TestSsidHandling:
     def test_long_ssid_truncated(self):
         long_ssid = "x" * 40
         packet = encode(
-            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid=long_ssid)
+            ScanRecordMsg(
+                mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid=long_ssid
+            )
         )
         decoded = decode(packet)
         assert decoded.ssid == "x" * MAX_SSID_BYTES
 
     def test_unicode_ssid_survives(self):
         packet = encode(
-            ScanRecordMsg(mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid="café")
+            ScanRecordMsg(
+                mac="aa:bb:cc:dd:ee:ff", rssi_dbm=-60, channel=1, ssid="café"
+            )
         )
         assert decode(packet).ssid == "café"
 

@@ -85,7 +85,16 @@ class TestTdoaUpdate:
 
     def test_converges_with_tdoa_only(self, rng):
         anchors = np.array(
-            [[0, 0, 0], [4, 0, 0], [0, 3, 0], [0, 0, 2], [4, 3, 2], [4, 0, 2], [0, 3, 2], [4, 3, 0]],
+            [
+                [0, 0, 0],
+                [4, 0, 0],
+                [0, 3, 0],
+                [0, 0, 2],
+                [4, 3, 2],
+                [4, 0, 2],
+                [0, 3, 2],
+                [4, 3, 0],
+            ],
             dtype=float,
         )
         truth = np.array([2.0, 1.5, 1.0])

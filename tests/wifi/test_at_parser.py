@@ -19,7 +19,12 @@ class TestSplitFields:
         assert split_at_fields('"my,net",-70,"aa",1') == ["my,net", "-70", "aa", "1"]
 
     def test_escaped_quote(self):
-        assert split_at_fields('"say \\"hi\\"",-1,"m",2') == ['say "hi"', "-1", "m", "2"]
+        assert split_at_fields('"say \\"hi\\"",-1,"m",2') == [
+            'say "hi"',
+            "-1",
+            "m",
+            "2",
+        ]
 
     def test_unterminated_quote_raises(self):
         with pytest.raises(AtParseError):
@@ -29,7 +34,9 @@ class TestSplitFields:
 class TestParseLine:
     def test_good_line(self):
         record = parse_cwlap_line('+CWLAP:("HomeNet",-56,"aa:bb:cc:dd:ee:ff",6)')
-        assert record == ScanRecord(ssid="HomeNet", rssi_dbm=-56, mac="aa:bb:cc:dd:ee:ff", channel=6)
+        assert record == ScanRecord(
+            ssid="HomeNet", rssi_dbm=-56, mac="aa:bb:cc:dd:ee:ff", channel=6
+        )
 
     def test_mac_normalized_to_lowercase(self):
         record = parse_cwlap_line('+CWLAP:("x",-70,"AA:BB:CC:DD:EE:FF",1)')

@@ -77,7 +77,10 @@ class TestObserver:
             mac="02:00:00:00:00:02", name="far", position=(500.0, 0.0, 0.0)
         )
         module = BleObserverModule(
-            environment, [far], rng, config=BleScanConfig(collision_miss_probability=0.0)
+            environment,
+            [far],
+            rng,
+            config=BleScanConfig(collision_miss_probability=0.0),
         )
         module.power_on()
         assert module.run_scan() == []
@@ -120,7 +123,9 @@ class TestUavIntegration:
         sim = Simulator()
         firmware = FirmwareConfig.paper_modified()
         radio = Crazyradio(demo_scenario.environment, RadioConfig())
-        link = CrazyradioLink(sim, radio, uav_tx_queue_capacity=firmware.crtp_tx_queue_size)
+        link = CrazyradioLink(
+            sim, radio, uav_tx_queue_capacity=firmware.crtp_tx_queue_size
+        )
         module = BleObserverModule(
             demo_scenario.environment, devices, rng,
             config=BleScanConfig(collision_miss_probability=0.0),

@@ -21,7 +21,9 @@ def driver(rng):
     env = IndoorEnvironment(
         [], aps, budget=LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=0.0), seed=2
     )
-    module = Esp01Module(env, rng, scan_config=ScanConfig(collision_miss_probability=0.0))
+    module = Esp01Module(
+        env, rng, scan_config=ScanConfig(collision_miss_probability=0.0)
+    )
     return Esp01Driver(module)
 
 

@@ -83,9 +83,15 @@ class TestInterferenceEffect:
         rng_on = np.random.default_rng(5)
         scanner = ChannelSweepScanner(env)
         env.clear_interference()
-        off_counts = [len(scanner.scan(demo_scenario.flight_volume.center, rng_off, 3.0)) for _ in range(5)]
+        off_counts = [
+            len(scanner.scan(demo_scenario.flight_volume.center, rng_off, 3.0))
+            for _ in range(5)
+        ]
         env.set_interference_sources([crazyradio_source(2450.0)])
-        on_counts = [len(scanner.scan(demo_scenario.flight_volume.center, rng_on, 3.0)) for _ in range(5)]
+        on_counts = [
+            len(scanner.scan(demo_scenario.flight_volume.center, rng_on, 3.0))
+            for _ in range(5)
+        ]
         env.clear_interference()
         assert np.mean(on_counts) < np.mean(off_counts)
 
