@@ -51,7 +51,7 @@ def test_process_switching_throughput(benchmark):
 
 
 def test_mean_rss_query_rate(benchmark, demo_scenario):
-    """Mean-RSS evaluation across the whole AP population."""
+    """Mean-RSS evaluation across the whole AP population (scalar API)."""
     env = demo_scenario.environment
     position = demo_scenario.flight_volume.center
 
@@ -59,6 +59,16 @@ def test_mean_rss_query_rate(benchmark, demo_scenario):
         return sum(env.mean_rss_dbm(ap, position) for ap in env.access_points)
 
     total = benchmark(run)
+    assert np.isfinite(total)
+
+
+def test_mean_rss_query_rate_batched(benchmark, demo_scenario):
+    """The same population query through one ``mean_rss_dbm_many`` call."""
+    env = demo_scenario.environment
+    position = demo_scenario.flight_volume.center
+    macs = [ap.mac for ap in env.access_points]
+
+    total = benchmark(lambda: float(env.mean_rss_dbm_many(macs, [position]).sum()))
     assert np.isfinite(total)
 
 

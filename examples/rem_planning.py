@@ -68,9 +68,7 @@ def main() -> None:
     from repro.radio import LogDistancePathLoss
 
     model = LogDistancePathLoss(exponent=2.0)
-    delivered = np.array(
-        [17.0 - model.path_loss_db(centroid, p) for p in dark]
-    )
+    delivered = 17.0 - model.path_loss_db_many([centroid], dark)[0]
     fixed = float((delivered >= threshold).mean())
     print()
     print(

@@ -37,21 +37,16 @@ def ground_truth_fields(
 ) -> Dict[str, np.ndarray]:
     """True mean RSS per MAC over the probe points.
 
-    ``environment.mean_rss_dbm`` walks the wall set per query, so this
-    is the expensive half of a ground-truth evaluation — compute it
-    once and hand it to repeated :func:`ground_truth_map_rmse` calls
-    (the benchmark scores every active round against the same truth).
+    One batched :meth:`IndoorEnvironment.mean_rss_dbm_many` call: the
+    wall set is crossed once for the whole (MAC, probe) block and the
+    environment's wall-loss cache remembers the block, so scoring every
+    round of a campaign against the same probes pays geometry once.
+    Passing a precomputed result to :func:`ground_truth_map_rmse` is
+    still worthwhile — it skips even the cache lookup.
     """
     points = np.asarray(points, dtype=float).reshape(-1, 3)
-    return {
-        mac: np.array(
-            [
-                environment.mean_rss_dbm(environment.ap_by_mac(mac), point)
-                for point in points
-            ]
-        )
-        for mac in macs
-    }
+    fields = environment.mean_rss_dbm_many(list(macs), points)
+    return {mac: fields[i] for i, mac in enumerate(macs)}
 
 
 def ground_truth_map_rmse(

@@ -113,19 +113,22 @@ def evaluate_fingerprinting(
     """
     lo = np.asarray(volume.min_corner, dtype=float)
     hi = np.asarray(volume.max_corner, dtype=float)
+    # All queries in two vectorized draws: the true positions, then one
+    # (n_macs, n_queries) faded-RSS block from the batched link budget.
+    truths = rng.uniform(lo, hi, size=(n_queries, 3))
+    rss_block = environment.sample_rss_dbm_many(localizer.macs, truths, rng)
+    heard = rss_block >= detection_floor_dbm
     errors: List[float] = []
-    for _ in range(n_queries):
-        truth = rng.uniform(lo, hi)
-        observation: Dict[str, float] = {}
-        for mac in localizer.macs:
-            ap = environment.ap_by_mac(mac)
-            rss = environment.sample_rss_dbm(ap, truth, rng)
-            if rss >= detection_floor_dbm:
-                observation[mac] = rss
-        if not observation:
+    for q in range(n_queries):
+        if not heard[:, q].any():
             continue
+        observation: Dict[str, float] = {
+            mac: float(rss_block[i, q])
+            for i, mac in enumerate(localizer.macs)
+            if heard[i, q]
+        }
         estimate, _ = localizer.locate(observation, k=k)
-        errors.append(float(np.linalg.norm(estimate - truth)))
+        errors.append(float(np.linalg.norm(estimate - truths[q])))
     if not errors:
         raise RuntimeError("no query produced an observation")
     errors_arr = np.asarray(errors)

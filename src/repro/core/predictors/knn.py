@@ -164,6 +164,7 @@ class KnnRegressor(Predictor):
         self.p = float(p)
         self.onehot_scale = float(onehot_scale)
         self._train_features: Optional[np.ndarray] = None
+        self._n_train_macs = 0
         self._train_targets: Optional[np.ndarray] = None
         self._train_positions: Optional[np.ndarray] = None
         self._train_macs: Optional[np.ndarray] = None
@@ -171,10 +172,19 @@ class KnnRegressor(Predictor):
 
     # ------------------------------------------------------------------
     def fit(self, train: REMDataset) -> "KnnRegressor":
-        """Memorize the training features and targets."""
+        """Memorize the training features and targets.
+
+        The dense one-hot feature matrix only serves the legacy
+        :meth:`predict` path, so it is materialized lazily (from the
+        arrays copied here, preserving the snapshot-at-fit contract) —
+        fits that are consumed through the batched point/grid APIs
+        (REM builds, online refits, uncertainty scoring) never pay
+        for it.
+        """
         if len(train) == 0:
             raise ValueError("cannot fit on an empty dataset")
-        self._train_features = train.features(self.onehot_scale)
+        self._train_features = None
+        self._n_train_macs = train.n_macs
         self._train_targets = train.rssi_dbm.astype(float).copy()
         self._train_positions = np.ascontiguousarray(
             train.positions.astype(float)
@@ -235,26 +245,91 @@ class KnnRegressor(Predictor):
         self._require_fitted()
         points, mac_indices = self._coerce_point_query(points, mac_indices)
         assert self._train_macs is not None
-        penalty = 2.0 * self.onehot_scale**self.p
         out = np.empty(len(points))
         for start in range(0, len(points), _GRID_CHUNK_ROWS):
             sl = slice(start, min(start + _GRID_CHUNK_ROWS, len(points)))
             base = _powered_distances(points[sl], self._train_positions, self.p)
+            global_idx, global_pow = self._global_candidates(base)
             chunk_macs = mac_indices[sl]
             chunk_out = out[sl]
             for mac_index in np.unique(chunk_macs):
                 rows = chunk_macs == mac_index
-                powered = base[rows]
-                if penalty != 0.0:
-                    powered = powered + penalty * (self._train_macs != mac_index)
-                chunk_out[rows] = self._neighbor_std(powered)
+                chunk_out[rows] = self._std_for_mac(
+                    base[rows], global_idx[rows], global_pow[rows], int(mac_index)
+                )
         return out
+
+    def uncertainty_grid(
+        self, points: np.ndarray, mac_indices: Sequence[int]
+    ) -> np.ndarray:
+        """One shared 3-D distance matrix serves every MAC's std field.
+
+        Same per-MAC numbers as stacked :meth:`predict_points_std`
+        calls (both run :meth:`_std_for_mac` over the same penalty
+        decomposition), but the powered distance matrix and its global
+        candidates — the expensive half of a full-vocabulary
+        uncertainty query, which the active planner issues every round
+        — are computed once per chunk instead of once per MAC.
+        """
+        self._require_fitted()
+        assert self._train_macs is not None
+        points, macs = self._coerce_grid_query(points, mac_indices)
+        out = np.empty((len(macs), len(points)))
+        for start in range(0, len(points), _GRID_CHUNK_ROWS):
+            sl = slice(start, min(start + _GRID_CHUNK_ROWS, len(points)))
+            base = _powered_distances(points[sl], self._train_positions, self.p)
+            global_idx, global_pow = self._global_candidates(base)
+            for row, mac_index in enumerate(macs):
+                out[row, sl] = self._std_for_mac(
+                    base, global_idx, global_pow, int(mac_index)
+                )
+        return out
+
+    def _std_for_mac(
+        self,
+        base: np.ndarray,
+        global_idx: np.ndarray,
+        global_pow: np.ndarray,
+        mac_index: int,
+    ) -> np.ndarray:
+        """Uncertainty for one MAC via the same decomposition as predict."""
+        assert self._train_macs is not None and self._train_targets is not None
+        n_train = len(self._train_targets)
+        penalty = 2.0 * self.onehot_scale**self.p
+        if penalty == 0.0 or global_pow.shape[1] >= n_train:
+            return self._std_dense(base, mac_index, penalty)
+        neighbor_idx, neighbor_pow, covered = self._candidate_neighbors_for_mac(
+            base, global_idx, global_pow, mac_index
+        )
+        out = self._std_from_neighbors(neighbor_idx, neighbor_pow)
+        if not covered.all():
+            uncovered = ~covered
+            out[uncovered] = self._std_dense(base[uncovered], mac_index, penalty)
+        return out
+
+    def _std_dense(
+        self, base: np.ndarray, mac_index: int, penalty: float
+    ) -> np.ndarray:
+        """Dense fallback: penalize every column, then top-k std."""
+        assert self._train_macs is not None
+        if penalty != 0.0:
+            powered = base + penalty * (self._train_macs != mac_index)
+        else:
+            powered = base
+        return self._neighbor_std(powered)
 
     def _neighbor_std(self, powered: np.ndarray) -> np.ndarray:
         """Disagreement + distance proxy over a penalized-distance block."""
         assert self._train_targets is not None
         k = min(self.n_neighbors, len(self._train_targets))
         neighbor_idx, neighbor_pow = _stable_topk(powered, k)
+        return self._std_from_neighbors(neighbor_idx, neighbor_pow)
+
+    def _std_from_neighbors(
+        self, neighbor_idx: np.ndarray, neighbor_pow: np.ndarray
+    ) -> np.ndarray:
+        """Disagreement + distance proxy over selected neighbors."""
+        assert self._train_targets is not None
         disagreement = self._train_targets[neighbor_idx].std(axis=1)
         if self.p == 2.0:
             neighbor_dist = np.sqrt(neighbor_pow)
@@ -296,26 +371,25 @@ class KnnRegressor(Predictor):
         width = min(2 * self.n_neighbors, base.shape[1])
         return _stable_topk(base, width)
 
-    def _reduce_for_mac(
+    def _candidate_neighbors_for_mac(
         self,
         base: np.ndarray,
         global_idx: np.ndarray,
         global_pow: np.ndarray,
         mac_index: int,
-    ) -> np.ndarray:
-        """Exact top-k under the penalty decomposition for one MAC.
+    ):
+        """Exact penalized top-k ``(idx, pow, covered)`` for one MAC.
 
         True penalized neighbors are either same-MAC (covered by the
         per-MAC top-k over that MAC's training partition) or other-MAC
         (covered by the global top-2k whenever it holds enough other-MAC
-        entries — rows where it does not fall back to the dense search).
+        entries — rows where it does not, flagged ``covered=False``,
+        must fall back to the dense search).
         """
         assert self._train_macs is not None and self._train_targets is not None
         n_train = len(self._train_targets)
         k = min(self.n_neighbors, n_train)
         penalty = 2.0 * self.onehot_scale**self.p
-        if penalty == 0.0 or global_pow.shape[1] >= n_train:
-            return self._reduce_dense(base, mac_index, penalty)
 
         columns = self._mac_columns.get(mac_index)
         n_queries = len(base)
@@ -338,6 +412,24 @@ class KnnRegressor(Predictor):
         cand_idx = np.concatenate([same_idx, global_idx], axis=1)
         pick, neighbor_pow = _stable_topk(cand_pow, k)
         neighbor_idx = np.take_along_axis(cand_idx, pick, axis=1)
+        return neighbor_idx, neighbor_pow, covered
+
+    def _reduce_for_mac(
+        self,
+        base: np.ndarray,
+        global_idx: np.ndarray,
+        global_pow: np.ndarray,
+        mac_index: int,
+    ) -> np.ndarray:
+        """Exact top-k reduction under the penalty decomposition."""
+        assert self._train_targets is not None
+        n_train = len(self._train_targets)
+        penalty = 2.0 * self.onehot_scale**self.p
+        if penalty == 0.0 or global_pow.shape[1] >= n_train:
+            return self._reduce_dense(base, mac_index, penalty)
+        neighbor_idx, neighbor_pow, covered = self._candidate_neighbors_for_mac(
+            base, global_idx, global_pow, mac_index
+        )
         out = self._weighted_average(
             neighbor_pow, self._train_targets[neighbor_idx]
         )
@@ -379,8 +471,20 @@ class KnnRegressor(Predictor):
         return _inverse_distance_average(neighbor_dist, neighbor_y)
 
     # ------------------------------------------------------------------
+    def _legacy_features(self) -> np.ndarray:
+        """[x, y, z, one-hot(MAC)] rebuilt from the fit-time snapshots
+        (same layout as ``REMDataset.features``)."""
+        assert self._train_positions is not None and self._train_macs is not None
+        onehot = np.zeros((len(self._train_macs), self._n_train_macs))
+        onehot[np.arange(len(self._train_macs)), self._train_macs] = (
+            self.onehot_scale
+        )
+        return np.hstack([self._train_positions, onehot])
+
     def _predict_chunk(self, queries: np.ndarray) -> np.ndarray:
-        assert self._train_features is not None and self._train_targets is not None
+        assert self._train_targets is not None
+        if self._train_features is None:
+            self._train_features = self._legacy_features()
         k = min(self.n_neighbors, len(self._train_targets))
         distances = _minkowski_distances(queries, self._train_features, self.p)
         neighbor_idx, neighbor_dist = _stable_topk(distances, k)

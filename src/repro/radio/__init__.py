@@ -9,7 +9,7 @@ and the control-link self-interference model behind Fig. 5.
 from .accesspoint import AccessPoint, format_mac, generate_population
 from .diagnostics import ScenarioDiagnostics, diagnose_scenario
 from .environment import IndoorEnvironment, LinkBudget
-from .geometry import Cuboid, Wall, crossed_walls, segment_plane_intersection
+from .geometry import Cuboid, Wall, WallSet, crossed_walls, segment_plane_intersection
 from .interference import (
     CrazyradioInterference,
     InterferenceSource,
@@ -76,6 +76,7 @@ __all__ = [
     "LinkBudget",
     "Cuboid",
     "Wall",
+    "WallSet",
     "crossed_walls",
     "segment_plane_intersection",
     "CrazyradioInterference",

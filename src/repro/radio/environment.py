@@ -11,12 +11,23 @@ component queries:
   fast-fading draw;
 * ``noise_floor_dbm(channel)`` / ``interference state`` — what the scan
   detector compares against.
+
+Both link-budget queries come in batched form —
+``mean_rss_dbm_many(macs, points)`` and ``sample_rss_dbm_many`` return
+``(n_macs, n_points)`` matrices from one :class:`~.geometry.WallSet`
+crossing pass plus one shadowing-field matmul per MAC — and the scalar
+methods are thin one-point wrappers over the same code path.  An LRU
+cache keyed on (transmitter, point-block digest) remembers wall losses,
+so repeated evaluations over the same probe grid (active-campaign
+refits, ground-truth scoring) pay the geometry exactly once.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -106,6 +117,11 @@ class IndoorEnvironment:
         )
         self._interference = CrazyradioInterference(ReceiverSelectivity())
         self._sources: List[InterferenceSource] = []
+        self._wall_cache: "OrderedDict[Tuple[str, bytes], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._wall_cache_elements = 0
+        self._channel_map: Optional[Dict[int, Tuple[AccessPoint, ...]]] = None
 
     # ------------------------------------------------------------------
     # AP lookup
@@ -116,16 +132,34 @@ class IndoorEnvironment:
 
     def aps_on_channel(self, channel: int) -> List[AccessPoint]:
         """All APs beaconing on ``channel``."""
-        return [ap for ap in self.access_points if ap.channel == channel]
+        return list(self.channel_map().get(channel, ()))
+
+    def channel_map(self) -> Dict[int, Tuple[AccessPoint, ...]]:
+        """Channel → APs, built once (the population is immutable)."""
+        if self._channel_map is None:
+            grouped: Dict[int, List[AccessPoint]] = {}
+            for ap in self.access_points:
+                grouped.setdefault(ap.channel, []).append(ap)
+            self._channel_map = {ch: tuple(aps) for ch, aps in grouped.items()}
+        return self._channel_map
 
     # ------------------------------------------------------------------
     # link budget
     # ------------------------------------------------------------------
+    #: Point blocks below this size bypass the wall-loss cache: hashing
+    #: and churning the LRU for one-point wrapper calls costs more than
+    #: the geometry they would save.
+    _CACHE_MIN_POINTS = 32
+    #: LRU bound in cached float64 *elements* (not rows), so memory
+    #: stays bounded regardless of point-block width; 4M elements is
+    #: ~32 MB — every AP of a large population over a handful of
+    #: distinct probe grids.
+    _CACHE_MAX_ELEMENTS = 4_000_000
+
     def mean_rss_dbm(self, ap: AccessPoint, position: Sequence[float]) -> float:
         """Local-mean RSS: TX power − path loss − shadowing (no fading)."""
-        loss = self.path_loss.path_loss_db(ap.position, position)
-        shadow = self.shadowing.loss_db(ap.mac, position)
-        return ap.tx_power_dbm - loss - shadow
+        points = np.asarray(position, dtype=float).reshape(1, 3)
+        return float(self._mean_rss_matrix([ap], points)[0, 0])
 
     def sample_rss_dbm(
         self,
@@ -135,6 +169,89 @@ class IndoorEnvironment:
     ) -> float:
         """One beacon's RSS at ``position`` including a fast-fading draw."""
         return self.mean_rss_dbm(ap, position) + self.fading.sample_db(rng)
+
+    def mean_rss_dbm_many(
+        self, macs: Sequence[str], points: np.ndarray
+    ) -> np.ndarray:
+        """Local-mean RSS of every MAC at every point, ``(n_macs, n_points)``.
+
+        One batched wall-crossing pass (LRU-cached per point block) and
+        one shadowing matmul per MAC replace ``n_macs * n_points``
+        scalar :meth:`mean_rss_dbm` calls.  Unknown MACs raise
+        ``KeyError`` like :meth:`ap_by_mac`.
+        """
+        aps = [self.ap_by_mac(mac) for mac in macs]
+        pts = np.ascontiguousarray(np.asarray(points, dtype=float).reshape(-1, 3))
+        return self._mean_rss_matrix(aps, pts)
+
+    def sample_rss_dbm_many(
+        self,
+        macs: Sequence[str],
+        points: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One beacon RSS draw per (MAC, point), ``(n_macs, n_points)``.
+
+        The fading block comes from a single vectorized draw on the
+        caller's generator (row-major: all points of the first MAC,
+        then the second, ...), so consumers keep sole ownership of
+        their RNG streams.
+        """
+        mean = self.mean_rss_dbm_many(macs, points)
+        return mean + self.fading.sample_db_many(rng, mean.shape)
+
+    def _mean_rss_matrix(self, transmitters, pts: np.ndarray) -> np.ndarray:
+        """Mean RSS for AP-like objects (``mac``/``position``/``tx_power_dbm``)."""
+        if not transmitters:
+            return np.zeros((0, len(pts)))
+        tx = np.asarray(
+            [t.position for t in transmitters], dtype=float
+        ).reshape(-1, 3)
+        tx_power = np.asarray([t.tx_power_dbm for t in transmitters], dtype=float)
+        wall = self._wall_loss_rows(transmitters, tx, pts)
+        base = self.path_loss.base_loss_db_many(tx, pts)
+        shadow = self.shadowing.loss_db_matrix(
+            [t.mac for t in transmitters], pts
+        )
+        return tx_power[:, None] - base - wall - shadow
+
+    def clear_wall_cache(self) -> None:
+        """Drop all cached wall-loss rows (benchmarks time cold paths)."""
+        self._wall_cache.clear()
+        self._wall_cache_elements = 0
+
+    def _wall_loss_rows(self, transmitters, tx, pts: np.ndarray) -> np.ndarray:
+        """Capped wall losses per transmitter, through the LRU cache."""
+        if len(pts) < self._CACHE_MIN_POINTS:
+            return self.path_loss.wall_loss_db_many(tx, pts)
+        digest = hashlib.sha1(pts.tobytes()).digest()
+        rows: List = []
+        missing: List[int] = []
+        for t in transmitters:
+            cached = self._wall_cache.get((t.mac, digest))
+            if cached is not None:
+                self._wall_cache.move_to_end((t.mac, digest))
+            else:
+                missing.append(len(rows))
+            rows.append(cached)
+        if missing:
+            computed = self.path_loss.wall_loss_db_many(tx[missing], pts)
+            for j, i in enumerate(missing):
+                rows[i] = computed[j]
+                key = (transmitters[i].mac, digest)
+                if key not in self._wall_cache:
+                    self._wall_cache_elements += len(pts)
+                # Copy the row out of the batch result so evicting it
+                # actually frees memory (a view would pin the whole
+                # computed block until every sibling row is evicted).
+                self._wall_cache[key] = computed[j].copy()
+            while (
+                self._wall_cache_elements > self._CACHE_MAX_ELEMENTS
+                and len(self._wall_cache) > len(transmitters)
+            ):
+                _, evicted = self._wall_cache.popitem(last=False)
+                self._wall_cache_elements -= len(evicted)
+        return np.stack(rows)
 
     # ------------------------------------------------------------------
     # interference management (driven by the control link)

@@ -4,6 +4,16 @@ Walls are axis-aligned planar rectangles.  The only geometric query the
 propagation model needs is "which walls does the straight line between
 transmitter and receiver cross?", which reduces to segment/axis-plane
 intersection tests.
+
+Two evaluation paths answer it:
+
+* :func:`crossed_walls` — the scalar reference, one TX→RX segment at a
+  time, returning the :class:`Wall` objects hit (diagnostics and tests
+  want the identities);
+* :class:`WallSet` — a structure-of-arrays copy of the wall list whose
+  :meth:`~WallSet.crossing_matrix` broadcasts the same segment/plane
+  test over an ``(n_tx, n_points)`` batch in a handful of array ops.
+  This is the geometry kernel under every batched link-budget query.
 """
 
 from __future__ import annotations
@@ -15,7 +25,13 @@ import numpy as np
 
 from .materials import Material
 
-__all__ = ["Wall", "Cuboid", "segment_plane_intersection", "crossed_walls"]
+__all__ = [
+    "Wall",
+    "WallSet",
+    "Cuboid",
+    "segment_plane_intersection",
+    "crossed_walls",
+]
 
 _AXIS_NAMES = {0: "x", 1: "y", 2: "z"}
 
@@ -111,6 +127,13 @@ class Cuboid:
             for p, lo, hi in zip(point, self.min_corner, self.max_corner)
         )
 
+    def contains_many(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Boolean mask of which ``(N, 3)`` points lie inside the box."""
+        pts = np.asarray(points, dtype=float).reshape(-1, 3)
+        lo = np.asarray(self.min_corner, dtype=float) - tol
+        hi = np.asarray(self.max_corner, dtype=float) + tol
+        return np.all((pts >= lo) & (pts <= hi), axis=1)
+
     def corners(self) -> np.ndarray:
         """The 8 corner points as an (8, 3) array."""
         lo = np.asarray(self.min_corner, dtype=float)
@@ -174,3 +197,140 @@ def crossed_walls(
         if point is not None and wall.contains_in_plane(point):
             hits.append(wall)
     return hits
+
+
+#: The two in-plane axes for each wall normal axis, in increasing order.
+_IN_PLANE_AXES = {0: (1, 2), 1: (0, 2), 2: (0, 1)}
+
+
+class WallSet:
+    """Structure-of-arrays wall list for batched crossing queries.
+
+    Walls are grouped by normal axis at construction; each group keeps
+    its offsets, in-plane bounds and per-crossing attenuations as flat
+    ndarrays so that :meth:`crossing_matrix` can evaluate every
+    (transmitter, receive point, wall) triple with broadcast
+    segment/axis-plane tests — the same math as
+    :func:`segment_plane_intersection` + ``Wall.contains_in_plane``,
+    one array expression instead of a per-query Python loop.
+    """
+
+    #: Soft cap on (n_tx * point_block * n_walls) elements per broadcast
+    #: temporary (~16 MB of float64), enforced by chunking the points.
+    _BLOCK_ELEMENTS = 2_000_000
+
+    def __init__(self, walls: Iterable[Wall]):
+        self.walls: Tuple[Wall, ...] = tuple(walls)
+        self._groups = []
+        for axis in (0, 1, 2):
+            group = [w for w in self.walls if w.axis == axis]
+            if not group:
+                continue
+            u_axis, v_axis = _IN_PLANE_AXES[axis]
+            self._groups.append(
+                (
+                    axis,
+                    u_axis,
+                    v_axis,
+                    np.array([w.offset for w in group], dtype=float),
+                    np.array([w.bounds[0][0] for w in group], dtype=float),
+                    np.array([w.bounds[0][1] for w in group], dtype=float),
+                    np.array([w.bounds[1][0] for w in group], dtype=float),
+                    np.array([w.bounds[1][1] for w in group], dtype=float),
+                    np.array(
+                        [w.material.attenuation_db for w in group], dtype=float
+                    ),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.walls)
+
+    # ------------------------------------------------------------------
+    def crossing_matrix(
+        self,
+        tx_positions: np.ndarray,
+        rx_points: np.ndarray,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        """Summed wall attenuation for every TX→RX pair, in dB.
+
+        Parameters
+        ----------
+        tx_positions:
+            ``(n_tx, 3)`` transmitter coordinates.
+        rx_points:
+            ``(n_points, 3)`` receive coordinates.
+        tol:
+            In-plane rectangle tolerance (matches ``contains_in_plane``).
+
+        Returns the ``(n_tx, n_points)`` matrix of *uncapped* summed
+        penetration losses; callers apply their own saturation cap.
+        Touching endpoints (TX or RX exactly on a wall plane) do not
+        count as crossings, exactly like the scalar path.
+        """
+        return self._weighted_matrix(tx_positions, rx_points, tol, counts=False)
+
+    def crossing_counts(
+        self,
+        tx_positions: np.ndarray,
+        rx_points: np.ndarray,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        """Number of walls crossed per TX→RX pair (diagnostics/tests)."""
+        return self._weighted_matrix(tx_positions, rx_points, tol, counts=True)
+
+    # ------------------------------------------------------------------
+    def _weighted_matrix(
+        self,
+        tx_positions: np.ndarray,
+        rx_points: np.ndarray,
+        tol: float,
+        counts: bool,
+    ) -> np.ndarray:
+        tx = np.asarray(tx_positions, dtype=float).reshape(-1, 3)
+        rx = np.asarray(rx_points, dtype=float).reshape(-1, 3)
+        total = np.zeros((len(tx), len(rx)))
+        if not self._groups or not len(tx) or not len(rx):
+            return total
+        max_group = max(len(g[3]) for g in self._groups)
+        block = max(1, self._BLOCK_ELEMENTS // max(1, len(tx) * max_group))
+        for start in range(0, len(rx), block):
+            stop = min(start + block, len(rx))
+            total[:, start:stop] = self._crossing_block(
+                tx, rx[start:stop], tol, counts
+            )
+        return total
+
+    def _crossing_block(
+        self, tx: np.ndarray, rx: np.ndarray, tol: float, counts: bool
+    ) -> np.ndarray:
+        """One un-chunked ``(n_tx, n_points)`` weighted-crossings block."""
+        total = np.zeros((len(tx), len(rx)))
+        for axis, u_axis, v_axis, off, u_lo, u_hi, v_lo, v_hi, atten in self._groups:
+            # Signed plane distances: (n_tx, 1, k) and (1, n_pts, k).
+            da = (tx[:, axis, None] - off)[:, None, :]
+            db = (rx[:, axis, None] - off)[None, :, :]
+            crosses = (da != 0.0) & (db != 0.0) & ((da > 0.0) != (db > 0.0))
+            # Where `crosses` holds, da and db have opposite signs, so
+            # the denominator is nonzero; elsewhere the quotient is
+            # meaningless and replaced before it can poison the
+            # in-plane interpolation below.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t = np.where(crosses, da / (da - db), 0.0)
+            tu = tx[:, u_axis][:, None, None]
+            tv = tx[:, v_axis][:, None, None]
+            pu = tu + t * (rx[:, u_axis][None, :, None] - tu)
+            pv = tv + t * (rx[:, v_axis][None, :, None] - tv)
+            hit = (
+                crosses
+                & (pu >= u_lo - tol)
+                & (pu <= u_hi + tol)
+                & (pv >= v_lo - tol)
+                & (pv <= v_hi + tol)
+            )
+            if counts:
+                total += hit.sum(axis=2)
+            else:
+                total += hit @ atten
+        return total

@@ -75,6 +75,17 @@ class GaussianFading:
             return 0.0
         return float(rng.normal(0.0, self.sigma_db))
 
+    def sample_db_many(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """A block of independent fading draws of the given ``shape``.
+
+        Zero sigma returns zeros *without consuming the generator*, the
+        same contract as :meth:`sample_db` — fading-free configurations
+        must not perturb a consumer's RNG stream.
+        """
+        if self.sigma_db == 0.0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.sigma_db, size=shape)
+
 
 @dataclass
 class RicianFading:

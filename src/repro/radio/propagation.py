@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Iterable, Optional, Protocol, Sequence
 
 import numpy as np
 
-from .geometry import Wall, crossed_walls
+from .geometry import Wall, WallSet, crossed_walls
 
 __all__ = [
     "PathLossModel",
@@ -46,8 +46,21 @@ def fspl_db(distance_m, freq_mhz: float):
     return 20.0 * math.log10(4.0 * math.pi * d * freq_hz / SPEED_OF_LIGHT)
 
 
+def _distance_matrix(tx_positions: np.ndarray, rx_points: np.ndarray) -> np.ndarray:
+    """Pairwise TX→RX distances as an ``(n_tx, n_points)`` matrix."""
+    tx = np.asarray(tx_positions, dtype=float).reshape(-1, 3)
+    rx = np.asarray(rx_points, dtype=float).reshape(-1, 3)
+    deltas = rx[None, :, :] - tx[:, None, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
 class PathLossModel(Protocol):
-    """Anything mapping a TX→RX geometry to a loss in dB."""
+    """Anything mapping a TX→RX geometry to a loss in dB.
+
+    Models may additionally expose ``path_loss_db_many(tx_positions,
+    rx_points) -> (n_tx, n_points)``; batched consumers use it when
+    present and fall back to the scalar method per pair otherwise.
+    """
 
     def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
         """Deterministic path loss between ``tx`` and ``rx`` in dB."""
@@ -64,6 +77,12 @@ class FreeSpacePathLoss:
         """Friis loss along the direct path."""
         distance = float(np.linalg.norm(np.asarray(rx, float) - np.asarray(tx, float)))
         return fspl_db(distance, self.freq_mhz)
+
+    def path_loss_db_many(
+        self, tx_positions: np.ndarray, rx_points: np.ndarray
+    ) -> np.ndarray:
+        """Friis loss for every TX→RX pair, ``(n_tx, n_points)``."""
+        return fspl_db(_distance_matrix(tx_positions, rx_points), self.freq_mhz)
 
 
 @dataclass(frozen=True)
@@ -85,6 +104,13 @@ class LogDistancePathLoss:
         d = max(distance, 0.1)
         return self.pl0_db + 10.0 * self.exponent * math.log10(d / self.d0_m)
 
+    def path_loss_db_many(
+        self, tx_positions: np.ndarray, rx_points: np.ndarray
+    ) -> np.ndarray:
+        """Log-distance loss for every TX→RX pair, ``(n_tx, n_points)``."""
+        d = np.maximum(_distance_matrix(tx_positions, rx_points), 0.1)
+        return self.pl0_db + 10.0 * self.exponent * np.log10(d / self.d0_m)
+
 
 class MultiWallPathLoss:
     """Log-distance loss plus per-crossing wall/floor penetration losses.
@@ -105,10 +131,11 @@ class MultiWallPathLoss:
     def __init__(
         self,
         walls: Iterable[Wall],
-        base: PathLossModel = None,
+        base: Optional[PathLossModel] = None,
         max_wall_loss_db: float = 60.0,
     ):
-        self.walls = tuple(walls)
+        self.wall_set = WallSet(walls)
+        self.walls = self.wall_set.walls
         self.base = base if base is not None else LogDistancePathLoss()
         self.max_wall_loss_db = float(max_wall_loss_db)
 
@@ -119,6 +146,15 @@ class MultiWallPathLoss:
         )
         return min(total, self.max_wall_loss_db)
 
+    def wall_loss_db_many(
+        self, tx_positions: np.ndarray, rx_points: np.ndarray
+    ) -> np.ndarray:
+        """Capped penetration loss for every TX→RX pair, ``(n_tx, n_points)``."""
+        return np.minimum(
+            self.wall_set.crossing_matrix(tx_positions, rx_points),
+            self.max_wall_loss_db,
+        )
+
     def crossings(self, tx: Sequence[float], rx: Sequence[float]) -> list:
         """The walls crossed by the direct path (for diagnostics/tests)."""
         return crossed_walls(tx, rx, self.walls)
@@ -126,3 +162,29 @@ class MultiWallPathLoss:
     def path_loss_db(self, tx: Sequence[float], rx: Sequence[float]) -> float:
         """Total deterministic loss: distance trend + wall penetration."""
         return self.base.path_loss_db(tx, rx) + self.wall_loss_db(tx, rx)
+
+    def base_loss_db_many(
+        self, tx_positions: np.ndarray, rx_points: np.ndarray
+    ) -> np.ndarray:
+        """Distance-trend loss for every TX→RX pair, ``(n_tx, n_points)``.
+
+        Uses the base model's own batched path when it has one; a
+        custom scalar-only base still works through a per-pair
+        fallback.
+        """
+        base_many = getattr(self.base, "path_loss_db_many", None)
+        if base_many is not None:
+            return base_many(tx_positions, rx_points)
+        tx = np.asarray(tx_positions, dtype=float).reshape(-1, 3)
+        rx = np.asarray(rx_points, dtype=float).reshape(-1, 3)
+        return np.array(
+            [[self.base.path_loss_db(t, r) for r in rx] for t in tx]
+        ).reshape(len(tx), len(rx))
+
+    def path_loss_db_many(
+        self, tx_positions: np.ndarray, rx_points: np.ndarray
+    ) -> np.ndarray:
+        """Total deterministic loss for every TX→RX pair (batched)."""
+        return self.base_loss_db_many(
+            tx_positions, rx_points
+        ) + self.wall_loss_db_many(tx_positions, rx_points)

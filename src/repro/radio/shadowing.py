@@ -96,6 +96,7 @@ class ShadowingModel:
         self.seed = int(seed)
         self.n_components = int(n_components)
         self._fields: dict = {}
+        self._stacks: dict = {}
 
     def field_for(self, key: str) -> GaussianRandomField:
         """The shadowing field of transmitter ``key`` (created lazily)."""
@@ -118,3 +119,58 @@ class ShadowingModel:
         if self.sigma_db == 0.0:
             return 0.0
         return self.field_for(key).sample(point)
+
+    def loss_db_many(self, key: str, points: np.ndarray) -> np.ndarray:
+        """Shadowing for ``key`` at an ``(N, 3)`` block of points.
+
+        One :meth:`GaussianRandomField.sample_many` matmul instead of N
+        scalar field evaluations; a zero-sigma model short-circuits to
+        zeros without materialising a field.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 3)
+        if self.sigma_db == 0.0:
+            return np.zeros(len(pts))
+        return self.field_for(key).sample_many(pts)
+
+    #: Point-block chunk bounding the stacked cosine matrix (~n_keys *
+    #: n_components columns per point row).
+    _MATRIX_CHUNK = 128
+
+    def loss_db_matrix(self, keys, points: np.ndarray) -> np.ndarray:
+        """Shadowing of every key at every point, ``(n_keys, n_points)``.
+
+        All fields' wave vectors and phases are stacked once per key
+        set (cached), turning the per-transmitter field loop into a
+        single cosine matmul per point chunk — the shape the scanner
+        needs when pricing a whole AP population at one position.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 3)
+        keys = tuple(keys)
+        if self.sigma_db == 0.0 or not keys:
+            return np.zeros((len(keys), len(pts)))
+        waves, phases = self._stack_for(keys)
+        amplitude = self.field_for(keys[0])._amplitude
+        out = np.empty((len(keys), len(pts)))
+        for start in range(0, len(pts), self._MATRIX_CHUNK):
+            sl = slice(start, min(start + self._MATRIX_CHUNK, len(pts)))
+            args = pts[sl] @ waves.T + phases
+            out[:, sl] = (
+                np.cos(args)
+                .reshape(sl.stop - sl.start, len(keys), self.n_components)
+                .sum(axis=2)
+                .T
+            )
+        out *= amplitude
+        return out
+
+    def _stack_for(self, keys) -> tuple:
+        """Concatenated (wave_vectors, phases) of every key's field."""
+        cached = self._stacks.get(keys)
+        if cached is None:
+            fields = [self.field_for(key) for key in keys]
+            cached = (
+                np.concatenate([f._wave_vectors for f in fields]),
+                np.concatenate([f._phases for f in fields]),
+            )
+            self._stacks[keys] = cached
+        return cached

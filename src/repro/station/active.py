@@ -15,7 +15,9 @@ The loop composes the pieces that already exist:
   :func:`~.waypoints.spread_subset`;
 * each batch flies through :func:`~.campaign.run_campaign` with a
   single-UAV :func:`~.mission.plan_batch_mission` — the same client,
-  radio-shutdown protocol and sample annotation as §II-C;
+  radio-shutdown protocol and sample annotation as §II-C; every scan
+  inside those flights prices its sweep through the environment's
+  batched link-budget engine (one wall-set crossing pass per sweep);
 * scans feed an :class:`~.online.OnlineRemBuilder`, whose model's
   batched :meth:`~repro.core.predictors.Predictor.uncertainty_grid`
   scores the candidates (kriging variance natively, distance or
@@ -184,9 +186,7 @@ class ActiveSamplingPlanner:
         pts = np.asarray(candidates, dtype=float).reshape(-1, 3)
         allowed = np.ones(len(pts), dtype=bool)
         for zone in no_fly:
-            allowed &= ~np.fromiter(
-                (zone.contains(p) for p in pts), dtype=bool, count=len(pts)
-            )
+            allowed &= ~zone.contains_many(pts)
         if not allowed.any():
             raise ValueError("no-fly zones exclude every candidate waypoint")
         self.candidates = pts[allowed]
@@ -398,9 +398,14 @@ def run_active_campaign(
         snapshot = builder.refit_now()
         rmse = snapshot.holdout_rmse_dbm if snapshot else None
         remaining = planner.remaining_points
+        # One batched uncertainty pass per round serves both the round
+        # record and the next batch's selection scores below (the model
+        # and candidate pool do not change in between).
+        uncertainty: Optional[np.ndarray] = None
         mean_uncertainty: Optional[float] = None
         if builder.ready and len(remaining):
-            mean_uncertainty = float(builder.uncertainty(remaining).mean())
+            uncertainty = builder.uncertainty(remaining)
+            mean_uncertainty = float(uncertainty.mean())
         total = (rounds[-1].total_waypoints if rounds else 0) + len(batch_points)
         rounds.append(
             ActiveRound(
@@ -440,9 +445,8 @@ def run_active_campaign(
             break
 
         # --- next batch ----------------------------------------------
-        remaining = planner.remaining_points
-        if builder.ready:
-            scores = builder.uncertainty(remaining)
+        if uncertainty is not None:
+            scores = uncertainty
         else:
             # No model yet (degenerate seed): keep exploring uniformly.
             scores = np.zeros(len(remaining))

@@ -72,6 +72,7 @@ class OnlineRemBuilder:
         self.model: Optional[Predictor] = None
         self._vocabulary: Tuple[str, ...] = ()
         self.history: List[OnlineSnapshot] = []
+        self._dataset_cache: Optional[Tuple[int, REMDataset]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -130,18 +131,26 @@ class OnlineRemBuilder:
         The shipped map should be fit on *all* collected data — the
         holdout only exists to score refits while flying.  Uses its own
         vocabulary over all rows, so holdout-only MACs are included.
+        The assembled dataset is memoized on the sample count, so
+        per-round consumers (benchmark scoring, exports) pay the
+        row-to-array conversion once per ingest state.
         """
+        cached = self._dataset_cache
+        if cached is not None and cached[0] == self.samples_ingested:
+            return cached[1]
         rows = self._train_rows + self._holdout_rows
         vocabulary = tuple(sorted({r[1] for r in rows}))
         index = {mac: i for i, mac in enumerate(vocabulary)}
         positions = np.array([r[0] for r in rows], dtype=float).reshape(-1, 3)
-        return REMDataset(
+        dataset = REMDataset(
             positions=positions,
             mac_indices=np.array([index[r[1]] for r in rows], dtype=int),
             channels=np.array([max(r[3], 1) for r in rows], dtype=int),
             rssi_dbm=np.array([r[2] for r in rows], dtype=float),
             mac_vocabulary=vocabulary,
         )
+        self._dataset_cache = (self.samples_ingested, dataset)
+        return dataset
 
     def _dataset(self, rows) -> REMDataset:
         index = {mac: i for i, mac in enumerate(self._vocabulary)}

@@ -11,12 +11,19 @@ acceleration limits, hovering adds small Gaussian jitter, and leveled
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 __all__ = ["DynamicsConfig", "FlightDynamics"]
+
+
+def _norm3(v: np.ndarray) -> float:
+    """Euclidean norm of a 3-vector without the ``linalg`` call overhead
+    (this runs several times per control tick, ~10^5 times a campaign)."""
+    return math.sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
 
 
 @dataclass(frozen=True)
@@ -63,7 +70,7 @@ class FlightDynamics:
         """Distance to the current setpoint (inf if none)."""
         if self.setpoint is None:
             return float("inf")
-        return float(np.linalg.norm(self.setpoint - self.position))
+        return _norm3(self.setpoint - self.position)
 
     @property
     def at_setpoint(self) -> bool:
@@ -92,13 +99,13 @@ class FlightDynamics:
             # while disturbances random-walk the vehicle.
             self.velocity *= np.exp(-dt / cfg.drift_damping_tau_s)
             self.velocity += rng.normal(0.0, cfg.drift_std_mps, size=3) * dt
-            speed = float(np.linalg.norm(self.velocity))
+            speed = _norm3(self.velocity)
             if speed > cfg.max_speed_mps:
                 self.velocity *= cfg.max_speed_mps / speed
             self.position += self.velocity * dt
             return
         error = self.setpoint - self.position
-        distance = float(np.linalg.norm(error))
+        distance = _norm3(error)
         if distance <= cfg.arrival_tolerance_m:
             # Station keeping: damp velocity, jitter around the setpoint.
             self.velocity = np.zeros(3)
@@ -109,7 +116,7 @@ class FlightDynamics:
         # Velocity command toward the setpoint, capped by speed and accel.
         desired = error / distance * min(cfg.max_speed_mps, distance / dt * 0.5)
         dv = desired - self.velocity
-        dv_norm = float(np.linalg.norm(dv))
+        dv_norm = _norm3(dv)
         max_dv = cfg.max_accel_mps2 * dt
         if dv_norm > max_dv:
             dv *= max_dv / dv_norm

@@ -44,6 +44,8 @@ class AnchorLayout:
         if len({a.anchor_id for a in anchors}) != len(anchors):
             raise ValueError("duplicate anchor ids in layout")
         self.anchors: Tuple[Anchor, ...] = tuple(anchors)
+        self._positions = np.array([a.position for a in self.anchors], dtype=float)
+        self._positions.setflags(write=False)
 
     def __len__(self) -> int:
         return len(self.anchors)
@@ -53,8 +55,8 @@ class AnchorLayout:
 
     @property
     def positions(self) -> np.ndarray:
-        """(N, 3) array of anchor positions."""
-        return np.array([a.position for a in self.anchors], dtype=float)
+        """(N, 3) array of anchor positions (read-only view)."""
+        return self._positions
 
     def subset(self, count: int) -> "AnchorLayout":
         """The first ``count`` anchors (ablation studies sweep this).
@@ -76,16 +78,20 @@ class AnchorLayout:
         centered = pts - pts.mean(axis=0)
         return bool(np.linalg.matrix_rank(centered, tol=1e-9) >= 3)
 
+    def range_mask(
+        self, position: Sequence[float], max_range: float = LPS_RANGE_M
+    ) -> np.ndarray:
+        """Boolean mask of anchors within UWB range, one distance pass."""
+        p = np.asarray(position, dtype=float)
+        distances = np.sqrt(((self._positions - p) ** 2).sum(axis=1))
+        return distances <= max_range
+
     def in_range(
         self, position: Sequence[float], max_range: float = LPS_RANGE_M
     ) -> List[Anchor]:
         """Anchors within UWB range of ``position``."""
-        p = np.asarray(position, dtype=float)
-        return [
-            a
-            for a in self.anchors
-            if np.linalg.norm(a.position_array - p) <= max_range
-        ]
+        mask = self.range_mask(position, max_range)
+        return [a for a, ok in zip(self.anchors, mask) if ok]
 
 
 def corner_layout(volume: Cuboid) -> AnchorLayout:

@@ -19,6 +19,7 @@ This module implements the position/velocity core of that filter:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -64,6 +65,11 @@ class PositionVelocityEkf:
         self.P = np.diag([p0, p0, p0, v0, v0, v0])
         self.rejected_updates = 0
         self.accepted_updates = 0
+        # The control loop calls predict() at a fixed rate, so the
+        # process matrices are almost always reusable.
+        self._last_dt: Optional[float] = None
+        self._F = np.eye(self.STATE_DIM)
+        self._Q = np.zeros((self.STATE_DIM, self.STATE_DIM))
 
     # ------------------------------------------------------------------
     @property
@@ -87,17 +93,19 @@ class PositionVelocityEkf:
             raise ValueError(f"dt must be >= 0, got {dt}")
         if dt == 0:
             return
-        F = np.eye(self.STATE_DIM)
-        F[0, 3] = F[1, 4] = F[2, 5] = dt
-        q = self.config.accel_noise_std**2
-        dt2, dt3, dt4 = dt * dt, dt**3, dt**4
-        Q = np.zeros((self.STATE_DIM, self.STATE_DIM))
-        for i in range(3):
-            Q[i, i] = q * dt4 / 4.0
-            Q[i, i + 3] = Q[i + 3, i] = q * dt3 / 2.0
-            Q[i + 3, i + 3] = q * dt2
-        self.x = F @ self.x
-        self.P = F @ self.P @ F.T + Q
+        if dt != self._last_dt:
+            F = self._F
+            F[0, 3] = F[1, 4] = F[2, 5] = dt
+            q = self.config.accel_noise_std**2
+            dt2, dt3, dt4 = dt * dt, dt**3, dt**4
+            Q = self._Q
+            for i in range(3):
+                Q[i, i] = q * dt4 / 4.0
+                Q[i, i + 3] = Q[i + 3, i] = q * dt3 / 2.0
+                Q[i + 3, i + 3] = q * dt2
+            self._last_dt = dt
+        self.x = self._F @ self.x
+        self.P = self._F @ self.P @ self._F.T + self._Q
         self._symmetrize()
 
     # ------------------------------------------------------------------
@@ -108,14 +116,17 @@ class PositionVelocityEkf:
 
         Returns True if the measurement passed the innovation gate.
         """
-        a = np.asarray(anchor_position, dtype=float)
-        delta = self.x[:3] - a
-        predicted = float(np.linalg.norm(delta))
+        x = self.x
+        dx, dy, dz = (
+            x[0] - anchor_position[0],
+            x[1] - anchor_position[1],
+            x[2] - anchor_position[2],
+        )
+        predicted = math.sqrt(dx * dx + dy * dy + dz * dz)
         if predicted < 1e-6:
             return False
-        H = np.zeros((1, self.STATE_DIM))
-        H[0, :3] = delta / predicted
-        return self._scalar_update(measured_range_m - predicted, H, sigma_m**2)
+        h = np.array([dx, dy, dz]) / predicted
+        return self._scalar_update(measured_range_m - predicted, h, sigma_m**2)
 
     def update_tdoa(
         self,
@@ -125,18 +136,117 @@ class PositionVelocityEkf:
         sigma_m: float,
     ) -> bool:
         """TDoA update: ``z = |p - b| - |p - a| + noise``."""
-        a = np.asarray(anchor_a, dtype=float)
-        b = np.asarray(anchor_b, dtype=float)
-        da = self.x[:3] - a
-        db = self.x[:3] - b
-        norm_a = float(np.linalg.norm(da))
-        norm_b = float(np.linalg.norm(db))
+        x = self.x
+        dax, day, daz = x[0] - anchor_a[0], x[1] - anchor_a[1], x[2] - anchor_a[2]
+        dbx, dby, dbz = x[0] - anchor_b[0], x[1] - anchor_b[1], x[2] - anchor_b[2]
+        norm_a = math.sqrt(dax * dax + day * day + daz * daz)
+        norm_b = math.sqrt(dbx * dbx + dby * dby + dbz * dbz)
         if norm_a < 1e-6 or norm_b < 1e-6:
             return False
         predicted = norm_b - norm_a
-        H = np.zeros((1, self.STATE_DIM))
-        H[0, :3] = db / norm_b - da / norm_a
-        return self._scalar_update(measured_difference_m - predicted, H, sigma_m**2)
+        h = np.array(
+            [
+                dbx / norm_b - dax / norm_a,
+                dby / norm_b - day / norm_a,
+                dbz / norm_b - daz / norm_a,
+            ]
+        )
+        return self._scalar_update(measured_difference_m - predicted, h, sigma_m**2)
+
+    def update_tdoa_batch(
+        self,
+        anchors_a: np.ndarray,
+        anchors_b: np.ndarray,
+        measured_differences_m: np.ndarray,
+        sigma_m: float,
+    ) -> int:
+        """Ingest one TDoA packet burst as a joint vector measurement.
+
+        The burst's rows share one timestamp, so they are fused as a
+        single m-dimensional linear-Gaussian update (``R = sigma^2 I``)
+        linearized at the pre-burst estimate — the textbook batch
+        measurement update, equivalent to iterating scalar updates
+        *without* per-row relinearization and exact for simultaneous
+        measurements.  Each row is still innovation-gated individually
+        against its marginal variance before the joint solve, matching
+        :meth:`update_tdoa`'s NLoS protection.  One small linear solve
+        replaces ~m scalar Joseph updates — the difference between the
+        flight simulation being EKF-bound or not.
+
+        Returns how many rows passed the gate.
+        """
+        a = np.asarray(anchors_a, dtype=float).reshape(-1, 3)
+        b = np.asarray(anchors_b, dtype=float).reshape(-1, 3)
+        z = np.asarray(measured_differences_m, dtype=float).reshape(-1)
+        if not len(z):
+            return 0
+        return self.update_tdoa_stacked(np.concatenate([a, b]), z, sigma_m)
+
+    def update_tdoa_stacked(
+        self,
+        stacked_anchors: np.ndarray,
+        measured_differences_m: np.ndarray,
+        sigma_m: float,
+    ) -> int:
+        """:meth:`update_tdoa_batch` over pre-stacked pair anchors.
+
+        ``stacked_anchors`` is ``(2m, 3)`` — a-side rows first, then the
+        matching b-side rows — the zero-copy layout
+        :meth:`~repro.uwb.ranging.TdoaRanging.measure_stacked` serves
+        from its cache on the flight-control hot path.
+        """
+        z = measured_differences_m
+        m = len(z)
+        if not m:
+            return 0
+        p = self.x[:3]
+        # Distances and unit directions to both pair anchors in one
+        # stacked pass (rows 0..m-1 are the a-side, m.. the b-side).
+        delta = p - stacked_anchors
+        norms = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        if norms.min() < 1e-6:
+            usable = (norms[:m] >= 1e-6) & (norms[m:] >= 1e-6)
+            keep = np.concatenate([usable, usable])
+            delta, norms = delta[keep], norms[keep]
+            z = z[usable]
+            m = len(z)
+            if not m:
+                return 0
+        unit = delta / norms[:, None]
+        h = unit[m:] - unit[:m]  # (m, 3)
+        innovation = z - (norms[m:] - norms[:m])
+        r_var = sigma_m * sigma_m
+        pht = self.P[:, :3] @ h.T  # (6, m)
+        S = h @ pht[:3]
+        S.flat[:: m + 1] += r_var
+        # Marginal gate per row: nu_i^2 <= gate^2 S_ii.
+        passed = innovation * innovation <= (self.config.gate_sigma**2) * S.flat[
+            :: m + 1
+        ]
+        accepted = int(passed.sum())
+        if accepted < m:
+            self.rejected_updates += m - accepted
+            if not accepted:
+                return 0
+            h = h[passed]
+            pht = pht[:, passed]
+            innovation = innovation[passed]
+            S = S[np.ix_(passed, passed)]
+        # K = P H^T S^-1 applied without forming K: one solve covers
+        # both the weighted innovations (first column) and the
+        # covariance correction (the rest).  The downdate form is safe
+        # here: S carries the full r_var I regularization, the result
+        # is re-symmetrized, and every predict() re-inflates P with Q
+        # — a long-run PSD test guards this path.
+        rhs = np.empty((accepted, 7))
+        rhs[:, 0] = innovation
+        rhs[:, 1:] = pht.T
+        solved = np.linalg.solve(S, rhs)
+        self.x += pht @ solved[:, 0]
+        self.P -= pht @ solved[:, 1:]
+        self._symmetrize()
+        self.accepted_updates += accepted
+        return accepted
 
     def update_linearized(
         self,
@@ -151,23 +261,36 @@ class PositionVelocityEkf:
         (velocity rows are zero).  Used by alternative localization
         backends such as the Lighthouse sweep-angle model.
         """
-        H = np.zeros((1, self.STATE_DIM))
-        H[0, :3] = np.asarray(position_jacobian, dtype=float)
-        return self._scalar_update(innovation, H, sigma**2)
+        h = np.asarray(position_jacobian, dtype=float)
+        return self._scalar_update(innovation, h, sigma**2)
 
     # ------------------------------------------------------------------
-    def _scalar_update(self, innovation: float, H: np.ndarray, r_var: float) -> bool:
-        S = float((H @ self.P @ H.T).item()) + r_var
+    def _scalar_update(self, innovation: float, h: np.ndarray, r_var: float) -> bool:
+        """One scalar measurement with position-only Jacobian ``h`` (3,).
+
+        Every supported measurement model has zero velocity rows, which
+        collapses the textbook ``(1, 6)`` matrix update to vector and
+        outer-product arithmetic.  The covariance keeps the Joseph
+        form, expanded for a scalar measurement as ``P - K(PH^T)^T -
+        (PH^T)K^T + S KK^T + ...``: it costs a couple of extra outer
+        products but stays positive semi-definite under roundoff,
+        which matters for the long sequential TWR/lighthouse runs that
+        still use this path (TDoA bursts go through the joint
+        :meth:`update_tdoa_stacked`).
+        """
+        pht = self.P[:, :3] @ h  # P H^T, (6,)
+        S = float(h[0] * pht[0] + h[1] * pht[1] + h[2] * pht[2]) + r_var
         if S <= 0:
             return False
         if innovation * innovation > (self.config.gate_sigma**2) * S:
             self.rejected_updates += 1
             return False
-        K = (self.P @ H.T) / S  # (6,1)
-        self.x = self.x + (K * innovation).ravel()
-        ikh = np.eye(self.STATE_DIM) - K @ H
+        K = pht * (1.0 / S)
+        self.x += K * innovation
+        ikh = np.eye(self.STATE_DIM)
+        ikh[:, :3] -= K[:, None] * h
         # Joseph form keeps P positive semi-definite under roundoff.
-        self.P = ikh @ self.P @ ikh.T + K @ K.T * r_var
+        self.P = ikh @ self.P @ ikh.T + (K[:, None] * K) * r_var
         self._symmetrize()
         self.accepted_updates += 1
         return True

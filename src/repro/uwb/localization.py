@@ -134,13 +134,10 @@ class PositionEstimator:
                     m.anchor.position, m.range_m, self.ranging_config.twr_sigma_m
                 )
         else:
-            for m in self._tdoa.measure_all(true_position, rng):
-                self.ekf.update_tdoa(
-                    m.anchor_a.position,
-                    m.anchor_b.position,
-                    m.difference_m,
-                    self.ranging_config.tdoa_sigma_m,
-                )
+            stacked, diffs = self._tdoa.measure_stacked(true_position, rng)
+            self.ekf.update_tdoa_stacked(
+                stacked, diffs, self.ranging_config.tdoa_sigma_m
+            )
         return self.ekf.position
 
     def error_m(self, true_position: Sequence[float]) -> float:

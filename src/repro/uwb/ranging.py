@@ -84,8 +84,36 @@ class _RangingBase:
             return float(rng.uniform(0.0, cfg.nlos_bias_max_m))
         return 0.0
 
+    def _nlos_bias_block(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """One NLoS excess-delay draw per measurement, vectorized.
+
+        Like :meth:`_nlos_bias`, the uniform bias is only drawn for the
+        measurements whose Bernoulli gate fired.
+        """
+        cfg = self.config
+        biases = np.zeros(count)
+        if cfg.nlos_probability <= 0:
+            return biases
+        hits = rng.random(count) < cfg.nlos_probability
+        n_hits = int(hits.sum())
+        if n_hits:
+            biases[hits] = rng.uniform(0.0, cfg.nlos_bias_max_m, size=n_hits)
+        return biases
+
     def _visible(self, position: Sequence[float]) -> List[Anchor]:
         return self.layout.in_range(position, self.config.max_range_m)
+
+    def _visible_with_distances(self, p: np.ndarray):
+        """In-range anchors plus their true distances, one batched pass."""
+        positions = self.layout.positions
+        distances = np.sqrt(((positions - p) ** 2).sum(axis=1))
+        mask = distances <= self.config.max_range_m
+        if mask.all():
+            # The common whole-layout case (indoor volumes are far
+            # smaller than UWB range) skips the filtering pass.
+            return self.layout.anchors, distances
+        visible = [a for a, ok in zip(self.layout.anchors, mask) if ok]
+        return visible, distances[mask]
 
 
 class TwrRanging(_RangingBase):
@@ -94,18 +122,24 @@ class TwrRanging(_RangingBase):
     def measure_all(
         self, position: Sequence[float], rng: np.random.Generator
     ) -> List[TwrMeasurement]:
-        """Ranges to every in-range anchor (one TWR cycle)."""
+        """Ranges to every in-range anchor (one TWR cycle).
+
+        The whole cycle's noise comes from vectorized blocks: one
+        Gaussian draw per anchor plus the NLoS bias block.
+        """
         p = np.asarray(position, dtype=float)
-        out: List[TwrMeasurement] = []
-        for anchor in self._visible(p):
-            true_range = float(np.linalg.norm(anchor.position_array - p))
-            noisy = (
-                true_range
-                + rng.normal(0.0, self.config.twr_sigma_m)
-                + self._nlos_bias(rng)
-            )
-            out.append(TwrMeasurement(anchor=anchor, range_m=max(noisy, 0.0)))
-        return out
+        visible, true_ranges = self._visible_with_distances(p)
+        if not visible:
+            return []
+        noisy = (
+            true_ranges
+            + rng.normal(0.0, self.config.twr_sigma_m, size=len(visible))
+            + self._nlos_bias_block(rng, len(visible))
+        )
+        return [
+            TwrMeasurement(anchor=anchor, range_m=max(float(r), 0.0))
+            for anchor, r in zip(visible, noisy)
+        ]
 
     @property
     def measurement_sigma_m(self) -> float:
@@ -120,6 +154,10 @@ class TwrRanging(_RangingBase):
 class TdoaRanging(_RangingBase):
     """TDoA: distance differences against a rotating reference anchor."""
 
+    def __init__(self, layout: AnchorLayout, config: Optional[RangingConfig] = None):
+        super().__init__(layout, config)
+        self._pair_cache = None
+
     def measure_all(
         self, position: Sequence[float], rng: np.random.Generator
     ) -> List[TdoaMeasurement]:
@@ -129,22 +167,85 @@ class TdoaRanging(_RangingBase):
         successive transmitters; this model pairs each in-range anchor
         with the next one.
         """
-        p = np.asarray(position, dtype=float)
-        visible = self._visible(p)
-        if len(visible) < 2:
-            return []
-        out: List[TdoaMeasurement] = []
-        for a, b in zip(visible, visible[1:] + visible[:1]):
-            da = float(np.linalg.norm(a.position_array - p))
-            db = float(np.linalg.norm(b.position_array - p))
-            noisy = (
-                (db - da)
-                + rng.normal(0.0, self.config.tdoa_sigma_m)
-                + self._nlos_bias(rng)
-                - self._nlos_bias(rng)
+        visible, differences = self._measure_visible(position, rng)
+        return [
+            TdoaMeasurement(anchor_a=a, anchor_b=b, difference_m=float(diff))
+            for (a, b), diff in zip(
+                zip(visible, visible[1:] + visible[:1]), differences
             )
-            out.append(TdoaMeasurement(anchor_a=a, anchor_b=b, difference_m=noisy))
-        return out
+        ]
+
+    def measure_stacked(self, position: Sequence[float], rng: np.random.Generator):
+        """One burst as ``(stacked_pair_anchors, differences)``.
+
+        ``stacked_pair_anchors`` is ``(2m, 3)`` — the m a-side anchors
+        followed by the m b-side anchors — exactly the layout
+        :meth:`~repro.uwb.kalman.PositionVelocityEkf.update_tdoa_stacked`
+        consumes without any per-call concatenation; for the common
+        whole-layout-visible burst (indoor volumes are far smaller than
+        UWB range) it is a cached read-only array.
+        """
+        p = np.asarray(position, dtype=float)
+        delta = self.layout.positions - p
+        distances = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        if len(distances) >= 2 and distances.max() <= self.config.max_range_m:
+            return self._all_anchor_pairs(), self._noisy_differences(
+                distances, rng
+            )
+        visible, differences = self._measure_visible(position, rng)
+        m = len(differences)
+        if not m:
+            return np.zeros((0, 3)), differences
+        stacked = np.empty((2 * m, 3))
+        stacked[:m] = [a.position for a in visible]
+        stacked[m:-1] = stacked[1:m]
+        stacked[-1] = stacked[0]
+        return stacked, differences
+
+    def _all_anchor_pairs(self) -> np.ndarray:
+        if self._pair_cache is None:
+            positions = self.layout.positions
+            count = len(positions)
+            stacked = np.empty((2 * count, 3))
+            stacked[:count] = positions
+            stacked[count:-1] = positions[1:]
+            stacked[-1] = positions[0]
+            # Handed out by reference on every fast-path burst: freeze
+            # it so a caller mutation cannot corrupt later bursts.
+            stacked.setflags(write=False)
+            self._pair_cache = stacked
+        return self._pair_cache
+
+    def _measure_visible(self, position: Sequence[float], rng: np.random.Generator):
+        """Visible anchors and their noisy consecutive-pair differences."""
+        p = np.asarray(position, dtype=float)
+        visible, distances = self._visible_with_distances(p)
+        if len(visible) < 2:
+            return visible, np.zeros(0)
+        return visible, self._noisy_differences(distances, rng)
+
+    def _noisy_differences(
+        self, distances: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noisy db - da for consecutive (wrap-around) anchor pairs.
+
+        One noise block per term: Gaussian timestamping noise plus the
+        two independent NLoS biases of each pair's anchors (drawn as
+        one 2*count block, split between the a- and b-side).  The fast
+        cached-geometry path and the partial-visibility path both rely
+        on this single implementation for their RNG stream contract.
+        """
+        count = len(distances)
+        db = np.empty_like(distances)
+        db[:-1], db[-1] = distances[1:], distances[0]
+        biases = self._nlos_bias_block(rng, 2 * count)
+        return (
+            db
+            - distances
+            + rng.normal(0.0, self.config.tdoa_sigma_m, size=count)
+            + biases[:count]
+            - biases[count:]
+        )
 
     @property
     def measurement_sigma_m(self) -> float:

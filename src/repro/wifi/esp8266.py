@@ -101,8 +101,13 @@ class Esp01Module:
 
     # ------------------------------------------------------------------
     def set_position(self, position: Sequence[float]) -> None:
-        """Update the module's physical location (it rides on the UAV)."""
-        self.position = tuple(float(v) for v in position)
+        """Update the module's physical location (it rides on the UAV,
+        so this runs every control tick — no generator machinery)."""
+        self.position = (
+            float(position[0]),
+            float(position[1]),
+            float(position[2]),
+        )
 
     # ------------------------------------------------------------------
     def execute(self, command: str) -> List[str]:

@@ -61,6 +61,15 @@ class TestIndoorEnvironment:
         assert [ap.channel for ap in env.aps_on_channel(1)] == [1]
         assert env.aps_on_channel(11) == []
 
+    def test_channel_map_covers_population_once(self):
+        env = tiny_environment()
+        grouped = env.channel_map()
+        assert grouped is env.channel_map()  # built once, reused
+        flattened = [ap for aps in grouped.values() for ap in aps]
+        assert sorted(ap.mac for ap in flattened) == sorted(
+            ap.mac for ap in env.access_points
+        )
+
     def test_ap_lookup(self):
         env = tiny_environment()
         assert env.ap_by_mac("aa:aa:aa:aa:aa:02").ssid == "two"

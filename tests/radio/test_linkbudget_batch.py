@@ -1,0 +1,286 @@
+"""Batched↔scalar equivalence of the vectorized link-budget engine.
+
+The batched engine (``WallSet.crossing_matrix`` →
+``MultiWallPathLoss.path_loss_db_many`` →
+``IndoorEnvironment.mean_rss_dbm_many``) must agree with the scalar
+reference path at 1e-9 everywhere — across every registered scenario —
+plus hold the geometric edge cases the broadcast tests could plausibly
+get wrong (touching endpoints, empty wall sets, zero-sigma shadowing).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (
+    BRICK,
+    CONCRETE,
+    DRYWALL,
+    GLASS,
+    AccessPoint,
+    Cuboid,
+    IndoorEnvironment,
+    LinkBudget,
+    Wall,
+    WallSet,
+    available_scenarios,
+    build_scenario,
+    crossed_walls,
+)
+from repro.radio.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+)
+from repro.radio.shadowing import ShadowingModel
+
+finite_coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+point = st.tuples(finite_coord, finite_coord, finite_coord)
+
+
+def random_walls(rng, count=12):
+    materials = (DRYWALL, BRICK, CONCRETE, GLASS)
+    walls = []
+    for i in range(count):
+        lo = sorted(rng.uniform(-8.0, 8.0, size=2))
+        hi = sorted(rng.uniform(-8.0, 8.0, size=2))
+        walls.append(
+            Wall(
+                axis=int(rng.integers(0, 3)),
+                offset=float(rng.uniform(-6.0, 6.0)),
+                bounds=((lo[0], lo[1]), (hi[0], hi[1])),
+                material=materials[i % len(materials)],
+            )
+        )
+    return walls
+
+
+class TestCrossingMatrix:
+    def test_matches_scalar_crossed_walls(self):
+        rng = np.random.default_rng(11)
+        walls = random_walls(rng, count=18)
+        wall_set = WallSet(walls)
+        tx = rng.uniform(-7.0, 7.0, size=(9, 3))
+        rx = rng.uniform(-7.0, 7.0, size=(23, 3))
+        matrix = wall_set.crossing_matrix(tx, rx)
+        for i in range(len(tx)):
+            for j in range(len(rx)):
+                expected = sum(
+                    w.material.attenuation_db
+                    for w in crossed_walls(tx[i], rx[j], walls)
+                )
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_counts_match_scalar(self):
+        rng = np.random.default_rng(3)
+        walls = random_walls(rng, count=10)
+        wall_set = WallSet(walls)
+        tx = rng.uniform(-7.0, 7.0, size=(4, 3))
+        rx = rng.uniform(-7.0, 7.0, size=(6, 3))
+        counts = wall_set.crossing_counts(tx, rx)
+        for i in range(len(tx)):
+            for j in range(len(rx)):
+                assert counts[i, j] == len(crossed_walls(tx[i], rx[j], walls))
+
+    def test_chunking_is_invisible(self):
+        rng = np.random.default_rng(8)
+        walls = random_walls(rng, count=6)
+        wall_set = WallSet(walls)
+        tx = rng.uniform(-7.0, 7.0, size=(3, 3))
+        rx = rng.uniform(-7.0, 7.0, size=(40, 3))
+        whole = wall_set.crossing_matrix(tx, rx)
+        wall_set._BLOCK_ELEMENTS = 7  # force many tiny point blocks
+        assert np.array_equal(wall_set.crossing_matrix(tx, rx), whole)
+
+    def test_empty_wall_set_is_all_zero(self):
+        wall_set = WallSet(())
+        matrix = wall_set.crossing_matrix(
+            np.zeros((3, 3)), np.ones((5, 3))
+        )
+        assert matrix.shape == (3, 5)
+        assert not matrix.any()
+
+    def test_empty_points_shapes(self):
+        wall_set = WallSet(random_walls(np.random.default_rng(0)))
+        assert wall_set.crossing_matrix(np.zeros((0, 3)), np.ones((4, 3))).shape == (
+            0,
+            4,
+        )
+        assert wall_set.crossing_matrix(np.zeros((2, 3)), np.ones((0, 3))).shape == (
+            2,
+            0,
+        )
+
+    @given(offset=finite_coord, rx=point)
+    @settings(max_examples=50, deadline=None)
+    def test_touching_endpoint_never_crosses(self, offset, rx):
+        """A TX mounted *on* a wall plane is not attenuated by it."""
+        wall = Wall(0, offset, ((-1e3, 1e3), (-1e3, 1e3)), DRYWALL)
+        wall_set = WallSet([wall])
+        tx = np.array([[offset, 0.0, 0.0]])
+        matrix = wall_set.crossing_matrix(tx, np.array([rx], dtype=float))
+        assert matrix[0, 0] == 0.0
+
+    @given(tx=point, rx=point)
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_scalar_on_arbitrary_segments(self, tx, rx):
+        walls = [
+            Wall(axis, off, ((-20.0, 20.0), (-20.0, 20.0)), BRICK)
+            for axis in (0, 1, 2)
+            for off in (-10.0, 0.0, 10.0)
+        ]
+        wall_set = WallSet(walls)
+        expected = sum(
+            w.material.attenuation_db for w in crossed_walls(tx, rx, walls)
+        )
+        matrix = wall_set.crossing_matrix(
+            np.array([tx], dtype=float), np.array([rx], dtype=float)
+        )
+        assert matrix[0, 0] == pytest.approx(expected, abs=1e-12)
+
+
+class TestBatchedPathLoss:
+    def test_multiwall_many_matches_scalar(self):
+        rng = np.random.default_rng(21)
+        model = MultiWallPathLoss(random_walls(rng))
+        tx = rng.uniform(-6.0, 6.0, size=(5, 3))
+        rx = rng.uniform(-6.0, 6.0, size=(11, 3))
+        matrix = model.path_loss_db_many(tx, rx)
+        for i in range(len(tx)):
+            for j in range(len(rx)):
+                assert matrix[i, j] == pytest.approx(
+                    model.path_loss_db(tx[i], rx[j]), abs=1e-9
+                )
+
+    def test_scalar_only_base_falls_back(self):
+        class ScalarOnly:
+            def path_loss_db(self, tx, rx):
+                return 40.0 + float(np.linalg.norm(np.subtract(rx, tx)))
+
+        model = MultiWallPathLoss((), base=ScalarOnly())
+        tx = np.zeros((2, 3))
+        rx = np.array([[3.0, 0.0, 0.0], [0.0, 4.0, 0.0], [0.0, 0.0, 5.0]])
+        matrix = model.path_loss_db_many(tx, rx)
+        np.testing.assert_allclose(
+            matrix, [[43.0, 44.0, 45.0], [43.0, 44.0, 45.0]], atol=1e-12
+        )
+
+    def test_free_space_many_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        model = FreeSpacePathLoss()
+        tx = rng.uniform(-5, 5, size=(3, 3))
+        rx = rng.uniform(-5, 5, size=(7, 3))
+        matrix = model.path_loss_db_many(tx, rx)
+        for i in range(3):
+            for j in range(7):
+                assert matrix[i, j] == pytest.approx(
+                    model.path_loss_db(tx[i], rx[j]), abs=1e-9
+                )
+
+    def test_log_distance_clamps_like_scalar(self):
+        model = LogDistancePathLoss()
+        tx = np.zeros((1, 3))
+        rx = np.array([[0.01, 0.0, 0.0]])  # inside the 10 cm clamp
+        assert model.path_loss_db_many(tx, rx)[0, 0] == pytest.approx(
+            model.path_loss_db(tx[0], rx[0]), abs=1e-12
+        )
+
+
+class TestBatchedShadowing:
+    def test_many_matches_scalar_samples(self):
+        model = ShadowingModel(sigma_db=3.0, correlation_distance_m=2.0, seed=9)
+        pts = np.random.default_rng(2).uniform(-5, 5, size=(17, 3))
+        many = model.loss_db_many("aa:bb", pts)
+        for j, p in enumerate(pts):
+            assert many[j] == pytest.approx(model.loss_db("aa:bb", p), abs=1e-9)
+
+    @given(pts=st.lists(point, min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_sigma_is_exactly_zero(self, pts):
+        model = ShadowingModel(sigma_db=0.0, seed=1)
+        assert not model.loss_db_many("any", np.array(pts, dtype=float)).any()
+
+
+class TestBatchedEnvironment:
+    @pytest.mark.parametrize("name", sorted(set(available_scenarios())))
+    def test_mean_rss_many_matches_scalar_in_every_scenario(self, name):
+        scenario = build_scenario(name, seed=17)
+        env = scenario.environment
+        rng = np.random.default_rng(5)
+        lo = np.asarray(scenario.flight_volume.min_corner)
+        hi = np.asarray(scenario.flight_volume.max_corner)
+        points = rng.uniform(lo - 1.0, hi + 1.0, size=(7, 3))
+        macs = [ap.mac for ap in env.access_points[::9]]
+        many = env.mean_rss_dbm_many(macs, points)
+        for i, mac in enumerate(macs):
+            ap = env.ap_by_mac(mac)
+            for j, p in enumerate(points):
+                assert many[i, j] == pytest.approx(
+                    env.mean_rss_dbm(ap, p), abs=1e-9
+                )
+
+    def test_unknown_mac_raises(self):
+        env = build_scenario("demo").environment
+        with pytest.raises(KeyError):
+            env.mean_rss_dbm_many(["not:a:mac"], np.zeros((1, 3)))
+
+    def test_sample_many_is_mean_plus_fading(self):
+        ap = AccessPoint("aa:aa:aa:aa:aa:01", "one", 1, (5.0, 0.0, 0.0))
+        budget = LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=2.0)
+        env = IndoorEnvironment([], [ap], budget=budget, seed=2)
+        points = np.random.default_rng(0).uniform(-3, 3, size=(64, 3))
+        mean = env.mean_rss_dbm_many([ap.mac], points)
+        sampled = env.sample_rss_dbm_many(
+            [ap.mac], points, np.random.default_rng(12)
+        )
+        expected = mean + np.random.default_rng(12).normal(
+            0.0, 2.0, size=mean.shape
+        )
+        np.testing.assert_allclose(sampled, expected, atol=1e-9, rtol=0.0)
+
+    def test_zero_fading_samples_do_not_consume_rng(self):
+        ap = AccessPoint("aa:aa:aa:aa:aa:01", "one", 1, (5.0, 0.0, 0.0))
+        budget = LinkBudget(shadowing_sigma_db=0.0, fading_sigma_db=0.0)
+        env = IndoorEnvironment([], [ap], budget=budget)
+        rng = np.random.default_rng(8)
+        before = rng.bit_generator.state["state"]["state"]
+        env.sample_rss_dbm_many([ap.mac], np.zeros((5, 3)), rng)
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_wall_cache_reuses_blocks_and_stays_correct(self):
+        scenario = build_scenario("demo", seed=3)
+        env = scenario.environment
+        macs = [ap.mac for ap in env.access_points[:6]]
+        points = scenario.flight_volume.grid(4, 4, 3)
+        first = env.mean_rss_dbm_many(macs, points)
+        assert len(env._wall_cache) == len(macs)
+        second = env.mean_rss_dbm_many(macs, points)
+        assert len(env._wall_cache) == len(macs)
+        np.testing.assert_array_equal(first, second)
+
+    def test_tiny_blocks_bypass_cache(self):
+        env = build_scenario("demo", seed=3).environment
+        env.mean_rss_dbm_many(
+            [env.access_points[0].mac], np.zeros((2, 3))
+        )
+        assert not env._wall_cache
+
+    def test_cache_evicts_by_element_budget(self):
+        env = build_scenario("demo", seed=3).environment
+        env._CACHE_MAX_ELEMENTS = 64  # two 32-point rows
+        mac = env.access_points[0].mac
+        points = np.tile(np.arange(32, dtype=float)[:, None], (1, 3))
+        for shift in range(4):
+            env.mean_rss_dbm_many([mac], points + shift)
+        assert len(env._wall_cache) == 2
+        assert env._wall_cache_elements == 64
+
+
+class TestContainsMany:
+    @given(pts=st.lists(point, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_contains(self, pts):
+        box = Cuboid((-2.0, -1.0, 0.0), (3.0, 4.0, 2.5))
+        mask = box.contains_many(np.array(pts, dtype=float))
+        assert list(mask) == [box.contains(p) for p in pts]

@@ -1,0 +1,122 @@
+"""Batched TDoA ingestion: ranging arrays and the joint EKF update."""
+
+import numpy as np
+import pytest
+
+from repro.radio.geometry import Cuboid
+from repro.uwb import PositionVelocityEkf
+from repro.uwb.anchors import corner_layout
+from repro.uwb.ranging import RangingConfig, TdoaRanging
+
+
+def clean_config(**kwargs):
+    defaults = dict(nlos_probability=0.0)
+    defaults.update(kwargs)
+    return RangingConfig(**defaults)
+
+
+@pytest.fixture()
+def layout():
+    return corner_layout(Cuboid((0.0, 0.0, 0.0), (3.74, 3.20, 2.10)))
+
+
+class TestMeasureStacked:
+    def test_matches_measure_all(self, layout):
+        tdoa = TdoaRanging(layout, clean_config())
+        position = (1.5, 1.2, 1.0)
+        stacked, diffs = tdoa.measure_stacked(position, np.random.default_rng(7))
+        records = tdoa.measure_all(position, np.random.default_rng(7))
+        m = len(records)
+        assert len(diffs) == m
+        assert stacked.shape == (2 * m, 3)
+        for i, record in enumerate(records):
+            assert np.allclose(stacked[i], record.anchor_a.position)
+            assert np.allclose(stacked[m + i], record.anchor_b.position)
+            assert diffs[i] == pytest.approx(record.difference_m, abs=1e-12)
+
+    def test_out_of_range_returns_empty(self, layout):
+        tdoa = TdoaRanging(layout, clean_config(max_range_m=1.0))
+        stacked, diffs = tdoa.measure_stacked(
+            (100.0, 100.0, 100.0), np.random.default_rng(0)
+        )
+        assert len(diffs) == 0
+        assert stacked.shape == (0, 3)
+
+    def test_partial_visibility_pairs_wrap_around(self, layout):
+        # A corner position with a short range keeps only nearby anchors.
+        tdoa = TdoaRanging(layout, clean_config(max_range_m=4.0))
+        stacked, diffs = tdoa.measure_stacked(
+            (0.2, 0.2, 0.2), np.random.default_rng(3)
+        )
+        m = len(diffs)
+        assert 2 <= m < len(layout)
+        # b-side rows are the a-side rows rotated by one (wrap-around).
+        assert np.allclose(stacked[m:-1], stacked[1:m])
+        assert np.allclose(stacked[-1], stacked[0])
+
+
+class TestJointTdoaUpdate:
+    def test_single_row_matches_scalar_update(self, layout):
+        a, b = (0.0, 0.0, 0.0), (3.74, 3.20, 2.10)
+        joint = PositionVelocityEkf((1.0, 1.5, 1.0))
+        scalar = PositionVelocityEkf((1.0, 1.5, 1.0))
+        accepted = joint.update_tdoa_batch(
+            np.array([a]), np.array([b]), np.array([0.4]), 0.2
+        )
+        assert accepted == 1
+        assert scalar.update_tdoa(a, b, 0.4, 0.2)
+        np.testing.assert_allclose(joint.x, scalar.x, atol=1e-12)
+        np.testing.assert_allclose(joint.P, scalar.P, atol=1e-12)
+
+    def test_burst_reduces_uncertainty_and_counts(self, layout):
+        tdoa = TdoaRanging(layout, clean_config())
+        ekf = PositionVelocityEkf((1.8, 1.6, 1.0))
+        rng = np.random.default_rng(11)
+        before = float(np.trace(ekf.P[:3, :3]))
+        stacked, diffs = tdoa.measure_stacked((1.8, 1.6, 1.0), rng)
+        accepted = ekf.update_tdoa_stacked(stacked, diffs, 0.18)
+        assert accepted == len(diffs)
+        assert ekf.accepted_updates == accepted
+        assert float(np.trace(ekf.P[:3, :3])) < before
+
+    def test_outlier_rows_are_gated(self, layout):
+        tdoa = TdoaRanging(layout, clean_config())
+        ekf = PositionVelocityEkf((1.8, 1.6, 1.0))
+        stacked, diffs = tdoa.measure_stacked(
+            (1.8, 1.6, 1.0), np.random.default_rng(2)
+        )
+        diffs = diffs.copy()
+        diffs[0] += 50.0  # an impossible range difference
+        accepted = ekf.update_tdoa_stacked(stacked, diffs, 0.18)
+        assert accepted == len(diffs) - 1
+        assert ekf.rejected_updates == 1
+
+    def test_empty_burst_is_a_noop(self):
+        ekf = PositionVelocityEkf((1.0, 1.0, 1.0))
+        x_before = ekf.x.copy()
+        assert ekf.update_tdoa_stacked(np.zeros((0, 3)), np.zeros(0), 0.2) == 0
+        np.testing.assert_array_equal(ekf.x, x_before)
+
+    def test_filter_converges_on_static_tag(self, layout):
+        tdoa = TdoaRanging(layout, clean_config())
+        truth = np.array([2.0, 1.0, 1.2])
+        ekf = PositionVelocityEkf((1.0, 2.0, 0.5))
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            ekf.predict(0.04)
+            stacked, diffs = tdoa.measure_stacked(truth, rng)
+            ekf.update_tdoa_stacked(stacked, diffs, 0.18)
+        assert np.linalg.norm(ekf.position - truth) < 0.12
+
+    def test_covariance_stays_psd_over_long_run(self, layout):
+        """The joint downdate must not erode PSD-ness under roundoff."""
+        tdoa = TdoaRanging(layout, RangingConfig())  # NLoS outliers on
+        ekf = PositionVelocityEkf((1.8, 1.6, 1.0))
+        rng = np.random.default_rng(17)
+        for step in range(2000):
+            ekf.predict(0.04)
+            stacked, diffs = tdoa.measure_stacked((1.8, 1.6, 1.0), rng)
+            ekf.update_tdoa_stacked(stacked, diffs, 0.18)
+            if step % 100 == 0:
+                assert np.allclose(ekf.P, ekf.P.T, atol=1e-12)
+                assert np.linalg.eigvalsh(ekf.P).min() > -1e-9

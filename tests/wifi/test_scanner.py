@@ -127,3 +127,41 @@ class TestDetectionProbability:
         p_near = scanner.detection_probability(near, (0, 0, 0), rng, trials=200)
         p_far = scanner.detection_probability(far, (0, 0, 0), rng, trials=200)
         assert p_near > p_far
+
+    def test_probability_bounds_and_determinism(self):
+        ap = strong_ap(distance=12.0)
+        env = env_with_aps([ap], fading=4.0)
+        scanner = ChannelSweepScanner(env, scan_config(collision_miss_probability=0.5))
+        p1 = scanner.detection_probability(
+            ap, (0, 0, 0), np.random.default_rng(9), trials=300
+        )
+        p2 = scanner.detection_probability(
+            ap, (0, 0, 0), np.random.default_rng(9), trials=300
+        )
+        assert 0.0 <= p1 <= 1.0
+        assert p1 == p2
+
+
+class TestVectorizedSweep:
+    def test_scan_is_deterministic_per_seed(self, demo_scenario):
+        scanner = ChannelSweepScanner(demo_scenario.environment)
+        position = demo_scenario.flight_volume.center
+        a = scanner.scan(position, np.random.default_rng(21), 3.0)
+        b = scanner.scan(position, np.random.default_rng(21), 3.0)
+        assert [(r.mac, r.rssi_dbm, r.channel) for r in a.records] == [
+            (r.mac, r.rssi_dbm, r.channel) for r in b.records
+        ]
+
+    def test_records_stay_in_channel_population_order(self, demo_scenario):
+        env = demo_scenario.environment
+        scanner = ChannelSweepScanner(env)
+        report = scanner.scan(
+            demo_scenario.flight_volume.center, np.random.default_rng(4), 3.0
+        )
+        order = {
+            ap.mac: (ch_i, ap_i)
+            for ch_i, ch in enumerate(scanner.config.channels)
+            for ap_i, ap in enumerate(env.aps_on_channel(ch))
+        }
+        keys = [order[r.mac] for r in report.records]
+        assert keys == sorted(keys)
