@@ -1,0 +1,183 @@
+"""BENCH-SCENARIO-SUITE — throughput across a ladder of generated buildings.
+
+PRs 1-3 measured the batched REM/link-budget engines at a *point*: the
+hand-built demo condo.  The procedural generator turns that point into
+a curve — this bench sweeps a ladder of generated buildings (1 -> 8
+floors, tens -> hundreds of walls, a handful -> dozens of APs) and
+records, per rung:
+
+* **build** — wall time of :func:`repro.radio.generate_building`
+  (plan + population + environment assembly);
+* **ground truth** — one batched ``mean_rss_dbm_many`` pass over a
+  dense probe grid (the field every active-sampling comparison scores
+  against), in points*APs per second;
+* **campaign** — an 8-waypoint batch mission flown through the full
+  stack (client, radio protocol, channel-sweep scanner), in samples
+  per second.
+
+Emits ``BENCH_scenario_suite.json`` at the repo root.  Set
+``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (the three
+smallest rungs, coarser probes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.radio import BuildingSpec, generate_building
+from repro.station import plan_batch_mission, run_campaign
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+PROBE_SHAPE = (4, 4, 2) if QUICK else (8, 6, 4)
+
+#: The ladder: name -> spec, ordered by size (floors, walls and APs all
+#: grow down the list; the suite asserts the wall count is monotone).
+LADDER = [
+    (
+        "xs-open-hall",
+        BuildingSpec(
+            template="open-plan",
+            floors=1,
+            width_m=12.0,
+            depth_m=9.0,
+            palette="commercial",
+            ap_policy="ceiling-grid",
+            ap_spacing_m=8.0,
+            seed=101,
+        ),
+    ),
+    (
+        "s-room-grid",
+        BuildingSpec(
+            template="room-grid",
+            floors=1,
+            width_m=14.0,
+            depth_m=10.0,
+            seed=102,
+        ),
+    ),
+    (
+        "m-corridor",
+        BuildingSpec(
+            template="corridor-spine",
+            floors=2,
+            width_m=18.0,
+            depth_m=12.0,
+            palette="commercial",
+            ap_policy="ceiling-grid",
+            ap_spacing_m=6.0,
+            seed=103,
+        ),
+    ),
+    (
+        "l-room-grid",
+        BuildingSpec(
+            template="room-grid",
+            floors=3,
+            width_m=20.0,
+            depth_m=14.0,
+            clutter_per_floor=2,
+            seed=104,
+        ),
+    ),
+    (
+        "xl-corridor",
+        BuildingSpec(
+            template="corridor-spine",
+            floors=5,
+            width_m=24.0,
+            depth_m=15.0,
+            palette="commercial",
+            ap_policy="per-room",
+            ap_room_probability=0.6,
+            clutter_per_floor=2,
+            seed=105,
+        ),
+    ),
+    (
+        "xxl-tower",
+        BuildingSpec(
+            template="room-grid",
+            floors=8,
+            width_m=22.0,
+            depth_m=16.0,
+            room_m=5.5,
+            palette="industrial",
+            ap_policy="per-room",
+            ap_room_probability=0.6,
+            seed=106,
+        ),
+    ),
+]
+RUNGS = LADDER[:3] if QUICK else LADDER
+
+_RECORD: dict = {"quick": QUICK, "probe_shape": list(PROBE_SHAPE), "rungs": []}
+
+
+@pytest.mark.parametrize(("name", "spec"), RUNGS)
+def test_ladder_rung(name, spec):
+    """Build, score and fly one rung; append its timings to the record."""
+    t0 = time.perf_counter()
+    scenario = generate_building(spec)
+    build_s = time.perf_counter() - t0
+
+    environment = scenario.environment
+    macs = [ap.mac for ap in environment.access_points]
+    probes = scenario.flight_volume.grid(*PROBE_SHAPE, margin=0.2)
+    environment.clear_wall_cache()
+    t0 = time.perf_counter()
+    truth = environment.mean_rss_dbm_many(macs, probes)
+    truth_s = time.perf_counter() - t0
+    assert truth.shape == (len(macs), len(probes))
+    assert np.isfinite(truth).all()
+
+    waypoints = scenario.flight_volume.grid(2, 2, 2, margin=0.3)
+    mission = plan_batch_mission(waypoints)
+    t0 = time.perf_counter()
+    campaign = run_campaign(scenario=scenario, mission=mission)
+    campaign_s = time.perf_counter() - t0
+    assert campaign.total_samples > 0, "generated building produced no samples"
+
+    rung = {
+        "name": name,
+        "scenario": spec.to_name(),
+        "floors": spec.floors,
+        "n_walls": len(environment.walls),
+        "n_aps": len(macs),
+        "build_s": build_s,
+        "ground_truth_s": truth_s,
+        "ground_truth_points": len(probes),
+        "ground_truth_cells_per_s": len(macs) * len(probes) / truth_s,
+        "campaign_s": campaign_s,
+        "campaign_samples": campaign.total_samples,
+        "campaign_samples_per_s": campaign.total_samples / campaign_s,
+    }
+    _RECORD["rungs"].append(rung)
+    print(
+        f"\n{name}: {rung['n_walls']} walls, {rung['n_aps']} APs, "
+        f"build {build_s * 1e3:.1f} ms, truth {truth_s * 1e3:.1f} ms, "
+        f"campaign {campaign_s:.2f} s ({rung['campaign_samples']} samples)"
+    )
+
+
+def test_ladder_is_a_ladder():
+    """The rungs must actually grow (the sweep is a scaling curve)."""
+    assert len(_RECORD["rungs"]) == len(RUNGS)
+    walls = [rung["n_walls"] for rung in _RECORD["rungs"]]
+    assert walls == sorted(walls), f"wall counts not monotone: {walls}"
+    floors = [rung["floors"] for rung in _RECORD["rungs"]]
+    assert floors[0] < floors[-1]
+
+
+def test_emit_perf_record():
+    """Write BENCH_scenario_suite.json (runs last: depends on the others)."""
+    out = Path(__file__).resolve().parent.parent / "BENCH_scenario_suite.json"
+    out.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf record written to {out}")
+    assert out.exists()

@@ -6,6 +6,10 @@ them sequentially (scan windows with the radio down, EKF-annotated
 samples), then prints the §III-A statistics and the Fig. 6/7 views and
 archives the samples to CSV.
 
+Expected runtime: ~3 s.  Prints per-UAV sample counts and the
+per-location views; writes the full sample log to the CSV path given
+on the command line (default ``campaign_samples.csv``).
+
 Usage::
 
     python examples/fleet_campaign.py [output.csv]

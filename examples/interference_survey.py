@@ -7,6 +7,10 @@ its 2400-2525 MHz range, and with the radio off.  The survey shows the
 degradation is significant at *every* frequency — motivating the
 radio-off scan windows of §II-C.
 
+Expected runtime: under 1 s.  Prints the reproduced Fig. 5 table
+(detections and mean RSS per radio frequency vs. radio off); writes
+no files.
+
 Usage::
 
     python examples/interference_survey.py [seed]

@@ -5,6 +5,9 @@ Runs (or loads) a campaign, applies the §III-B preprocessing, tunes the
 k-NN by grid search, trains every estimator family, and prints the RMSE
 ladder next to the paper's published values.
 
+Expected runtime: ~40 s (the §III-B grid search dominates).  Prints
+the grid-search winner and the per-model RMSE table; writes no files.
+
 Usage::
 
     python examples/model_comparison.py [campaign.csv]

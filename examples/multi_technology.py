@@ -7,6 +7,9 @@ the simulated Crazyflie and runs the identical firmware scan task —
 radio-off window, CRTP result streaming, location annotation — on a
 second technology, then builds a small BLE REM.
 
+Expected runtime: ~2 s.  Prints the BLE scan statistics next to the
+Wi-Fi baseline and a BLE REM summary; writes no files.
+
 Usage::
 
     python examples/multi_technology.py

@@ -5,6 +5,9 @@ Replays the demo campaign scan by scan through the incremental builder,
 printing the held-out RMSE after every refit — the live view an
 operator would watch to decide "the map is good enough, land early".
 
+Expected runtime: ~3 s.  Prints one holdout-RMSE line per refit and a
+final convergence summary; writes no files.
+
 Usage::
 
     python examples/online_mapping.py

@@ -8,7 +8,9 @@ Subcommands map one-to-one onto the reproduction's top-level flows:
 * ``endurance``    — run the §III-A endurance protocol;
 * ``localization`` — the §II-B anchor/mode accuracy table;
 * ``density``      — the future-work REM density curve;
-* ``rem``          — generate a REM and export it as JSON.
+* ``rem``          — generate a REM and export it as JSON;
+* ``scenarios``    — list registered/generated worlds, describe one,
+  or generate a procedural building from a JSON spec (spec in/out).
 """
 
 from __future__ import annotations
@@ -100,6 +102,59 @@ def build_parser() -> argparse.ArgumentParser:
     rem.add_argument(
         "--tune", action="store_true", help="grid-search hyper-parameters (slower)"
     )
+
+    scenarios = commands.add_parser(
+        "scenarios", help="list/describe/generate RF scenarios"
+    )
+    sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    listing = sub.add_parser(
+        "list", help="registered worlds plus the generator's templates"
+    )
+    listing.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    describe = sub.add_parser(
+        "describe",
+        help=(
+            "describe a world: a registry name, a generated:... name, "
+            "or a JSON spec file ('-' reads stdin)"
+        ),
+    )
+    describe.add_argument("target", help="scenario name or spec path")
+    describe.add_argument(
+        "--json", action="store_true", help="emit the metadata record as JSON"
+    )
+
+    generate = sub.add_parser(
+        "generate",
+        help=(
+            "build a procedural building and emit its canonical JSON "
+            "spec (stdout or --out); build summary goes to stderr"
+        ),
+    )
+    generate.add_argument(
+        "--template",
+        default=None,
+        help=(
+            "floor-plan template (room-grid, corridor-spine, open-plan; "
+            "default room-grid; conflicts with --spec)"
+        ),
+    )
+    generate.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a BuildingSpec field (repeatable), e.g. --set floors=5",
+    )
+    generate.add_argument(
+        "--spec",
+        help="read the full spec from this JSON file instead ('-' = stdin)",
+    )
+    generate.add_argument("--out", help="write the canonical spec JSON here")
     return parser
 
 
@@ -289,6 +344,155 @@ def _cmd_rem(args) -> int:
     return 0
 
 
+def _load_spec(args):
+    """Resolve the BuildingSpec a ``scenarios generate`` call describes.
+
+    ``--set`` overrides compose onto a ``--spec`` file; ``--template``
+    conflicts with one (the template is part of the loaded spec).
+    """
+    from .radio import BuildingSpec
+
+    overrides = {}
+    for item in args.overrides:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects FIELD=VALUE, got {item!r}")
+        overrides[key] = value
+    if args.spec:
+        if args.template is not None:
+            raise SystemExit("--template conflicts with --spec")
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else open(args.spec, encoding="utf-8").read()
+        )
+        params = json.loads(text)
+        params.update(overrides)
+        return BuildingSpec.from_dict(params)
+    params = {"template": args.template or "room-grid", **overrides}
+    params.setdefault("seed", args.seed)
+    return BuildingSpec.from_dict(params)
+
+
+def _scenario_record(scenario, name: str) -> dict:
+    """JSON-safe description shared by ``list --json`` and ``describe``."""
+    environment = scenario.environment
+    record = {
+        "name": name,
+        "environment": environment.name,
+        "n_walls": len(environment.walls),
+        "n_aps": len(environment.access_points),
+        "n_ssids": len({ap.ssid for ap in environment.access_points}),
+        "flight_volume": [
+            list(scenario.flight_volume.min_corner),
+            list(scenario.flight_volume.max_corner),
+        ],
+        "building": [
+            list(scenario.building.min_corner),
+            list(scenario.building.max_corner),
+        ],
+    }
+    metadata = getattr(scenario, "metadata", None)
+    if metadata:
+        record["generated"] = metadata
+    return record
+
+
+def _cmd_scenarios(args) -> int:
+    from .radio import (
+        AP_POLICIES,
+        GENERATED_PRESETS,
+        PALETTES,
+        TEMPLATES,
+        available_scenarios,
+        build_scenario,
+        generate_building,
+    )
+
+    if args.scenarios_command == "list":
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "registered": list(available_scenarios()),
+                        "generated_presets": dict(GENERATED_PRESETS),
+                        "templates": list(TEMPLATES),
+                        "palettes": sorted(PALETTES),
+                        "ap_policies": list(AP_POLICIES),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print("registered scenarios:")
+        for name in available_scenarios():
+            suffix = (
+                f"  -> {GENERATED_PRESETS[name]}"
+                if name in GENERATED_PRESETS
+                else ""
+            )
+            print(f"  {name}{suffix}")
+        print("generated templates (use generated:<template>?field=value&...):")
+        for template in TEMPLATES:
+            print(f"  {template}")
+        print(f"palettes   : {', '.join(sorted(PALETTES))}")
+        print(f"AP policies: {', '.join(AP_POLICIES)}")
+        return 0
+
+    if args.scenarios_command == "describe":
+        target = args.target
+        if target == "-" or target.endswith(".json"):
+            spec_args = argparse.Namespace(
+                spec=target, template=None, overrides=[], seed=args.seed
+            )
+            spec = _load_spec(spec_args)
+            scenario = generate_building(spec)
+            target = spec.to_name()
+        else:
+            scenario = build_scenario(target, seed=args.seed)
+        record = _scenario_record(scenario, target)
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        print(f"scenario      : {record['name']}")
+        print(f"environment   : {record['environment']}")
+        print(f"walls         : {record['n_walls']}")
+        print(f"APs / SSIDs   : {record['n_aps']} / {record['n_ssids']}")
+        fv_lo, fv_hi = record["flight_volume"]
+        size = [hi - lo for lo, hi in zip(fv_lo, fv_hi)]
+        print(
+            "flight volume : "
+            f"{size[0]:.2f} x {size[1]:.2f} x {size[2]:.2f} m"
+        )
+        generated = record.get("generated")
+        if generated:
+            print(
+                f"generated     : {generated['template']} / "
+                f"{generated['palette']} / {generated['ap_policy']}, "
+                f"{generated['floors']} floor(s), "
+                f"rooms/floor {generated['rooms_per_floor']}"
+            )
+        return 0
+
+    # generate: spec in (flags or JSON) -> canonical spec JSON out.
+    spec = _load_spec(args)
+    scenario = generate_building(spec)
+    metadata = scenario.metadata
+    print(
+        f"built {metadata['name']}: {metadata['n_walls']} walls, "
+        f"{metadata['n_aps']} APs, {metadata['floors']} floor(s)",
+        file=sys.stderr,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json() + "\n")
+        print(f"spec written to {args.out}", file=sys.stderr)
+    else:
+        print(spec.to_json())
+    return 0
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "figures": _cmd_figures,
@@ -296,6 +500,7 @@ _COMMANDS = {
     "localization": _cmd_localization,
     "density": _cmd_density,
     "rem": _cmd_rem,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -9,6 +9,17 @@ and the control-link self-interference model behind Fig. 5.
 from .accesspoint import AccessPoint, format_mac, generate_population
 from .diagnostics import ScenarioDiagnostics, diagnose_scenario
 from .environment import IndoorEnvironment, LinkBudget
+from .generator import (
+    AP_POLICIES,
+    GENERATED_PRESETS,
+    PALETTES,
+    TEMPLATES,
+    BuildingSpec,
+    GeneratedScenario,
+    MaterialPalette,
+    build_generated_scenario,
+    generate_building,
+)
 from .geometry import Cuboid, Wall, WallSet, crossed_walls, segment_plane_intersection
 from .interference import (
     CrazyradioInterference,
@@ -70,6 +81,15 @@ __all__ = [
     "AccessPoint",
     "format_mac",
     "generate_population",
+    "AP_POLICIES",
+    "GENERATED_PRESETS",
+    "PALETTES",
+    "TEMPLATES",
+    "BuildingSpec",
+    "GeneratedScenario",
+    "MaterialPalette",
+    "build_generated_scenario",
+    "generate_building",
     "ScenarioDiagnostics",
     "diagnose_scenario",
     "IndoorEnvironment",

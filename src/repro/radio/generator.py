@@ -1,0 +1,1140 @@
+"""Procedural building generation: registry-compatible scenarios at scale.
+
+The hand-built scenarios (condo / office / warehouse) pin down three
+points of the environment space; this module turns that point set into
+a *family*.  :func:`generate_building` takes a :class:`BuildingSpec` —
+a small, JSON-serializable parameter record — and emits a fully built
+:class:`GeneratedScenario` carrying the exact same contract as every
+registry builder (an :class:`~.environment.IndoorEnvironment`, the
+flight volume / room / building reference cuboids, anchor corners and
+seeded :class:`~repro.sim.rng.RandomStreams`), so campaigns, active
+sampling, the REM toolchain and the benchmarks run on generated
+buildings unchanged.
+
+What a spec controls:
+
+* **floor-plan template** — ``room-grid`` (rectangular room lattice
+  with door gaps), ``corridor-spine`` (central corridor, rooms off both
+  sides) or ``open-plan`` (one hall, a service core and a few glass
+  partitions);
+* **vertical stacking** — any number of floors separated by
+  reinforced-concrete slabs, with a stairwell opening cut through every
+  interior slab;
+* **material palette** — ``residential`` / ``commercial`` /
+  ``industrial`` map the structural roles (shell, partition, slab,
+  clutter) onto :mod:`~.materials` and pick a matching link budget;
+* **AP placement policy** — ``per-room`` (seeded Bernoulli per room,
+  ceiling-mounted), ``ceiling-grid`` (regular lattice per floor) or
+  ``perimeter`` (ring along the shell);
+* **clutter and no-fly cuboids** — seeded obstacles that attenuate
+  (clutter becomes thin walls) or constrain planning (no-fly boxes are
+  exported through ``metadata["no_fly"]`` for
+  :class:`~repro.station.active.ActiveSamplingConfig`).
+
+Reproducibility is the load-bearing property: the same spec (seed
+included) rebuilds the identical building — wall for wall, AP for AP,
+RSS field for RSS field — which is what lets a scenario *name* like
+``generated:room-grid?floors=3&seed=7`` serve as a complete experiment
+identifier (see :func:`generated_builder` and the registry hook in
+:mod:`~.scenarios`).
+
+The output uses the repo-wide frame convention: the flight volume's
+min corner sits at the origin, with the rest of the building translated
+around it (start positions, anchor layouts and missions all assume it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, urlencode
+
+import numpy as np
+
+from ..sim.rng import RandomStreams, stable_hash
+from .accesspoint import AccessPoint, _make_ssid, _sample_channel, format_mac
+from .environment import IndoorEnvironment, LinkBudget
+from .geometry import Cuboid, Wall
+from .materials import (
+    BRICK,
+    CONCRETE,
+    DRYWALL,
+    GLASS,
+    REINFORCED_CONCRETE,
+    WOOD,
+    Material,
+)
+from .scenarios import (
+    GENERATED_SCENARIO_PREFIX,
+    DemoScenario,
+    DemoScenarioConfig,
+    register_scenario,
+)
+
+__all__ = [
+    "BuildingSpec",
+    "GeneratedScenario",
+    "MaterialPalette",
+    "PALETTES",
+    "TEMPLATES",
+    "AP_POLICIES",
+    "GENERATED_PREFIX",
+    "GENERATED_PRESETS",
+    "generate_building",
+    "build_generated_scenario",
+    "generated_builder",
+]
+
+#: Scenario-name prefix that routes registry lookups to this module
+#: (defined in :mod:`~.scenarios`, which owns the routing).
+GENERATED_PREFIX = GENERATED_SCENARIO_PREFIX
+
+#: Floor-plan templates a spec may select.
+TEMPLATES: Tuple[str, ...] = ("room-grid", "corridor-spine", "open-plan")
+
+#: AP placement policies a spec may select.
+AP_POLICIES: Tuple[str, ...] = ("per-room", "ceiling-grid", "perimeter")
+
+#: Clearance between a scan room's walls and the flight volume (m).
+_VOLUME_MARGIN_M = 0.45
+#: Clearance kept below the ceiling slab (m).
+_CEILING_CLEARANCE_M = 0.45
+#: Hover height of the lowest scan layer above the floor slab (m).
+_FLOOR_CLEARANCE_M = 0.15
+#: Cap on the flight volume's horizontal extent (m): campaign legs
+#: assume short hops, so huge open halls scan a central sub-volume.
+_MAX_SCAN_EXTENT_M = 8.0
+#: Stairwell opening cut through every interior slab (m).
+_STAIRWELL_SIZE_M = (1.2, 2.6)
+
+
+@dataclass(frozen=True)
+class MaterialPalette:
+    """Structural-role → material mapping plus the matching link budget.
+
+    Parameters
+    ----------
+    name:
+        Palette identifier (the ``BuildingSpec.palette`` value).
+    shell:
+        Envelope walls around the footprint.
+    partition:
+        Interior room dividers.
+    corridor:
+        Corridor walls (``corridor-spine`` only).
+    slab:
+        Floor/roof slabs.
+    clutter:
+        Thin walls of generated clutter boxes.
+    budget:
+        Link-budget calibration for buildings of this construction.
+    """
+
+    name: str
+    shell: Material
+    partition: Material
+    corridor: Material
+    slab: Material
+    clutter: Material
+    budget: LinkBudget
+
+
+#: Built-in construction palettes, keyed by ``BuildingSpec.palette``.
+PALETTES: Dict[str, MaterialPalette] = {
+    palette.name: palette
+    for palette in (
+        MaterialPalette(
+            name="residential",
+            shell=BRICK.scaled(0.25),
+            partition=DRYWALL,
+            corridor=BRICK.scaled(0.15),
+            slab=REINFORCED_CONCRETE,
+            clutter=WOOD.scaled(0.04),
+            budget=LinkBudget(path_loss_exponent=3.5, shadowing_sigma_db=2.0),
+        ),
+        MaterialPalette(
+            name="commercial",
+            shell=CONCRETE.scaled(0.25),
+            partition=GLASS.scaled(0.012),
+            corridor=DRYWALL,
+            slab=REINFORCED_CONCRETE,
+            clutter=WOOD.scaled(0.03),
+            budget=LinkBudget(path_loss_exponent=3.0, shadowing_sigma_db=2.5),
+        ),
+        MaterialPalette(
+            name="industrial",
+            shell=CONCRETE.scaled(0.3),
+            partition=CONCRETE.scaled(0.2),
+            corridor=CONCRETE.scaled(0.2),
+            slab=REINFORCED_CONCRETE,
+            clutter=CONCRETE.scaled(0.1),
+            budget=LinkBudget(
+                path_loss_exponent=2.4,
+                shadowing_sigma_db=3.0,
+                fading_sigma_db=5.0,
+            ),
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """Complete, JSON-serializable description of one generated building.
+
+    Every field has a default, so a spec is also addressable as a query
+    string on a scenario name (``generated:<template>?field=value&...``,
+    see :meth:`from_name`); unspecified fields take the defaults below.
+    The ``seed`` drives *all* randomness — two calls with an equal spec
+    rebuild the identical building.
+    """
+
+    #: Floor-plan template (one of :data:`TEMPLATES`).
+    template: str = "room-grid"
+    #: Master seed for layout, AP placement and the RF substrate.
+    seed: int = 63
+    #: Number of storeys.
+    floors: int = 1
+    #: Footprint extent along x (m).
+    width_m: float = 18.0
+    #: Footprint extent along y (m).
+    depth_m: float = 12.0
+    #: Storey height, slab to slab (m).
+    floor_height_m: float = 2.8
+    #: Target room pitch for the room lattice / corridor cells (m).
+    room_m: float = 4.5
+    #: Corridor width for ``corridor-spine`` (m).
+    corridor_m: float = 2.0
+    #: Door-gap width cut into partition walls (m); 0 disables doors.
+    door_m: float = 0.9
+    #: Construction palette (one of :data:`PALETTES`).
+    palette: str = "residential"
+    #: AP placement policy (one of :data:`AP_POLICIES`).
+    ap_policy: str = "per-room"
+    #: AP lattice pitch for ``ceiling-grid`` / ``perimeter`` (m).
+    ap_spacing_m: float = 6.0
+    #: Probability a room hosts an AP under ``per-room``.
+    ap_room_probability: float = 0.7
+    #: Distinct SSIDs shared across the AP population.
+    n_ssids: int = 8
+    #: TX-power range of the population (dBm, uniform).
+    ap_power_dbm: Tuple[float, float] = (14.0, 20.0)
+    #: Seeded clutter boxes per floor (each becomes four thin walls).
+    clutter_per_floor: int = 0
+    #: Seeded no-fly cuboids cut out of the flight volume (metadata
+    #: only — consumers pass them to the active-sampling planner).
+    no_fly_zones: int = 0
+    #: Storey whose largest room hosts the scan campaign.
+    scan_floor: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate every knob against the supported envelope."""
+        if self.template not in TEMPLATES:
+            raise ValueError(
+                f"unknown template {self.template!r}; choose from {TEMPLATES}"
+            )
+        if self.palette not in PALETTES:
+            raise ValueError(
+                f"unknown palette {self.palette!r}; "
+                f"choose from {tuple(sorted(PALETTES))}"
+            )
+        if self.ap_policy not in AP_POLICIES:
+            raise ValueError(
+                f"unknown ap_policy {self.ap_policy!r}; choose from {AP_POLICIES}"
+            )
+        if self.floors < 1:
+            raise ValueError("floors must be >= 1")
+        if not 0 <= self.scan_floor < self.floors:
+            raise ValueError(
+                f"scan_floor {self.scan_floor} outside 0..{self.floors - 1}"
+            )
+        if self.width_m < 6.0 or self.depth_m < 6.0:
+            raise ValueError("footprint must be at least 6 m x 6 m")
+        if self.floor_height_m < 2.2:
+            raise ValueError("floor_height_m must be >= 2.2")
+        if self.room_m < 2.4:
+            raise ValueError("room_m must be >= 2.4")
+        if self.corridor_m < 1.2:
+            raise ValueError("corridor_m must be >= 1.2")
+        if self.door_m < 0.0:
+            raise ValueError("door_m must be >= 0")
+        if not 0.0 <= self.ap_room_probability <= 1.0:
+            raise ValueError("ap_room_probability must be in [0, 1]")
+        if self.ap_spacing_m <= 0.0:
+            raise ValueError("ap_spacing_m must be positive")
+        if self.n_ssids < 1:
+            raise ValueError("n_ssids must be >= 1")
+        if self.ap_power_dbm[0] > self.ap_power_dbm[1]:
+            raise ValueError("ap_power_dbm must be (low, high)")
+        if self.clutter_per_floor < 0 or self.no_fly_zones < 0:
+            raise ValueError("clutter/no-fly counts must be >= 0")
+        if (
+            self.template == "corridor-spine"
+            and self.depth_m < self.corridor_m + 4.0
+        ):
+            raise ValueError(
+                "corridor-spine needs depth_m >= corridor_m + 4 m of rooms"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict (JSON-compatible) form of the spec."""
+        record = asdict(self)
+        record["ap_power_dbm"] = list(self.ap_power_dbm)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "BuildingSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys raise)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(record) - known
+        if unknown:
+            raise ValueError(
+                f"unknown BuildingSpec fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        coerced = {key: _coerce_field(key, value) for key, value in record.items()}
+        return cls(**coerced)
+
+    def to_json(self) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BuildingSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # scenario-name form
+    # ------------------------------------------------------------------
+    def to_name(self) -> str:
+        """The registry name reproducing this spec.
+
+        Only fields that differ from the defaults appear in the query
+        string, so names stay short: ``generated:corridor-spine`` or
+        ``generated:room-grid?floors=3&seed=7``.
+        """
+        defaults = BuildingSpec(template=self.template)
+        overrides = []
+        for spec_field in fields(self):
+            if spec_field.name == "template":
+                continue
+            value = getattr(self, spec_field.name)
+            if value != getattr(defaults, spec_field.name):
+                if isinstance(value, tuple):
+                    value = ",".join(_format_number(v) for v in value)
+                elif isinstance(value, float):
+                    value = _format_number(value)
+                overrides.append((spec_field.name, value))
+        query = urlencode(sorted(overrides))
+        suffix = f"?{query}" if query else ""
+        return f"{GENERATED_PREFIX}{self.template}{suffix}"
+
+    @classmethod
+    def from_name(cls, name: str) -> "BuildingSpec":
+        """Parse a ``generated:<template>?field=value&...`` name."""
+        return cls.from_dict(parse_generated_name(name))
+
+
+def _format_number(value: float) -> str:
+    """Render a float exactly (``repr`` round-trips; names must rebuild
+    the identical spec, so lossy compact formats are off the table)."""
+    return repr(value)
+
+
+def _coerce_field(name: str, value: object):
+    """Coerce a JSON/query value onto a :class:`BuildingSpec` field type."""
+    if name in ("template", "palette", "ap_policy"):
+        return str(value)
+    if name in (
+        "seed",
+        "floors",
+        "n_ssids",
+        "clutter_per_floor",
+        "no_fly_zones",
+        "scan_floor",
+    ):
+        return int(value)
+    if name == "ap_power_dbm":
+        if isinstance(value, str):
+            value = value.split(",")
+        low, high = value
+        return (float(low), float(high))
+    return float(value)
+
+
+def parse_generated_name(name: str) -> Dict[str, object]:
+    """Split a ``generated:`` scenario name into raw spec fields.
+
+    Returns the template plus every query override, un-coerced (values
+    come back as strings exactly as written in the name); feed the
+    result to :meth:`BuildingSpec.from_dict`.
+    """
+    if not name.startswith(GENERATED_PREFIX):
+        raise ValueError(f"not a generated scenario name: {name!r}")
+    body = name[len(GENERATED_PREFIX) :]
+    template, _, query = body.partition("?")
+    if template not in TEMPLATES:
+        raise KeyError(
+            f"unknown generated template {template!r}; "
+            f"available: {TEMPLATES}"
+        )
+    params: Dict[str, object] = {"template": template}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key == "template":
+            raise ValueError("template belongs in the name, not the query")
+        if key in params:
+            raise ValueError(f"duplicate query field {key!r} in {name!r}")
+        params[key] = value
+    return params
+
+
+@dataclass
+class GeneratedScenario(DemoScenario):
+    """A procedurally generated building plus its provenance.
+
+    Extends the :class:`~.scenarios.DemoScenario` contract (so every
+    consumer of the registry works unchanged) with the generating
+    :class:`BuildingSpec` and a JSON-safe ``metadata`` record of what
+    was built (wall/AP/room counts, stairwell and clutter geometry,
+    no-fly cuboids, the canonical registry name).
+    """
+
+    spec: BuildingSpec = field(default_factory=BuildingSpec)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def no_fly(self) -> Tuple[Cuboid, ...]:
+        """Generated no-fly cuboids, ready for the active planner."""
+        return tuple(
+            Cuboid(tuple(zone[0]), tuple(zone[1]))
+            for zone in self.metadata.get("no_fly", ())
+        )
+
+
+# ----------------------------------------------------------------------
+# floor-plan construction (building frame: footprint min corner at 0,0,0)
+# ----------------------------------------------------------------------
+def _wall_with_door(
+    axis: int,
+    offset: float,
+    u_span: Tuple[float, float],
+    z_span: Tuple[float, float],
+    material: Material,
+    rng: np.random.Generator,
+    door_m: float,
+    name: str,
+) -> List[Wall]:
+    """One partition segment, split around a seeded door gap.
+
+    The gap is omitted (solid wall) when the segment is too short to
+    keep 0.25 m of wall on both sides of the door.
+    """
+    u0, u1 = u_span
+    if u1 - u0 <= 1e-9:
+        return []
+    length = u1 - u0
+    if door_m <= 0.0 or length < door_m + 0.5:
+        return [Wall(axis, offset, (u_span, z_span), material, name=name)]
+    center = float(rng.uniform(u0 + 0.25 + door_m / 2, u1 - 0.25 - door_m / 2))
+    return [
+        Wall(
+            axis,
+            offset,
+            ((u0, center - door_m / 2), z_span),
+            material,
+            name=f"{name}/a",
+        ),
+        Wall(
+            axis,
+            offset,
+            ((center + door_m / 2, u1), z_span),
+            material,
+            name=f"{name}/b",
+        ),
+    ]
+
+
+def _cells(extent: float, pitch: float) -> np.ndarray:
+    """Cell boundaries splitting ``extent`` into ~``pitch``-sized cells."""
+    n = max(1, int(round(extent / pitch)))
+    return np.linspace(0.0, extent, n + 1)
+
+
+def _plan_room_grid(
+    spec: BuildingSpec,
+    palette: MaterialPalette,
+    rng: np.random.Generator,
+    z0: float,
+    z1: float,
+    level: int,
+) -> Tuple[List[Wall], List[Cuboid], List[Cuboid]]:
+    """Rectangular room lattice with door gaps in every partition.
+
+    Returns ``(walls, rooms, scan_candidates)`` like every planner;
+    here every room is a scan candidate.
+    """
+    xs = _cells(spec.width_m, spec.room_m)
+    ys = _cells(spec.depth_m, spec.room_m)
+    walls: List[Wall] = []
+    z_span = (z0, z1)
+    for i, x in enumerate(xs[1:-1], start=1):
+        for j in range(len(ys) - 1):
+            walls.extend(
+                _wall_with_door(
+                    0,
+                    float(x),
+                    (float(ys[j]), float(ys[j + 1])),
+                    z_span,
+                    palette.partition,
+                    rng,
+                    spec.door_m,
+                    name=f"f{level}/part_x{i}y{j}",
+                )
+            )
+    for j, y in enumerate(ys[1:-1], start=1):
+        for i in range(len(xs) - 1):
+            walls.extend(
+                _wall_with_door(
+                    1,
+                    float(y),
+                    (float(xs[i]), float(xs[i + 1])),
+                    z_span,
+                    palette.partition,
+                    rng,
+                    spec.door_m,
+                    name=f"f{level}/part_y{j}x{i}",
+                )
+            )
+    rooms = [
+        Cuboid(
+            (float(xs[i]), float(ys[j]), z0),
+            (float(xs[i + 1]), float(ys[j + 1]), z1),
+        )
+        for i in range(len(xs) - 1)
+        for j in range(len(ys) - 1)
+    ]
+    return walls, rooms, rooms
+
+
+def _plan_corridor_spine(
+    spec: BuildingSpec,
+    palette: MaterialPalette,
+    rng: np.random.Generator,
+    z0: float,
+    z1: float,
+    level: int,
+) -> Tuple[List[Wall], List[Cuboid], List[Cuboid]]:
+    """Central corridor along x with rooms off both sides.
+
+    The corridor counts as a room (APs may live there, clutter may
+    not block it) but never as a scan candidate — campaigns fly in
+    proper rooms.  The depth/corridor envelope is validated by
+    :meth:`BuildingSpec.__post_init__`.
+    """
+    yc0 = spec.depth_m / 2 - spec.corridor_m / 2
+    yc1 = spec.depth_m / 2 + spec.corridor_m / 2
+    xs = _cells(spec.width_m, spec.room_m)
+    walls: List[Wall] = []
+    z_span = (z0, z1)
+    # Corridor walls: one segment per room cell, each with a door.
+    for side, yc in (("s", yc0), ("n", yc1)):
+        for i in range(len(xs) - 1):
+            walls.extend(
+                _wall_with_door(
+                    1,
+                    float(yc),
+                    (float(xs[i]), float(xs[i + 1])),
+                    z_span,
+                    palette.corridor,
+                    rng,
+                    spec.door_m,
+                    name=f"f{level}/corr_{side}{i}",
+                )
+            )
+    # Room dividers perpendicular to the corridor (solid).
+    for i, x in enumerate(xs[1:-1], start=1):
+        walls.append(
+            Wall(
+                0,
+                float(x),
+                ((0.0, yc0), z_span),
+                palette.partition,
+                name=f"f{level}/div_s{i}",
+            )
+        )
+        walls.append(
+            Wall(
+                0,
+                float(x),
+                ((yc1, spec.depth_m), z_span),
+                palette.partition,
+                name=f"f{level}/div_n{i}",
+            )
+        )
+    rooms = [
+        Cuboid((float(xs[i]), 0.0, z0), (float(xs[i + 1]), yc0, z1))
+        for i in range(len(xs) - 1)
+    ]
+    rooms += [
+        Cuboid((float(xs[i]), yc1, z0), (float(xs[i + 1]), spec.depth_m, z1))
+        for i in range(len(xs) - 1)
+    ]
+    candidates = list(rooms)
+    rooms.append(Cuboid((0.0, yc0, z0), (spec.width_m, yc1, z1)))
+    return walls, rooms, candidates
+
+
+def _plan_open_plan(
+    spec: BuildingSpec,
+    palette: MaterialPalette,
+    rng: np.random.Generator,
+    z0: float,
+    z1: float,
+    level: int,
+) -> Tuple[List[Wall], List[Cuboid], List[Cuboid]]:
+    """One open hall with a service core and a few glass partitions.
+
+    The hall is the only scan candidate; the core hosts APs/clutter.
+    """
+    walls: List[Wall] = []
+    z_span = (z0, z1)
+    # Service core: a box against the -x / -y corner region.
+    core_w = min(3.0, spec.width_m / 4)
+    core_d = min(3.5, spec.depth_m / 3)
+    cx0 = float(rng.uniform(0.5, max(0.6, spec.width_m / 4)))
+    cy0 = 0.5
+    core = Cuboid((cx0, cy0, z0), (cx0 + core_w, cy0 + core_d, z1))
+    walls.extend(
+        _wall_with_door(
+            0,
+            cx0,
+            (cy0, cy0 + core_d),
+            z_span,
+            palette.partition,
+            rng,
+            spec.door_m,
+            name=f"f{level}/core_w",
+        )
+    )
+    walls.append(
+        Wall(
+            0,
+            cx0 + core_w,
+            ((cy0, cy0 + core_d), z_span),
+            palette.partition,
+            name=f"f{level}/core_e",
+        )
+    )
+    walls.append(
+        Wall(
+            1,
+            cy0 + core_d,
+            ((cx0, cx0 + core_w), z_span),
+            palette.partition,
+            name=f"f{level}/core_n",
+        )
+    )
+    # A couple of partial glass partitions across the hall.
+    glass = GLASS.scaled(0.012)
+    for k in range(2):
+        x = float(
+            rng.uniform(spec.width_m * (0.45 + 0.2 * k), spec.width_m * 0.9)
+        )
+        y_lo = float(rng.uniform(0.0, spec.depth_m * 0.4))
+        walls.append(
+            Wall(
+                0,
+                x,
+                ((y_lo, min(y_lo + spec.depth_m * 0.5, spec.depth_m)), z_span),
+                glass,
+                name=f"f{level}/screen{k}",
+            )
+        )
+    # The hall (minus nothing — the core overlaps it harmlessly) is the
+    # single room of the floor.
+    hall = Cuboid((0.0, 0.0, z0), (spec.width_m, spec.depth_m, z1))
+    return walls, [hall, core], [hall]
+
+
+_TEMPLATE_PLANNERS = {
+    "room-grid": _plan_room_grid,
+    "corridor-spine": _plan_corridor_spine,
+    "open-plan": _plan_open_plan,
+}
+
+
+def _slab_with_opening(
+    z: float,
+    footprint: Tuple[float, float],
+    hole: Optional[Cuboid],
+    material: Material,
+    name: str,
+) -> List[Wall]:
+    """A floor slab, split into up to four rectangles around ``hole``."""
+    width, depth = footprint
+    if hole is None:
+        return [Wall(2, z, ((0.0, width), (0.0, depth)), material, name=name)]
+    hx0, hy0, _ = hole.min_corner
+    hx1, hy1, _ = hole.max_corner
+    pieces = [
+        ((0.0, hx0), (0.0, depth), "w"),
+        ((hx1, width), (0.0, depth), "e"),
+        ((hx0, hx1), (0.0, hy0), "s"),
+        ((hx0, hx1), (hy1, depth), "n"),
+    ]
+    walls = []
+    for (x0, x1), (y0, y1), tag in pieces:
+        if x1 - x0 > 1e-9 and y1 - y0 > 1e-9:
+            walls.append(
+                Wall(
+                    2,
+                    z,
+                    ((x0, x1), (y0, y1)),
+                    material,
+                    name=f"{name}/{tag}",
+                )
+            )
+    return walls
+
+
+def _place_stairwell(
+    spec: BuildingSpec, rng: np.random.Generator
+) -> Optional[Cuboid]:
+    """Seeded stairwell footprint (None for single-storey buildings)."""
+    if spec.floors < 2:
+        return None
+    sw, sd = _STAIRWELL_SIZE_M
+    x0 = float(rng.uniform(0.4, max(0.5, spec.width_m - sw - 0.4)))
+    y0 = float(rng.uniform(0.4, max(0.5, spec.depth_m - sd - 0.4)))
+    height = spec.floors * spec.floor_height_m
+    return Cuboid((x0, y0, 0.0), (x0 + sw, y0 + sd, height))
+
+
+# ----------------------------------------------------------------------
+# AP placement policies (building frame)
+# ----------------------------------------------------------------------
+def _ceiling_z(level: int, spec: BuildingSpec) -> float:
+    """Mounting height just below the ceiling slab of ``level``."""
+    return (level + 1) * spec.floor_height_m - 0.25
+
+
+def _ap_positions_per_room(
+    spec: BuildingSpec,
+    rooms_by_floor: List[List[Cuboid]],
+    rng: np.random.Generator,
+) -> List[Tuple[float, float, float]]:
+    """Seeded Bernoulli per room: most rooms host one ceiling AP."""
+    positions = []
+    for level, rooms in enumerate(rooms_by_floor):
+        for room in rooms:
+            if rng.random() >= spec.ap_room_probability:
+                continue
+            cx, cy, _ = room.center
+            x = float(np.clip(cx + rng.uniform(-0.5, 0.5), 0.3, spec.width_m - 0.3))
+            y = float(np.clip(cy + rng.uniform(-0.5, 0.5), 0.3, spec.depth_m - 0.3))
+            positions.append((x, y, _ceiling_z(level, spec)))
+    return positions
+
+
+def _ap_positions_ceiling_grid(
+    spec: BuildingSpec,
+    rooms_by_floor: List[List[Cuboid]],
+    rng: np.random.Generator,
+) -> List[Tuple[float, float, float]]:
+    """Regular ceiling lattice per floor (corporate deployment)."""
+    nx = max(1, int(round(spec.width_m / spec.ap_spacing_m)))
+    ny = max(1, int(round(spec.depth_m / spec.ap_spacing_m)))
+    positions = []
+    for level in range(spec.floors):
+        z = _ceiling_z(level, spec)
+        for i in range(nx):
+            for j in range(ny):
+                positions.append(
+                    (
+                        (i + 0.5) * spec.width_m / nx,
+                        (j + 0.5) * spec.depth_m / ny,
+                        z,
+                    )
+                )
+    return positions
+
+
+def _ap_positions_perimeter(
+    spec: BuildingSpec,
+    rooms_by_floor: List[List[Cuboid]],
+    rng: np.random.Generator,
+) -> List[Tuple[float, float, float]]:
+    """APs ringing the inside of the shell at ``ap_spacing_m`` intervals."""
+    inset = 0.6
+    x0, x1 = inset, spec.width_m - inset
+    y0, y1 = inset, spec.depth_m - inset
+    # Walk the rectangle perimeter and drop APs every ap_spacing_m.
+    legs = [
+        ((x0, y0), (x1, y0)),
+        ((x1, y0), (x1, y1)),
+        ((x1, y1), (x0, y1)),
+        ((x0, y1), (x0, y0)),
+    ]
+    ring: List[Tuple[float, float]] = []
+    carry = 0.0
+    for (ax, ay), (bx, by) in legs:
+        length = float(np.hypot(bx - ax, by - ay))
+        distance = carry
+        while distance < length:
+            t = distance / length
+            ring.append((ax + t * (bx - ax), ay + t * (by - ay)))
+            distance += spec.ap_spacing_m
+        carry = distance - length
+    positions = []
+    for level in range(spec.floors):
+        z = _ceiling_z(level, spec)
+        positions.extend((x, y, z) for x, y in ring)
+    return positions
+
+
+_AP_PLACERS = {
+    "per-room": _ap_positions_per_room,
+    "ceiling-grid": _ap_positions_ceiling_grid,
+    "perimeter": _ap_positions_perimeter,
+}
+
+
+def _populate_aps(
+    spec: BuildingSpec,
+    rooms_by_floor: List[List[Cuboid]],
+    scan_room: Cuboid,
+    rng: np.random.Generator,
+) -> List[AccessPoint]:
+    """Instantiate the AP population for the selected placement policy."""
+    positions = _AP_PLACERS[spec.ap_policy](spec, rooms_by_floor, rng)
+    if not positions:
+        # A building nobody can scan is useless: guarantee one AP.
+        cx, cy, _ = scan_room.center
+        positions = [(float(cx), float(cy), _ceiling_z(spec.scan_floor, spec))]
+    n_ssids = min(spec.n_ssids, len(positions))
+    ssids = [_make_ssid(rng, i) for i in range(n_ssids)]
+    base_mac = int(rng.integers(2**40)) << 8
+    aps = []
+    for i, position in enumerate(positions):
+        ssid = ssids[i] if i < n_ssids else ssids[int(rng.integers(n_ssids))]
+        aps.append(
+            AccessPoint(
+                mac=format_mac((base_mac + i * 7 + int(rng.integers(7))) % 2**48),
+                ssid=ssid,
+                channel=_sample_channel(rng),
+                position=tuple(float(v) for v in position),
+                tx_power_dbm=float(rng.uniform(*spec.ap_power_dbm)),
+            )
+        )
+    return aps
+
+
+# ----------------------------------------------------------------------
+# clutter / no-fly
+# ----------------------------------------------------------------------
+def _clutter_boxes(
+    spec: BuildingSpec,
+    rooms_by_floor: List[List[Cuboid]],
+    scan_room: Cuboid,
+    rng: np.random.Generator,
+) -> List[Cuboid]:
+    """Seeded clutter cuboids (furniture, racks) placed inside rooms."""
+    boxes = []
+    for rooms in rooms_by_floor:
+        hosts = [room for room in rooms if room != scan_room] or rooms
+        for _ in range(spec.clutter_per_floor):
+            room = hosts[int(rng.integers(len(hosts)))]
+            sx = float(rng.uniform(0.6, 1.5))
+            sy = float(rng.uniform(0.6, 1.5))
+            sz = float(rng.uniform(1.0, 2.0))
+            rx0, ry0, rz0 = room.min_corner
+            rx1, ry1, _ = room.max_corner
+            if rx1 - rx0 < sx + 0.4 or ry1 - ry0 < sy + 0.4:
+                continue
+            x0 = float(rng.uniform(rx0 + 0.2, rx1 - sx - 0.2))
+            y0 = float(rng.uniform(ry0 + 0.2, ry1 - sy - 0.2))
+            boxes.append(Cuboid((x0, y0, rz0), (x0 + sx, y0 + sy, rz0 + sz)))
+    return boxes
+
+
+def _clutter_walls(boxes: Sequence[Cuboid], material: Material) -> List[Wall]:
+    """Four thin side walls per clutter box (top/bottom faces omitted)."""
+    walls = []
+    for index, box in enumerate(boxes):
+        (x0, y0, z0), (x1, y1, z1) = box.min_corner, box.max_corner
+        z_span = (z0, z1)
+        walls += [
+            Wall(0, x0, ((y0, y1), z_span), material, name=f"clutter{index}/w"),
+            Wall(0, x1, ((y0, y1), z_span), material, name=f"clutter{index}/e"),
+            Wall(1, y0, ((x0, x1), z_span), material, name=f"clutter{index}/s"),
+            Wall(1, y1, ((x0, x1), z_span), material, name=f"clutter{index}/n"),
+        ]
+    return walls
+
+
+def _no_fly_boxes(
+    spec: BuildingSpec, volume: Cuboid, rng: np.random.Generator
+) -> List[Cuboid]:
+    """Seeded keep-out cuboids carved out of the flight volume."""
+    boxes = []
+    lo = np.asarray(volume.min_corner)
+    hi = np.asarray(volume.max_corner)
+    span = hi - lo
+    for _ in range(spec.no_fly_zones):
+        size = np.minimum(rng.uniform(0.4, 0.9, size=3), span * 0.4)
+        corner = lo + rng.uniform(0.0, 1.0, size=3) * (span - size)
+        top = corner + size
+        boxes.append(
+            Cuboid(
+                tuple(float(v) for v in corner),
+                tuple(float(v) for v in top),
+            )
+        )
+    return boxes
+
+
+# ----------------------------------------------------------------------
+# assembly
+# ----------------------------------------------------------------------
+def _translate_wall(wall: Wall, shift: np.ndarray) -> Wall:
+    """The same wall expressed in a frame translated by ``shift``."""
+    u_axis, v_axis = wall.in_plane_axes
+    (u0, u1), (v0, v1) = wall.bounds
+    return Wall(
+        wall.axis,
+        wall.offset + float(shift[wall.axis]),
+        (
+            (u0 + float(shift[u_axis]), u1 + float(shift[u_axis])),
+            (v0 + float(shift[v_axis]), v1 + float(shift[v_axis])),
+        ),
+        wall.material,
+        name=wall.name,
+    )
+
+
+def _translate_cuboid(box: Cuboid, shift: np.ndarray) -> Cuboid:
+    """The same cuboid expressed in a frame translated by ``shift``."""
+    return Cuboid(
+        tuple(float(c + s) for c, s in zip(box.min_corner, shift)),
+        tuple(float(c + s) for c, s in zip(box.max_corner, shift)),
+    )
+
+
+def _scan_volume(spec: BuildingSpec, scan_room: Cuboid) -> Cuboid:
+    """The flight volume inset from the scan room's walls and slabs."""
+    (x0, y0, z0), (x1, y1, z1) = scan_room.min_corner, scan_room.max_corner
+    x0, y0 = x0 + _VOLUME_MARGIN_M, y0 + _VOLUME_MARGIN_M
+    x1, y1 = x1 - _VOLUME_MARGIN_M, y1 - _VOLUME_MARGIN_M
+    # Huge halls scan a centered sub-volume: campaign legs assume short
+    # hops between adjacent lattice points.
+    if x1 - x0 > _MAX_SCAN_EXTENT_M:
+        mid = (x0 + x1) / 2
+        x0, x1 = mid - _MAX_SCAN_EXTENT_M / 2, mid + _MAX_SCAN_EXTENT_M / 2
+    if y1 - y0 > _MAX_SCAN_EXTENT_M:
+        mid = (y0 + y1) / 2
+        y0, y1 = mid - _MAX_SCAN_EXTENT_M / 2, mid + _MAX_SCAN_EXTENT_M / 2
+    return Cuboid(
+        (x0, y0, z0 + _FLOOR_CLEARANCE_M),
+        (x1, y1, z1 - _CEILING_CLEARANCE_M),
+    )
+
+
+def generate_building(spec: BuildingSpec) -> GeneratedScenario:
+    """Build the complete scenario described by ``spec``.
+
+    Deterministic in ``spec`` (the seed included): wall lists, the AP
+    population and the frozen shadowing fields all reproduce exactly.
+    The returned scenario uses the repo frame convention — the flight
+    volume's min corner is the origin.
+    """
+    palette = PALETTES[spec.palette]
+    rng = np.random.default_rng(
+        np.random.SeedSequence((spec.seed, stable_hash(spec.template)))
+    )
+    height = spec.floors * spec.floor_height_m
+    footprint = (spec.width_m, spec.depth_m)
+    planner = _TEMPLATE_PLANNERS[spec.template]
+
+    walls: List[Wall] = []
+    rooms_by_floor: List[List[Cuboid]] = []
+    candidates_by_floor: List[List[Cuboid]] = []
+    for level in range(spec.floors):
+        z0 = level * spec.floor_height_m
+        z1 = z0 + spec.floor_height_m
+        floor_walls, rooms, candidates = planner(spec, palette, rng, z0, z1, level)
+        walls.extend(floor_walls)
+        rooms_by_floor.append(rooms)
+        candidates_by_floor.append(candidates)
+
+    # Envelope: one shell wall per side spanning the full height.
+    z_full = (0.0, height)
+    walls += [
+        Wall(0, 0.0, ((0.0, spec.depth_m), z_full), palette.shell, name="shell_w"),
+        Wall(
+            0,
+            spec.width_m,
+            ((0.0, spec.depth_m), z_full),
+            palette.shell,
+            name="shell_e",
+        ),
+        Wall(1, 0.0, ((0.0, spec.width_m), z_full), palette.shell, name="shell_s"),
+        Wall(
+            1,
+            spec.depth_m,
+            ((0.0, spec.width_m), z_full),
+            palette.shell,
+            name="shell_n",
+        ),
+    ]
+
+    # Slabs: solid at ground and roof, stairwell opening in between.
+    stairwell = _place_stairwell(spec, rng)
+    for level in range(spec.floors + 1):
+        z = level * spec.floor_height_m
+        hole = stairwell if 0 < level < spec.floors else None
+        walls.extend(
+            _slab_with_opening(z, footprint, hole, palette.slab, f"slab_z{z:+.1f}")
+        )
+
+    # Scan room: the roomiest scan candidate of the scan floor — widest
+    # narrow dimension first, then floor area (planners already exclude
+    # non-rooms like the corridor).  Ties resolve to the first candidate
+    # in plan order (deterministic).
+    scan_room = max(
+        candidates_by_floor[spec.scan_floor],
+        key=lambda room: (min(room.size[0], room.size[1]), room.size[0] * room.size[1]),
+    )
+    volume = _scan_volume(spec, scan_room)
+
+    clutter = _clutter_boxes(spec, rooms_by_floor, scan_room, rng)
+    walls.extend(_clutter_walls(clutter, palette.clutter))
+    no_fly = _no_fly_boxes(spec, volume, rng)
+    aps = _populate_aps(spec, rooms_by_floor, scan_room, rng)
+
+    # Translate everything into the repo frame: flight-volume min corner
+    # at the origin (missions, anchor layouts and start positions assume
+    # it).
+    shift = -np.asarray(volume.min_corner, dtype=float)
+    building = Cuboid((0.0, 0.0, 0.0), (spec.width_m, spec.depth_m, height))
+    walls = [_translate_wall(w, shift) for w in walls]
+    volume = _translate_cuboid(volume, shift)
+    scan_room = _translate_cuboid(scan_room, shift)
+    building = _translate_cuboid(building, shift)
+    clutter = [_translate_cuboid(box, shift) for box in clutter]
+    no_fly = [_translate_cuboid(box, shift) for box in no_fly]
+    if stairwell is not None:
+        stairwell = _translate_cuboid(stairwell, shift)
+    aps = [
+        replace(ap, position=tuple(float(v) for v in np.asarray(ap.position) + shift))
+        for ap in aps
+    ]
+
+    environment = IndoorEnvironment(
+        walls=walls,
+        access_points=aps,
+        budget=palette.budget,
+        seed=spec.seed,
+        name=f"generated_{spec.template.replace('-', '_')}",
+    )
+    ap_positions = np.asarray([ap.position for ap in aps], dtype=float)
+    config = DemoScenarioConfig(
+        seed=spec.seed,
+        flight_volume_size=volume.size,
+        building_min=building.min_corner,
+        building_max=building.max_corner,
+        n_aps=len(aps),
+        n_ssids=len({ap.ssid for ap in aps}),
+        ap_center=tuple(float(v) for v in ap_positions.mean(axis=0)),
+        ap_spread=tuple(float(v) for v in ap_positions.std(axis=0)),
+        ap_tx_power_range_dbm=spec.ap_power_dbm,
+        floor_height_m=spec.floor_height_m,
+        ceiling_height_m=spec.floor_height_m,
+        budget=palette.budget,
+    )
+    metadata: Dict[str, object] = {
+        "name": spec.to_name(),
+        "template": spec.template,
+        "palette": spec.palette,
+        "ap_policy": spec.ap_policy,
+        "floors": spec.floors,
+        "n_walls": len(walls),
+        "n_aps": len(aps),
+        "n_ssids": config.n_ssids,
+        "rooms_per_floor": [len(rooms) for rooms in rooms_by_floor],
+        "scan_floor": spec.scan_floor,
+        "scan_room": [list(scan_room.min_corner), list(scan_room.max_corner)],
+        "building": [list(building.min_corner), list(building.max_corner)],
+        "stairwell": (
+            None
+            if stairwell is None
+            else [list(stairwell.min_corner), list(stairwell.max_corner)]
+        ),
+        "clutter": [
+            [list(box.min_corner), list(box.max_corner)] for box in clutter
+        ],
+        "no_fly": [
+            [list(box.min_corner), list(box.max_corner)] for box in no_fly
+        ],
+        "spec": spec.to_dict(),
+    }
+    return GeneratedScenario(
+        config=config,
+        environment=environment,
+        flight_volume=volume,
+        room=scan_room,
+        building=building,
+        anchor_positions=volume.corners(),
+        streams=RandomStreams(seed=spec.seed),
+        spec=spec,
+        metadata=metadata,
+    )
+
+
+def build_generated_scenario(
+    template: str = "room-grid", seed: int = 63, **knobs
+) -> GeneratedScenario:
+    """Convenience builder: spec fields as keyword arguments."""
+    return generate_building(BuildingSpec(template=template, seed=seed, **knobs))
+
+
+def generated_builder(name: str):
+    """A registry-compatible builder for a ``generated:`` scenario name.
+
+    The returned callable has the standard ``(seed=63, **overrides)``
+    builder signature.  A ``seed`` pinned in the name's query string
+    wins over the call-time argument — the name is a complete,
+    reproducible experiment identifier.
+    """
+    params = parse_generated_name(name)
+
+    def builder(seed: int = 63, **overrides) -> GeneratedScenario:
+        """Build the generated scenario encoded in the registry name."""
+        merged = {**params, **overrides}
+        merged.setdefault("seed", seed)
+        return generate_building(BuildingSpec.from_dict(merged))
+
+    builder.__name__ = f"build_{name}"
+    return builder
+
+
+# ----------------------------------------------------------------------
+# ready-made generated presets (importing repro.radio registers them)
+# ----------------------------------------------------------------------
+#: Registry name → generated scenario name of the built-in presets.
+GENERATED_PRESETS: Dict[str, str] = {
+    "office-tower": (
+        "generated:corridor-spine?floors=3&palette=commercial"
+        "&ap_policy=ceiling-grid&width_m=24&depth_m=14&n_ssids=4"
+    ),
+    "residential-block": (
+        "generated:room-grid?floors=2&width_m=16&depth_m=12&clutter_per_floor=1"
+    ),
+}
+
+for _preset_name, _generated_name in GENERATED_PRESETS.items():
+    register_scenario(_preset_name, generated_builder(_generated_name))

@@ -12,6 +12,13 @@ geometry — and is looked up by name through the **scenario registry**
 * ``warehouse`` — a multi-room warehouse: concrete dividers, a high
   ceiling, and a sparse population of high-power APs.
 
+Beyond the registry, ``generated:<template>?field=value&...`` names
+(e.g. ``generated:room-grid?floors=3&seed=7``) resolve to procedurally
+generated buildings — parameterized floor plans, multi-floor stacking,
+material palettes and AP placement policies — see :mod:`~.generator`,
+which also registers ready-made presets (``office-tower``,
+``residential-block``).
+
 The demo scenario reconstructs, synthetically, the environment of the
 paper's validation (§III): a 3.74 m × 3.20 m × 2.10 m flight volume
 inside a living room, embedded in a multi-storey apartment building
@@ -53,6 +60,7 @@ __all__ = [
     "get_scenario",
     "available_scenarios",
     "build_scenario",
+    "GENERATED_SCENARIO_PREFIX",
 ]
 
 #: A scenario builder: (seed, optional config overrides) → built world.
@@ -398,33 +406,62 @@ def build_warehouse_scenario(
 # ----------------------------------------------------------------------
 _SCENARIOS: Dict[str, ScenarioBuilder] = {}
 
+#: Names with this prefix bypass the registry and are parsed as
+#: procedural building specs.  This module owns the constant (the
+#: generator imports it back) because routing happens here and the
+#: generator is only imported lazily when such a name is requested.
+GENERATED_SCENARIO_PREFIX = "generated:"
 
-def register_scenario(name: str, builder: Optional[ScenarioBuilder] = None):
+
+def register_scenario(
+    name: str,
+    builder: Optional[ScenarioBuilder] = None,
+    *,
+    overwrite: bool = False,
+):
     """Register ``builder`` under ``name`` (usable as a decorator).
 
     ``register_scenario("lab")`` decorates a builder function;
     ``register_scenario("lab", build_lab)`` registers directly.
-    Re-registering a name overwrites it (deliberate: tests and
-    downstream deployments override built-ins).
+    Registering a name that is already taken by a *different* builder
+    raises ``ValueError`` unless ``overwrite=True`` — silent shadowing
+    of a built-in (or of another plugin's world) made experiment
+    configs lie about what they ran.  Re-registering the same builder
+    is a no-op, so repeated imports stay safe.
     """
-    if builder is not None:
-        _SCENARIOS[name] = builder
-        return builder
 
-    def decorator(fn: ScenarioBuilder) -> ScenarioBuilder:
+    def _register(fn: ScenarioBuilder) -> ScenarioBuilder:
+        existing = _SCENARIOS.get(name)
+        if existing is not None and existing is not fn and not overwrite:
+            raise ValueError(
+                f"scenario {name!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
         _SCENARIOS[name] = fn
         return fn
 
-    return decorator
+    if builder is not None:
+        return _register(builder)
+    return _register
 
 
 def get_scenario(name: str) -> ScenarioBuilder:
-    """The builder registered under ``name`` (KeyError with choices)."""
+    """The builder for ``name`` (KeyError with choices when unknown).
+
+    Besides registry lookups, ``generated:<template>?field=value&...``
+    names resolve dynamically to procedural builders (see
+    :mod:`~.generator`) — e.g. ``generated:room-grid?floors=3&seed=7``.
+    """
+    if name.startswith(GENERATED_SCENARIO_PREFIX):
+        from .generator import generated_builder
+
+        return generated_builder(name)
     try:
         return _SCENARIOS[name]
     except KeyError:
         raise KeyError(
-            f"unknown scenario {name!r}; available: {available_scenarios()}"
+            f"unknown scenario {name!r}; available: {available_scenarios()} "
+            f"or a {GENERATED_SCENARIO_PREFIX}<template> name"
         ) from None
 
 
@@ -434,7 +471,12 @@ def available_scenarios() -> Tuple[str, ...]:
 
 
 def build_scenario(name: str, seed: int = 63, **kwargs) -> DemoScenario:
-    """Build the named scenario: ``get_scenario(name)(seed=seed, ...)``."""
+    """Build the named scenario: ``get_scenario(name)(seed=seed, ...)``.
+
+    ``generated:`` names carry their spec in the query string; a seed
+    pinned there wins over the ``seed`` argument, so the name alone
+    reproduces the world.
+    """
     return get_scenario(name)(seed=seed, **kwargs)
 
 

@@ -48,6 +48,38 @@ class TestRegistry:
         scenario = build_scenario("condo", seed=7)
         assert scenario.config.seed == 7
 
+    def test_duplicate_registration_raises(self):
+        def build_other(seed=63, config=None):
+            return build_demo_scenario(seed=seed, config=config)
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("condo", build_other)
+        # The original registration is untouched.
+        assert get_scenario("condo") is build_demo_scenario
+
+    def test_duplicate_registration_raises_as_decorator(self):
+        with pytest.raises(ValueError, match="overwrite=True"):
+
+            @register_scenario("condo")
+            def build_other(seed=63, config=None):
+                return build_demo_scenario(seed=seed, config=config)
+
+    def test_same_builder_reregisters_silently(self):
+        # Repeated module imports re-register identical builders; that
+        # must stay a no-op rather than an error.
+        register_scenario("condo", build_demo_scenario)
+        assert get_scenario("condo") is build_demo_scenario
+
+    def test_overwrite_flag_replaces(self):
+        def build_other(seed=63, config=None):
+            return build_demo_scenario(seed=seed, config=config)
+
+        try:
+            register_scenario("condo", build_other, overwrite=True)
+            assert get_scenario("condo") is build_other
+        finally:
+            register_scenario("condo", build_demo_scenario, overwrite=True)
+
 
 class TestOfficeScenario:
     def test_builds_complete_world(self):

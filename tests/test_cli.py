@@ -106,3 +106,153 @@ class TestCommands:
         data = json.loads(output.read_text())
         assert data["resolution_m"] == 0.6
         assert data["fields"]
+
+
+class TestScenariosCommand:
+    def test_parser_accepts_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["scenarios", "list"],
+            ["scenarios", "list", "--json"],
+            ["scenarios", "describe", "condo"],
+            ["scenarios", "generate", "--template", "open-plan"],
+            ["scenarios", "generate", "--set", "floors=3", "--out", "x.json"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.scenarios_command
+
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_list_names_registry_and_templates(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("condo", "office-tower", "room-grid", "corridor-spine"):
+            assert name in out
+
+    def test_list_json(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert "condo" in record["registered"]
+        assert "open-plan" in record["templates"]
+        assert "office-tower" in record["generated_presets"]
+
+    def test_describe_registry_name(self, capsys):
+        assert main(["scenarios", "describe", "warehouse"]) == 0
+        out = capsys.readouterr().out
+        assert "walls" in out
+        assert "flight volume" in out
+
+    def test_describe_generated_name_json(self, capsys):
+        code = main(
+            [
+                "scenarios",
+                "describe",
+                "generated:room-grid?floors=2&seed=5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["generated"]["floors"] == 2
+        assert record["n_walls"] > 0
+
+    def test_generate_emits_canonical_spec(self, capsys):
+        code = main(
+            [
+                "scenarios",
+                "generate",
+                "--template",
+                "corridor-spine",
+                "--set",
+                "floors=4",
+            ]
+        )
+        assert code == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["template"] == "corridor-spine"
+        assert spec["floors"] == 4
+
+    def test_generate_spec_file_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "spec.json"
+        assert (
+            main(
+                [
+                    "--seed",
+                    "9",
+                    "scenarios",
+                    "generate",
+                    "--set",
+                    "floors=2",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        spec = json.loads(out_path.read_text())
+        assert spec["seed"] == 9  # global --seed feeds the spec
+        capsys.readouterr()
+        assert main(["scenarios", "describe", str(out_path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["generated"]["spec"]["floors"] == 2
+
+    def test_generate_bad_set_syntax_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "generate", "--set", "floors"])
+
+    def test_generate_set_overrides_compose_onto_spec_file(
+        self, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "spec.json"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "generate",
+                    "--set",
+                    "floors=2",
+                    "--out",
+                    str(spec_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["scenarios", "generate", "--spec", str(spec_path), "--set", "floors=5"]
+        )
+        assert code == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["floors"] == 5  # --set wins over the file
+
+    def test_generate_template_conflicts_with_spec_file(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text('{"template": "open-plan"}')
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                [
+                    "scenarios",
+                    "generate",
+                    "--spec",
+                    str(spec_path),
+                    "--template",
+                    "room-grid",
+                ]
+            )
+
+    def test_campaign_runs_in_generated_scenario(self, capsys):
+        code = main(
+            [
+                "--scenario",
+                "generated:room-grid?floors=1&width_m=12&depth_m=9&seed=4",
+                "campaign",
+                "--active",
+                "--budget",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "active sampling" in out

@@ -61,3 +61,12 @@ class TestExamples:
         _run_example("online_mapping")
         out = capsys.readouterr().out
         assert "holdout RMSE" in out
+
+    def test_generated_city(self, capsys):
+        _run_example("generated_city", ["--quick"])
+        out = capsys.readouterr().out
+        assert "generated:room-grid" in out
+        assert "generated:corridor-spine" in out
+        assert "generated:open-plan" in out
+        assert "REM" in out
+        assert "reproduce any of these worlds" in out
