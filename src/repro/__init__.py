@@ -14,6 +14,9 @@ simulation of its hardware context:
 * :mod:`repro.station` — mission planning, control client, campaigns;
 * :mod:`repro.core` — the REM toolchain: preprocessing, predictors,
   REM product, end-to-end pipeline;
+* :mod:`repro.serve` — the job/artifact/serving API: JSON job specs,
+  the content-addressed artifact store, the REM query service and its
+  HTTP front end;
 * :mod:`repro.analysis` — figure-by-figure reproduction of the
   evaluation.
 
@@ -41,6 +44,14 @@ from .radio import (
     build_scenario,
     register_scenario,
 )
+from .serve import (
+    ArtifactStore,
+    RemArtifact,
+    RemJobSpec,
+    RemService,
+    create_server,
+    run_job,
+)
 from .station import (
     CampaignConfig,
     CampaignResult,
@@ -49,7 +60,7 @@ from .station import (
     run_endurance_test,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "generate_rem",
@@ -70,5 +81,11 @@ __all__ = [
     "SampleLog",
     "run_campaign",
     "run_endurance_test",
+    "RemJobSpec",
+    "run_job",
+    "RemArtifact",
+    "ArtifactStore",
+    "RemService",
+    "create_server",
     "__version__",
 ]

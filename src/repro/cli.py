@@ -8,9 +8,14 @@ Subcommands map one-to-one onto the reproduction's top-level flows:
 * ``endurance``    — run the §III-A endurance protocol;
 * ``localization`` — the §II-B anchor/mode accuracy table;
 * ``density``      — the future-work REM density curve;
-* ``rem``          — generate a REM and export it as JSON;
+* ``rem``          — generate a REM and export it (JSON or ``.npz``,
+  dispatched on the output suffix);
 * ``scenarios``    — list registered/generated worlds, describe one,
-  or generate a procedural building from a JSON spec (spec in/out).
+  or generate a procedural building from a JSON spec (spec in/out);
+* ``jobs``         — run a JSON job spec through the artifact store
+  (cache-hit aware) or list the stored artifacts;
+* ``serve``        — start the JSON/HTTP REM-serving front end over an
+  artifact store.
 """
 
 from __future__ import annotations
@@ -98,7 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     rem = commands.add_parser("rem", help="generate and export a REM")
     rem.add_argument("--resolution", type=float, default=0.25, help="lattice step (m)")
-    rem.add_argument("--output", default="rem.json", help="JSON output path")
+    rem.add_argument(
+        "--output",
+        "--out",
+        default="rem.json",
+        help=(
+            "output path; a .npz suffix selects the compact binary "
+            "format, anything else gets JSON"
+        ),
+    )
     rem.add_argument(
         "--tune", action="store_true", help="grid-search hyper-parameters (slower)"
     )
@@ -155,6 +168,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the full spec from this JSON file instead ('-' = stdin)",
     )
     generate.add_argument("--out", help="write the canonical spec JSON here")
+
+    jobs = commands.add_parser(
+        "jobs", help="run job specs through the artifact store"
+    )
+    jsub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jrun = jsub.add_parser(
+        "run",
+        help=(
+            "run a REM job (build once, cache forever): spec JSON from "
+            "a file/stdin plus --set overrides, artifact into --store"
+        ),
+    )
+    jrun.add_argument(
+        "spec",
+        nargs="?",
+        help="job-spec JSON path ('-' reads stdin; omit to use defaults)",
+    )
+    jrun.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help=(
+            "override a spec field (repeatable), e.g. --set seed=7 "
+            "--set acquisition=active; values parse as JSON when possible"
+        ),
+    )
+    jrun.add_argument(
+        "--store", default="artifacts", help="artifact store directory"
+    )
+    jrun.add_argument(
+        "--json", action="store_true", help="emit the artifact record as JSON"
+    )
+
+    jlist = jsub.add_parser("list", help="list stored artifacts")
+    jlist.add_argument(
+        "--store", default="artifacts", help="artifact store directory"
+    )
+    jlist.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve stored REMs over JSON/HTTP"
+    )
+    serve.add_argument(
+        "--store", default="artifacts", help="artifact store directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=4,
+        help="loaded-artifact LRU capacity (default 4)",
+    )
     return parser
 
 
@@ -338,9 +411,107 @@ def _cmd_rem(args) -> int:
         f"{summary['samples']:.0f} samples, test RMSE "
         f"{summary['test_rmse_dbm']:.2f} dBm, {summary['rem_macs']:.0f} APs mapped"
     )
-    with open(args.output, "w") as handle:
-        json.dump(result.rem.to_dict(), handle)
+    if args.output.endswith(".npz"):
+        result.rem.save_npz(args.output)
+    else:
+        with open(args.output, "w") as handle:
+            json.dump(result.rem.to_dict(), handle)
     print(f"REM exported to {args.output}")
+    return 0
+
+
+def _load_job_spec(args):
+    """Resolve the ``jobs run`` spec: JSON file/stdin plus --set overrides."""
+    from .serve import RemJobSpec
+
+    params = {}
+    if args.spec:
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else open(args.spec, encoding="utf-8").read()
+        )
+        params = json.loads(text)
+        if not isinstance(params, dict):
+            raise SystemExit("a job spec must be a JSON object")
+    for item in args.overrides:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects FIELD=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return RemJobSpec.from_dict(params)
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import ArtifactStore, run_job
+
+    store = ArtifactStore(args.store)
+    if args.jobs_command == "run":
+        try:
+            spec = _load_job_spec(args)
+        except (ValueError, OSError) as exc:
+            print(f"bad job spec: {exc}", file=sys.stderr)
+            return 2
+        artifact = run_job(spec, store)
+        if args.json:
+            record = artifact.record()
+            record["cache_hit"] = artifact.cache_hit
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        state = "cache hit" if artifact.cache_hit else "built"
+        provenance = artifact.provenance
+        print(f"job {artifact.digest[:12]} ({state})")
+        print(
+            f"  scenario {spec.scenario!r} seed {spec.seed} "
+            f"({spec.acquisition}, {spec.predictor})"
+        )
+        print(
+            f"  {provenance.get('samples', 0)} samples, test RMSE "
+            f"{provenance.get('test_rmse_dbm', float('nan')):.2f} dBm, "
+            f"{provenance.get('n_macs', 0)} APs mapped"
+        )
+        print(f"  artifact stored under {args.store}/")
+        return 0
+    # list
+    records = store.list()
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no artifacts in {args.store}/")
+        return 0
+    for record in records:
+        spec = record.get("spec", {})
+        provenance = record.get("provenance", {})
+        print(
+            f"{record['digest'][:12]}  {spec.get('scenario', '?'):<12} "
+            f"seed {spec.get('seed', '?'):<4} {spec.get('acquisition', '?'):<8} "
+            f"rmse {provenance.get('test_rmse_dbm', float('nan')):.2f} dB  "
+            f"{provenance.get('n_macs', '?')} APs"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ArtifactStore, RemService, create_server
+
+    store = ArtifactStore(args.store)
+    service = RemService(store, capacity=args.capacity)
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(store.digests())} artifact(s) from {args.store}/ "
+        f"on http://{host}:{port} (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -501,6 +672,8 @@ _COMMANDS = {
     "density": _cmd_density,
     "rem": _cmd_rem,
     "scenarios": _cmd_scenarios,
+    "jobs": _cmd_jobs,
+    "serve": _cmd_serve,
 }
 
 

@@ -75,6 +75,13 @@ def generate_rem(
 ) -> ToolchainResult:
     """Run the complete toolchain and return the REM plus diagnostics.
 
+    This is now a thin shim over the :func:`repro.serve.jobs.run_job`
+    facade: whenever the call is fully described by its config (no live
+    scenario or predictor objects, nothing a JSON spec cannot carry),
+    it routes through a :class:`~repro.serve.spec.RemJobSpec` so the
+    two entry points cannot drift apart.  Calls carrying live objects
+    take the direct implementation path (:func:`_run_toolchain`).
+
     Parameters
     ----------
     scenario:
@@ -88,6 +95,23 @@ def generate_rem(
         Pipeline configuration.
     """
     config = config or ToolchainConfig()
+    if scenario is None and predictor is None:
+        # Imported lazily: repro.serve sits above core in the layering.
+        from ..serve.jobs import run_job
+        from ..serve.spec import RemJobSpec
+
+        spec = RemJobSpec.from_toolchain_config(config, with_uncertainty=False)
+        if spec is not None:
+            return run_job(spec).result
+    return _run_toolchain(scenario=scenario, predictor=predictor, config=config)
+
+
+def _run_toolchain(
+    scenario: Optional[DemoScenario],
+    predictor: Optional[Predictor],
+    config: ToolchainConfig,
+) -> ToolchainResult:
+    """The toolchain implementation behind :func:`generate_rem`/``run_job``."""
     if scenario is None:
         scenario = build_scenario(
             config.campaign.scenario, seed=config.campaign.seed

@@ -314,6 +314,56 @@ class RadioEnvironmentMap:
             )
         return rem
 
+    def save_npz(self, path) -> None:
+        """Compact compressed binary serialization (exact float64).
+
+        Unlike :meth:`to_dict` — which inflates every float tensor into
+        Python lists — this writes the stacked field tensor as a
+        compressed ``.npz`` and round-trips bit-exactly.  ``numpy``
+        appends the ``.npz`` suffix when ``path`` lacks one.
+        """
+        np.savez_compressed(path, **_rem_npz_payload(self))
+
+    @classmethod
+    def load_npz(cls, path) -> "RadioEnvironmentMap":
+        """Inverse of :meth:`save_npz`."""
+        with np.load(path) as data:
+            return _rem_from_npz_payload(data)
+
+
+def _rem_npz_payload(
+    rem: "RadioEnvironmentMap", prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """The array dict behind :meth:`RadioEnvironmentMap.save_npz`.
+
+    ``prefix`` namespaces the keys so several maps (e.g. an artifact's
+    RSS and uncertainty layers) can share one archive.
+    """
+    return {
+        f"{prefix}volume_min": np.asarray(rem.grid.volume.min_corner, dtype=float),
+        f"{prefix}volume_max": np.asarray(rem.grid.volume.max_corner, dtype=float),
+        f"{prefix}resolution_m": np.asarray(rem.grid.resolution_m, dtype=float),
+        f"{prefix}vocabulary": np.asarray(rem.mac_vocabulary, dtype=np.str_),
+        f"{prefix}macs": np.asarray(rem.macs, dtype=np.str_),
+        f"{prefix}stack": rem.field_tensor(),
+    }
+
+
+def _rem_from_npz_payload(data, prefix: str = "") -> "RadioEnvironmentMap":
+    """Rebuild a map from a :func:`_rem_npz_payload` archive."""
+    grid = RemGrid(
+        volume=Cuboid(
+            tuple(float(v) for v in data[f"{prefix}volume_min"]),
+            tuple(float(v) for v in data[f"{prefix}volume_max"]),
+        ),
+        resolution_m=float(data[f"{prefix}resolution_m"]),
+    )
+    rem = RadioEnvironmentMap(grid, [str(m) for m in data[f"{prefix}vocabulary"]])
+    macs = [str(m) for m in data[f"{prefix}macs"]]
+    if macs:
+        rem.set_fields(macs, np.asarray(data[f"{prefix}stack"], dtype=float))
+    return rem
+
 
 def build_rem(
     predictor: Predictor,

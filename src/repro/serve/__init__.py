@@ -1,0 +1,57 @@
+"""``repro.serve`` — build once, persist, serve many.
+
+The unified job/artifact API over the whole toolchain:
+
+* :class:`RemJobSpec` (:mod:`~repro.serve.spec`) — one JSON record
+  naming a complete, reproducible REM build; its canonical-JSON
+  SHA-256 is the job digest;
+* :func:`run_job` (:mod:`~repro.serve.jobs`) — the single build
+  facade: spec in, :class:`RemArtifact` out, cache hit when the spec's
+  digest is already stored;
+* :class:`RemArtifact` / :class:`ArtifactStore`
+  (:mod:`~repro.serve.artifact`) — the persisted product (REM +
+  uncertainty tensors as compressed ``.npz``, spec + provenance as a
+  JSON sidecar) under a content-addressed store;
+* :class:`RemService` (:mod:`~repro.serve.service`) — thread-safe LRU
+  serving layer answering typed query/strongest-AP/coverage/dark-region
+  requests as vectorized REM reductions;
+* :func:`create_server` (:mod:`~repro.serve.http`) — the stdlib
+  JSON/HTTP front end (``repro serve`` on the CLI).
+"""
+
+from .artifact import ArtifactStore, RemArtifact
+from .http import RemHttpServer, create_server
+from .jobs import run_job
+from .service import (
+    CoverageRequest,
+    CoverageResponse,
+    DarkRegionsRequest,
+    DarkRegionsResponse,
+    QueryRequest,
+    QueryResponse,
+    RemService,
+    StrongestApRequest,
+    StrongestApResponse,
+    request_from_dict,
+)
+from .spec import PREDICTOR_FACTORIES, RemJobSpec
+
+__all__ = [
+    "RemJobSpec",
+    "PREDICTOR_FACTORIES",
+    "run_job",
+    "RemArtifact",
+    "ArtifactStore",
+    "RemService",
+    "QueryRequest",
+    "QueryResponse",
+    "StrongestApRequest",
+    "StrongestApResponse",
+    "CoverageRequest",
+    "CoverageResponse",
+    "DarkRegionsRequest",
+    "DarkRegionsResponse",
+    "request_from_dict",
+    "RemHttpServer",
+    "create_server",
+]

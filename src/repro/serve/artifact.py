@@ -1,0 +1,186 @@
+"""REM artifacts and the content-addressed artifact store.
+
+A :class:`RemArtifact` is the persisted end product of one job: the
+RSS map, its optional predictive-uncertainty layer, the
+:class:`~repro.serve.spec.RemJobSpec` that produced it and a
+provenance record (seed, sample counts, test RMSE, wall time).  The
+:class:`ArtifactStore` keeps artifacts under their spec digest as a
+compressed ``.npz`` (the tensors) plus a JSON sidecar (spec,
+provenance, content hash) — so "build once, persist, serve many" is
+one ``save`` and any number of ``load``/``get`` calls, and re-running
+a job whose digest is already stored is a cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from ..core.rem import (
+    RadioEnvironmentMap,
+    _rem_from_npz_payload,
+    _rem_npz_payload,
+)
+from .spec import RemJobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids eager import
+    from ..core.pipeline import ToolchainResult
+
+__all__ = ["RemArtifact", "ArtifactStore"]
+
+#: Sidecar format version (bump on incompatible layout changes).
+_FORMAT = 1
+
+
+@dataclass
+class RemArtifact:
+    """One built REM plus everything needed to trust and replay it."""
+
+    spec: RemJobSpec
+    rem: RadioEnvironmentMap
+    #: Predictive-uncertainty layer (std, dB); ``None`` when the spec
+    #: opted out.
+    uncertainty: Optional[RadioEnvironmentMap]
+    #: Build record: seed, sample counts, test RMSE, wall time, ...
+    provenance: Dict[str, object] = field(default_factory=dict)
+    #: The in-memory toolchain result of a fresh build (predictor,
+    #: campaign log, ...).  Never persisted; ``None`` after a load.
+    result: Optional["ToolchainResult"] = None
+    #: True when this instance came out of a store instead of a build.
+    cache_hit: bool = False
+
+    @property
+    def digest(self) -> str:
+        """The content address (the spec digest — builds are pure)."""
+        return self.spec.digest()
+
+    def content_hash(self) -> str:
+        """SHA-256 over the actual tensor bytes and MAC lists.
+
+        The digest addresses the artifact *a priori* (same spec ⇒ same
+        build); the content hash lets tests and audits verify that two
+        builds really were byte-identical.
+        """
+        blake = hashlib.sha256()
+        for rem in (self.rem, self.uncertainty):
+            if rem is None:
+                blake.update(b"absent")
+                continue
+            blake.update(",".join(rem.mac_vocabulary).encode())
+            blake.update(",".join(rem.macs).encode())
+            blake.update(np.ascontiguousarray(rem.field_tensor()).tobytes())
+        return blake.hexdigest()
+
+    def record(self) -> Dict[str, object]:
+        """The JSON sidecar payload (digest, spec, provenance, hash)."""
+        return {
+            "format": _FORMAT,
+            "digest": self.digest,
+            "content_hash": self.content_hash(),
+            "spec": self.spec.to_dict(),
+            "provenance": dict(self.provenance),
+        }
+
+
+class ArtifactStore:
+    """Content-addressed on-disk artifact collection.
+
+    Layout: ``<root>/<digest>.npz`` (tensors) + ``<root>/<digest>.json``
+    (sidecar).  All methods are safe under concurrent use from one
+    process; saves write via a temp file + atomic rename so readers
+    never observe a half-written archive.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _paths(self, digest: str) -> tuple:
+        return self.root / f"{digest}.npz", self.root / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        npz, sidecar = self._paths(digest)
+        return npz.exists() and sidecar.exists()
+
+    def digests(self) -> List[str]:
+        """Digests of every stored artifact, sorted."""
+        return sorted(
+            p.stem
+            for p in self.root.glob("*.json")
+            if (self.root / f"{p.stem}.npz").exists()
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, artifact: RemArtifact) -> Path:
+        """Persist ``artifact`` under its digest; returns the npz path.
+
+        Saving an already-stored digest is a no-op (content addressing:
+        equal digests mean equal bytes).
+        """
+        digest = artifact.digest
+        npz_path, sidecar_path = self._paths(digest)
+        with self._lock:
+            if digest in self:
+                return npz_path
+            payload = _rem_npz_payload(artifact.rem, prefix="rem_")
+            if artifact.uncertainty is not None:
+                payload.update(
+                    _rem_npz_payload(artifact.uncertainty, prefix="unc_")
+                )
+            tmp_npz = npz_path.with_suffix(".npz.tmp")
+            tmp_sidecar = sidecar_path.with_suffix(".json.tmp")
+            try:
+                with open(tmp_npz, "wb") as handle:
+                    np.savez_compressed(handle, **payload)
+                tmp_sidecar.write_text(
+                    json.dumps(artifact.record(), indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                os.replace(tmp_npz, npz_path)
+                os.replace(tmp_sidecar, sidecar_path)
+            finally:
+                for tmp in (tmp_npz, tmp_sidecar):
+                    if tmp.exists():
+                        tmp.unlink()
+        return npz_path
+
+    def load(self, digest: str) -> RemArtifact:
+        """Rebuild the artifact stored under ``digest`` (KeyError if absent)."""
+        npz_path, sidecar_path = self._paths(digest)
+        if digest not in self:
+            raise KeyError(f"no artifact {digest!r} in {self.root}")
+        sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+        with np.load(npz_path) as data:
+            rem = _rem_from_npz_payload(data, prefix="rem_")
+            uncertainty = (
+                _rem_from_npz_payload(data, prefix="unc_")
+                if any(k.startswith("unc_") for k in data.files)
+                else None
+            )
+        return RemArtifact(
+            spec=RemJobSpec.from_dict(sidecar["spec"]),
+            rem=rem,
+            uncertainty=uncertainty,
+            provenance=dict(sidecar.get("provenance", {})),
+        )
+
+    def get(self, digest: str) -> RemArtifact:
+        """Alias of :meth:`load` — the lookup half of the store API."""
+        return self.load(digest)
+
+    def list(self) -> List[Dict[str, object]]:
+        """Sidecar records of every stored artifact, sorted by digest."""
+        records = []
+        for digest in self.digests():
+            _, sidecar_path = self._paths(digest)
+            records.append(json.loads(sidecar_path.read_text(encoding="utf-8")))
+        return records

@@ -1,0 +1,119 @@
+"""Stdlib JSON/HTTP front end over :class:`~repro.serve.RemService`.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no
+third-party dependencies) exposing the serving API:
+
+* ``GET  /healthz`` — liveness plus store/LRU statistics;
+* ``GET  /v1/artifacts`` — sidecar records of every stored artifact;
+* ``POST /v1/jobs`` — body is a :class:`~repro.serve.RemJobSpec` JSON;
+  builds (or cache-hits) the artifact and returns its record;
+* ``POST /v1/artifacts/<digest>/query`` — body is a typed request
+  (``{"type": "query" | "strongest_ap" | "coverage" | "dark_regions",
+  ...}``); answers with the matching reduction.
+
+Use :func:`create_server` and drive ``serve_forever`` yourself (the
+CLI's ``repro serve`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from .service import RemService, request_from_dict
+from .spec import RemJobSpec
+
+__all__ = ["RemHttpServer", "create_server"]
+
+
+class RemHttpServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`RemService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: RemService, address: Tuple[str, int]):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the fixed endpoint set onto the service."""
+
+    server: RemHttpServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the service is the API)."""
+
+    def _send_json(self, code: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw.decode("utf-8"))
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        """GET routing: /healthz and /v1/artifacts."""
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "artifacts": len(service.store.digests()),
+                    "cache": service.cache_info(),
+                },
+            )
+        elif self.path == "/v1/artifacts":
+            self._send_json(200, {"artifacts": service.artifacts()})
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        """POST routing: /v1/jobs and /v1/artifacts/<digest>/query."""
+        service = self.server.service
+        parts = [p for p in self.path.split("/") if p]
+        try:
+            if parts == ["v1", "jobs"]:
+                spec = RemJobSpec.from_dict(self._read_json())
+                artifact = service.submit(spec)
+                record = artifact.record()
+                record["cache_hit"] = artifact.cache_hit
+                self._send_json(201, record)
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "artifacts"]
+                and parts[3] == "query"
+            ):
+                request = request_from_dict(parts[2], self._read_json())
+                response = service.handle(request)
+                self._send_json(200, response.to_dict())
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+
+def create_server(
+    service: RemService, host: str = "127.0.0.1", port: int = 8000
+) -> RemHttpServer:
+    """Bind a :class:`RemHttpServer` (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()``/``server_close()`` to stop.  The bound address is
+    ``server.server_address``.
+    """
+    return RemHttpServer(service, (host, port))

@@ -1,0 +1,323 @@
+"""The REM-serving layer: typed queries over stored artifacts.
+
+:class:`RemService` is the in-process query engine the HTTP front end
+(and any embedded consumer) talks to.  It keeps a thread-safe LRU of
+loaded artifacts over an :class:`~repro.serve.artifact.ArtifactStore`
+and answers four typed request shapes — batched point/MAC queries,
+strongest-AP handover lookups, per-AP coverage fractions and
+dark-region extraction — each as one vectorized reduction on the
+artifact's stacked REM tensor (§I's downstream uses of the map).
+Served answers are bit-for-bit the direct
+:class:`~repro.core.rem.RadioEnvironmentMap` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .artifact import ArtifactStore, RemArtifact
+from .spec import RemJobSpec
+
+__all__ = [
+    "QueryRequest",
+    "StrongestApRequest",
+    "CoverageRequest",
+    "DarkRegionsRequest",
+    "QueryResponse",
+    "StrongestApResponse",
+    "CoverageResponse",
+    "DarkRegionsResponse",
+    "RemService",
+    "request_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# typed requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """Batched RSS lookup: ``points × macs`` against one artifact."""
+
+    digest: str
+    points: Sequence[Sequence[float]]
+    #: MACs to evaluate (``None`` = every mapped AP).
+    macs: Optional[Sequence[str]] = None
+
+
+@dataclass(frozen=True)
+class StrongestApRequest:
+    """Best-serving AP and its RSS at every point (handover planning)."""
+
+    digest: str
+    points: Sequence[Sequence[float]]
+
+
+@dataclass(frozen=True)
+class CoverageRequest:
+    """Per-AP coverage fractions above a service threshold."""
+
+    digest: str
+    threshold_dbm: float
+
+
+@dataclass(frozen=True)
+class DarkRegionsRequest:
+    """Lattice points no AP serves above the threshold (§I planning)."""
+
+    digest: str
+    threshold_dbm: float
+    #: Cap on returned points (0 = all); the fraction is always exact.
+    max_points: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_points < 0:
+            raise ValueError(
+                f"max_points must be >= 0 (0 = no cap), got {self.max_points}"
+            )
+
+
+# ----------------------------------------------------------------------
+# typed responses
+# ----------------------------------------------------------------------
+@dataclass
+class QueryResponse:
+    """Answer to a :class:`QueryRequest`."""
+
+    digest: str
+    macs: List[str]
+    #: ``(n_points, n_macs)`` interpolated RSS (dBm).
+    values: np.ndarray
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form."""
+        return {
+            "digest": self.digest,
+            "macs": list(self.macs),
+            "values": self.values.tolist(),
+        }
+
+
+@dataclass
+class StrongestApResponse:
+    """Answer to a :class:`StrongestApRequest`."""
+
+    digest: str
+    macs: List[str]
+    rss_dbm: np.ndarray
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form."""
+        return {
+            "digest": self.digest,
+            "macs": list(self.macs),
+            "rss_dbm": self.rss_dbm.tolist(),
+        }
+
+
+@dataclass
+class CoverageResponse:
+    """Answer to a :class:`CoverageRequest`."""
+
+    digest: str
+    threshold_dbm: float
+    by_mac: Dict[str, float]
+    dark_fraction: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form."""
+        return {
+            "digest": self.digest,
+            "threshold_dbm": self.threshold_dbm,
+            "by_mac": dict(self.by_mac),
+            "dark_fraction": self.dark_fraction,
+        }
+
+
+@dataclass
+class DarkRegionsResponse:
+    """Answer to a :class:`DarkRegionsRequest`."""
+
+    digest: str
+    threshold_dbm: float
+    dark_fraction: float
+    points: np.ndarray
+    truncated: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form."""
+        return {
+            "digest": self.digest,
+            "threshold_dbm": self.threshold_dbm,
+            "dark_fraction": self.dark_fraction,
+            "points": self.points.tolist(),
+            "truncated": self.truncated,
+        }
+
+
+#: Wire names of the request types (the HTTP body's ``type`` field).
+_REQUEST_TYPES = {
+    "query": QueryRequest,
+    "strongest_ap": StrongestApRequest,
+    "coverage": CoverageRequest,
+    "dark_regions": DarkRegionsRequest,
+}
+
+
+def request_from_dict(digest: str, data: Dict[str, object]):
+    """Build the typed request a JSON body describes.
+
+    ``data`` carries a ``type`` key naming the request shape plus its
+    parameters; ``digest`` comes from the URL.  Raises ``ValueError``
+    on unknown types or parameters.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("request body must be a JSON object")
+    kind = data.get("type", "query")
+    cls = _REQUEST_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown request type {kind!r}; choose from {sorted(_REQUEST_TYPES)}"
+        )
+    params = {k: v for k, v in data.items() if k != "type"}
+    params.pop("digest", None)  # the URL owns the digest
+    try:
+        return cls(digest=digest, **params)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind!r} request: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class RemService:
+    """Thread-safe serving facade over an artifact store.
+
+    Loaded artifacts live in an LRU bounded by ``capacity``; every
+    request type dispatches through :meth:`handle` to a vectorized
+    reduction on the artifact's REM.  The service is safe to hammer
+    from many threads: the LRU is lock-protected and the reductions
+    only read the (effectively immutable) loaded tensors.
+    """
+
+    def __init__(self, store: ArtifactStore, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store = store
+        self.capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._cache: "OrderedDict[str, RemArtifact]" = OrderedDict()
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0, "peak_size": 0}
+
+    # ------------------------------------------------------------------
+    def artifact(self, digest: str) -> RemArtifact:
+        """The loaded artifact for ``digest`` (LRU-cached)."""
+        with self._lock:
+            cached = self._cache.get(digest)
+            if cached is not None:
+                self._cache.move_to_end(digest)
+                self._stats["hits"] += 1
+                return cached
+            artifact = self.store.load(digest)
+            self._stats["misses"] += 1
+            self._insert(digest, artifact)
+            return artifact
+
+    def _insert(self, digest: str, artifact: RemArtifact) -> None:
+        self._cache[digest] = artifact
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self._stats["evictions"] += 1
+        self._stats["peak_size"] = max(self._stats["peak_size"], len(self._cache))
+
+    def cache_info(self) -> Dict[str, int]:
+        """LRU statistics (size, capacity, hits, misses, evictions)."""
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "capacity": self.capacity,
+                **self._stats,
+            }
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: RemJobSpec) -> RemArtifact:
+        """Run (or fetch) a job through the store and prime the LRU.
+
+        The LRU gets a copy stripped of the in-memory toolchain result
+        (campaign log, fitted predictor, ...): serving only ever reads
+        the map tensors, and a long-lived server must not retain one
+        whole build state per cached artifact.
+        """
+        from dataclasses import replace
+
+        from .jobs import run_job
+
+        artifact = run_job(spec, self.store)
+        with self._lock:
+            self._insert(artifact.digest, replace(artifact, result=None))
+        return artifact
+
+    def artifacts(self) -> List[Dict[str, object]]:
+        """Sidecar records of everything the store holds."""
+        return self.store.list()
+
+    # ------------------------------------------------------------------
+    def handle(self, request):
+        """Dispatch any typed request to its reduction."""
+        handler = self._HANDLERS.get(type(request))
+        if handler is None:
+            raise TypeError(f"unsupported request {type(request).__name__}")
+        return handler(self, request)
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Batched trilinear RSS lookup (≡ ``rem.query_many``)."""
+        rem = self.artifact(request.digest).rem
+        macs = list(request.macs) if request.macs is not None else list(rem.macs)
+        values = rem.query_many(request.points, macs)
+        return QueryResponse(digest=request.digest, macs=macs, values=values)
+
+    def strongest_ap(self, request: StrongestApRequest) -> StrongestApResponse:
+        """Best-serving AP per point (≡ ``rem.strongest_ap_many``)."""
+        rem = self.artifact(request.digest).rem
+        macs, rss = rem.strongest_ap_many(request.points)
+        return StrongestApResponse(digest=request.digest, macs=macs, rss_dbm=rss)
+
+    def coverage(self, request: CoverageRequest) -> CoverageResponse:
+        """Per-AP coverage + dark fraction (≡ the REM reductions)."""
+        rem = self.artifact(request.digest).rem
+        return CoverageResponse(
+            digest=request.digest,
+            threshold_dbm=float(request.threshold_dbm),
+            by_mac=rem.coverage_by_mac(float(request.threshold_dbm)),
+            dark_fraction=rem.dark_fraction(float(request.threshold_dbm)),
+        )
+
+    def dark_regions(self, request: DarkRegionsRequest) -> DarkRegionsResponse:
+        """Unserved lattice points (≡ ``rem.dark_points``)."""
+        rem = self.artifact(request.digest).rem
+        threshold = float(request.threshold_dbm)
+        points = rem.dark_points(threshold)
+        truncated = False
+        if request.max_points and len(points) > request.max_points:
+            points = points[: int(request.max_points)]
+            truncated = True
+        return DarkRegionsResponse(
+            digest=request.digest,
+            threshold_dbm=threshold,
+            dark_fraction=rem.dark_fraction(threshold),
+            points=points,
+            truncated=truncated,
+        )
+
+    _HANDLERS = {
+        QueryRequest: query,
+        StrongestApRequest: strongest_ap,
+        CoverageRequest: coverage,
+        DarkRegionsRequest: dark_regions,
+    }

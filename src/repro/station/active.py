@@ -104,6 +104,82 @@ class ActiveSamplingConfig:
         if self.patience_rounds < 0:
             raise ValueError("patience_rounds must be >= 0")
 
+    # -- job-spec adapter (see repro.serve.spec) -----------------------
+    #: Scalar tunables a JSON job spec can carry verbatim.  Everything
+    #: else — no-fly cuboids, the battery model, predictor factories —
+    #: is a live Python object and must stay at its default for a
+    #: config to be spec-representable.
+    _JOB_FIELDS = (
+        "seed_waypoints",
+        "batch_size",
+        "budget_waypoints",
+        "target_rmse_dbm",
+        "patience_rounds",
+        "min_improvement_dbm",
+        "travel_weight_db_per_m",
+        "lattice_nx",
+        "lattice_ny",
+        "lattice_nz",
+        "lattice_margin_m",
+        "flight_leg_s",
+        "scan_window_s",
+        "refit_every_scans",
+        "holdout_fraction",
+        "builder_seed",
+    )
+
+    def to_job_fields(self) -> Dict[str, object]:
+        """The JSON-safe field dict a :class:`~repro.serve.RemJobSpec` carries.
+
+        Raises ``ValueError`` when a non-serializable field (``no_fly``,
+        ``battery``, ``predictor_factory``) differs from its default —
+        such configs cannot round-trip through a job spec.
+        """
+        reference = type(self)()
+        for name in ("no_fly", "battery", "predictor_factory"):
+            if getattr(self, name) != getattr(reference, name):
+                raise ValueError(
+                    f"active-sampling field {name!r} is not JSON-serializable "
+                    "and differs from its default; it cannot be expressed "
+                    "in a job spec"
+                )
+        return {name: getattr(self, name) for name in self._JOB_FIELDS}
+
+    #: Integer-typed job fields (JSON clients often send 48.0 for 48;
+    #: coercing here keeps configs well-typed and job digests stable).
+    _INT_JOB_FIELDS = frozenset(
+        {
+            "seed_waypoints",
+            "batch_size",
+            "budget_waypoints",
+            "patience_rounds",
+            "lattice_nx",
+            "lattice_ny",
+            "lattice_nz",
+            "refit_every_scans",
+            "builder_seed",
+        }
+    )
+
+    @classmethod
+    def from_job_fields(cls, params: Dict[str, object]) -> "ActiveSamplingConfig":
+        """Inverse of :meth:`to_job_fields` (unknown keys raise)."""
+        unknown = sorted(set(params) - set(cls._JOB_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown active-sampling job field(s) {unknown}; "
+                f"choose from {sorted(cls._JOB_FIELDS)}"
+            )
+        coerced: Dict[str, object] = {}
+        for key, value in params.items():
+            if key in cls._INT_JOB_FIELDS:
+                coerced[key] = int(value)
+            elif value is not None:
+                coerced[key] = float(value)
+            else:
+                coerced[key] = None
+        return cls(**coerced)
+
 
 @dataclass
 class ActiveRound:

@@ -55,6 +55,57 @@ class CampaignConfig:
     radio: RadioConfig = field(default_factory=RadioConfig)
     scan_config: ScanConfig = field(default_factory=ScanConfig)
 
+    # -- job-spec adapter (see repro.serve.spec) -----------------------
+    #: Fields a JSON job spec pins at their defaults: hardware and
+    #: protocol tunables with no JSON form.  A config customizing any
+    #: of them is not spec-representable.
+    _JOB_LOCKED = (
+        "firmware",
+        "localization_mode",
+        "anchor_count",
+        "scan_duration_s",
+        "client",
+        "radio",
+        "scan_config",
+    )
+
+    def to_job_fields(self) -> Dict[str, object]:
+        """The JSON-safe field dict a :class:`~repro.serve.RemJobSpec` carries.
+
+        Raises ``ValueError`` when a hardware/protocol field (firmware,
+        radio, scanner, client timing, localization) differs from its
+        default — those have no JSON form and cannot round-trip
+        through a job spec.
+        """
+        reference = type(self)()
+        for name in self._JOB_LOCKED:
+            if getattr(self, name) != getattr(reference, name):
+                raise ValueError(
+                    f"campaign field {name!r} differs from its default and "
+                    "cannot be expressed in a job spec"
+                )
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "acquisition": self.acquisition,
+            "active": None if self.active is None else self.active.to_job_fields(),
+        }
+
+    @classmethod
+    def from_job_fields(cls, params: Dict[str, object]) -> "CampaignConfig":
+        """Inverse of :meth:`to_job_fields`."""
+        from .active import ActiveSamplingConfig
+
+        active = params.get("active")
+        return cls(
+            seed=int(params.get("seed", 63)),
+            scenario=str(params.get("scenario", "condo")),
+            acquisition=str(params.get("acquisition", "lattice")),
+            active=(
+                None if active is None else ActiveSamplingConfig.from_job_fields(active)
+            ),
+        )
+
 
 @dataclass
 class CampaignResult:

@@ -131,14 +131,31 @@ class SampleLog:
     # persistence
     # ------------------------------------------------------------------
     _FIELDS = [f.name for f in fields(Sample)]
+    #: Fields serialized through ``repr(float(...))``: ``str()`` of a
+    #: numpy scalar prints the *narrow-type* shortest repr (e.g. a
+    #: float32 position renders as "1.234567"), which re-parses to a
+    #: different float64 — a silently lossy archive.  ``float()`` first
+    #: pins the exact float64 value; ``repr`` round-trips it exactly.
+    _FLOAT_FIELDS = frozenset(
+        {"timestamp_s", "x", "y", "z", "true_x", "true_y", "true_z"}
+    )
 
     def save_csv(self, path) -> None:
-        """Write the log as CSV (one row per sample)."""
+        """Write the log as CSV (one row per sample, exact floats)."""
         with open(Path(path), "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(self._FIELDS)
             for s in self._samples:
-                writer.writerow([getattr(s, name) for name in self._FIELDS])
+                writer.writerow(
+                    [
+                        repr(float(value))
+                        if name in self._FLOAT_FIELDS
+                        else value
+                        for name, value in (
+                            (n, getattr(s, n)) for n in self._FIELDS
+                        )
+                    ]
+                )
 
     @classmethod
     def load_csv(cls, path) -> "SampleLog":

@@ -1,0 +1,80 @@
+"""Compact binary REM persistence: save_npz/load_npz exact round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.rem import RadioEnvironmentMap, RemGrid
+from repro.radio.geometry import Cuboid
+
+
+def build_map(n_macs=4, stored=3, seed=2):
+    """A map with a wider vocabulary than its stored field set."""
+    grid = RemGrid(Cuboid((0.0, 0.0, 0.0), (3.0, 2.0, 1.5)), resolution_m=0.5)
+    vocabulary = tuple(f"02:00:00:00:00:{i:02x}" for i in range(n_macs))
+    rem = RadioEnvironmentMap(grid, vocabulary)
+    rng = np.random.default_rng(seed)
+    macs = list(vocabulary[:stored])
+    rem.set_fields(macs, rng.normal(-70.0, 9.0, size=(stored,) + grid.shape))
+    return rem
+
+
+class TestNpzRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        rem = build_map()
+        path = tmp_path / "map.npz"
+        rem.save_npz(path)
+        loaded = RadioEnvironmentMap.load_npz(path)
+        assert loaded.mac_vocabulary == rem.mac_vocabulary
+        assert loaded.macs == rem.macs
+        assert loaded.grid.resolution_m == rem.grid.resolution_m
+        assert loaded.grid.volume.min_corner == rem.grid.volume.min_corner
+        assert loaded.grid.volume.max_corner == rem.grid.volume.max_corner
+        # Bit-exact tensors — the whole point over to_dict's lists.
+        np.testing.assert_array_equal(
+            loaded.field_tensor(), rem.field_tensor()
+        )
+
+    def test_queries_survive_round_trip(self, tmp_path):
+        rem = build_map()
+        path = tmp_path / "map.npz"
+        rem.save_npz(path)
+        loaded = RadioEnvironmentMap.load_npz(path)
+        points = [[0.3, 0.7, 0.2], [2.9, 1.9, 1.4], [-1.0, 5.0, 9.0]]
+        np.testing.assert_array_equal(
+            loaded.query_many(points), rem.query_many(points)
+        )
+        assert loaded.strongest_ap(points[0]) == rem.strongest_ap(points[0])
+        assert loaded.dark_fraction(-70.0) == rem.dark_fraction(-70.0)
+
+    def test_empty_map_round_trips(self, tmp_path):
+        grid = RemGrid(Cuboid((0, 0, 0), (1, 1, 1)), resolution_m=0.5)
+        rem = RadioEnvironmentMap(grid, ["02:00:00:00:00:01"])
+        path = tmp_path / "empty.npz"
+        rem.save_npz(path)
+        loaded = RadioEnvironmentMap.load_npz(path)
+        assert loaded.macs == ()
+        assert loaded.mac_vocabulary == rem.mac_vocabulary
+
+    def test_matches_dict_form_semantically(self, tmp_path):
+        rem = build_map()
+        path = tmp_path / "map.npz"
+        rem.save_npz(path)
+        loaded = RadioEnvironmentMap.load_npz(path)
+        via_dict = RadioEnvironmentMap.from_dict(rem.to_dict())
+        np.testing.assert_array_equal(
+            loaded.field_tensor(), via_dict.field_tensor()
+        )
+
+    def test_npz_is_denser_than_json(self, tmp_path):
+        import json
+
+        rem = build_map(n_macs=6, stored=6)
+        npz_path = tmp_path / "map.npz"
+        rem.save_npz(npz_path)
+        json_path = tmp_path / "map.json"
+        json_path.write_text(json.dumps(rem.to_dict()))
+        assert npz_path.stat().st_size < json_path.stat().st_size
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RadioEnvironmentMap.load_npz(tmp_path / "absent.npz")

@@ -1,0 +1,162 @@
+"""The JSON/HTTP front end: routes, payloads, errors, job submission."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import ArtifactStore, RemService, create_server
+
+
+@pytest.fixture(scope="module")
+def http_store(tmp_path_factory, artifacts):
+    """A module-private store (job POSTs below mutate it)."""
+    store = ArtifactStore(tmp_path_factory.mktemp("http-store"))
+    for artifact in artifacts:
+        store.save(artifact)
+    return store
+
+
+@pytest.fixture(scope="module")
+def server(http_store):
+    """A live server on an ephemeral port, torn down after the module."""
+    service = RemService(http_store, capacity=2)
+    httpd = create_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
+        return resp.status, json.load(resp)
+
+
+def post(server, path, payload):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+class TestRoutes:
+    def test_healthz(self, server, artifacts):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["artifacts"] == len(artifacts)
+        assert payload["cache"]["capacity"] == 2
+
+    def test_list_artifacts(self, server, artifacts):
+        status, payload = get(server, "/v1/artifacts")
+        assert status == 200
+        digests = {record["digest"] for record in payload["artifacts"]}
+        assert digests == {a.digest for a in artifacts}
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v2/nothing")
+        assert excinfo.value.code == 404
+
+
+class TestQueries:
+    def test_query_equals_direct(self, server, artifacts):
+        artifact = artifacts[0]
+        points = [[1.0, 1.0, 1.0], [2.5, 0.5, 1.5]]
+        status, payload = post(
+            server,
+            f"/v1/artifacts/{artifact.digest}/query",
+            {"type": "query", "points": points},
+        )
+        assert status == 200
+        direct = artifact.rem.query_many(points)
+        np.testing.assert_allclose(
+            np.asarray(payload["values"]), direct, atol=1e-9
+        )
+        assert payload["macs"] == list(artifact.rem.macs)
+
+    def test_coverage_over_http(self, server, artifacts):
+        artifact = artifacts[1]
+        status, payload = post(
+            server,
+            f"/v1/artifacts/{artifact.digest}/query",
+            {"type": "coverage", "threshold_dbm": -70.0},
+        )
+        assert status == 200
+        assert payload["by_mac"] == artifact.rem.coverage_by_mac(-70.0)
+
+    def test_unknown_digest_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(
+                server,
+                "/v1/artifacts/" + "0" * 64 + "/query",
+                {"type": "query", "points": [[0, 0, 0]]},
+            )
+        assert excinfo.value.code == 404
+
+    def test_bad_request_type_400(self, server, artifacts):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(
+                server,
+                f"/v1/artifacts/{artifacts[0].digest}/query",
+                {"type": "teleport"},
+            )
+        assert excinfo.value.code == 400
+
+    def test_negative_max_points_400(self, server, artifacts):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(
+                server,
+                f"/v1/artifacts/{artifacts[0].digest}/query",
+                {"type": "dark_regions", "threshold_dbm": -60.0, "max_points": -1},
+            )
+        assert excinfo.value.code == 400
+
+    def test_unknown_scenario_spec_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/jobs", {"scenario": "nope"})
+        assert excinfo.value.code == 400
+
+    def test_empty_body_400(self, server, artifacts):
+        request = urllib.request.Request(
+            _url(server, f"/v1/artifacts/{artifacts[0].digest}/query"),
+            data=b"",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestJobs:
+    def test_post_job_builds_then_hits_cache(self, server, tiny_spec):
+        status, first = post(server, "/v1/jobs", tiny_spec.to_dict())
+        assert status == 201
+        assert first["digest"] == tiny_spec.digest()
+        assert first["cache_hit"] is False
+        assert first["provenance"]["samples"] > 0
+
+        status, second = post(server, "/v1/jobs", tiny_spec.to_dict())
+        assert status == 201
+        assert second["cache_hit"] is True
+        assert second["content_hash"] == first["content_hash"]
+
+    def test_bad_spec_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/jobs", {"acquisition": "psychic"})
+        assert excinfo.value.code == 400

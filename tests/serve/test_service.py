@@ -1,0 +1,167 @@
+"""RemService: served answers ≡ direct REM calls, LRU behavior."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CoverageRequest,
+    DarkRegionsRequest,
+    QueryRequest,
+    RemService,
+    StrongestApRequest,
+    request_from_dict,
+)
+
+
+@pytest.fixture()
+def service(seeded_store):
+    return RemService(seeded_store, capacity=2)
+
+
+def probe_points(rem, n=40, seed=3):
+    """Random probe points spanning (and slightly exceeding) the volume."""
+    rng = np.random.default_rng(seed)
+    lo = np.asarray(rem.grid.volume.min_corner) - 0.2
+    hi = np.asarray(rem.grid.volume.max_corner) + 0.2
+    return rng.uniform(lo, hi, size=(n, 3))
+
+
+class TestEquivalence:
+    def test_query_matches_direct(self, service, artifacts):
+        artifact = artifacts[0]
+        points = probe_points(artifact.rem)
+        response = service.handle(QueryRequest(artifact.digest, points))
+        direct = artifact.rem.query_many(points)
+        assert response.macs == list(artifact.rem.macs)
+        np.testing.assert_allclose(response.values, direct, atol=1e-9)
+
+    def test_query_mac_subset(self, service, artifacts):
+        artifact = artifacts[0]
+        macs = list(artifact.rem.macs[:2])
+        points = probe_points(artifact.rem, n=7)
+        response = service.handle(QueryRequest(artifact.digest, points, macs))
+        np.testing.assert_allclose(
+            response.values, artifact.rem.query_many(points, macs), atol=1e-9
+        )
+
+    def test_strongest_ap_matches_direct(self, service, artifacts):
+        artifact = artifacts[1]
+        points = probe_points(artifact.rem)
+        response = service.handle(StrongestApRequest(artifact.digest, points))
+        macs, rss = artifact.rem.strongest_ap_many(points)
+        assert response.macs == macs
+        np.testing.assert_allclose(response.rss_dbm, rss, atol=1e-9)
+
+    def test_coverage_matches_direct(self, service, artifacts):
+        artifact = artifacts[2]
+        response = service.handle(CoverageRequest(artifact.digest, -70.0))
+        assert response.by_mac == artifact.rem.coverage_by_mac(-70.0)
+        assert response.dark_fraction == artifact.rem.dark_fraction(-70.0)
+
+    def test_dark_regions_matches_direct(self, service, artifacts):
+        artifact = artifacts[0]
+        response = service.handle(DarkRegionsRequest(artifact.digest, -55.0))
+        np.testing.assert_array_equal(
+            response.points, artifact.rem.dark_points(-55.0)
+        )
+        assert not response.truncated
+
+    def test_dark_regions_truncation(self, service, artifacts):
+        artifact = artifacts[0]
+        full = artifact.rem.dark_points(-55.0)
+        if len(full) < 2:
+            pytest.skip("synthetic map has no dark region to truncate")
+        response = service.handle(
+            DarkRegionsRequest(artifact.digest, -55.0, max_points=1)
+        )
+        assert response.truncated
+        assert len(response.points) == 1
+        # The exact fraction is preserved even when points are capped.
+        assert response.dark_fraction == artifact.rem.dark_fraction(-55.0)
+
+
+class TestLru:
+    def test_capacity_bound_and_eviction(self, service, artifacts):
+        point = [[1.0, 1.0, 1.0]]
+        for artifact in artifacts:  # 3 artifacts through a capacity-2 LRU
+            service.handle(QueryRequest(artifact.digest, point))
+        info = service.cache_info()
+        assert info["size"] == 2
+        assert info["peak_size"] <= 2
+        assert info["evictions"] == 1
+
+    def test_hits_do_not_reload(self, service, artifacts):
+        point = [[0.5, 0.5, 0.5]]
+        digest = artifacts[0].digest
+        service.handle(QueryRequest(digest, point))
+        misses = service.cache_info()["misses"]
+        service.handle(QueryRequest(digest, point))
+        info = service.cache_info()
+        assert info["misses"] == misses
+        assert info["hits"] >= 1
+
+    def test_unknown_digest_raises(self, service):
+        with pytest.raises(KeyError):
+            service.handle(QueryRequest("0" * 64, [[0, 0, 0]]))
+
+    def test_capacity_must_be_positive(self, seeded_store):
+        with pytest.raises(ValueError):
+            RemService(seeded_store, capacity=0)
+
+    def test_submit_does_not_retain_the_build_state(self, tmp_path, tiny_spec):
+        # A long-lived server must not pin one whole ToolchainResult
+        # (campaign log, fitted predictor, ...) per cached artifact.
+        from repro.serve import ArtifactStore
+
+        service = RemService(ArtifactStore(tmp_path), capacity=2)
+        built = service.submit(tiny_spec)
+        assert built.result is not None  # the caller still gets it
+        assert service.artifact(built.digest).result is None
+
+
+class TestRequestValidation:
+    def test_negative_max_points_rejected(self):
+        with pytest.raises(ValueError, match="max_points"):
+            DarkRegionsRequest("d" * 64, -60.0, max_points=-1)
+
+    def test_negative_max_points_rejected_from_wire(self):
+        with pytest.raises(ValueError, match="max_points"):
+            request_from_dict(
+                "d" * 64,
+                {"type": "dark_regions", "threshold_dbm": -60.0, "max_points": -1},
+            )
+
+
+class TestWireFormat:
+    def test_request_from_dict_dispatch(self):
+        request = request_from_dict(
+            "d" * 64, {"type": "coverage", "threshold_dbm": -70.0}
+        )
+        assert isinstance(request, CoverageRequest)
+        assert request.digest == "d" * 64
+
+    def test_default_type_is_query(self):
+        request = request_from_dict("d" * 64, {"points": [[0, 0, 0]]})
+        assert isinstance(request, QueryRequest)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown request type"):
+            request_from_dict("d" * 64, {"type": "teleport"})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="bad 'query' request"):
+            request_from_dict("d" * 64, {"type": "query", "warp": 1})
+
+    def test_responses_serialize_to_json_types(self, service, artifacts):
+        import json
+
+        artifact = artifacts[0]
+        points = [[1.0, 1.0, 1.0]]
+        for request in (
+            QueryRequest(artifact.digest, points),
+            StrongestApRequest(artifact.digest, points),
+            CoverageRequest(artifact.digest, -70.0),
+            DarkRegionsRequest(artifact.digest, -55.0, max_points=3),
+        ):
+            payload = service.handle(request).to_dict()
+            json.dumps(payload)  # must not raise

@@ -1,0 +1,86 @@
+"""Hammer RemService from many threads: answers and LRU must hold.
+
+The satellite contract: mixed query/coverage/strongest-AP traffic over
+multiple artifacts, driven through a ``ThreadPoolExecutor``, must
+return bit-identical answers to a single-threaded replay, and the LRU
+must never exceed its capacity.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serve import (
+    CoverageRequest,
+    DarkRegionsRequest,
+    QueryRequest,
+    RemService,
+    StrongestApRequest,
+)
+
+
+def build_workload(artifacts, repeats=6):
+    """A deterministic mixed request stream across all artifacts."""
+    rng = np.random.default_rng(17)
+    requests = []
+    for repeat in range(repeats):
+        for artifact in artifacts:
+            lo = np.asarray(artifact.rem.grid.volume.min_corner) - 0.1
+            hi = np.asarray(artifact.rem.grid.volume.max_corner) + 0.1
+            points = rng.uniform(lo, hi, size=(8, 3)).tolist()
+            requests.append(QueryRequest(artifact.digest, points))
+            requests.append(StrongestApRequest(artifact.digest, points))
+            requests.append(
+                CoverageRequest(artifact.digest, -75.0 + 2.0 * repeat)
+            )
+            requests.append(
+                DarkRegionsRequest(artifact.digest, -60.0, max_points=10)
+            )
+    return requests
+
+
+def freeze(response):
+    """A comparable snapshot of any response dataclass."""
+    payload = response.to_dict()
+    return {
+        key: tuple(map(tuple, value))
+        if key in ("values", "points")
+        else (tuple(sorted(value.items())) if isinstance(value, dict) else value)
+        for key, value in payload.items()
+    }
+
+
+def test_concurrent_answers_match_single_threaded(seeded_store, artifacts):
+    requests = build_workload(artifacts)
+
+    # Ground truth: a fresh single-threaded service.
+    reference = RemService(seeded_store, capacity=2)
+    expected = [freeze(reference.handle(r)) for r in requests]
+
+    hammered = RemService(seeded_store, capacity=2)
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [pool.submit(hammered.handle, r) for r in requests]
+        answers = [freeze(f.result()) for f in futures]
+
+    assert answers == expected
+
+    info = hammered.cache_info()
+    assert info["size"] <= 2
+    assert info["peak_size"] <= 2  # the LRU never overflowed
+    assert info["hits"] + info["misses"] == len(requests)
+
+
+def test_concurrent_traffic_on_one_artifact_is_consistent(
+    seeded_store, artifacts
+):
+    artifact = artifacts[0]
+    points = [[1.0, 1.5, 0.5], [3.9, 2.9, 1.9]]
+    service = RemService(seeded_store, capacity=1)
+    direct = artifact.rem.query_many(points)
+
+    def roundtrip(_):
+        return service.handle(QueryRequest(artifact.digest, points)).values
+
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        for values in pool.map(roundtrip, range(48)):
+            np.testing.assert_allclose(values, direct, atol=1e-9)

@@ -1,0 +1,182 @@
+"""RemJobSpec: JSON round-trips, digests, config adapters."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import ToolchainConfig
+from repro.core.predictors import KnnRegressor
+from repro.core.preprocessing import PreprocessConfig
+from repro.serve import RemJobSpec
+from repro.station import ActiveSamplingConfig, CampaignConfig
+from repro.uav.firmware import FirmwareConfig
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = RemJobSpec(
+            scenario="office",
+            seed=9,
+            acquisition="active",
+            active={"budget_waypoints": 24, "seed_waypoints": 8},
+            tune=False,
+            predictor="idw",
+            hyperparameters={"power": 2.0},
+            resolution_m=0.5,
+        )
+        again = RemJobSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_generated_scenario_names_are_legal(self):
+        spec = RemJobSpec(scenario="generated:room-grid?floors=2&seed=5")
+        assert RemJobSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown job-spec field"):
+            RemJobSpec.from_dict({"scenrio": "condo"})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            RemJobSpec.from_json("[1, 2]")
+
+
+class TestDigest:
+    def test_equal_specs_equal_digests(self):
+        a = RemJobSpec(seed=5, tune=False)
+        b = RemJobSpec(seed=5, tune=False)
+        assert a.digest() == b.digest()
+
+    def test_seed_changes_digest(self):
+        assert RemJobSpec(seed=5).digest() != RemJobSpec(seed=6).digest()
+
+    def test_active_none_and_empty_mean_the_same_job(self):
+        # None, {}, and the defaults spelled out all run the identical
+        # campaign, so they must share one content address.
+        a = RemJobSpec(acquisition="active", active=None)
+        b = RemJobSpec(acquisition="active", active={})
+        c = RemJobSpec(acquisition="active", active={"batch_size": 6})
+        assert a.digest() == b.digest() == c.digest()
+
+    def test_numeric_spellings_normalize(self):
+        # JSON clients routinely send 48.0 for 48; same job, same digest.
+        a = RemJobSpec(acquisition="active", active={"budget_waypoints": 48})
+        b = RemJobSpec(
+            acquisition="active", active={"budget_waypoints": 48.0}
+        )
+        assert a.digest() == b.digest()
+        assert RemJobSpec(seed=7).digest() == RemJobSpec(seed=7.0).digest()
+
+    def test_partial_active_dict_canonicalizes(self):
+        # Spelling out a default must not change the digest.
+        a = RemJobSpec(acquisition="active", active={"budget_waypoints": 72})
+        b = RemJobSpec(
+            acquisition="active",
+            active={"budget_waypoints": 72, "batch_size": 6},
+        )
+        assert a.digest() == b.digest()
+        assert a.active == b.active
+
+    def test_canonical_json_is_sorted_and_minimal(self):
+        data = json.loads(RemJobSpec().canonical_json())
+        assert list(data) == sorted(data)
+
+
+class TestValidation:
+    def test_bad_acquisition(self):
+        with pytest.raises(ValueError, match="acquisition"):
+            RemJobSpec(acquisition="psychic")
+
+    def test_unknown_scenario_rejected_at_spec_time(self):
+        # A typo'd scenario must be a spec error at the API boundary,
+        # not a traceback from the middle of a job.
+        with pytest.raises(ValueError, match="unknown scenario"):
+            RemJobSpec(scenario="nope")
+
+    def test_bad_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            RemJobSpec(predictor="oracle")
+
+    def test_tune_requires_plain_knn(self):
+        with pytest.raises(ValueError, match="tune"):
+            RemJobSpec(predictor="idw", tune=True)
+        with pytest.raises(ValueError, match="tune"):
+            RemJobSpec(hyperparameters={"n_neighbors": 3}, tune=True)
+
+    def test_active_dict_requires_active_acquisition(self):
+        with pytest.raises(ValueError, match="acquisition='active'"):
+            RemJobSpec(active={"budget_waypoints": 10})
+
+    def test_unknown_active_key_rejected(self):
+        with pytest.raises(ValueError, match="active-sampling job field"):
+            RemJobSpec(acquisition="active", active={"warp_drive": 1})
+
+    def test_non_json_hyperparameter_rejected(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            RemJobSpec(
+                predictor="knn",
+                tune=False,
+                hyperparameters={"weights": object()},
+            )
+
+
+class TestConfigAdapters:
+    def test_toolchain_config_round_trip(self):
+        spec = RemJobSpec(
+            scenario="warehouse",
+            seed=17,
+            acquisition="active",
+            active={"budget_waypoints": 30},
+            tune=False,
+            min_samples_per_mac=4,
+            resolution_m=0.5,
+        )
+        config = spec.toolchain_config()
+        assert config.campaign.scenario == "warehouse"
+        assert config.campaign.seed == 17
+        assert config.campaign.acquisition == "active"
+        assert config.campaign.active.budget_waypoints == 30
+        assert config.preprocess.min_samples_per_mac == 4
+        assert config.rem_resolution_m == 0.5
+        assert not config.tune_hyperparameters
+        again = RemJobSpec.from_toolchain_config(config, with_uncertainty=True)
+        assert again == spec
+
+    def test_default_toolchain_config_is_representable(self):
+        spec = RemJobSpec.from_toolchain_config(ToolchainConfig())
+        assert spec is not None
+        assert spec.toolchain_config() == ToolchainConfig()
+
+    def test_custom_firmware_is_not_representable(self):
+        config = ToolchainConfig(
+            campaign=CampaignConfig(firmware=FirmwareConfig.stock_2021_06())
+        )
+        assert RemJobSpec.from_toolchain_config(config) is None
+
+    def test_predictor_factory_is_not_representable(self):
+        config = ToolchainConfig(
+            campaign=CampaignConfig(
+                acquisition="active",
+                active=ActiveSamplingConfig(predictor_factory=KnnRegressor),
+            )
+        )
+        assert RemJobSpec.from_toolchain_config(config) is None
+
+    def test_preprocess_knobs_travel_through(self):
+        config = ToolchainConfig(
+            preprocess=PreprocessConfig(min_samples_per_mac=3, split_seed=99)
+        )
+        spec = RemJobSpec.from_toolchain_config(config)
+        assert spec.min_samples_per_mac == 3
+        assert spec.split_seed == 99
+
+    def test_build_predictor_defaults_to_pipeline_choice(self):
+        assert RemJobSpec().build_predictor() is None
+
+    def test_build_predictor_applies_hyperparameters(self):
+        spec = RemJobSpec(
+            predictor="knn", tune=False, hyperparameters={"n_neighbors": 7}
+        )
+        predictor = spec.build_predictor()
+        assert isinstance(predictor, KnnRegressor)
+        assert predictor.n_neighbors == 7

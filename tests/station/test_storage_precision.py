@@ -1,0 +1,95 @@
+"""SampleLog CSV persistence must round-trip floats exactly.
+
+The archive is what lets the ML stage re-run without re-flying; a
+position that drifts by 1e-8 m between save and load silently changes
+every downstream fit.  ``save_csv`` therefore serializes float fields
+as ``repr(float(value))``, which reparses bit-exactly — including for
+numpy scalars of any width (a raw ``str()`` of a float32 prints the
+*narrow-type* shortest repr, which re-parses to a different float64).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.station.storage import Sample, SampleLog
+
+finite = st.floats(allow_nan=False, allow_infinity=True, width=64)
+
+
+def sample_from(values, rssi, index):
+    """Build one sample from a 7-float tuple plus an RSS int."""
+    t, x, y, z, tx, ty, tz = values
+    return Sample(
+        uav_name=f"UAV-{index}",
+        waypoint_index=index,
+        timestamp_s=t,
+        x=x,
+        y=y,
+        z=z,
+        true_x=tx,
+        true_y=ty,
+        true_z=tz,
+        ssid="net",
+        rssi_dbm=rssi,
+        mac="02:00:00:00:00:01",
+        channel=6,
+    )
+
+
+class TestExactRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.tuples(*[finite] * 7),
+                st.integers(min_value=-120, max_value=0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_save_load_reproduces_floats_exactly(self, tmp_path_factory, rows):
+        log = SampleLog(
+            sample_from(values, rssi, i)
+            for i, (values, rssi) in enumerate(rows)
+        )
+        path = tmp_path_factory.mktemp("csv") / "log.csv"
+        log.save_csv(path)
+        back = SampleLog.load_csv(path)
+        assert len(back) == len(log)
+        for original, loaded in zip(log, back):
+            assert loaded == original  # dataclass equality: every field
+
+    def test_float32_positions_round_trip_exactly(self, tmp_path):
+        # Regression: str(np.float32(1.234567)) == "1.234567", which
+        # reparses to a float64 that differs from float(np.float32(...))
+        # by ~5e-8 — a silent archive corruption before the repr fix.
+        value = np.float32(1.234567)
+        log = SampleLog(
+            [
+                sample_from(
+                    (value, value, value, value, value, value, value), -73, 0
+                )
+            ]
+        )
+        path = tmp_path / "log.csv"
+        log.save_csv(path)
+        loaded = SampleLog.load_csv(path)[0]
+        assert loaded.x == float(value)
+        assert loaded.timestamp_s == float(value)
+
+    def test_numpy_float64_round_trip(self, tmp_path):
+        values = tuple(
+            np.float64(v)
+            for v in (0.1 + 0.2, 1e-17, -0.0, 1e300, 2.0 / 3.0, np.pi, -np.pi)
+        )
+        log = SampleLog([sample_from(values, -60, 0)])
+        path = tmp_path / "log.csv"
+        log.save_csv(path)
+        loaded = SampleLog.load_csv(path)[0]
+        assert loaded.timestamp_s == 0.1 + 0.2  # 0.30000000000000004 exactly
+        assert loaded.x == 1e-17
+        assert loaded.z == 1e300
+        assert loaded.true_x == 2.0 / 3.0
+        assert loaded.true_y == np.pi

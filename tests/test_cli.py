@@ -107,6 +107,17 @@ class TestCommands:
         assert data["resolution_m"] == 0.6
         assert data["fields"]
 
+    def test_rem_export_npz_suffix_dispatch(self, tmp_path, capsys):
+        from repro.core.rem import RadioEnvironmentMap
+
+        output = tmp_path / "rem.npz"
+        code = main(["rem", "--out", str(output), "--resolution", "0.6"])
+        assert code == 0
+        assert output.exists()
+        rem = RadioEnvironmentMap.load_npz(output)
+        assert rem.grid.resolution_m == 0.6
+        assert rem.macs
+
 
 class TestScenariosCommand:
     def test_parser_accepts_subcommands(self):
@@ -256,3 +267,105 @@ class TestScenariosCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "active sampling" in out
+
+
+class TestJobsAndServeCommands:
+    def test_jobs_and_serve_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["jobs", "run"],
+            ["jobs", "run", "spec.json", "--store", "s", "--json"],
+            ["jobs", "run", "--set", "seed=7"],
+            ["jobs", "list", "--store", "s"],
+            ["serve", "--port", "0", "--capacity", "2"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command in ("jobs", "serve")
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+    TINY_JOB = [
+        "--set",
+        "acquisition=active",
+        "--set",
+        'active={"seed_waypoints":6,"batch_size":6,"budget_waypoints":6}',
+        "--set",
+        "tune=false",
+        "--set",
+        "min_samples_per_mac=2",
+        "--set",
+        "resolution_m=0.8",
+    ]
+
+    def test_jobs_run_builds_then_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main(["jobs", "run", "--store", store, *self.TINY_JOB]) == 0
+        assert "(built)" in capsys.readouterr().out
+        assert main(["jobs", "run", "--store", store, *self.TINY_JOB]) == 0
+        out = capsys.readouterr().out
+        assert "(cache hit)" in out
+        assert "APs mapped" in out
+
+    def test_jobs_run_spec_file_and_json_record(self, tmp_path, capsys):
+        from repro.serve import RemJobSpec
+
+        spec = RemJobSpec(
+            acquisition="active",
+            active={
+                "seed_waypoints": 6,
+                "batch_size": 6,
+                "budget_waypoints": 6,
+            },
+            tune=False,
+            min_samples_per_mac=2,
+            resolution_m=0.8,
+        )
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text(spec.to_json())
+        store = str(tmp_path / "artifacts")
+        code = main(
+            ["jobs", "run", str(spec_path), "--store", store, "--json"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["digest"] == spec.digest()
+        assert record["provenance"]["samples"] > 0
+
+        capsys.readouterr()
+        assert main(["jobs", "list", "--store", store, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["digest"] for r in records] == [spec.digest()]
+
+    def test_jobs_list_empty_store(self, tmp_path, capsys):
+        assert main(["jobs", "list", "--store", str(tmp_path / "empty")]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_jobs_run_bad_spec_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "jobs",
+                "run",
+                "--store",
+                str(tmp_path),
+                "--set",
+                "acquisition=psychic",
+            ]
+        )
+        assert code == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_jobs_run_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["jobs", "run", "--store", str(tmp_path), "--set", "scenario=nope"]
+        )
+        assert code == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_jobs_run_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["jobs", "run", str(tmp_path / "absent.json"), "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "bad job spec" in capsys.readouterr().err

@@ -62,6 +62,14 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "holdout RMSE" in out
 
+    def test_rem_server(self, capsys):
+        _run_example("rem_server", ["--quick"])
+        out = capsys.readouterr().out
+        assert "cache hit = True" in out
+        assert "healthz : ok" in out
+        assert "served ≡ direct" in out
+        assert "server stopped" in out
+
     def test_generated_city(self, capsys):
         _run_example("generated_city", ["--quick"])
         out = capsys.readouterr().out

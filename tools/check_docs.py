@@ -41,6 +41,7 @@ PACKAGES = (
     "link",
     "station",
     "core",
+    "serve",
     "analysis",
 )
 
