@@ -10,9 +10,12 @@ proves the second run is a cache hit); a
 serve it on an ephemeral port while a urllib client walks the API —
 health check, artifact listing, batched queries, strongest-AP lookups,
 coverage and dark-region planning — and cross-checks every served
-answer against the direct in-process map.
+answer against the direct in-process map.  A final segment re-saves
+the artifact into an mmap-able ``npy`` store and serves it from a
+2-worker pre-forked :class:`~repro.serve.RemCluster`, driving the
+``/v1/batch`` endpoint and draining the workers gracefully.
 
-Expected runtime: ~2 s (pass ``--quick`` for a ~1 s smoke run).
+Expected runtime: ~3 s (pass ``--quick`` for a faster smoke run).
 
 Prints the job provenance, the cache-hit proof, each HTTP response
 summary and the served-vs-direct agreement bound.
@@ -30,7 +33,14 @@ import urllib.request
 
 import numpy as np
 
-from repro.serve import ArtifactStore, RemJobSpec, RemService, create_server, run_job
+from repro.serve import (
+    ArtifactStore,
+    RemCluster,
+    RemJobSpec,
+    RemService,
+    create_server,
+    run_job,
+)
 
 
 def http_json(url, payload=None):
@@ -133,7 +143,43 @@ def main() -> None:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
-    print("server stopped; artifact store was temporary — done")
+
+        # -- the same artifact from a pre-forked worker cluster -------
+        shared = ArtifactStore(f"{root}/shared", "npy")  # mmap-able
+        shared.save(artifact)
+        cluster = RemCluster(shared.root, workers=2)
+        cluster.start()
+        try:
+            host, port = cluster.address
+            base = f"http://{host}:{port}"
+            health = http_json(f"{base}/healthz")
+            print(
+                f"cluster : {len(cluster.worker_pids())} workers on "
+                f"{base}, healthz {health['status']}"
+            )
+            batch = http_json(
+                f"{base}/v1/batch",
+                [
+                    {"digest": artifact.digest, "type": "query", "points": points},
+                    {
+                        "digest": artifact.digest,
+                        "type": "coverage",
+                        "threshold_dbm": -70.0,
+                    },
+                ],
+            )["responses"]
+            batch_gap = float(
+                np.abs(np.asarray(batch[0]["values"]) - direct).max()
+            )
+            print(
+                f"batch   : {len(batch)} mixed requests in one round "
+                f"trip, query ≡ direct (max gap {batch_gap:.1e} dB)"
+            )
+            assert batch_gap < 1e-9
+        finally:
+            exit_codes = cluster.stop(graceful=True)
+        print(f"drained : worker exit codes {exit_codes}")
+    print("servers stopped; artifact store was temporary — done")
 
 
 if __name__ == "__main__":

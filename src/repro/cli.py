@@ -201,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default="artifacts", help="artifact store directory"
     )
     jrun.add_argument(
+        "--store-format",
+        choices=("npz", "npy"),
+        default="npz",
+        help=(
+            "artifact storage layout: npz (compressed archive) or npy "
+            "(uncompressed .npy per tensor, mmap-able for multi-worker "
+            "serving; default npz)"
+        ),
+    )
+    jrun.add_argument(
         "--json", action="store_true", help="emit the artifact record as JSON"
     )
 
@@ -227,6 +237,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="loaded-artifact LRU capacity (default 4)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "pre-forked worker processes (default 1 = single-process; "
+            "N > 1 serves one SO_REUSEPORT address from N processes "
+            "with mmap-shared artifacts)"
+        ),
+    )
+    serve.add_argument(
+        "--no-reuse-port",
+        action="store_true",
+        help=(
+            "multi-worker only: share one inherited listener socket "
+            "instead of per-worker SO_REUSEPORT sockets"
+        ),
     )
     return parser
 
@@ -448,7 +476,9 @@ def _load_job_spec(args):
 def _cmd_jobs(args) -> int:
     from .serve import ArtifactStore, run_job
 
-    store = ArtifactStore(args.store)
+    store = ArtifactStore(
+        args.store, default_format=getattr(args, "store_format", "npz")
+    )
     if args.jobs_command == "run":
         try:
             spec = _load_job_spec(args)
@@ -496,14 +526,34 @@ def _cmd_jobs(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import ArtifactStore, RemService, create_server
+    from .serve import ArtifactStore, RemCluster, RemService, create_server
 
     store = ArtifactStore(args.store)
+    if args.workers > 1:
+        cluster = RemCluster(
+            args.store,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            capacity=args.capacity,
+            reuse_port=False if args.no_reuse_port else None,
+        )
+        cluster.start()
+        host, port = cluster.address
+        mode = "inherited listener" if args.no_reuse_port else "SO_REUSEPORT"
+        print(
+            f"serving {store.count()} artifact(s) from {args.store}/ "
+            f"on http://{host}:{port} with {args.workers} workers "
+            f"({mode}; Ctrl-C to stop)"
+        )
+        cluster.run_forever()
+        print("\nshutting down")
+        return 0
     service = RemService(store, capacity=args.capacity)
     server = create_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(
-        f"serving {len(store.digests())} artifact(s) from {args.store}/ "
+        f"serving {store.count()} artifact(s) from {args.store}/ "
         f"on http://{host}:{port} (Ctrl-C to stop)"
     )
     try:

@@ -61,15 +61,46 @@ class RemGrid:
         return nx * ny * nz
 
     def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-axis coordinate vectors."""
-        lo = np.asarray(self.volume.min_corner, dtype=float)
-        hi = np.asarray(self.volume.max_corner, dtype=float)
-        nx, ny, nz = self.shape
-        return (
-            np.linspace(lo[0], hi[0], nx),
-            np.linspace(lo[1], hi[1], ny),
-            np.linspace(lo[2], hi[2], nz),
-        )
+        """Per-axis coordinate vectors (cached — the grid is frozen)."""
+        cached = getattr(self, "_axes_cache", None)
+        if cached is None:
+            lo = np.asarray(self.volume.min_corner, dtype=float)
+            hi = np.asarray(self.volume.max_corner, dtype=float)
+            nx, ny, nz = self.shape
+            cached = (
+                np.linspace(lo[0], hi[0], nx),
+                np.linspace(lo[1], hi[1], ny),
+                np.linspace(lo[2], hi[2], nz),
+            )
+            object.__setattr__(self, "_axes_cache", cached)
+        return cached
+
+    def lerp_params(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Cached interpolation constants ``(lo, step, top, degenerate)``.
+
+        The lattice is a uniform linspace per axis, so a query point's
+        cell index is plain arithmetic — ``(x - lo) / step`` — instead
+        of a per-axis ``searchsorted``.  ``top`` is the largest valid
+        cell index per axis and ``degenerate`` marks zero-extent axes
+        (``None`` when there are none, the overwhelmingly common case).
+        """
+        cached = getattr(self, "_lerp_cache", None)
+        if cached is None:
+            lo = np.asarray(self.volume.min_corner, dtype=float)
+            hi = np.asarray(self.volume.max_corner, dtype=float)
+            n = np.asarray(self.shape)
+            step = (hi - lo) / (n - 1)
+            degenerate = step == 0
+            cached = (
+                lo,
+                np.where(degenerate, 1.0, step),
+                n - 2,
+                degenerate if degenerate.any() else None,
+            )
+            object.__setattr__(self, "_lerp_cache", cached)
+        return cached
 
     def points(self) -> np.ndarray:
         """All lattice points as an (N, 3) array (x fastest to slowest)."""
@@ -96,6 +127,11 @@ class RadioEnvironmentMap:
         # entry — vocabularies can be much wider than the mapped subset).
         self._stack = np.empty((0,) + grid.shape)
         self._row_of: Dict[str, int] = {}
+        #: Lazy caches for the serving hot path, invalidated by the
+        #: field setters: (identity, rows) for the every-AP query and
+        #: the sorted present-MAC tuple.
+        self._rows_cache: Optional[Tuple[bool, np.ndarray]] = None
+        self._macs_cache: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------
     def set_field(self, mac: str, values: np.ndarray) -> None:
@@ -105,6 +141,8 @@ class RadioEnvironmentMap:
         expected = self.grid.shape
         if values.shape != expected:
             raise ValueError(f"field shape {values.shape} != grid shape {expected}")
+        self._rows_cache = None
+        self._macs_cache = None
         row = self._row_of.get(mac)
         if row is None:
             self._row_of[mac] = len(self._stack)
@@ -122,6 +160,8 @@ class RadioEnvironmentMap:
         for mac in macs:
             if mac not in self._index:
                 raise KeyError(f"unknown MAC {mac!r}")
+        self._rows_cache = None
+        self._macs_cache = None
         fresh = [mac for mac in macs if mac not in self._row_of]
         if len(fresh) == len(macs) and len(set(macs)) == len(macs):
             # Common case (build_rem): one allocation for the whole batch.
@@ -133,6 +173,46 @@ class RadioEnvironmentMap:
         else:
             for mac, values in zip(macs, tensor):
                 self.set_field(mac, values)
+
+    @classmethod
+    def from_stack(
+        cls,
+        grid: RemGrid,
+        mac_vocabulary: Sequence[str],
+        macs: Sequence[str],
+        stack: np.ndarray,
+    ) -> "RadioEnvironmentMap":
+        """Wrap an existing ``(len(macs), nx, ny, nz)`` tensor, no copy.
+
+        Unlike :meth:`set_fields` — which casts to float64 and copies —
+        this attaches ``stack`` as the backing tensor verbatim, so a
+        memory-mapped array (``np.load(mmap_mode="r")``) stays a map:
+        N serving processes share one page-cache copy of the artifact
+        instead of N private heap copies.  The stack's dtype (float64
+        or float32 artifacts) is preserved.
+        """
+        rem = cls(grid, mac_vocabulary)
+        expected = (len(macs),) + grid.shape
+        if stack.shape != expected:
+            raise ValueError(f"stack shape {stack.shape} != expected {expected}")
+        for row, mac in enumerate(macs):
+            if mac not in rem._index:
+                raise KeyError(f"unknown MAC {mac!r}")
+            rem._row_of[mac] = row
+        if len(rem._row_of) != len(macs):
+            raise ValueError("duplicate MACs in stack")
+        rem._stack = stack
+        return rem
+
+    def astype(self, dtype) -> "RadioEnvironmentMap":
+        """A copy of this map with the field tensor cast to ``dtype``."""
+        macs = self.macs
+        return RadioEnvironmentMap.from_stack(
+            self.grid,
+            self.mac_vocabulary,
+            macs,
+            self.field_tensor(macs).astype(dtype),
+        )
 
     def field(self, mac: str) -> np.ndarray:
         """The (nx, ny, nz) RSS lattice of one AP (read-only view).
@@ -160,10 +240,18 @@ class RadioEnvironmentMap:
 
     @property
     def macs(self) -> Tuple[str, ...]:
-        """APs with stored fields, in vocabulary order."""
-        return tuple(
-            sorted(self._row_of, key=self._index.__getitem__)
-        )
+        """APs with stored fields, in vocabulary order (cached)."""
+        cached = self._macs_cache
+        if cached is None:
+            cached = self._macs_cache = tuple(
+                sorted(self._row_of, key=self._index.__getitem__)
+            )
+        return cached
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the backing field tensor (float64 or float32)."""
+        return self._stack.dtype
 
     def _rows(self, macs: Optional[Sequence[str]]) -> np.ndarray:
         """Stack rows for the requested (or all present) MACs."""
@@ -176,6 +264,23 @@ class RadioEnvironmentMap:
                 raise KeyError(mac)
             rows.append(row)
         return np.asarray(rows, dtype=int)
+
+    def _all_rows(self) -> Tuple[bool, np.ndarray]:
+        """Cached ``(identity, rows)`` for the every-AP query path.
+
+        ``identity`` is True when the stored rows already sit in
+        vocabulary order (the overwhelmingly common layout), letting
+        :meth:`query_many` skip both the per-call sort in :attr:`macs`
+        and the whole-tensor gather.  Invalidated by the field setters.
+        """
+        cached = self._rows_cache
+        if cached is None:
+            rows = self._rows(None)
+            identity = len(rows) == len(self._stack) and np.array_equal(
+                rows, np.arange(len(rows))
+            )
+            cached = self._rows_cache = (identity, rows)
+        return cached
 
     # ------------------------------------------------------------------
     # queries
@@ -196,37 +301,51 @@ class RadioEnvironmentMap:
         outside the mapped volume are clipped onto its boundary, like
         the scalar query always did.
         """
-        rows = self._rows(macs)
-        stack = self._stack[rows]
-        pts = np.asarray(positions, dtype=float).reshape(-1, 3)
-        axes = self.grid.axes()
-
-        cell: List[np.ndarray] = []
-        frac: List[np.ndarray] = []
-        for axis, axis_values in enumerate(axes):
-            coords = pts[:, axis]
-            i = np.clip(
-                np.searchsorted(axis_values, coords) - 1, 0, len(axis_values) - 2
+        # The fancy-index gather would duplicate the whole tensor per
+        # call — and materialize mmap-backed stacks, defeating
+        # cross-process page sharing — so use the stack as-is whenever
+        # the requested rows are already everything, in order.
+        if macs is None:
+            identity, rows = self._all_rows()
+        else:
+            rows = self._rows(macs)
+            identity = len(rows) == len(self._stack) and np.array_equal(
+                rows, np.arange(len(rows))
             )
-            span = axis_values[i + 1] - axis_values[i]
-            safe_span = np.where(span == 0, 1.0, span)
-            t = np.where(span == 0, 0.0, (coords - axis_values[i]) / safe_span)
-            cell.append(i)
-            frac.append(np.clip(t, 0.0, 1.0))
-        (i, j, k), (tx, ty, tz) = cell, frac
+        stack = self._stack if identity else self._stack[rows]
+        pts = np.asarray(positions, dtype=float).reshape(-1, 3)
 
-        # Gather the 8 cell corners for every (mac, point) pair; the
-        # blend order matches the legacy scalar query exactly.
-        c00 = stack[:, i, j, k] * (1 - tx) + stack[:, i + 1, j, k] * tx
-        c01 = stack[:, i, j, k + 1] * (1 - tx) + stack[:, i + 1, j, k + 1] * tx
-        c10 = stack[:, i, j + 1, k] * (1 - tx) + stack[:, i + 1, j + 1, k] * tx
-        c11 = (
-            stack[:, i, j + 1, k + 1] * (1 - tx)
-            + stack[:, i + 1, j + 1, k + 1] * tx
+        # Cell index and in-cell fraction per axis, by arithmetic on the
+        # uniform lattice (no per-axis searchsorted).  Truncation toward
+        # zero equals floor after the clip: out-of-volume points land on
+        # the boundary with fraction 0 or 1, exactly like the legacy
+        # clipping behavior.
+        lo, step, top, degenerate = self.grid.lerp_params()
+        t = (pts - lo) / step
+        cell = np.clip(t.astype(np.intp), 0, top)
+        frac = np.clip(t - cell, 0.0, 1.0)
+        if degenerate is not None:
+            frac = np.where(degenerate, 0.0, frac)
+
+        # Blend the 8 cell corners for every (mac, point) pair as one
+        # flat gather + weight contraction: separate per-corner
+        # fancy-index passes cost ~8x the fixed numpy dispatch
+        # overhead, which dominates small (single-point) queries on the
+        # serving path.
+        _, ny, nz = stack.shape[1:]
+        base = (cell[:, 0] * ny + cell[:, 1]) * nz + cell[:, 2]
+        offsets = np.array(
+            [0, 1, nz, nz + 1, ny * nz, ny * nz + 1, ny * nz + nz, ny * nz + nz + 1]
         )
-        c0 = c00 * (1 - ty) + c10 * ty
-        c1 = c01 * (1 - ty) + c11 * ty
-        return (c0 * (1 - tz) + c1 * tz).T
+        remainder = 1.0 - frac
+        wx = np.stack([remainder[:, 0], frac[:, 0]])
+        wy = np.stack([remainder[:, 1], frac[:, 1]])
+        wz = np.stack([remainder[:, 2], frac[:, 2]])
+        weights = (
+            wx[:, None, None] * wy[None, :, None] * wz[None, None, :]
+        ).reshape(8, -1)
+        corners = stack.reshape(stack.shape[0], -1)[:, base + offsets[:, None]]
+        return (corners * weights).sum(axis=1).T
 
     def strongest_ap(self, position: Sequence[float]) -> Tuple[str, float]:
         """The best-serving AP and its RSS at ``position``."""
@@ -350,7 +469,11 @@ def _rem_npz_payload(
 
 
 def _rem_from_npz_payload(data, prefix: str = "") -> "RadioEnvironmentMap":
-    """Rebuild a map from a :func:`_rem_npz_payload` archive."""
+    """Rebuild a map from a :func:`_rem_npz_payload` archive.
+
+    The stored stack dtype is preserved (float32 artifacts stay
+    float32), so save/load round trips are byte-exact for any dtype.
+    """
     grid = RemGrid(
         volume=Cuboid(
             tuple(float(v) for v in data[f"{prefix}volume_min"]),
@@ -358,11 +481,12 @@ def _rem_from_npz_payload(data, prefix: str = "") -> "RadioEnvironmentMap":
         ),
         resolution_m=float(data[f"{prefix}resolution_m"]),
     )
-    rem = RadioEnvironmentMap(grid, [str(m) for m in data[f"{prefix}vocabulary"]])
-    macs = [str(m) for m in data[f"{prefix}macs"]]
-    if macs:
-        rem.set_fields(macs, np.asarray(data[f"{prefix}stack"], dtype=float))
-    return rem
+    return RadioEnvironmentMap.from_stack(
+        grid,
+        [str(m) for m in data[f"{prefix}vocabulary"]],
+        [str(m) for m in data[f"{prefix}macs"]],
+        np.asarray(data[f"{prefix}stack"]),
+    )
 
 
 def build_rem(

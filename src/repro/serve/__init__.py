@@ -10,16 +10,23 @@ The unified job/artifact API over the whole toolchain:
   digest is already stored;
 * :class:`RemArtifact` / :class:`ArtifactStore`
   (:mod:`~repro.serve.artifact`) — the persisted product (REM +
-  uncertainty tensors as compressed ``.npz``, spec + provenance as a
-  JSON sidecar) under a content-addressed store;
+  uncertainty tensors as compressed ``.npz`` or mmap-able
+  ``.npy``-per-tensor layout, spec + provenance as a JSON sidecar)
+  under a content-addressed store;
 * :class:`RemService` (:mod:`~repro.serve.service`) — thread-safe LRU
   serving layer answering typed query/strongest-AP/coverage/dark-region
   requests as vectorized REM reductions;
 * :func:`create_server` (:mod:`~repro.serve.http`) — the stdlib
-  JSON/HTTP front end (``repro serve`` on the CLI).
+  JSON/HTTP front end (``repro serve`` on the CLI);
+* :class:`RemCluster` (:mod:`~repro.serve.cluster`) — pre-forked
+  multi-process serving over one ``SO_REUSEPORT`` address with
+  shared-page-cache artifacts (``repro serve --workers N``);
+* :mod:`~repro.serve.loadgen` — the keep-alive/pipelined load
+  generator behind ``benchmarks/bench_loadgen.py``.
 """
 
-from .artifact import ArtifactStore, RemArtifact
+from .artifact import STORAGE_FORMATS, ArtifactStore, RemArtifact
+from .cluster import RemCluster, process_rss_bytes
 from .http import RemHttpServer, create_server
 from .jobs import run_job
 from .service import (
@@ -33,6 +40,7 @@ from .service import (
     StrongestApRequest,
     StrongestApResponse,
     request_from_dict,
+    requests_from_list,
 )
 from .spec import PREDICTOR_FACTORIES, RemJobSpec
 
@@ -42,6 +50,7 @@ __all__ = [
     "run_job",
     "RemArtifact",
     "ArtifactStore",
+    "STORAGE_FORMATS",
     "RemService",
     "QueryRequest",
     "QueryResponse",
@@ -52,6 +61,9 @@ __all__ = [
     "DarkRegionsRequest",
     "DarkRegionsResponse",
     "request_from_dict",
+    "requests_from_list",
     "RemHttpServer",
+    "RemCluster",
+    "process_rss_bytes",
     "create_server",
 ]

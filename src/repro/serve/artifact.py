@@ -4,11 +4,22 @@ A :class:`RemArtifact` is the persisted end product of one job: the
 RSS map, its optional predictive-uncertainty layer, the
 :class:`~repro.serve.spec.RemJobSpec` that produced it and a
 provenance record (seed, sample counts, test RMSE, wall time).  The
-:class:`ArtifactStore` keeps artifacts under their spec digest as a
-compressed ``.npz`` (the tensors) plus a JSON sidecar (spec,
-provenance, content hash) — so "build once, persist, serve many" is
-one ``save`` and any number of ``load``/``get`` calls, and re-running
-a job whose digest is already stored is a cache hit.
+:class:`ArtifactStore` keeps artifacts under their spec digest in one
+of two storage formats, chosen per artifact and recorded in the JSON
+sidecar:
+
+* ``"npz"`` — the tensors as one compressed archive
+  (``<root>/<digest>.npz``): smallest on disk, but every loader
+  decompresses its own private copy;
+* ``"npy"`` — one uncompressed ``.npy`` file per tensor under
+  ``<root>/<digest>/``: larger on disk, but loadable with
+  ``np.load(mmap_mode="r")`` so N serving processes share one
+  page-cache copy of the map instead of N heap copies (the
+  :mod:`~repro.serve.cluster` workers' format).
+
+Either way "build once, persist, serve many" is one ``save`` and any
+number of ``load``/``get`` calls, and re-running a job whose digest is
+already stored is a cache hit.
 """
 
 from __future__ import annotations
@@ -16,8 +27,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -25,18 +37,28 @@ import numpy as np
 
 from ..core.rem import (
     RadioEnvironmentMap,
+    RemGrid,
     _rem_from_npz_payload,
     _rem_npz_payload,
 )
+from ..radio.geometry import Cuboid
 from .spec import RemJobSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids eager import
     from ..core.pipeline import ToolchainResult
 
-__all__ = ["RemArtifact", "ArtifactStore"]
+__all__ = ["RemArtifact", "ArtifactStore", "STORAGE_FORMATS"]
 
 #: Sidecar format version (bump on incompatible layout changes).
-_FORMAT = 1
+#: Version 2 added the ``storage`` and ``dtype`` keys; version-1
+#: sidecars (no ``storage`` key) read as float64 npz archives.
+_FORMAT = 2
+
+#: The storage layouts :meth:`ArtifactStore.save` understands.
+STORAGE_FORMATS = ("npz", "npy")
+
+#: Tensor file name per layer in the ``npy`` layout.
+_LAYER_FILES = {"rem_": "rem_stack.npy", "unc_": "unc_stack.npy"}
 
 
 @dataclass
@@ -61,6 +83,27 @@ class RemArtifact:
         """The content address (the spec digest — builds are pure)."""
         return self.spec.digest()
 
+    @property
+    def dtype(self) -> str:
+        """Tensor dtype of the artifact (``float64`` or ``float32``)."""
+        return str(self.rem.dtype)
+
+    def astype(self, dtype) -> "RemArtifact":
+        """A copy with both map layers cast to ``dtype``.
+
+        ``run_job`` uses this to honor ``spec.dtype == "float32"``: the
+        build always runs in float64, the persisted artifact carries
+        the cast tensors (half the footprint, served values within
+        1e-3 dB).
+        """
+        return replace(
+            self,
+            rem=self.rem.astype(dtype),
+            uncertainty=(
+                None if self.uncertainty is None else self.uncertainty.astype(dtype)
+            ),
+        )
+
     def content_hash(self) -> str:
         """SHA-256 over the actual tensor bytes and MAC lists.
 
@@ -79,99 +122,232 @@ class RemArtifact:
         return blake.hexdigest()
 
     def record(self) -> Dict[str, object]:
-        """The JSON sidecar payload (digest, spec, provenance, hash)."""
+        """The JSON sidecar payload (digest, spec, dtype, provenance)."""
         return {
             "format": _FORMAT,
             "digest": self.digest,
             "content_hash": self.content_hash(),
+            "dtype": self.dtype,
             "spec": self.spec.to_dict(),
             "provenance": dict(self.provenance),
         }
 
 
+def _layer_meta(rem: RadioEnvironmentMap) -> Dict[str, object]:
+    """JSON-sidecar geometry/vocabulary record of one map layer."""
+    return {
+        "volume_min": [float(v) for v in rem.grid.volume.min_corner],
+        "volume_max": [float(v) for v in rem.grid.volume.max_corner],
+        "resolution_m": float(rem.grid.resolution_m),
+        "vocabulary": list(rem.mac_vocabulary),
+        "macs": list(rem.macs),
+        "dtype": str(rem.dtype),
+    }
+
+
+def _layer_from_meta(
+    meta: Dict[str, object], stack: np.ndarray
+) -> RadioEnvironmentMap:
+    """Rebuild one map layer from its sidecar record plus its tensor."""
+    grid = RemGrid(
+        volume=Cuboid(
+            tuple(float(v) for v in meta["volume_min"]),
+            tuple(float(v) for v in meta["volume_max"]),
+        ),
+        resolution_m=float(meta["resolution_m"]),
+    )
+    return RadioEnvironmentMap.from_stack(
+        grid, list(meta["vocabulary"]), list(meta["macs"]), stack
+    )
+
+
 class ArtifactStore:
     """Content-addressed on-disk artifact collection.
 
-    Layout: ``<root>/<digest>.npz`` (tensors) + ``<root>/<digest>.json``
-    (sidecar).  All methods are safe under concurrent use from one
-    process; saves write via a temp file + atomic rename so readers
-    never observe a half-written archive.
+    Layout per artifact: a ``<root>/<digest>.json`` sidecar (spec,
+    provenance, storage record) plus the tensors in one of the
+    :data:`STORAGE_FORMATS` — ``<digest>.npz`` (compressed archive) or
+    ``<digest>/<layer>_stack.npy`` (uncompressed, mmap-able).  All
+    methods are safe under concurrent use from one process; saves
+    write via a temp file + atomic rename so readers never observe a
+    half-written artifact.  :meth:`digests` results are cached against
+    the root directory's mtime, keeping :meth:`count` (the liveness
+    probe's artifact counter) O(1) instead of a directory scan.
     """
 
-    def __init__(self, root):
+    def __init__(self, root, default_format: str = "npz"):
+        if default_format not in STORAGE_FORMATS:
+            raise ValueError(
+                f"unknown storage format {default_format!r}; "
+                f"choose from {STORAGE_FORMATS}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.default_format = default_format
         self._lock = threading.RLock()
+        self._digest_cache: Optional[List[str]] = None
+        self._digest_stamp: Optional[int] = None
 
     # ------------------------------------------------------------------
     def _paths(self, digest: str) -> tuple:
         return self.root / f"{digest}.npz", self.root / f"{digest}.json"
 
+    def _npy_dir(self, digest: str) -> Path:
+        return self.root / digest
+
+    def _has_payload(self, digest: str) -> bool:
+        npz, _ = self._paths(digest)
+        return npz.exists() or (self._npy_dir(digest) / _LAYER_FILES["rem_"]).exists()
+
     def __contains__(self, digest: str) -> bool:
-        npz, sidecar = self._paths(digest)
-        return npz.exists() and sidecar.exists()
+        _, sidecar = self._paths(digest)
+        return sidecar.exists() and self._has_payload(digest)
 
     def digests(self) -> List[str]:
-        """Digests of every stored artifact, sorted."""
-        return sorted(
-            p.stem
-            for p in self.root.glob("*.json")
-            if (self.root / f"{p.stem}.npz").exists()
-        )
+        """Digests of every stored artifact, sorted.
+
+        The scan is cached against the root directory's mtime: saves
+        (from this or any other process) touch the directory, anything
+        else reuses the cached listing at the cost of one ``stat``.
+        """
+        with self._lock:
+            stamp = self.root.stat().st_mtime_ns
+            if self._digest_cache is None or stamp != self._digest_stamp:
+                self._digest_cache = sorted(
+                    p.stem for p in self.root.glob("*.json") if p.stem in self
+                )
+                self._digest_stamp = stamp
+            return list(self._digest_cache)
+
+    def count(self) -> int:
+        """Number of stored artifacts — O(1) amortized (see digests)."""
+        return len(self.digests())
 
     # ------------------------------------------------------------------
-    def save(self, artifact: RemArtifact) -> Path:
-        """Persist ``artifact`` under its digest; returns the npz path.
+    def save(self, artifact: RemArtifact, storage_format: Optional[str] = None):
+        """Persist ``artifact`` under its digest; returns the payload path.
 
-        Saving an already-stored digest is a no-op (content addressing:
-        equal digests mean equal bytes).
+        ``storage_format`` overrides the store default for this
+        artifact (``"npz"`` compressed, ``"npy"`` mmap-able); the
+        choice is recorded in the sidecar.  Saving an already-stored
+        digest is a no-op (content addressing: equal digests mean
+        equal bytes) and returns the existing payload path whatever
+        its format.
         """
+        fmt = storage_format or self.default_format
+        if fmt not in STORAGE_FORMATS:
+            raise ValueError(
+                f"unknown storage format {fmt!r}; choose from {STORAGE_FORMATS}"
+            )
         digest = artifact.digest
         npz_path, sidecar_path = self._paths(digest)
         with self._lock:
+            self._digest_cache = None
             if digest in self:
-                return npz_path
-            payload = _rem_npz_payload(artifact.rem, prefix="rem_")
-            if artifact.uncertainty is not None:
-                payload.update(
-                    _rem_npz_payload(artifact.uncertainty, prefix="unc_")
-                )
-            tmp_npz = npz_path.with_suffix(".npz.tmp")
+                return npz_path if npz_path.exists() else self._npy_dir(digest)
+            record = artifact.record()
+            if fmt == "npz":
+                payload_path = self._save_npz(artifact, npz_path)
+                record["storage"] = {"format": "npz"}
+            else:
+                payload_path = self._save_npy(artifact, digest)
+                layers: Dict[str, object] = {"rem": _layer_meta(artifact.rem)}
+                if artifact.uncertainty is not None:
+                    layers["unc"] = _layer_meta(artifact.uncertainty)
+                record["storage"] = {"format": "npy", "layers": layers}
             tmp_sidecar = sidecar_path.with_suffix(".json.tmp")
             try:
-                with open(tmp_npz, "wb") as handle:
-                    np.savez_compressed(handle, **payload)
                 tmp_sidecar.write_text(
-                    json.dumps(artifact.record(), indent=2, sort_keys=True) + "\n",
+                    json.dumps(record, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8",
                 )
-                os.replace(tmp_npz, npz_path)
                 os.replace(tmp_sidecar, sidecar_path)
             finally:
-                for tmp in (tmp_npz, tmp_sidecar):
-                    if tmp.exists():
-                        tmp.unlink()
+                if tmp_sidecar.exists():
+                    tmp_sidecar.unlink()
+        return payload_path
+
+    def _save_npz(self, artifact: RemArtifact, npz_path: Path) -> Path:
+        payload = _rem_npz_payload(artifact.rem, prefix="rem_")
+        if artifact.uncertainty is not None:
+            payload.update(_rem_npz_payload(artifact.uncertainty, prefix="unc_"))
+        tmp_npz = npz_path.with_suffix(".npz.tmp")
+        try:
+            with open(tmp_npz, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp_npz, npz_path)
+        finally:
+            if tmp_npz.exists():
+                tmp_npz.unlink()
         return npz_path
 
-    def load(self, digest: str) -> RemArtifact:
-        """Rebuild the artifact stored under ``digest`` (KeyError if absent)."""
+    def _save_npy(self, artifact: RemArtifact, digest: str) -> Path:
+        final_dir = self._npy_dir(digest)
+        tmp_dir = self.root / f"{digest}.npy-tmp"
+        if tmp_dir.exists():
+            shutil.rmtree(tmp_dir)
+        tmp_dir.mkdir()
+        try:
+            layers = [("rem_", artifact.rem)]
+            if artifact.uncertainty is not None:
+                layers.append(("unc_", artifact.uncertainty))
+            for prefix, rem in layers:
+                stack = np.ascontiguousarray(rem.field_tensor())
+                np.save(tmp_dir / _LAYER_FILES[prefix], stack, allow_pickle=False)
+            os.replace(tmp_dir, final_dir)
+        finally:
+            if tmp_dir.exists():
+                shutil.rmtree(tmp_dir)
+        return final_dir
+
+    # ------------------------------------------------------------------
+    def load(self, digest: str, mmap: bool = False) -> RemArtifact:
+        """Rebuild the artifact stored under ``digest`` (KeyError if absent).
+
+        With ``mmap=True``, ``npy``-format artifacts come back backed
+        by read-only memory maps (``np.load(mmap_mode="r")``): pages
+        fault in on first touch and live in the shared page cache, so
+        concurrent worker processes serving the same artifact cost one
+        physical copy.  ``npz`` artifacts cannot be mapped (zip
+        archives) and always load eagerly.
+        """
         npz_path, sidecar_path = self._paths(digest)
         if digest not in self:
             raise KeyError(f"no artifact {digest!r} in {self.root}")
         sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
-        with np.load(npz_path) as data:
-            rem = _rem_from_npz_payload(data, prefix="rem_")
-            uncertainty = (
-                _rem_from_npz_payload(data, prefix="unc_")
-                if any(k.startswith("unc_") for k in data.files)
-                else None
-            )
+        storage = sidecar.get("storage", {"format": "npz"})
+        if storage.get("format") == "npy":
+            rem, uncertainty = self._load_npy(digest, storage, mmap)
+        else:
+            with np.load(npz_path) as data:
+                rem = _rem_from_npz_payload(data, prefix="rem_")
+                uncertainty = (
+                    _rem_from_npz_payload(data, prefix="unc_")
+                    if any(k.startswith("unc_") for k in data.files)
+                    else None
+                )
         return RemArtifact(
             spec=RemJobSpec.from_dict(sidecar["spec"]),
             rem=rem,
             uncertainty=uncertainty,
             provenance=dict(sidecar.get("provenance", {})),
         )
+
+    def _load_npy(self, digest: str, storage: Dict, mmap: bool) -> tuple:
+        directory = self._npy_dir(digest)
+        mode = "r" if mmap else None
+        layers = storage["layers"]
+        rem = _layer_from_meta(
+            layers["rem"],
+            np.load(directory / _LAYER_FILES["rem_"], mmap_mode=mode),
+        )
+        uncertainty = None
+        if "unc" in layers:
+            uncertainty = _layer_from_meta(
+                layers["unc"],
+                np.load(directory / _LAYER_FILES["unc_"], mmap_mode=mode),
+            )
+        return rem, uncertainty
 
     def get(self, digest: str) -> RemArtifact:
         """Alias of :meth:`load` — the lookup half of the store API."""

@@ -65,9 +65,16 @@ def run_job(spec: RemJobSpec, store: Optional[ArtifactStore] = None) -> RemArtif
         )
     wall_s = time.perf_counter() - start
 
+    rem = result.rem
+    if spec.dtype != "float64":
+        # Builds always run in float64; the artifact carries the cast
+        # tensors (half the footprint, served values within 1e-3 dB).
+        rem = rem.astype(spec.dtype)
+        if uncertainty is not None:
+            uncertainty = uncertainty.astype(spec.dtype)
     artifact = RemArtifact(
         spec=spec,
-        rem=result.rem,
+        rem=rem,
         uncertainty=uncertainty,
         provenance={
             "scenario": spec.scenario,

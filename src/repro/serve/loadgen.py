@@ -1,0 +1,273 @@
+"""Concurrent HTTP load generation with latency percentiles.
+
+The measurement half of the serving tier: a minimal keep-alive
+HTTP/1.1 client (raw sockets, ``TCP_NODELAY``, one reusable buffer) and
+two drivers over it —
+
+* :func:`run_closed_loop` — C connections, each waiting for every
+  response before sending the next request.  The honest latency
+  probe: per-request wall times aggregate into p50/p95/p99.
+* :func:`run_pipelined` — HTTP/1.1 pipelining, ``depth`` requests in
+  flight per connection.  The peak-throughput probe: syscalls and
+  turnaround amortize over the pipeline, the way a batching client or
+  sidecar proxy drives the service.
+
+Both report a :class:`LoadResult` (throughput, latency percentiles,
+error count) ready for the ``BENCH_loadgen.json`` record written by
+``benchmarks/bench_loadgen.py``.  The load generator is intentionally
+server-agnostic: point it at a single-process
+:class:`~repro.serve.http.RemHttpServer` or a
+:class:`~repro.serve.cluster.RemCluster` address alike.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LoadResult",
+    "HttpLoadClient",
+    "encode_request",
+    "latency_percentiles",
+    "run_closed_loop",
+    "run_pipelined",
+]
+
+
+def encode_request(path: str, body: bytes, host: str = "bench") -> bytes:
+    """One pre-encoded ``POST`` request (keep-alive HTTP/1.1)."""
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode("ascii") + body
+
+
+class HttpLoadClient:
+    """A keep-alive HTTP/1.1 connection tuned for load generation.
+
+    ``http.client`` costs ~100 µs of bookkeeping per round trip; at
+    thousands of requests/s the *client* becomes the bottleneck being
+    measured.  This client pre-encodes requests, disables Nagle and
+    parses responses with two ``bytes.find`` calls.
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 30.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = b""
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        self.sock.close()
+
+    def __enter__(self) -> "HttpLoadClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the socket."""
+        self.close()
+
+    def send_raw(self, data: bytes) -> None:
+        """Push pre-encoded request bytes (one or many requests)."""
+        self.sock.sendall(data)
+
+    def read_response(self) -> Tuple[int, bytes]:
+        """Read one response; returns ``(status_code, body_bytes)``."""
+        while True:
+            split = self._buffer.find(b"\r\n\r\n")
+            if split >= 0:
+                break
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-response")
+            self._buffer += chunk
+        header = self._buffer[:split]
+        status = int(header[9:12])
+        lower = header.lower()
+        mark = lower.find(b"content-length:")
+        if mark < 0:
+            raise ValueError("response without Content-Length")
+        end = lower.find(b"\r\n", mark)
+        length = int(header[mark + 15 : end if end >= 0 else len(header)])
+        total = split + 4 + length
+        while len(self._buffer) < total:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-body")
+            self._buffer += chunk
+        body = self._buffer[split + 4 : total]
+        self._buffer = self._buffer[total:]
+        return status, body
+
+    def post(self, path: str, body: bytes) -> Tuple[int, bytes]:
+        """One closed-loop round trip."""
+        self.send_raw(encode_request(path, body))
+        return self.read_response()
+
+    def post_json(self, path: str, payload) -> Tuple[int, object]:
+        """Convenience: JSON in, parsed JSON out."""
+        status, body = self.post(path, json.dumps(payload).encode("utf-8"))
+        return status, json.loads(body)
+
+
+@dataclass
+class LoadResult:
+    """One load-generation run, summarized."""
+
+    mode: str
+    connections: int
+    requests: int
+    errors: int
+    elapsed_s: float
+    #: Completed requests per second over the whole run.
+    throughput_rps: float
+    #: p50/p95/p99/mean in milliseconds (closed loop only).
+    latency_ms: Optional[Dict[str, float]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form for the BENCH record."""
+        record: Dict[str, object] = {
+            "mode": self.mode,
+            "connections": self.connections,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+        }
+        if self.latency_ms is not None:
+            record["latency_ms"] = dict(self.latency_ms)
+        return record
+
+
+def latency_percentiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean of per-request wall times, in milliseconds."""
+    ordered = sorted(latencies_s)
+    if not ordered:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+
+    def rank(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1e3
+
+    return {
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "p99": rank(0.99),
+        "mean": sum(ordered) / len(ordered) * 1e3,
+    }
+
+
+def run_closed_loop(
+    address: Tuple[str, int],
+    path: str,
+    bodies: Sequence[bytes],
+    connections: int = 4,
+    requests_per_connection: int = 200,
+) -> LoadResult:
+    """C keep-alive connections, one request in flight each.
+
+    Every connection cycles through ``bodies`` and records a wall time
+    per round trip; the result aggregates throughput and latency
+    percentiles across all connections.
+    """
+    encoded = [encode_request(path, body) for body in bodies]
+
+    def drive(worker: int) -> Tuple[List[float], int]:
+        client = HttpLoadClient(address)
+        latencies: List[float] = []
+        errors = 0
+        try:
+            for i in range(requests_per_connection):
+                request = encoded[(worker + i) % len(encoded)]
+                start = time.perf_counter()
+                client.send_raw(request)
+                status, _ = client.read_response()
+                latencies.append(time.perf_counter() - start)
+                if status != 200:
+                    errors += 1
+        finally:
+            client.close()
+        return latencies, errors
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=connections) as pool:
+        outcomes = list(pool.map(drive, range(connections)))
+    elapsed = time.perf_counter() - start
+    latencies = [value for worker_latencies, _ in outcomes for value in worker_latencies]
+    errors = sum(count for _, count in outcomes)
+    total = connections * requests_per_connection
+    return LoadResult(
+        mode="closed_loop",
+        connections=connections,
+        requests=total,
+        errors=errors,
+        elapsed_s=elapsed,
+        throughput_rps=total / elapsed if elapsed > 0 else 0.0,
+        latency_ms=latency_percentiles(latencies),
+    )
+
+
+def run_pipelined(
+    address: Tuple[str, int],
+    path: str,
+    bodies: Sequence[bytes],
+    depth: int = 32,
+    requests_per_connection: int = 2000,
+    connections: int = 1,
+) -> LoadResult:
+    """HTTP/1.1 pipelining: ``depth`` requests in flight per connection.
+
+    Requests go out in pre-encoded bursts of ``depth`` and the
+    responses are drained before the next burst — the server processes
+    back-to-back requests without per-round-trip turnaround, which is
+    what a batching client or reverse proxy looks like on the wire.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    encoded = [encode_request(path, body) for body in bodies]
+
+    def drive(worker: int) -> Tuple[int, int]:
+        client = HttpLoadClient(address)
+        sent = completed = errors = 0
+        try:
+            while completed < requests_per_connection:
+                burst = min(depth, requests_per_connection - sent)
+                if burst > 0:
+                    chunk = b"".join(
+                        encoded[(worker + sent + i) % len(encoded)]
+                        for i in range(burst)
+                    )
+                    client.send_raw(chunk)
+                    sent += burst
+                for _ in range(sent - completed):
+                    status, _ = client.read_response()
+                    if status != 200:
+                        errors += 1
+                    completed += 1
+        finally:
+            client.close()
+        return completed, errors
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=connections) as pool:
+        outcomes = list(pool.map(drive, range(connections)))
+    elapsed = time.perf_counter() - start
+    completed = sum(done for done, _ in outcomes)
+    errors = sum(count for _, count in outcomes)
+    return LoadResult(
+        mode=f"pipelined(depth={depth})",
+        connections=connections,
+        requests=completed,
+        errors=errors,
+        elapsed_s=elapsed,
+        throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+    )

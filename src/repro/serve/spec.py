@@ -87,6 +87,10 @@ class RemJobSpec:
     active: Optional[Dict[str, object]] = None
     #: Also build the predictive-uncertainty layer of the artifact.
     with_uncertainty: bool = True
+    #: Artifact tensor dtype: ``"float64"`` (exact) or ``"float32"``
+    #: (half the storage/page-cache footprint; served values stay
+    #: within 1e-3 dB of the float64 build).
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -118,6 +122,10 @@ class RemJobSpec:
             raise ValueError("test_fraction must be in (0, 1)")
         if self.cv_folds < 2:
             raise ValueError("cv_folds must be >= 2")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
         if self.tune and (self.predictor != "knn" or self.hyperparameters):
             raise ValueError(
                 "tune=True grid-searches the k-NN family; it requires "

@@ -143,6 +143,52 @@ class TestQueries:
         assert excinfo.value.code == 400
 
 
+class TestBatch:
+    def test_batch_mixed_requests_match_direct(self, server, artifacts):
+        first, second = artifacts[0], artifacts[1]
+        points = [[1.0, 1.0, 1.0], [2.5, 0.5, 1.5]]
+        status, payload = post(
+            server,
+            "/v1/batch",
+            [
+                {"digest": first.digest, "type": "query", "points": points},
+                {
+                    "digest": second.digest,
+                    "type": "coverage",
+                    "threshold_dbm": -70.0,
+                },
+            ],
+        )
+        assert status == 200
+        responses = payload["responses"]
+        assert len(responses) == 2
+        np.testing.assert_allclose(
+            np.asarray(responses[0]["values"]),
+            first.rem.query_many(points),
+            atol=1e-9,
+        )
+        assert responses[1]["by_mac"] == second.rem.coverage_by_mac(-70.0)
+
+    def test_batch_empty_array_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/batch", [])
+        assert excinfo.value.code == 400
+
+    def test_batch_item_without_digest_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/batch", [{"type": "coverage", "threshold_dbm": -70}])
+        assert excinfo.value.code == 400
+
+    def test_batch_unknown_digest_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(
+                server,
+                "/v1/batch",
+                [{"digest": "0" * 64, "type": "query", "points": [[0, 0, 0]]}],
+            )
+        assert excinfo.value.code == 404
+
+
 class TestJobs:
     def test_post_job_builds_then_hits_cache(self, server, tiny_spec):
         status, first = post(server, "/v1/jobs", tiny_spec.to_dict())
@@ -151,8 +197,10 @@ class TestJobs:
         assert first["cache_hit"] is False
         assert first["provenance"]["samples"] > 0
 
+        # Re-submitting the same spec answers the stored artifact: a
+        # plain 200, never a second 201 "created".
         status, second = post(server, "/v1/jobs", tiny_spec.to_dict())
-        assert status == 201
+        assert status == 200
         assert second["cache_hit"] is True
         assert second["content_hash"] == first["content_hash"]
 

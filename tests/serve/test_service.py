@@ -80,6 +80,72 @@ class TestEquivalence:
         assert response.dark_fraction == artifact.rem.dark_fraction(-55.0)
 
 
+class TestBatching:
+    def test_handle_many_matches_scalar(self, service, artifacts):
+        requests = [
+            QueryRequest(artifacts[0].digest, probe_points(artifacts[0].rem, n=5)),
+            CoverageRequest(artifacts[1].digest, -70.0),
+            StrongestApRequest(artifacts[2].digest, probe_points(artifacts[2].rem, n=5)),
+        ]
+        batched = service.handle_many(requests)
+        assert len(batched) == len(requests)
+        for request, response in zip(requests, batched):
+            assert response.to_dict() == service.handle(request).to_dict()
+
+    def test_requests_from_list_round_trip(self, service, artifacts):
+        from repro.serve import requests_from_list
+
+        body = [
+            {"digest": artifacts[0].digest, "type": "coverage", "threshold_dbm": -70.0},
+            {"digest": artifacts[1].digest, "points": [[1.0, 1.0, 1.0]]},
+        ]
+        requests = requests_from_list(body)
+        assert isinstance(requests[0], CoverageRequest)
+        assert isinstance(requests[1], QueryRequest)
+        assert [r.digest for r in requests] == [b["digest"] for b in body]
+
+    def test_requests_from_list_rejects_bad_envelopes(self):
+        from repro.serve import requests_from_list
+
+        for bad in ([], {"digest": "d"}, [42], [{"type": "query"}]):
+            with pytest.raises(ValueError):
+                requests_from_list(bad)
+
+
+class TestMmapService:
+    def test_mmap_service_matches_eager(self, tmp_path, artifacts):
+        from repro.serve import ArtifactStore
+
+        store = ArtifactStore(tmp_path, default_format="npy")
+        for artifact in artifacts:
+            store.save(artifact)
+        eager = RemService(store, capacity=4)
+        mapped = RemService(store, capacity=4, mmap=True)
+        points = probe_points(artifacts[0].rem, n=16)
+        for artifact in artifacts:
+            np.testing.assert_allclose(
+                mapped.handle(QueryRequest(artifact.digest, points)).values,
+                eager.handle(QueryRequest(artifact.digest, points)).values,
+                atol=1e-9,
+            )
+
+
+class TestFloat32Serving:
+    def test_float32_artifact_served_within_tolerance(self, tmp_path, artifacts):
+        from repro.serve import ArtifactStore
+
+        store = ArtifactStore(tmp_path, default_format="npy")
+        full = artifacts[0]
+        half = full.astype("float32")
+        store.save(half)
+        service = RemService(store, capacity=2, mmap=True)
+        points = probe_points(full.rem, n=32)
+        served = service.handle(QueryRequest(half.digest, points)).values
+        np.testing.assert_allclose(
+            served, full.rem.query_many(points), atol=1e-3
+        )
+
+
 class TestLru:
     def test_capacity_bound_and_eviction(self, service, artifacts):
         point = [[1.0, 1.0, 1.0]]
@@ -165,3 +231,41 @@ class TestWireFormat:
         ):
             payload = service.handle(request).to_dict()
             json.dumps(payload)  # must not raise
+
+    def test_to_json_matches_to_dict(self, service, artifacts):
+        # The fast wire serializer may differ from to_dict only by the
+        # fixed-point value formatting, which stays inside the 1e-9 pin.
+        import json
+
+        artifact = artifacts[0]
+        points = probe_points(artifact.rem, n=6)
+        for request in (
+            QueryRequest(artifact.digest, points),
+            StrongestApRequest(artifact.digest, points),
+            CoverageRequest(artifact.digest, -70.0),
+            DarkRegionsRequest(artifact.digest, -55.0, max_points=3),
+        ):
+            response = service.handle(request)
+            wire = json.loads(response.to_json())
+            reference = response.to_dict()
+            if "values" in wire:
+                np.testing.assert_allclose(
+                    np.asarray(wire.pop("values")),
+                    np.asarray(reference.pop("values")),
+                    atol=1e-9,
+                )
+            assert wire == reference
+
+    def test_query_to_json_edge_shapes(self):
+        # Zero-point and non-finite payloads must stay parseable JSON.
+        import json
+
+        from repro.serve.service import QueryResponse
+
+        empty = QueryResponse(digest="d" * 64, macs=["a"], values=np.empty((0, 1)))
+        assert json.loads(empty.to_json())["values"] == []
+        weird = QueryResponse(
+            digest="d" * 64, macs=["a"], values=np.array([[np.nan]])
+        )
+        parsed = json.loads(weird.to_json())  # stdlib fallback path
+        assert np.isnan(parsed["values"][0][0])

@@ -1,0 +1,150 @@
+"""Storage formats: npy-per-tensor layout, mmap loads, dtype options."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import STORAGE_FORMATS, ArtifactStore
+
+from tests.serve.conftest import make_artifact
+
+
+class TestNpyLayout:
+    def test_round_trip_is_exact(self, tmp_path):
+        artifact = make_artifact(seed=41)
+        store = ArtifactStore(tmp_path, default_format="npy")
+        store.save(artifact)
+        loaded = store.load(artifact.digest)
+        np.testing.assert_array_equal(
+            loaded.rem.field_tensor(), artifact.rem.field_tensor()
+        )
+        np.testing.assert_array_equal(
+            loaded.uncertainty.field_tensor(),
+            artifact.uncertainty.field_tensor(),
+        )
+        assert loaded.rem.macs == artifact.rem.macs
+        assert loaded.content_hash() == artifact.content_hash()
+
+    def test_layout_is_npy_directory(self, tmp_path):
+        artifact = make_artifact(seed=42)
+        store = ArtifactStore(tmp_path, default_format="npy")
+        store.save(artifact)
+        payload_dir = tmp_path / artifact.digest
+        assert (payload_dir / "rem_stack.npy").is_file()
+        assert (payload_dir / "unc_stack.npy").is_file()
+        sidecar = json.loads((tmp_path / f"{artifact.digest}.json").read_text())
+        assert sidecar["storage"]["format"] == "npy"
+        assert sidecar["dtype"] == "float64"
+
+    def test_mmap_load_shares_pages(self, tmp_path):
+        artifact = make_artifact(seed=43)
+        store = ArtifactStore(tmp_path, default_format="npy")
+        store.save(artifact)
+        loaded = store.load(artifact.digest, mmap=True)
+        # The stack must still BE the memory map — any copy on the way
+        # in would defeat cross-process page sharing.
+        assert isinstance(loaded.rem._stack, np.memmap)
+        np.testing.assert_array_equal(
+            loaded.rem.field_tensor(), artifact.rem.field_tensor()
+        )
+
+    def test_per_save_format_override(self, tmp_path):
+        store = ArtifactStore(tmp_path)  # default npz
+        compressed = make_artifact(seed=44)
+        mappable = make_artifact(seed=45)
+        store.save(compressed)
+        store.save(mappable, storage_format="npy")
+        assert (tmp_path / f"{compressed.digest}.npz").is_file()
+        assert (tmp_path / mappable.digest / "rem_stack.npy").is_file()
+        assert set(store.digests()) == {compressed.digest, mappable.digest}
+        for digest in (compressed.digest, mappable.digest):
+            assert digest in store
+            store.load(digest)
+
+    def test_uncertainty_free_npy_round_trips(self, tmp_path):
+        artifact = make_artifact(seed=46)
+        artifact.uncertainty = None
+        store = ArtifactStore(tmp_path, default_format="npy")
+        store.save(artifact)
+        loaded = store.load(artifact.digest, mmap=True)
+        assert loaded.uncertainty is None
+        assert loaded.content_hash() == artifact.content_hash()
+
+    def test_mmap_request_on_npz_still_loads(self, tmp_path):
+        artifact = make_artifact(seed=47)
+        store = ArtifactStore(tmp_path)
+        store.save(artifact)
+        loaded = store.load(artifact.digest, mmap=True)  # zip: eager load
+        assert loaded.content_hash() == artifact.content_hash()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, default_format="hdf5")
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save(make_artifact(seed=48), storage_format="hdf5")
+        assert STORAGE_FORMATS == ("npz", "npy")
+
+
+class TestFloat32:
+    def test_astype_halves_footprint(self):
+        artifact = make_artifact(seed=51)
+        small = artifact.astype("float32")
+        assert small.dtype == "float32"
+        assert artifact.dtype == "float64"  # original untouched
+        assert (
+            small.rem.field_tensor().nbytes
+            == artifact.rem.field_tensor().nbytes // 2
+        )
+
+    def test_float32_values_within_tolerance(self, tmp_path):
+        artifact = make_artifact(seed=52)
+        small = artifact.astype("float32")
+        store = ArtifactStore(tmp_path, default_format="npy")
+        store.save(small)
+        loaded = store.load(small.digest, mmap=True)
+        assert str(loaded.rem.dtype) == "float32"
+        rng = np.random.default_rng(7)
+        points = rng.uniform((0, 0, 0), (4, 3, 2), size=(64, 3))
+        np.testing.assert_allclose(
+            loaded.rem.query_many(points),
+            artifact.rem.query_many(points),
+            atol=1e-3,
+        )
+
+    def test_dtype_recorded_in_sidecar(self, tmp_path):
+        small = make_artifact(seed=53).astype("float32")
+        store = ArtifactStore(tmp_path)
+        store.save(small)
+        sidecar = json.loads((tmp_path / f"{small.digest}.json").read_text())
+        assert sidecar["dtype"] == "float32"
+        assert store.load(small.digest).record()["dtype"] == "float32"
+
+    def test_spec_rejects_unknown_dtype(self):
+        spec = make_artifact(seed=54).spec
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, dtype="float16")
+
+
+class TestCachedCount:
+    def test_count_tracks_saves(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.count() == 0
+        first = make_artifact(seed=61)
+        store.save(first)
+        assert store.count() == 1
+        store.save(make_artifact(seed=62), storage_format="npy")
+        assert store.count() == 2
+        store.save(first)  # no-op resave
+        assert store.count() == 2
+
+    def test_count_sees_external_writes(self, tmp_path):
+        writer = ArtifactStore(tmp_path)
+        reader = ArtifactStore(tmp_path)
+        assert reader.count() == 0
+        writer.save(make_artifact(seed=63))
+        # The cache keys on the directory mtime, so a different store
+        # instance writing to the same root is picked up.
+        assert reader.count() == 1

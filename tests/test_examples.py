@@ -68,7 +68,9 @@ class TestExamples:
         assert "cache hit = True" in out
         assert "healthz : ok" in out
         assert "served ≡ direct" in out
-        assert "server stopped" in out
+        assert "cluster : 2 workers" in out
+        assert "worker exit codes [0, 0]" in out
+        assert "servers stopped" in out
 
     def test_generated_city(self, capsys):
         _run_example("generated_city", ["--quick"])
