@@ -1,0 +1,185 @@
+"""BENCH-JOBSET — the campaign factory: fan-out speedup and resume.
+
+Times the ``repro.serve.jobset`` subsystem on a real sweep over the
+scenario-suite ladder:
+
+* a 24-job grid (2 scenarios × 4 seeds × 3 predictors) built serially
+  (``workers=0``) and then from a fresh store with a 4-worker pool —
+  the wall-clock ratio is the fan-out speedup.  The speedup floor
+  (≥3x at 4 workers) is asserted only when the host actually has ≥4
+  cores; the measured ratio and ``cpu_count`` are always recorded;
+* artifact equivalence: the parallel store's content hashes must equal
+  the serial store's, digest for digest (fan-out changes wall time,
+  never bytes);
+* interrupted-sweep resume: a sweep aborted roughly half-way through
+  (via a progress callback raising ``KeyboardInterrupt``) is re-run
+  over the same store; every previously finished job must come back
+  as a cache hit (resume hit rate 1.0 on finished work);
+* the report stage: tidy rows + grouped predictor-vs-RMSE stats from
+  the sidecars of the swept store.
+
+Emits ``BENCH_jobset.json`` at the repo root.  Set
+``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (3-cell grid,
+2 workers).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import artifact_rows, group_stats
+from repro.serve import ArtifactStore, JobSetRunner, JobSetSpec, run_jobset
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+WORKERS = 2 if QUICK else 4
+#: ``fork`` skips the interpreter re-import per worker where available;
+#: the runner default (``spawn``) stays the safe-everywhere choice.
+START_METHOD = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+_RECORD: dict = {
+    "quick": QUICK,
+    "workers": WORKERS,
+    "start_method": START_METHOD,
+    "cpu_count": os.cpu_count(),
+}
+
+#: Sub-second cells: a tiny active campaign per grid point.
+_BASE = {
+    "active": {"seed_waypoints": 8, "batch_size": 8, "budget_waypoints": 8},
+    "min_samples_per_mac": 2,
+    "tune": False,
+    "with_uncertainty": False,
+}
+
+
+@pytest.fixture(scope="module")
+def jobset():
+    """The sweep grid: 24 jobs full, 3 in the CI smoke configuration."""
+    if QUICK:
+        spec = JobSetSpec(
+            scenarios=("condo",),
+            seeds=(1,),
+            predictors=("knn", "idw", "baseline"),
+            acquisitions=("active",),
+            resolutions=(0.8,),
+            base=_BASE,
+        )
+    else:
+        spec = JobSetSpec(
+            scenarios=("condo", "generated:room-grid?floors=1&seed=5"),
+            seeds=(1, 2, 3, 4),
+            predictors=("knn", "idw", "baseline"),
+            acquisitions=("active",),
+            resolutions=(0.5,),
+            base=_BASE,
+        )
+    _RECORD["n_jobs"] = spec.count
+    _RECORD["jobset_digest"] = spec.digest()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def serial_store(tmp_path_factory, jobset):
+    """The grid built serially; wall time is the parallel baseline."""
+    store = ArtifactStore(tmp_path_factory.mktemp("jobset-serial"))
+    t0 = time.perf_counter()
+    result = run_jobset(jobset, store, workers=0)
+    _RECORD["serial_wall_s"] = time.perf_counter() - t0
+    assert result.built == jobset.count
+    assert result.failed == 0
+    return store
+
+
+def test_parallel_speedup(tmp_path_factory, jobset, serial_store):
+    """Fresh-store fan-out at WORKERS workers vs the serial baseline."""
+    store = ArtifactStore(tmp_path_factory.mktemp("jobset-parallel"))
+    runner = JobSetRunner(store, workers=WORKERS, start_method=START_METHOD)
+    t0 = time.perf_counter()
+    result = runner.run(jobset)
+    parallel_wall_s = time.perf_counter() - t0
+    assert result.built == jobset.count
+    assert result.failed == 0
+
+    speedup = _RECORD["serial_wall_s"] / parallel_wall_s
+    print(
+        f"\n{jobset.count} jobs: serial {_RECORD['serial_wall_s']:.1f}s, "
+        f"{WORKERS} workers {parallel_wall_s:.1f}s -> {speedup:.2f}x "
+        f"(host has {os.cpu_count()} cores)"
+    )
+    _RECORD["parallel_wall_s"] = parallel_wall_s
+    _RECORD["speedup"] = speedup
+
+    # Fan-out must never change the bytes, only the wall clock.
+    serial = {r["digest"]: r["content_hash"] for r in serial_store.list()}
+    parallel = {r["digest"]: r["content_hash"] for r in store.list()}
+    assert serial == parallel, "parallel store differs from serial store"
+    _RECORD["stores_byte_identical"] = True
+
+    # The ≥3x acceptance floor needs 4 real cores to be physical; on
+    # smaller hosts the honest measured ratio is recorded instead.
+    if not QUICK and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 3.0, f"expected >=3x at {WORKERS} workers, got {speedup:.2f}x"
+
+
+def test_interrupt_then_resume_hits_cache(tmp_path_factory, jobset):
+    """A sweep killed half-way resumes with 100% hits on finished jobs."""
+    store = ArtifactStore(tmp_path_factory.mktemp("jobset-resume"))
+    stop_after = max(1, jobset.count // 2)
+    finished: list = []
+
+    def interrupt(tick):
+        finished.append(tick.digest)
+        if tick.done >= stop_after:
+            raise KeyboardInterrupt  # what Ctrl-C does to a sweep
+
+    runner = JobSetRunner(
+        store, workers=0, progress=interrupt
+    )  # inline: the interrupt lands between jobs, like a SIGINT
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(jobset)
+    assert store.count() == stop_after
+    _RECORD["interrupted_after"] = stop_after
+
+    result = run_jobset(jobset, store, workers=0)
+    cached = {r.digest for r in result.records if r.status == "cached"}
+    assert cached == set(finished), "a finished job was rebuilt on resume"
+    assert result.built == jobset.count - stop_after
+    hit_rate = len(cached) / stop_after
+    print(f"\nresume: {len(cached)}/{stop_after} finished jobs were cache hits")
+    _RECORD["resume_cache_hits"] = len(cached)
+    _RECORD["resume_hit_rate"] = hit_rate
+    assert hit_rate == 1.0
+
+
+def test_report_stage_over_swept_store(serial_store, jobset):
+    """Predictor-vs-RMSE aggregation straight from the sidecars."""
+    t0 = time.perf_counter()
+    rows = artifact_rows(serial_store.list())
+    stats = group_stats(rows, by="predictor")
+    report_wall_s = time.perf_counter() - t0
+    assert len(rows) == jobset.count
+    assert set(stats) == set(jobset.predictors)
+    for predictor_stats in stats.values():
+        assert predictor_stats["n"] == jobset.count / len(jobset.predictors)
+    print(
+        "\npredictor RMSE (dBm): "
+        + ", ".join(f"{k} {s['mean']:.2f}" for k, s in stats.items())
+    )
+    _RECORD["report_wall_s"] = report_wall_s
+    _RECORD["predictor_rmse_dbm"] = {
+        key: stats[key]["mean"] for key in stats
+    }
+
+
+def test_emit_perf_record():
+    """Write BENCH_jobset.json (runs last: depends on the others)."""
+    out = Path(__file__).resolve().parent.parent / "BENCH_jobset.json"
+    out.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf record written to {out}")
+    assert out.exists()

@@ -19,20 +19,21 @@ demo condo by default).
 
 import sys
 
-from repro import ToolchainConfig, generate_rem
-from repro.station import CampaignConfig
+from repro.serve import RemJobSpec, run_job
 
 
 def main() -> None:
     scenario = sys.argv[1] if len(sys.argv) > 1 else "condo"
     print(f"Flying the 72-waypoint {scenario!r} campaign (simulated)...")
-    result = generate_rem(
-        config=ToolchainConfig(
-            campaign=CampaignConfig(scenario=scenario),
-            tune_hyperparameters=False,
-            rem_resolution_m=0.25,
+    artifact = run_job(
+        RemJobSpec(
+            scenario=scenario,
+            tune=False,
+            resolution_m=0.25,
+            with_uncertainty=False,
         )
     )
+    result = artifact.result
 
     summary = result.summary()
     print()

@@ -22,17 +22,17 @@ import sys
 
 import numpy as np
 
-from repro import ToolchainConfig, generate_rem
+from repro.serve import RemJobSpec, run_job
 
 
 def main() -> None:
     threshold = float(sys.argv[1]) if len(sys.argv) > 1 else -65.0
 
     print("generating the REM (simulated campaign + k-NN model)...")
-    result = generate_rem(
-        config=ToolchainConfig(tune_hyperparameters=False, rem_resolution_m=0.25)
+    artifact = run_job(
+        RemJobSpec(tune=False, resolution_m=0.25, with_uncertainty=False)
     )
-    rem = result.rem
+    rem = artifact.rem
 
     print()
     print(f"service threshold: {threshold:.0f} dBm")

@@ -35,7 +35,17 @@ from .export import (
     save_csv_rows,
     save_json,
 )
-from .report import bar_chart, render_figure5, render_figure7, render_figure8, table
+from .report import (
+    SWEEP_COLUMNS,
+    artifact_rows,
+    bar_chart,
+    group_stats,
+    render_figure5,
+    render_figure7,
+    render_figure8,
+    render_sweep_report,
+    table,
+)
 from .stats import Histogram, bin_by_axis, histogram
 
 __all__ = [
@@ -58,6 +68,10 @@ __all__ = [
     "figure7",
     "figure8",
     "bar_chart",
+    "SWEEP_COLUMNS",
+    "artifact_rows",
+    "group_stats",
+    "render_sweep_report",
     "render_figure5",
     "render_figure7",
     "render_figure8",

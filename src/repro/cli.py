@@ -13,9 +13,15 @@ Subcommands map one-to-one onto the reproduction's top-level flows:
 * ``scenarios``    — list registered/generated worlds, describe one,
   or generate a procedural building from a JSON spec (spec in/out);
 * ``jobs``         — run a JSON job spec through the artifact store
-  (cache-hit aware) or list the stored artifacts;
+  (cache-hit aware), sweep a job-set grid over worker processes
+  (resumable against the store), or list the stored artifacts;
+* ``report``       — aggregate store sidecars into a tidy CSV plus a
+  markdown report (no re-simulation);
 * ``serve``        — start the JSON/HTTP REM-serving front end over an
   artifact store.
+
+Machine-readable output is uniform: every verb that honors ``--json``
+prints one ``{"ok": <bool>, "result": <payload>}`` object on stdout.
 """
 
 from __future__ import annotations
@@ -168,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the full spec from this JSON file instead ('-' = stdin)",
     )
     generate.add_argument("--out", help="write the canonical spec JSON here")
+    generate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {ok, result} (spec + build summary) instead of raw spec JSON",
+    )
 
     jobs = commands.add_parser(
         "jobs", help="run job specs through the artifact store"
@@ -222,6 +233,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    sweep = jsub.add_parser(
+        "sweep",
+        help=(
+            "fan a job-set grid (scenarios x seeds x predictors x "
+            "acquisitions x resolutions) out over worker processes; "
+            "resumable: finished digests are cache hits on re-run"
+        ),
+    )
+    sweep.add_argument(
+        "spec",
+        nargs="?",
+        help="job-set JSON path ('-' reads stdin; omit to use defaults)",
+    )
+    sweep.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help=(
+            "override a job-set field (repeatable), e.g. "
+            "--set seeds=[1,2,3] --set predictors='[\"knn\",\"idw\"]'; "
+            "values parse as JSON when possible"
+        ),
+    )
+    sweep.add_argument(
+        "--store", default="artifacts", help="artifact store directory"
+    )
+    sweep.add_argument(
+        "--store-format",
+        choices=("npz", "npy"),
+        default="npz",
+        help="artifact storage layout (see 'jobs run'; default npz)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes (default: one per core; 0 = run inline "
+            "in this process, serial)"
+        ),
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (worker killed past it)",
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help=(
+            "circuit breaker: stop dispatching once more than this "
+            "many jobs failed (default: never)"
+        ),
+    )
+    sweep.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="multiprocessing start method (default spawn)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    report = commands.add_parser(
+        "report",
+        help=(
+            "aggregate artifact-store sidecars (spec + provenance) into "
+            "a tidy CSV and a markdown report — no re-simulation"
+        ),
+    )
+    report.add_argument(
+        "--store", default="artifacts", help="artifact store directory"
+    )
+    report.add_argument("--csv", help="write the tidy per-artifact rows here")
+    report.add_argument("--out", help="write the markdown report here")
+    report.add_argument(
+        "--by",
+        default="predictor",
+        help="column to group the report by (default predictor)",
+    )
+    report.add_argument(
+        "--value",
+        default="test_rmse_dbm",
+        help="metric column to aggregate (default test_rmse_dbm)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     serve = commands.add_parser(
         "serve", help="serve stored REMs over JSON/HTTP"
     )
@@ -260,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _print_json(result, ok: bool = True) -> None:
+    """Emit the uniform ``--json`` envelope: ``{"ok": ..., "result": ...}``."""
+    print(json.dumps({"ok": ok, "result": result}, indent=2, sort_keys=True))
+
+
 def _cmd_campaign(args) -> int:
     from .analysis import campaign_stats
     from .radio import build_scenario
@@ -421,29 +532,31 @@ def _cmd_density(args) -> int:
 
 
 def _cmd_rem(args) -> int:
-    from .core import ToolchainConfig, generate_rem
-    from .station import CampaignConfig
+    from .serve import RemJobSpec, run_job
 
-    config = ToolchainConfig(
-        campaign=CampaignConfig(seed=args.seed, scenario=args.scenario),
-        tune_hyperparameters=args.tune,
-        rem_resolution_m=args.resolution,
+    spec = RemJobSpec(
+        scenario=args.scenario,
+        seed=args.seed,
+        tune=args.tune,
+        resolution_m=args.resolution,
+        with_uncertainty=False,
     )
     print(
         f"generating the {args.scenario!r} REM "
         f"(seed {args.seed}, {args.resolution} m lattice)..."
     )
-    result = generate_rem(config=config)
-    summary = result.summary()
+    artifact = run_job(spec)
+    provenance = artifact.provenance
     print(
-        f"{summary['samples']:.0f} samples, test RMSE "
-        f"{summary['test_rmse_dbm']:.2f} dBm, {summary['rem_macs']:.0f} APs mapped"
+        f"{provenance['samples']:.0f} samples, test RMSE "
+        f"{provenance['test_rmse_dbm']:.2f} dBm, "
+        f"{provenance['n_macs']:.0f} APs mapped"
     )
     if args.output.endswith(".npz"):
-        result.rem.save_npz(args.output)
+        artifact.rem.save_npz(args.output)
     else:
         with open(args.output, "w") as handle:
-            json.dump(result.rem.to_dict(), handle)
+            json.dump(artifact.rem.to_dict(), handle)
     print(f"REM exported to {args.output}")
     return 0
 
@@ -473,12 +586,104 @@ def _load_job_spec(args):
     return RemJobSpec.from_dict(params)
 
 
+def _load_jobset_spec(args):
+    """Resolve the ``jobs sweep`` grid: JSON file/stdin plus --set overrides."""
+    from .serve import JobSetSpec
+
+    params = {}
+    if args.spec:
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else open(args.spec, encoding="utf-8").read()
+        )
+        params = json.loads(text)
+        if not isinstance(params, dict):
+            raise SystemExit("a job-set spec must be a JSON object")
+    for item in args.overrides:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects FIELD=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return JobSetSpec.from_dict(params)
+
+
+def _cmd_jobs_sweep(args, store) -> int:
+    from .serve import JobSetRunner
+
+    try:
+        jobset = _load_jobset_spec(args)
+    except (ValueError, OSError) as exc:
+        print(f"bad job-set spec: {exc}", file=sys.stderr)
+        return 2
+
+    def show_progress(tick) -> None:
+        eta = f", eta {tick.eta_s:.0f}s" if tick.eta_s is not None else ""
+        print(
+            f"[{tick.done}/{tick.total}] {tick.status:<6} "
+            f"{tick.digest[:12]} ({tick.elapsed_s:.1f}s{eta})"
+        )
+
+    runner = JobSetRunner(
+        store,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_failures=args.max_failures,
+        progress=None if args.json else show_progress,
+        start_method=args.start_method,
+        storage_format=args.store_format,
+    )
+    try:
+        result = runner.run(jobset)
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — finished jobs are stored in {args.store}/; "
+            "re-run the same sweep to resume",
+            file=sys.stderr,
+        )
+        return 130
+    summary = result.summary()
+    ok = result.failed == 0 and not result.aborted
+    if args.json:
+        payload = dict(summary)
+        payload["records"] = [
+            {
+                "digest": r.digest,
+                "status": r.status,
+                "wall_s": r.wall_s,
+                "error": r.error,
+            }
+            for r in result.records
+        ]
+        _print_json(payload, ok=ok)
+    else:
+        print(
+            f"sweep {summary['jobset_digest'][:12]}: "
+            f"{summary['built']} built, {summary['cached']} cached, "
+            f"{summary['failed']} failed, {summary['skipped']} skipped "
+            f"in {summary['elapsed_s']:.1f}s"
+        )
+        if result.failed:
+            print(
+                f"failures recorded in {args.store}/failed.json",
+                file=sys.stderr,
+            )
+        if result.aborted:
+            print("sweep aborted (circuit breaker)", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_jobs(args) -> int:
     from .serve import ArtifactStore, run_job
 
     store = ArtifactStore(
         args.store, default_format=getattr(args, "store_format", "npz")
     )
+    if args.jobs_command == "sweep":
+        return _cmd_jobs_sweep(args, store)
     if args.jobs_command == "run":
         try:
             spec = _load_job_spec(args)
@@ -489,7 +694,7 @@ def _cmd_jobs(args) -> int:
         if args.json:
             record = artifact.record()
             record["cache_hit"] = artifact.cache_hit
-            print(json.dumps(record, indent=2, sort_keys=True))
+            _print_json(record)
             return 0
         state = "cache hit" if artifact.cache_hit else "built"
         provenance = artifact.provenance
@@ -508,7 +713,7 @@ def _cmd_jobs(args) -> int:
     # list
     records = store.list()
     if args.json:
-        print(json.dumps(records, indent=2, sort_keys=True))
+        _print_json(records)
         return 0
     if not records:
         print(f"no artifacts in {args.store}/")
@@ -522,6 +727,46 @@ def _cmd_jobs(args) -> int:
             f"rmse {provenance.get('test_rmse_dbm', float('nan')):.2f} dB  "
             f"{provenance.get('n_macs', '?')} APs"
         )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis import (
+        SWEEP_COLUMNS,
+        artifact_rows,
+        group_stats,
+        render_sweep_report,
+        save_csv_rows,
+    )
+    from .serve import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    rows = artifact_rows(store.list())
+    if args.csv:
+        save_csv_rows(
+            list(SWEEP_COLUMNS),
+            [[row[column] for column in SWEEP_COLUMNS] for row in rows],
+            args.csv,
+        )
+    rendered = render_sweep_report(rows, by=args.by, value=args.value)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        _print_json(
+            {
+                "rows": rows,
+                "stats": group_stats(rows, by=args.by, value=args.value),
+                "csv": args.csv,
+                "report": args.out,
+            }
+        )
+        return 0
+    print(rendered)
+    if args.csv:
+        print(f"\ntidy rows written to {args.csv}", file=sys.stderr)
+    if args.out:
+        print(f"report written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -632,18 +877,14 @@ def _cmd_scenarios(args) -> int:
 
     if args.scenarios_command == "list":
         if args.json:
-            print(
-                json.dumps(
-                    {
-                        "registered": list(available_scenarios()),
-                        "generated_presets": dict(GENERATED_PRESETS),
-                        "templates": list(TEMPLATES),
-                        "palettes": sorted(PALETTES),
-                        "ap_policies": list(AP_POLICIES),
-                    },
-                    indent=2,
-                    sort_keys=True,
-                )
+            _print_json(
+                {
+                    "registered": list(available_scenarios()),
+                    "generated_presets": dict(GENERATED_PRESETS),
+                    "templates": list(TEMPLATES),
+                    "palettes": sorted(PALETTES),
+                    "ap_policies": list(AP_POLICIES),
+                }
             )
             return 0
         print("registered scenarios:")
@@ -674,7 +915,7 @@ def _cmd_scenarios(args) -> int:
             scenario = build_scenario(target, seed=args.seed)
         record = _scenario_record(scenario, target)
         if args.json:
-            print(json.dumps(record, indent=2, sort_keys=True))
+            _print_json(record)
             return 0
         print(f"scenario      : {record['name']}")
         print(f"environment   : {record['environment']}")
@@ -700,14 +941,24 @@ def _cmd_scenarios(args) -> int:
     spec = _load_spec(args)
     scenario = generate_building(spec)
     metadata = scenario.metadata
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json() + "\n")
+    if args.json:
+        _print_json(
+            {
+                "spec": json.loads(spec.to_json()),
+                "metadata": metadata,
+                "out": args.out,
+            }
+        )
+        return 0
     print(
         f"built {metadata['name']}: {metadata['n_walls']} walls, "
         f"{metadata['n_aps']} APs, {metadata['floors']} floor(s)",
         file=sys.stderr,
     )
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(spec.to_json() + "\n")
         print(f"spec written to {args.out}", file=sys.stderr)
     else:
         print(spec.to_json())
@@ -723,6 +974,7 @@ _COMMANDS = {
     "rem": _cmd_rem,
     "scenarios": _cmd_scenarios,
     "jobs": _cmd_jobs,
+    "report": _cmd_report,
     "serve": _cmd_serve,
 }
 

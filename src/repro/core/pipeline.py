@@ -7,6 +7,7 @@ fine-grained 3-D REM of the flight volume.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -75,8 +76,15 @@ def generate_rem(
 ) -> ToolchainResult:
     """Run the complete toolchain and return the REM plus diagnostics.
 
-    This is now a thin shim over the :func:`repro.serve.jobs.run_job`
-    facade: whenever the call is fully described by its config (no live
+    .. deprecated::
+        ``generate_rem`` is a thin alias kept for source compatibility;
+        :func:`repro.serve.jobs.run_job` with a
+        :class:`~repro.serve.spec.RemJobSpec` is the sole supported
+        build path (content-addressed, cache-hit aware, sweepable via
+        :class:`~repro.serve.jobset.JobSetSpec`).  Calling this emits a
+        :class:`DeprecationWarning`.
+
+    Whenever the call is fully described by its config (no live
     scenario or predictor objects, nothing a JSON spec cannot carry),
     it routes through a :class:`~repro.serve.spec.RemJobSpec` so the
     two entry points cannot drift apart.  Calls carrying live objects
@@ -94,6 +102,12 @@ def generate_rem(
     config:
         Pipeline configuration.
     """
+    warnings.warn(
+        "generate_rem is deprecated; build through repro.serve.run_job "
+        "with a RemJobSpec (see repro.serve.jobset for sweeps)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = config or ToolchainConfig()
     if scenario is None and predictor is None:
         # Imported lazily: repro.serve sits above core in the layering.

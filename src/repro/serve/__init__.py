@@ -13,6 +13,10 @@ The unified job/artifact API over the whole toolchain:
   uncertainty tensors as compressed ``.npz`` or mmap-able
   ``.npy``-per-tensor layout, spec + provenance as a JSON sidecar)
   under a content-addressed store;
+* :class:`JobSetSpec` / :class:`JobSetRunner`
+  (:mod:`~repro.serve.jobset`) — the campaign factory: a cartesian
+  sweep grid expanded into job specs and fanned out over worker
+  processes, resumable against the store (``repro jobs sweep``);
 * :class:`RemService` (:mod:`~repro.serve.service`) — thread-safe LRU
   serving layer answering typed query/strongest-AP/coverage/dark-region
   requests as vectorized REM reductions;
@@ -29,6 +33,14 @@ from .artifact import STORAGE_FORMATS, ArtifactStore, RemArtifact
 from .cluster import RemCluster, process_rss_bytes
 from .http import RemHttpServer, create_server
 from .jobs import run_job
+from .jobset import (
+    JobRecord,
+    JobSetProgress,
+    JobSetResult,
+    JobSetRunner,
+    JobSetSpec,
+    run_jobset,
+)
 from .service import (
     CoverageRequest,
     CoverageResponse,
@@ -51,6 +63,12 @@ __all__ = [
     "RemArtifact",
     "ArtifactStore",
     "STORAGE_FORMATS",
+    "JobSetSpec",
+    "JobSetRunner",
+    "JobSetResult",
+    "JobRecord",
+    "JobSetProgress",
+    "run_jobset",
     "RemService",
     "QueryRequest",
     "QueryResponse",

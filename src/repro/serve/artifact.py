@@ -353,10 +353,18 @@ class ArtifactStore:
         """Alias of :meth:`load` — the lookup half of the store API."""
         return self.load(digest)
 
+    def sidecar(self, digest: str) -> Dict[str, object]:
+        """The JSON sidecar record of one artifact (KeyError if absent).
+
+        This is the cheap half of :meth:`load`: spec, provenance and
+        storage record without touching the tensors — what the report
+        stage aggregates over.
+        """
+        _, sidecar_path = self._paths(digest)
+        if digest not in self:
+            raise KeyError(f"no artifact {digest!r} in {self.root}")
+        return json.loads(sidecar_path.read_text(encoding="utf-8"))
+
     def list(self) -> List[Dict[str, object]]:
         """Sidecar records of every stored artifact, sorted by digest."""
-        records = []
-        for digest in self.digests():
-            _, sidecar_path = self._paths(digest)
-            records.append(json.loads(sidecar_path.read_text(encoding="utf-8")))
-        return records
+        return [self.sidecar(digest) for digest in self.digests()]

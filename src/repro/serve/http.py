@@ -17,6 +17,12 @@ third-party dependencies) exposing the serving API:
   carrying its own ``digest``; answers
   ``{"responses": [...]}`` in order — the cross-request batch shape.
 
+Errors share one envelope: ``{"error": {"code": <slug>, "message":
+<human>}}`` with 400 ``malformed_json`` (body empty or not JSON), 404
+``not_found`` (unknown digest or route), 422 ``invalid_spec``
+(well-formed JSON describing an invalid spec/request) and 500
+``internal`` (anything else).
+
 The handler keeps connections alive (HTTP/1.1), disables Nagle's
 algorithm and buffers each response into a single ``send`` — without
 those, a keep-alive round trip on Linux stalls ~40 ms in the delayed-ACK
@@ -107,7 +113,17 @@ _PHRASES = {
     400: "Bad Request",
     404: "Not Found",
     414: "URI Too Long",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
 }
+
+
+class _MalformedBody(ValueError):
+    """A request body that is not JSON at all (empty or undecodable).
+
+    Distinguishes transport-level malformation (400) from a
+    well-formed JSON payload describing an invalid spec/request (422).
+    """
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -218,12 +234,24 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self.wfile.write(head.encode("latin-1") + body)
 
+    def _send_error(self, status: int, code: str, message: str) -> None:
+        """The error envelope every endpoint shares.
+
+        Body shape: ``{"error": {"code": <slug>, "message": <human>}}``
+        with ``code`` one of ``malformed_json`` (400), ``invalid_spec``
+        (422), ``not_found`` (404) or ``internal`` (500).
+        """
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
     def _read_json(self):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise ValueError("empty request body")
-        return json.loads(raw)
+            raise _MalformedBody("empty request body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _MalformedBody(f"request body is not valid JSON: {exc}") from exc
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
@@ -241,7 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/v1/artifacts":
             self._send_json(200, {"artifacts": service.artifacts()})
         else:
-            self._send_json(404, {"error": f"no route {self.path!r}"})
+            self._send_error(404, "not_found", f"no route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         """POST routing: /v1/jobs, /v1/batch, /v1/artifacts/<digest>/query."""
@@ -276,11 +304,15 @@ class _Handler(BaseHTTPRequestHandler):
                 response = service.handle(request)
                 self._send_body(200, response.to_json().encode("utf-8"))
             else:
-                self._send_json(404, {"error": f"no route {self.path!r}"})
+                self._send_error(404, "not_found", f"no route {self.path!r}")
+        except _MalformedBody as exc:
+            self._send_error(400, "malformed_json", str(exc))
         except KeyError as exc:
-            self._send_json(404, {"error": str(exc)})
-        except (ValueError, TypeError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(404, "not_found", str(exc).strip('"'))
+        except (ValueError, TypeError) as exc:
+            self._send_error(422, "invalid_spec", str(exc))
+        except Exception as exc:  # noqa: BLE001 - API boundary backstop
+            self._send_error(500, "internal", f"{type(exc).__name__}: {exc}")
 
 
 def create_server(

@@ -1,7 +1,47 @@
-"""Unit tests for ASCII rendering."""
+"""Unit tests for ASCII rendering and the sweep-report aggregation."""
 
-from repro.analysis import bar_chart, render_figure8, table
+import pytest
+
+from repro.analysis import (
+    SWEEP_COLUMNS,
+    artifact_rows,
+    bar_chart,
+    group_stats,
+    render_figure8,
+    render_sweep_report,
+    table,
+)
 from repro.analysis.figures import Figure8Result
+
+
+def sidecar(digest, predictor, seed, rmse, wall=1.0, scenario="condo"):
+    """A minimal store sidecar record as ArtifactStore.list() returns."""
+    return {
+        "digest": digest,
+        "dtype": "float64",
+        "spec": {
+            "scenario": scenario,
+            "seed": seed,
+            "predictor": predictor,
+            "acquisition": "lattice",
+            "resolution_m": 0.5,
+        },
+        "provenance": {
+            "samples": 100,
+            "retained_samples": 90,
+            "test_rmse_dbm": rmse,
+            "n_macs": 7,
+            "wall_time_s": wall,
+        },
+    }
+
+
+RECORDS = [
+    sidecar("d3", "knn", 2, 4.0, wall=2.0),
+    sidecar("d1", "idw", 1, 5.0),
+    sidecar("d2", "idw", 2, 7.0),
+    sidecar("d4", "knn", 1, 4.5, wall=3.0),
+]
 
 
 class TestBarChart:
@@ -26,6 +66,66 @@ class TestTable:
         assert lines[0].startswith("name")
         assert "---" in lines[1]
         assert len(lines) == 4
+
+
+class TestArtifactRows:
+    def test_rows_carry_all_columns(self):
+        rows = artifact_rows(RECORDS)
+        assert len(rows) == 4
+        for row in rows:
+            assert tuple(row) == SWEEP_COLUMNS
+
+    def test_rows_sorted_deterministically(self):
+        rows = artifact_rows(RECORDS)
+        assert [r["digest"] for r in rows] == ["d1", "d2", "d4", "d3"]
+        assert [r["digest"] for r in artifact_rows(list(reversed(RECORDS)))] == [
+            "d1",
+            "d2",
+            "d4",
+            "d3",
+        ]
+
+    def test_missing_provenance_yields_none(self):
+        record = {"digest": "dx", "spec": {"scenario": "condo"}}
+        (row,) = artifact_rows([record])
+        assert row["test_rmse_dbm"] is None
+        assert row["scenario"] == "condo"
+
+
+class TestGroupStats:
+    def test_mean_std_per_group(self):
+        stats = group_stats(artifact_rows(RECORDS), by="predictor")
+        assert set(stats) == {"idw", "knn"}
+        assert stats["idw"]["mean"] == pytest.approx(6.0)
+        assert stats["idw"]["std"] == pytest.approx(1.0)
+        assert stats["idw"]["n"] == 2
+        assert stats["knn"]["min"] == pytest.approx(4.0)
+        assert stats["knn"]["max"] == pytest.approx(4.5)
+
+    def test_alternate_value_column(self):
+        stats = group_stats(
+            artifact_rows(RECORDS), by="predictor", value="wall_time_s"
+        )
+        assert stats["knn"]["mean"] == pytest.approx(2.5)
+
+    def test_rows_without_value_dropped(self):
+        rows = artifact_rows(RECORDS + [{"digest": "dx", "spec": {}}])
+        stats = group_stats(rows, by="predictor")
+        assert "" not in stats  # the value-less row formed no group
+
+
+class TestRenderSweepReport:
+    def test_contains_table_and_chart(self):
+        text = render_sweep_report(artifact_rows(RECORDS))
+        assert "test_rmse_dbm by predictor" in text
+        assert "idw" in text and "knn" in text
+        assert "6.0000" in text  # idw mean
+        assert "#" in text  # the bar chart
+
+    def test_empty_rows(self):
+        text = render_sweep_report([])
+        assert "0 artifact(s)" in text
+        assert "no rows carry" in text
 
 
 class TestRenderFigure8:

@@ -7,11 +7,12 @@ from repro import ToolchainConfig, generate_rem
 
 @pytest.fixture(scope="module")
 def tuned_result():
-    return generate_rem(
-        config=ToolchainConfig(
-            tune_hyperparameters=True, rem_resolution_m=0.5, cv_folds=3
+    with pytest.warns(DeprecationWarning, match="run_job"):
+        return generate_rem(
+            config=ToolchainConfig(
+                tune_hyperparameters=True, rem_resolution_m=0.5, cv_folds=3
+            )
         )
-    )
 
 
 class TestTunedPipeline:

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) for core invariants."""
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -139,6 +141,90 @@ class TestKnnProperties:
         predictions = model.predict(queries)
         assert predictions.min() >= rssi.min() - 1e-9
         assert predictions.max() <= rssi.max() + 1e-9
+
+
+class TestJobFieldAdapterProperties:
+    """run_job is the sole build path: the config adapters feeding it
+    (``to_job_fields``/``from_job_fields``) must be lossless through a
+    JSON round trip for every spec-representable config."""
+
+    @staticmethod
+    def active_configs():
+        from repro.station import ActiveSamplingConfig
+
+        def build(seed_wp, extra_budget, batch, target, patience, values):
+            return ActiveSamplingConfig(
+                seed_waypoints=seed_wp,
+                batch_size=batch,
+                budget_waypoints=seed_wp + extra_budget,
+                target_rmse_dbm=target,
+                patience_rounds=patience,
+                min_improvement_dbm=values[0],
+                travel_weight_db_per_m=values[1],
+                lattice_nx=3 + patience,
+                lattice_margin_m=values[2],
+                flight_leg_s=values[3],
+                scan_window_s=values[4],
+                refit_every_scans=1 + batch,
+                holdout_fraction=values[5],
+                builder_seed=seed_wp,
+            )
+
+        return st.builds(
+            build,
+            seed_wp=st.integers(1, 12),
+            extra_budget=st.integers(0, 60),
+            batch=st.integers(1, 8),
+            target=st.one_of(st.none(), st.floats(1.0, 10.0, allow_nan=False)),
+            patience=st.integers(0, 4),
+            values=st.tuples(
+                st.floats(0.0, 1.0, allow_nan=False),
+                st.floats(0.0, 2.0, allow_nan=False),
+                st.floats(0.1, 0.5, allow_nan=False),
+                st.floats(1.0, 8.0, allow_nan=False),
+                st.floats(0.5, 5.0, allow_nan=False),
+                st.floats(0.05, 0.5, allow_nan=False),
+            ),
+        )
+
+    @settings(deadline=None, max_examples=50)
+    @given(active=active_configs())
+    def test_active_config_round_trips_through_json(self, active):
+        from repro.station import ActiveSamplingConfig
+
+        fields = json.loads(json.dumps(active.to_job_fields()))
+        assert ActiveSamplingConfig.from_job_fields(fields) == active
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        seed=st.integers(0, 10_000),
+        scenario=st.sampled_from(("condo", "demo", "office", "warehouse")),
+        acquisition=st.sampled_from(("lattice", "active")),
+        active=st.one_of(st.none(), active_configs()),
+    )
+    def test_campaign_config_round_trips_through_json(
+        self, seed, scenario, acquisition, active
+    ):
+        from repro.station import CampaignConfig
+
+        config = CampaignConfig(
+            seed=seed,
+            scenario=scenario,
+            acquisition=acquisition,
+            active=active if acquisition == "active" else None,
+        )
+        fields = json.loads(json.dumps(config.to_job_fields()))
+        assert CampaignConfig.from_job_fields(fields) == config
+
+    def test_non_representable_configs_refuse_to_convert(self):
+        from repro.station import ActiveSamplingConfig, CampaignConfig
+
+        with pytest.raises(ValueError, match="anchor_count"):
+            CampaignConfig(anchor_count=4).to_job_fields()
+        with pytest.raises(ValueError, match="no_fly"):
+            ActiveSamplingConfig(
+                no_fly=(((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)),)
+            ).to_job_fields()
 
 
 class TestMetricProperties:

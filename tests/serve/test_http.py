@@ -38,6 +38,14 @@ def _url(server, path):
     return f"http://{host}:{port}{path}"
 
 
+def error_envelope(excinfo):
+    """Parse the `{"error": {"code", "message"}}` body of an HTTPError."""
+    payload = json.loads(excinfo.value.read())
+    assert set(payload) == {"error"}
+    assert set(payload["error"]) == {"code", "message"}
+    return payload["error"]
+
+
 def get(server, path):
     with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
         return resp.status, json.load(resp)
@@ -72,6 +80,9 @@ class TestRoutes:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             get(server, "/v2/nothing")
         assert excinfo.value.code == 404
+        error = error_envelope(excinfo)
+        assert error["code"] == "not_found"
+        assert "/v2/nothing" in error["message"]
 
 
 class TestQueries:
@@ -108,29 +119,35 @@ class TestQueries:
                 {"type": "query", "points": [[0, 0, 0]]},
             )
         assert excinfo.value.code == 404
+        assert error_envelope(excinfo)["code"] == "not_found"
 
-    def test_bad_request_type_400(self, server, artifacts):
+    def test_bad_request_type_422(self, server, artifacts):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(
                 server,
                 f"/v1/artifacts/{artifacts[0].digest}/query",
                 {"type": "teleport"},
             )
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        error = error_envelope(excinfo)
+        assert error["code"] == "invalid_spec"
+        assert "teleport" in error["message"]
 
-    def test_negative_max_points_400(self, server, artifacts):
+    def test_negative_max_points_422(self, server, artifacts):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(
                 server,
                 f"/v1/artifacts/{artifacts[0].digest}/query",
                 {"type": "dark_regions", "threshold_dbm": -60.0, "max_points": -1},
             )
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        assert error_envelope(excinfo)["code"] == "invalid_spec"
 
-    def test_unknown_scenario_spec_400(self, server):
+    def test_unknown_scenario_spec_422(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(server, "/v1/jobs", {"scenario": "nope"})
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        assert error_envelope(excinfo)["code"] == "invalid_spec"
 
     def test_empty_body_400(self, server, artifacts):
         request = urllib.request.Request(
@@ -141,6 +158,21 @@ class TestQueries:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+        error = error_envelope(excinfo)
+        assert error["code"] == "malformed_json"
+        assert "empty" in error["message"]
+
+    def test_undecodable_body_400(self, server, artifacts):
+        request = urllib.request.Request(
+            _url(server, f"/v1/artifacts/{artifacts[0].digest}/query"),
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert error_envelope(excinfo)["code"] == "malformed_json"
 
 
 class TestBatch:
@@ -169,15 +201,17 @@ class TestBatch:
         )
         assert responses[1]["by_mac"] == second.rem.coverage_by_mac(-70.0)
 
-    def test_batch_empty_array_400(self, server):
+    def test_batch_empty_array_422(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(server, "/v1/batch", [])
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        assert error_envelope(excinfo)["code"] == "invalid_spec"
 
-    def test_batch_item_without_digest_400(self, server):
+    def test_batch_item_without_digest_422(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(server, "/v1/batch", [{"type": "coverage", "threshold_dbm": -70}])
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        assert error_envelope(excinfo)["code"] == "invalid_spec"
 
     def test_batch_unknown_digest_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -187,6 +221,7 @@ class TestBatch:
                 [{"digest": "0" * 64, "type": "query", "points": [[0, 0, 0]]}],
             )
         assert excinfo.value.code == 404
+        assert error_envelope(excinfo)["code"] == "not_found"
 
 
 class TestJobs:
@@ -204,7 +239,10 @@ class TestJobs:
         assert second["cache_hit"] is True
         assert second["content_hash"] == first["content_hash"]
 
-    def test_bad_spec_400(self, server):
+    def test_bad_spec_422(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(server, "/v1/jobs", {"acquisition": "psychic"})
-        assert excinfo.value.code == 400
+        assert excinfo.value.code == 422
+        error = error_envelope(excinfo)
+        assert error["code"] == "invalid_spec"
+        assert "psychic" in error["message"]

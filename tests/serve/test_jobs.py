@@ -70,6 +70,7 @@ class TestRunJob:
         assert artifact.uncertainty is None
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestGenerateRemShim:
     CONFIG = ToolchainConfig(
         campaign=CampaignConfig(
@@ -83,6 +84,10 @@ class TestGenerateRemShim:
         tune_hyperparameters=False,
         rem_resolution_m=0.8,
     )
+
+    def test_generate_rem_emits_deprecation_warning(self, tiny_spec):
+        with pytest.warns(DeprecationWarning, match="run_job"):
+            generate_rem(config=tiny_spec.toolchain_config())
 
     def test_config_call_routes_through_run_job(self, monkeypatch):
         import repro.serve.jobs as jobs

@@ -144,7 +144,9 @@ class TestScenariosCommand:
 
     def test_list_json(self, capsys):
         assert main(["scenarios", "list", "--json"]) == 0
-        record = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        record = envelope["result"]
         assert "condo" in record["registered"]
         assert "open-plan" in record["templates"]
         assert "office-tower" in record["generated_presets"]
@@ -165,7 +167,9 @@ class TestScenariosCommand:
             ]
         )
         assert code == 0
-        record = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        record = envelope["result"]
         assert record["generated"]["floors"] == 2
         assert record["n_walls"] > 0
 
@@ -206,7 +210,7 @@ class TestScenariosCommand:
         assert spec["seed"] == 9  # global --seed feeds the spec
         capsys.readouterr()
         assert main(["scenarios", "describe", str(out_path), "--json"]) == 0
-        record = json.loads(capsys.readouterr().out)
+        record = json.loads(capsys.readouterr().out)["result"]
         assert record["generated"]["spec"]["floors"] == 2
 
     def test_generate_bad_set_syntax_exits(self):
@@ -329,13 +333,15 @@ class TestJobsAndServeCommands:
             ["jobs", "run", str(spec_path), "--store", store, "--json"]
         )
         assert code == 0
-        record = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        record = envelope["result"]
         assert record["digest"] == spec.digest()
         assert record["provenance"]["samples"] > 0
 
         capsys.readouterr()
         assert main(["jobs", "list", "--store", store, "--json"]) == 0
-        records = json.loads(capsys.readouterr().out)
+        records = json.loads(capsys.readouterr().out)["result"]
         assert [r["digest"] for r in records] == [spec.digest()]
 
     def test_jobs_list_empty_store(self, tmp_path, capsys):
@@ -369,3 +375,204 @@ class TestJobsAndServeCommands:
         )
         assert code == 2
         assert "bad job spec" in capsys.readouterr().err
+
+
+class TestSweepAndReportCommands:
+    TINY_SWEEP = [
+        "--set",
+        "seeds=[1,2]",
+        "--set",
+        'predictors=["idw","baseline"]',
+        "--set",
+        'acquisitions=["active"]',
+        "--set",
+        "resolutions=[0.8]",
+        "--set",
+        (
+            'base={"active":{"seed_waypoints":6,"batch_size":6,'
+            '"budget_waypoints":6},"min_samples_per_mac":2,'
+            '"with_uncertainty":false}'
+        ),
+    ]
+
+    def test_sweep_and_report_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["jobs", "sweep"],
+            ["jobs", "sweep", "set.json", "--workers", "0", "--json"],
+            ["jobs", "sweep", "--timeout", "5", "--max-failures", "2"],
+            ["report", "--store", "s", "--csv", "rows.csv", "--out", "r.md"],
+            ["report", "--by", "scenario", "--value", "wall_time_s", "--json"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command in ("jobs", "report")
+
+    def test_sweep_builds_then_resume_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        base = ["jobs", "sweep", "--store", store, "--workers", "0"]
+        assert main([*base, *self.TINY_SWEEP]) == 0
+        out = capsys.readouterr().out
+        assert "4 built, 0 cached" in out
+
+        assert main([*base, "--json", *self.TINY_SWEEP]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        summary = envelope["result"]
+        assert summary["cached"] == 4 and summary["built"] == 0
+        assert {r["status"] for r in summary["records"]} == {"cached"}
+
+    def test_sweep_spec_file_and_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.serve import JobSetSpec
+
+        jobset = JobSetSpec(
+            seeds=(5,),
+            predictors=("baseline",),
+            acquisitions=("active",),
+            resolutions=(0.8,),
+            base={
+                "active": {
+                    "seed_waypoints": 6,
+                    "batch_size": 6,
+                    "budget_waypoints": 6,
+                },
+                "min_samples_per_mac": 2,
+                "with_uncertainty": False,
+            },
+        )
+        spec_path = tmp_path / "set.json"
+        store = str(tmp_path / "artifacts")
+        spec_path.write_text(jobset.to_json())
+        code = main(
+            [
+                "jobs",
+                "sweep",
+                str(spec_path),
+                "--store",
+                store,
+                "--workers",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)["result"]
+        assert summary["jobset_digest"] == jobset.digest()
+        assert summary["built"] == 1
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(jobset.to_json()))
+        code = main(
+            ["jobs", "sweep", "-", "--store", store, "--workers", "0", "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["result"]["cached"] == 1
+
+    def test_sweep_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "jobs",
+                "sweep",
+                "--store",
+                str(tmp_path),
+                "--set",
+                'predictors=["psychic"]',
+            ]
+        )
+        assert code == 2
+        assert "bad job-set spec" in capsys.readouterr().err
+
+    def test_report_end_to_end_from_sidecars_alone(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        store = str(tmp_path / "artifacts")
+        assert (
+            main(
+                [
+                    "jobs",
+                    "sweep",
+                    "--store",
+                    store,
+                    "--workers",
+                    "0",
+                    *self.TINY_SWEEP,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The report must come from the JSON sidecars alone — no
+        # re-simulation and not a single artifact/tensor load.
+        from repro.serve import ArtifactStore
+
+        def _no_loads(self, *args, **kwargs):
+            raise AssertionError("report stage must not load artifacts")
+
+        monkeypatch.setattr(ArtifactStore, "load", _no_loads)
+        csv_path = tmp_path / "rows.csv"
+        md_path = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--store",
+                store,
+                "--csv",
+                str(csv_path),
+                "--out",
+                str(md_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test_rmse_dbm by predictor" in out
+        assert "idw" in out and "baseline" in out
+
+        header, *rows = csv_path.read_text().strip().splitlines()
+        assert header.startswith("digest,scenario,seed,predictor")
+        assert len(rows) == 4
+        report = md_path.read_text()
+        assert "#" in report  # the bar chart rendered
+
+    def test_report_json_envelope(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert (
+            main(
+                [
+                    "jobs",
+                    "sweep",
+                    "--store",
+                    store,
+                    "--workers",
+                    "0",
+                    *self.TINY_SWEEP,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", "--store", store, "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        result = envelope["result"]
+        assert len(result["rows"]) == 4
+        assert set(result["stats"]) == {"idw", "baseline"}
+        for stats in result["stats"].values():
+            assert stats["n"] == 2
+
+    def test_generate_json_envelope(self, capsys):
+        code = main(
+            [
+                "scenarios",
+                "generate",
+                "--template",
+                "open-plan",
+                "--set",
+                "floors=2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["result"]["spec"]["floors"] == 2
+        assert envelope["result"]["metadata"]["n_walls"] > 0
