@@ -44,6 +44,7 @@ from .report import (
     render_figure7,
     render_figure8,
     render_sweep_report,
+    stage_stats,
     table,
 )
 from .stats import Histogram, bin_by_axis, histogram
@@ -71,6 +72,7 @@ __all__ = [
     "SWEEP_COLUMNS",
     "artifact_rows",
     "group_stats",
+    "stage_stats",
     "render_sweep_report",
     "render_figure5",
     "render_figure7",

@@ -34,6 +34,8 @@ def ground_truth_fields(
     environment: IndoorEnvironment,
     macs: Sequence[str],
     points: np.ndarray,
+    cache=None,
+    cache_key: Optional[str] = None,
 ) -> Dict[str, np.ndarray]:
     """True mean RSS per MAC over the probe points.
 
@@ -43,9 +45,23 @@ def ground_truth_fields(
     round of a campaign against the same probes pays geometry once.
     Passing a precomputed result to :func:`ground_truth_map_rmse` is
     still worthwhile — it skips even the cache lookup.
+
+    With a :class:`repro.radio.scenario_cache.ScenarioCache` (and a
+    ``cache_key`` content-addressing the world + probe lattice, e.g.
+    :func:`repro.radio.scenario_cache.scenario_digest`), the stacked
+    ``(n_macs, n_points)`` field block goes through the cache's
+    ``.npy`` tier — parallel scoring processes memory-map it instead
+    of re-crossing the walls.
     """
     points = np.asarray(points, dtype=float).reshape(-1, 3)
-    fields = environment.mean_rss_dbm_many(list(macs), points)
+    macs = list(macs)
+    if cache is not None and cache_key is not None:
+        fields = cache.fields(
+            cache_key,
+            lambda: environment.mean_rss_dbm_many(macs, points),
+        )
+    else:
+        fields = environment.mean_rss_dbm_many(macs, points)
     return {mac: fields[i] for i, mac in enumerate(macs)}
 
 

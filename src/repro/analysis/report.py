@@ -22,6 +22,7 @@ __all__ = [
     "SWEEP_COLUMNS",
     "artifact_rows",
     "group_stats",
+    "stage_stats",
     "render_sweep_report",
 ]
 
@@ -146,6 +147,40 @@ def group_stats(
             "n": float(len(values)),
         }
     return stats
+
+
+def stage_stats(
+    records: Sequence[Mapping[str, object]],
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-stage build wall times across store sidecars.
+
+    Sums the ``provenance["stage_wall_s"]`` breakdowns that
+    :func:`repro.serve.jobs.run_job` records (scenario / campaign /
+    preprocess / fit / rem / uncertainty, via
+    :class:`repro.perf.StageTimer`) into ``{stage: {total_s, mean_s,
+    n}}``, sorted by descending total.  Artifacts built before the
+    breakdown existed are skipped; an empty dict means no record
+    carries one.
+    """
+    totals: Dict[str, List[float]] = {}
+    for record in records:
+        provenance = record.get("provenance", {})
+        breakdown = provenance.get("stage_wall_s")
+        if not isinstance(breakdown, Mapping):
+            continue
+        for stage, seconds in breakdown.items():
+            totals.setdefault(str(stage), []).append(float(seconds))
+    stats = {
+        stage: {
+            "total_s": sum(values),
+            "mean_s": sum(values) / len(values),
+            "n": float(len(values)),
+        }
+        for stage, values in totals.items()
+    }
+    return dict(
+        sorted(stats.items(), key=lambda kv: -kv[1]["total_s"])
+    )
 
 
 def render_sweep_report(

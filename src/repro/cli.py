@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -272,8 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "worker processes (default: one per core; 0 = run inline "
-            "in this process, serial)"
+            "worker processes (default: os.cpu_count(), one per core "
+            "of this host; 0 = run inline in this process, serial)"
         ),
     )
     sweep.add_argument(
@@ -622,14 +623,23 @@ def _cmd_jobs_sweep(args, store) -> int:
 
     def show_progress(tick) -> None:
         eta = f", eta {tick.eta_s:.0f}s" if tick.eta_s is not None else ""
+        counts = f"{tick.built} built/{tick.cached} cached"
+        if tick.failed:
+            counts += f"/{tick.failed} failed"
         print(
             f"[{tick.done}/{tick.total}] {tick.status:<6} "
-            f"{tick.digest[:12]} ({tick.elapsed_s:.1f}s{eta})"
+            f"{tick.digest[:12]} ({counts}, {tick.elapsed_s:.1f}s{eta})"
         )
 
+    # Resolve the worker default here so what runs is what is reported:
+    # one process per core of this host (never a fixed count that could
+    # oversubscribe a smaller machine).
+    workers = args.workers
+    if workers is None:
+        workers = os.cpu_count() or 1
     runner = JobSetRunner(
         store,
-        workers=args.workers,
+        workers=workers,
         timeout_s=args.timeout,
         max_failures=args.max_failures,
         progress=None if args.json else show_progress,
@@ -737,11 +747,14 @@ def _cmd_report(args) -> int:
         group_stats,
         render_sweep_report,
         save_csv_rows,
+        stage_stats,
     )
     from .serve import ArtifactStore
 
     store = ArtifactStore(args.store)
-    rows = artifact_rows(store.list())
+    records = store.list()
+    rows = artifact_rows(records)
+    stages = stage_stats(records)
     if args.csv:
         save_csv_rows(
             list(SWEEP_COLUMNS),
@@ -757,12 +770,20 @@ def _cmd_report(args) -> int:
             {
                 "rows": rows,
                 "stats": group_stats(rows, by=args.by, value=args.value),
+                "stage_wall_s": stages,
                 "csv": args.csv,
                 "report": args.out,
             }
         )
         return 0
     print(rendered)
+    if stages:
+        print("\nbuild stage breakdown (total wall seconds across builds):\n")
+        for stage, s in stages.items():
+            print(
+                f"  {stage:<12} {s['total_s']:8.3f}s total  "
+                f"{s['mean_s']:.3f}s mean  over {int(s['n'])} build(s)"
+            )
     if args.csv:
         print(f"\ntidy rows written to {args.csv}", file=sys.stderr)
     if args.out:

@@ -11,6 +11,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..perf import StageTimer, maybe_span
+from ..radio.scenario_cache import cache_enabled, default_cache
 from ..radio.scenarios import DemoScenario, build_scenario
 from ..station.campaign import CampaignConfig, CampaignResult, run_campaign
 from .predictors import (
@@ -124,36 +126,65 @@ def _run_toolchain(
     scenario: Optional[DemoScenario],
     predictor: Optional[Predictor],
     config: ToolchainConfig,
+    timer: Optional[StageTimer] = None,
 ) -> ToolchainResult:
-    """The toolchain implementation behind :func:`generate_rem`/``run_job``."""
+    """The toolchain implementation behind :func:`generate_rem`/``run_job``.
+
+    When no live ``scenario`` object is passed, the world construction
+    and the campaign sim route through the process-level
+    :class:`repro.radio.scenario_cache.ScenarioCache` — both are pure
+    functions of the campaign config, so sweep cells sharing a
+    ``(scenario, seed, acquisition)`` triple fly once and reuse the
+    result (set ``REPRO_SCENARIO_CACHE=0`` to disable).  An optional
+    :class:`repro.perf.StageTimer` receives per-stage wall spans.
+    """
+    cache = default_cache() if scenario is None and cache_enabled() else None
     if scenario is None:
-        scenario = build_scenario(
-            config.campaign.scenario, seed=config.campaign.seed
-        )
-    campaign = run_campaign(scenario=scenario, config=config.campaign)
-    prep = preprocess(campaign.log, config.preprocess)
+        with maybe_span(timer, "scenario"):
+            if cache is not None:
+                scenario = cache.scenario(
+                    config.campaign.scenario, config.campaign.seed
+                )
+            else:
+                scenario = build_scenario(
+                    config.campaign.scenario, seed=config.campaign.seed
+                )
+    with maybe_span(timer, "campaign"):
+        if cache is not None:
+            campaign = cache.campaign(
+                config.campaign, scenario, fly=run_campaign
+            )
+        else:
+            campaign = run_campaign(scenario=scenario, config=config.campaign)
+    with maybe_span(timer, "preprocess"):
+        prep = preprocess(campaign.log, config.preprocess)
 
     search: Optional[GridSearchResult] = None
-    if predictor is None:
-        if config.tune_hyperparameters:
-            search = grid_search(
-                KnnRegressor(), prep.train, DEFAULT_KNN_GRID, k_folds=config.cv_folds
-            )
-            predictor = search.best
+    with maybe_span(timer, "fit"):
+        if predictor is None:
+            if config.tune_hyperparameters:
+                search = grid_search(
+                    KnnRegressor(),
+                    prep.train,
+                    DEFAULT_KNN_GRID,
+                    k_folds=config.cv_folds,
+                )
+                predictor = search.best
+            else:
+                predictor = KnnRegressor(
+                    n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
+                ).fit(prep.train)
         else:
-            predictor = KnnRegressor(
-                n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0
-            ).fit(prep.train)
-    else:
-        predictor.fit(prep.train)
+            predictor.fit(prep.train)
 
     test_rmse = rmse(prep.test.rssi_dbm, predictor.predict(prep.test))
-    rem = build_rem(
-        predictor,
-        prep.dataset,
-        scenario.flight_volume,
-        resolution_m=config.rem_resolution_m,
-    )
+    with maybe_span(timer, "rem"):
+        rem = build_rem(
+            predictor,
+            prep.dataset,
+            scenario.flight_volume,
+            resolution_m=config.rem_resolution_m,
+        )
     return ToolchainResult(
         scenario=scenario,
         campaign=campaign,

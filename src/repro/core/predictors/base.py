@@ -30,6 +30,17 @@ neighbor-disagreement proxies; everything else inherits the base-class
 fallback — a distance-to-nearest-same-MAC-sample proxy over the train
 support recorded at fit time — so *any* fitted predictor can steer an
 active campaign.
+
+Finally, the contract carries an **incremental-fit** channel that the
+online builder drives: estimators that set
+:attr:`Predictor.supports_partial_fit` accept
+:meth:`Predictor.partial_fit` deltas — new rows over the *same* MAC
+vocabulary — and are required to end up numerically identical (1e-9)
+to a from-scratch :meth:`Predictor.fit` on the concatenated data.  The
+in-tree implementations achieve this by appending the delta rows to
+their per-MAC/structure-of-arrays buffers (row order is preserved, so
+the appended arrays equal the full-fit masked arrays bit for bit) and
+recomputing derived statistics only for the MACs the delta touched.
 """
 
 from __future__ import annotations
@@ -78,6 +89,11 @@ class Predictor(abc.ABC):
     #: Human-readable estimator name for reports.
     name: str = "predictor"
 
+    #: Whether :meth:`partial_fit` is implemented.  Incremental-capable
+    #: estimators set this ``True``; consumers (the online builder most
+    #: notably) feature-test it before routing delta refits.
+    supports_partial_fit: bool = False
+
     #: Length scale (m) of the base-class distance-uncertainty proxy:
     #: the proxy saturates toward the training target spread once a
     #: query is a few of these away from any same-MAC sample.
@@ -87,6 +103,7 @@ class Predictor(abc.ABC):
         self._fitted = False
         self._train_vocabulary: Optional[Tuple[str, ...]] = None
         self._train_support: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._train_rssi: Optional[np.ndarray] = None
         self._train_target_std: float = 1.0
 
     # ------------------------------------------------------------------
@@ -97,6 +114,23 @@ class Predictor(abc.ABC):
     @abc.abstractmethod
     def predict(self, data: REMDataset) -> np.ndarray:
         """Predict RSS (dBm) for every row of ``data``."""
+
+    def partial_fit(self, delta: REMDataset) -> "Predictor":
+        """Incorporate new rows without refitting from scratch.
+
+        ``delta`` must carry the *same* MAC vocabulary the estimator was
+        fitted on; vocabulary growth requires a full :meth:`fit` (the
+        online builder falls back automatically).  Implementations are
+        pinned to from-scratch equivalence: after ``fit(a)`` followed by
+        ``partial_fit(b)``, every prediction/uncertainty path must match
+        ``fit(a + b)`` to 1e-9.  The base class has no incremental
+        state, so it refuses; estimators that can honor the contract set
+        :attr:`supports_partial_fit` and override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support partial_fit "
+            "(supports_partial_fit is False); refit from scratch instead"
+        )
 
     # ------------------------------------------------------------------
     # batched query API (the REM engine's entry points)
@@ -283,8 +317,48 @@ class Predictor(abc.ABC):
                 train.positions.astype(float).copy(),
                 train.mac_indices.astype(int).copy(),
             )
+            # Raw targets kept so _extend_fitted can recompute the spread
+            # over the exact concatenated array (bit-equal to a full fit).
+            self._train_rssi = train.rssi_dbm.astype(float).copy()
             spread = float(train.rssi_dbm.std()) if len(train) else 1.0
             self._train_target_std = max(spread, 1e-6)
+
+    def _check_partial_fit(self, delta: REMDataset) -> bool:
+        """Validate a :meth:`partial_fit` delta; ``True`` if it has rows.
+
+        Raises when the estimator is unfitted or the delta's vocabulary
+        differs from the fitted one (callers must route those through a
+        full :meth:`fit`); an empty delta is a no-op (returns ``False``).
+        """
+        self._require_fitted()
+        if (
+            self._train_vocabulary is not None
+            and tuple(delta.mac_vocabulary) != tuple(self._train_vocabulary)
+        ):
+            raise ValueError(
+                "partial_fit delta vocabulary differs from the fitted "
+                "vocabulary; refit from scratch on the combined dataset"
+            )
+        return len(delta) > 0
+
+    def _extend_fitted(self, delta: REMDataset) -> None:
+        """Append delta rows to the base-class bookkeeping arrays.
+
+        Keeps the fallback uncertainty proxy and the recorded target
+        spread identical to what a from-scratch fit on the concatenated
+        dataset would produce.
+        """
+        if self._train_support is None or self._train_rssi is None:
+            return
+        points, macs = self._train_support
+        self._train_support = (
+            np.concatenate([points, delta.positions.astype(float)]),
+            np.concatenate([macs, delta.mac_indices.astype(int)]),
+        )
+        self._train_rssi = np.concatenate(
+            [self._train_rssi, delta.rssi_dbm.astype(float)]
+        )
+        self._train_target_std = max(float(self._train_rssi.std()), 1e-6)
 
     def _require_fitted(self) -> None:
         if not self._fitted:

@@ -24,6 +24,7 @@ class MeanPerMacBaseline(Predictor):
 
     PARAM_NAMES = ()
     name = "baseline-mean-per-mac"
+    supports_partial_fit = True
 
     def __init__(self):
         super().__init__()
@@ -55,6 +56,37 @@ class MeanPerMacBaseline(Predictor):
                 float(train.rssi_dbm[mask].std()), 1e-6
             )
         self._mark_fitted(train)
+        return self
+
+    def partial_fit(self, delta: REMDataset) -> "MeanPerMacBaseline":
+        """Fold new rows in without re-scanning untouched MACs.
+
+        The global mean/std shift with every delta (full-array
+        reductions, O(n)); per-MAC statistics are recomputed only for
+        the MACs the delta touched — untouched MACs keep their entries,
+        which equal a from-scratch fit bit for bit because appending
+        preserves row order.
+        """
+        if not self._check_partial_fit(delta):
+            return self
+        self._extend_fitted(delta)
+        assert self._train_support is not None and self._train_rssi is not None
+        macs = self._train_support[1]
+        rssi = self._train_rssi
+        self._global_mean = float(rssi.mean())
+        self._global_std = max(float(rssi.std()), 1e-6)
+        means = np.full(len(self._means_table), self._global_mean)
+        stds = np.full(len(self._stds_table), self._global_std)
+        for mac_index, value in self._means.items():
+            means[mac_index] = value
+            stds[mac_index] = self._stds_table[mac_index]
+        for mac_index in np.unique(delta.mac_indices):
+            mask = macs == mac_index
+            self._means[int(mac_index)] = float(rssi[mask].mean())
+            means[mac_index] = self._means[int(mac_index)]
+            stds[mac_index] = max(float(rssi[mask].std()), 1e-6)
+        self._means_table = means
+        self._stds_table = stds
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:

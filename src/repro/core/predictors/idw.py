@@ -33,6 +33,7 @@ class IdwRegressor(Predictor):
 
     PARAM_NAMES = ("power", "epsilon_m")
     name = "idw"
+    supports_partial_fit = True
 
     def __init__(self, power: float = 2.0, epsilon_m: float = 1e-6):
         super().__init__()
@@ -59,6 +60,40 @@ class IdwRegressor(Predictor):
                 train.rssi_dbm[mask].astype(float),
             )
         self._mark_fitted(train)
+        return self
+
+    def partial_fit(self, delta: REMDataset) -> "IdwRegressor":
+        """Append delta rows to the per-MAC sample clouds.
+
+        Only the MACs present in the delta are touched; the appended
+        arrays equal a full fit's masked arrays bit for bit because
+        appending preserves row order.  The global-mean fallback is
+        recomputed over the full target array.
+        """
+        if not self._check_partial_fit(delta):
+            return self
+        self._extend_fitted(delta)
+        assert self._train_rssi is not None
+        self._global_mean = float(self._train_rssi.mean())
+        # One stable sort groups delta rows by MAC (ascending row index
+        # within each group, identical to a boolean-mask scan) instead
+        # of one O(delta) mask per touched MAC.
+        order = np.argsort(delta.mac_indices, kind="stable")
+        groups, starts = np.unique(delta.mac_indices[order], return_index=True)
+        bounds = np.append(starts, len(order))
+        for g, mac_index in enumerate(groups):
+            rows = order[starts[g] : bounds[g + 1]]
+            key = int(mac_index)
+            new_positions = delta.positions[rows]
+            new_values = delta.rssi_dbm[rows].astype(float)
+            if key in self._per_mac:
+                positions, values = self._per_mac[key]
+                self._per_mac[key] = (
+                    np.concatenate([positions, new_positions]),
+                    np.concatenate([values, new_values]),
+                )
+            else:
+                self._per_mac[key] = (new_positions, new_values)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:

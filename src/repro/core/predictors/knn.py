@@ -140,6 +140,7 @@ class KnnRegressor(Predictor):
 
     PARAM_NAMES = ("n_neighbors", "weights", "p", "onehot_scale")
     name = "knn"
+    supports_partial_fit = True
 
     def __init__(
         self,
@@ -195,6 +196,51 @@ class KnnRegressor(Predictor):
             for mac in np.unique(self._train_macs)
         }
         self._mark_fitted(train)
+        return self
+
+    def partial_fit(self, delta: REMDataset) -> "KnnRegressor":
+        """Append delta rows to the structure-of-arrays training buffers.
+
+        Appending preserves row order, so the grown target/position/MAC
+        arrays equal a from-scratch fit's bit for bit.  Existing
+        ``_mac_columns`` index arrays stay valid (indices are append-
+        only); MACs present in the delta extend theirs with the new row
+        offsets.  The lazily-built dense feature matrix is invalidated
+        and rebuilt on the next legacy :meth:`predict` call.
+        """
+        if not self._check_partial_fit(delta):
+            return self
+        assert self._train_targets is not None
+        n_old = len(self._train_targets)
+        self._train_features = None
+        self._train_targets = np.concatenate(
+            [self._train_targets, delta.rssi_dbm.astype(float)]
+        )
+        self._train_positions = np.ascontiguousarray(
+            np.concatenate(
+                [self._train_positions, delta.positions.astype(float)]
+            )
+        )
+        delta_macs = delta.mac_indices.astype(int)
+        self._train_macs = np.concatenate([self._train_macs, delta_macs])
+        # One stable sort groups the delta rows by MAC; within a group
+        # the stable order is ascending row index, so each group equals
+        # the per-MAC ``flatnonzero`` scan (71 MACs would make per-MAC
+        # scans the dominant refit cost) bit for bit.
+        order = np.argsort(delta_macs, kind="stable")
+        groups, starts = np.unique(delta_macs[order], return_index=True)
+        bounds = np.append(starts, len(order))
+        for g, mac_index in enumerate(groups):
+            key = int(mac_index)
+            new_columns = n_old + order[starts[g] : bounds[g + 1]]
+            old_columns = self._mac_columns.get(key)
+            if old_columns is None:
+                self._mac_columns[key] = new_columns
+            else:
+                self._mac_columns[key] = np.concatenate(
+                    [old_columns, new_columns]
+                )
+        self._extend_fitted(delta)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:

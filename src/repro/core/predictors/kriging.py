@@ -102,6 +102,7 @@ class OrdinaryKrigingRegressor(Predictor):
 
     PARAM_NAMES = ("n_neighbors", "n_bins")
     name = "ordinary-kriging"
+    supports_partial_fit = True
 
     def __init__(self, n_neighbors: int = 16, n_bins: int = 12):
         super().__init__()
@@ -128,6 +129,38 @@ class OrdinaryKrigingRegressor(Predictor):
             variogram = fit_variogram(positions, values, n_bins=self.n_bins)
             self._models[int(mac_index)] = (positions, values, variogram)
         self._mark_fitted(train)
+        return self
+
+    def partial_fit(self, delta: REMDataset) -> "OrdinaryKrigingRegressor":
+        """Refresh only the per-MAC models the delta touches.
+
+        Each touched MAC's sample cloud is extended (appending preserves
+        row order, so the arrays equal a full fit's masked arrays bit
+        for bit) and its variogram re-estimated over the grown cloud;
+        the other MACs keep their fitted models untouched — that is
+        where the speedup over a from-scratch refit comes from, since a
+        cadence delta typically observes a handful of APs while the
+        variogram fit is quadratic in each MAC's sample count.
+        """
+        if not self._check_partial_fit(delta):
+            return self
+        self._extend_fitted(delta)
+        assert self._train_rssi is not None
+        self._global_mean = float(self._train_rssi.mean())
+        for mac_index in np.unique(delta.mac_indices):
+            mask = delta.mac_indices == mac_index
+            key = int(mac_index)
+            if key in self._models:
+                old_positions, old_values, _ = self._models[key]
+                positions = np.concatenate([old_positions, delta.positions[mask]])
+                values = np.concatenate(
+                    [old_values, delta.rssi_dbm[mask].astype(float)]
+                )
+            else:
+                positions = delta.positions[mask]
+                values = delta.rssi_dbm[mask].astype(float)
+            variogram = fit_variogram(positions, values, n_bins=self.n_bins)
+            self._models[key] = (positions, values, variogram)
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:

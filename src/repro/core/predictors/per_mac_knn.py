@@ -29,6 +29,7 @@ class PerMacKnnRegressor(Predictor):
 
     PARAM_NAMES = ("n_neighbors", "weights", "p")
     name = "knn-per-mac"
+    supports_partial_fit = True
 
     def __init__(self, n_neighbors: int = 3, weights: str = "distance", p: float = 2.0):
         super().__init__()
@@ -58,6 +59,42 @@ class PerMacKnnRegressor(Predictor):
             self._positions[int(mac_index)] = train.positions[mask]
             self._targets[int(mac_index)] = train.rssi_dbm[mask].astype(float)
         self._mark_fitted(train)
+        return self
+
+    def partial_fit(self, delta: REMDataset) -> "PerMacKnnRegressor":
+        """Append delta rows to the per-MAC regressors.
+
+        Touches only the MACs present in the delta; appending preserves
+        row order, so the grown arrays equal a from-scratch fit's masked
+        arrays bit for bit.  The global-mean fallback is recomputed over
+        the full target array.
+        """
+        if not self._check_partial_fit(delta):
+            return self
+        self._extend_fitted(delta)
+        assert self._train_rssi is not None
+        self._global_mean = float(self._train_rssi.mean())
+        # One stable sort groups delta rows by MAC (ascending row index
+        # within each group, identical to a boolean-mask scan) instead
+        # of one O(delta) mask per touched MAC.
+        order = np.argsort(delta.mac_indices, kind="stable")
+        groups, starts = np.unique(delta.mac_indices[order], return_index=True)
+        bounds = np.append(starts, len(order))
+        for g, mac_index in enumerate(groups):
+            rows = order[starts[g] : bounds[g + 1]]
+            key = int(mac_index)
+            new_positions = delta.positions[rows]
+            new_targets = delta.rssi_dbm[rows].astype(float)
+            if key in self._positions:
+                self._positions[key] = np.concatenate(
+                    [self._positions[key], new_positions]
+                )
+                self._targets[key] = np.concatenate(
+                    [self._targets[key], new_targets]
+                )
+            else:
+                self._positions[key] = new_positions
+                self._targets[key] = new_targets
         return self
 
     def predict(self, data: REMDataset) -> np.ndarray:

@@ -52,6 +52,13 @@ from .propagation import (
     MultiWallPathLoss,
     fspl_db,
 )
+from .scenario_cache import (
+    ScenarioCache,
+    cache_enabled,
+    configure_default_cache,
+    default_cache,
+    scenario_digest,
+)
 from .scenarios import (
     DemoScenario,
     DemoScenarioConfig,
@@ -92,6 +99,11 @@ __all__ = [
     "generate_building",
     "ScenarioDiagnostics",
     "diagnose_scenario",
+    "ScenarioCache",
+    "cache_enabled",
+    "configure_default_cache",
+    "default_cache",
+    "scenario_digest",
     "IndoorEnvironment",
     "LinkBudget",
     "Cuboid",

@@ -1,0 +1,278 @@
+"""Cross-job scenario and campaign caching for sweep workloads.
+
+A :class:`~repro.serve.jobset.JobSetSpec` sweep varies predictors,
+resolutions and seeds over a handful of scenarios — yet every cell used
+to rebuild its RF world from scratch: the scenario geometry, and (far
+more expensively) the simulated measurement campaign, which profiling
+shows is ~85% of a quick build's wall time.  Both are *pure functions*
+of their configuration: scenario construction is seeded, and the
+campaign sim derives every random draw from stateless
+:meth:`repro.sim.rng.RandomStreams.fork` forks of the scenario's
+streams, so re-running a campaign on a cached scenario object is
+bit-identical to running it on a fresh one (the artifact byte-identity
+tests pin this).
+
+:class:`ScenarioCache` therefore keeps two process-level LRUs —
+content-addressed built scenarios and flown campaign results — plus an
+on-disk ``.npy`` tier for derived fields (ground-truth maps most
+notably) that parallel sweep workers memory-map instead of recomputing.
+A 24-cell sweep over 4 scenarios builds each world once, not 24 times.
+
+Cached objects are shared, so consumers must treat them as immutable —
+every in-tree consumer already does (campaign logs are only read, the
+environment's internal caches are pure memos).  Set
+``REPRO_SCENARIO_CACHE=0`` to disable the cache process-wide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+from .scenarios import DemoScenario, build_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..station.campaign import CampaignConfig
+
+__all__ = [
+    "ScenarioCache",
+    "scenario_digest",
+    "default_cache",
+    "configure_default_cache",
+    "cache_enabled",
+]
+
+#: Environment switch: set to ``"0"`` to bypass the process cache.
+_ENV_TOGGLE = "REPRO_SCENARIO_CACHE"
+#: Optional default location of the on-disk field tier.
+_ENV_DISK_ROOT = "REPRO_SCENARIO_CACHE_DIR"
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,200}$")
+
+
+def scenario_digest(
+    name: str, seed: int, resolution: Optional[float] = None
+) -> str:
+    """Content address of a ``(scenario, seed[, resolution])`` world.
+
+    The digest keys both the in-process LRUs and the on-disk field
+    tier; ``resolution`` participates only for resolution-dependent
+    derivations (ground-truth lattices), not for the scenario object
+    itself.
+    """
+    payload = {"scenario": str(name), "seed": int(seed)}
+    if resolution is not None:
+        payload["resolution_m"] = float(resolution)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def cache_enabled() -> bool:
+    """Whether the process-level cache is active (`REPRO_SCENARIO_CACHE`)."""
+    return os.environ.get(_ENV_TOGGLE, "") != "0"
+
+
+class ScenarioCache:
+    """Process-level LRU of built scenarios and flown campaigns.
+
+    Parameters
+    ----------
+    capacity:
+        Entries kept per tier (scenarios and campaigns independently).
+    disk_root:
+        Directory of the on-disk ``.npy`` field tier; created lazily on
+        first write.  ``None`` (the default) keeps :meth:`fields`
+        purely in-process.  Defaults to ``$REPRO_SCENARIO_CACHE_DIR``
+        when that is set.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        disk_root: Optional[os.PathLike] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        if disk_root is None and os.environ.get(_ENV_DISK_ROOT):
+            disk_root = os.environ[_ENV_DISK_ROOT]
+        self.disk_root = None if disk_root is None else Path(disk_root)
+        self._lock = threading.Lock()
+        self._scenarios: "OrderedDict[str, DemoScenario]" = OrderedDict()
+        self._campaigns: "OrderedDict[str, object]" = OrderedDict()
+        self._field_memo: Dict[str, np.ndarray] = {}
+        self.stats_counters: Dict[str, int] = {
+            "scenario_hits": 0,
+            "scenario_builds": 0,
+            "campaign_hits": 0,
+            "campaign_builds": 0,
+            "field_hits": 0,
+            "field_builds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def scenario(self, name: str, seed: int) -> DemoScenario:
+        """The built scenario for ``(name, seed)``, cached.
+
+        Equivalent to :func:`repro.radio.scenarios.build_scenario` —
+        construction is seeded and campaign randomness forks statelessly
+        from the scenario streams, so the returned (shared) object must
+        be treated as immutable but is otherwise interchangeable with a
+        fresh build.
+        """
+        key = scenario_digest(name, seed)
+        with self._lock:
+            hit = self._scenarios.get(key)
+            if hit is not None:
+                self._scenarios.move_to_end(key)
+                self.stats_counters["scenario_hits"] += 1
+                return hit
+        built = build_scenario(name, seed=seed)
+        with self._lock:
+            self.stats_counters["scenario_builds"] += 1
+            self._insert(self._scenarios, key, built)
+        return built
+
+    def campaign(
+        self,
+        config: "CampaignConfig",
+        scenario: Optional[DemoScenario] = None,
+        fly: Optional[Callable] = None,
+    ):
+        """The flown campaign for a job-representable config, cached.
+
+        The key is the config's JSON job-field form (scenario, seed,
+        acquisition, active tunables); configs that customize hardware
+        fields have no JSON form and are flown uncached.  ``scenario``
+        must be the canonical build for ``(config.scenario,
+        config.seed)`` when provided (the toolchain's is); it is built
+        through the scenario tier when omitted.  ``fly`` overrides the
+        campaign runner on a miss (callers pass their own
+        ``run_campaign`` reference so test doubles stay effective).
+        """
+        if fly is None:
+            from ..station.campaign import run_campaign
+
+            fly = run_campaign
+        key = self._campaign_key(config)
+        if key is not None:
+            with self._lock:
+                hit = self._campaigns.get(key)
+                if hit is not None:
+                    self._campaigns.move_to_end(key)
+                    self.stats_counters["campaign_hits"] += 1
+                    return hit
+        if scenario is None:
+            scenario = self.scenario(config.scenario, config.seed)
+        result = fly(scenario=scenario, config=config)
+        if key is not None:
+            with self._lock:
+                self.stats_counters["campaign_builds"] += 1
+                self._insert(self._campaigns, key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def fields(
+        self, key: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """A derived array under content address ``key``, cached.
+
+        With a ``disk_root`` the array lives as ``<key>.npy`` written
+        atomically (tmp + rename) and is returned memory-mapped, so
+        parallel sweep workers sharing the directory page the same
+        bytes instead of recomputing; without one it is memoized
+        in-process.  ``compute`` runs at most once per tier miss and
+        must return the full array.
+        """
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid field cache key {key!r}")
+        if self.disk_root is None:
+            with self._lock:
+                hit = self._field_memo.get(key)
+            if hit is not None:
+                self.stats_counters["field_hits"] += 1
+                return hit
+            value = np.asarray(compute())
+            with self._lock:
+                self.stats_counters["field_builds"] += 1
+                self._field_memo[key] = value
+            return value
+        path = self.disk_root / f"{key}.npy"
+        if path.exists():
+            self.stats_counters["field_hits"] += 1
+            return np.load(path, mmap_mode="r")
+        value = np.asarray(compute())
+        self.disk_root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as handle:
+            np.save(handle, value)
+        os.replace(tmp, path)
+        self.stats_counters["field_builds"] += 1
+        return np.load(path, mmap_mode="r")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Hit/build counters per tier (a copy)."""
+        with self._lock:
+            return dict(self.stats_counters)
+
+    def clear(self) -> None:
+        """Drop every in-process entry (the disk tier is left alone)."""
+        with self._lock:
+            self._scenarios.clear()
+            self._campaigns.clear()
+            self._field_memo.clear()
+
+    # ------------------------------------------------------------------
+    def _insert(self, tier: OrderedDict, key: str, value) -> None:
+        tier[key] = value
+        tier.move_to_end(key)
+        while len(tier) > self.capacity:
+            tier.popitem(last=False)
+
+    @staticmethod
+    def _campaign_key(config: "CampaignConfig") -> Optional[str]:
+        """Digest of a job-representable config; ``None`` otherwise."""
+        try:
+            fields = config.to_job_fields()
+        except ValueError:
+            return None
+        canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+_default: Optional[ScenarioCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> ScenarioCache:
+    """The process-wide :class:`ScenarioCache` (created on first use)."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ScenarioCache()
+        return _default
+
+
+def configure_default_cache(
+    disk_root: Optional[os.PathLike] = None,
+    capacity: Optional[int] = None,
+) -> ScenarioCache:
+    """Adjust the process-wide cache (sweep workers point the disk tier
+    at a directory shared under the artifact store root)."""
+    cache = default_cache()
+    if disk_root is not None:
+        cache.disk_root = Path(disk_root)
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        cache.capacity = int(capacity)
+    return cache

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..core.pipeline import _run_toolchain
 from ..core.rem import build_uncertainty_rem
+from ..perf import StageTimer
 from .artifact import ArtifactStore, RemArtifact
 from .spec import RemJobSpec
 
@@ -49,20 +50,23 @@ def run_job(spec: RemJobSpec, store: Optional[ArtifactStore] = None) -> RemArtif
             artifact.cache_hit = True
             return artifact
 
+    timer = StageTimer()
     start = time.perf_counter()
     result = _run_toolchain(
         scenario=None,
         predictor=spec.build_predictor(),
         config=spec.toolchain_config(),
+        timer=timer,
     )
     uncertainty = None
     if spec.with_uncertainty:
-        uncertainty = build_uncertainty_rem(
-            result.predictor,
-            result.preprocessing.dataset,
-            result.scenario.flight_volume,
-            resolution_m=spec.resolution_m,
-        )
+        with timer.span("uncertainty"):
+            uncertainty = build_uncertainty_rem(
+                result.predictor,
+                result.preprocessing.dataset,
+                result.scenario.flight_volume,
+                resolution_m=spec.resolution_m,
+            )
     wall_s = time.perf_counter() - start
 
     rem = result.rem
@@ -87,6 +91,13 @@ def run_job(spec: RemJobSpec, store: Optional[ArtifactStore] = None) -> RemArtif
             "n_macs": len(result.rem.macs),
             "resolution_m": spec.resolution_m,
             "wall_time_s": wall_s,
+            # Stage breakdown (repro.perf.StageTimer): scenario /
+            # campaign / preprocess / fit / rem (+ uncertainty), so
+            # `repro report` can attribute build-time regressions.
+            "stage_wall_s": {
+                stage: round(seconds, 6)
+                for stage, seconds in timer.wall_s().items()
+            },
         },
         result=result,
     )

@@ -308,12 +308,23 @@ def _execute_job(spec_dict: Dict[str, object], store: ArtifactStore) -> Dict:
     }
 
 
-def _worker_main(conn, store_root: str, storage_format: str) -> None:
+def _worker_main(
+    conn, store_root: str, storage_format: str, cache_dir: Optional[str] = None
+) -> None:
     """Worker-process loop: recv job dicts, build, send results.
 
     Spawn-safe by construction — everything arrives through the pipe
     or the picklable arguments, and the store handle is rebuilt here.
+    Each worker keeps its own process-level scenario/campaign LRU (so
+    sweep cells sharing a world fly it once per worker) and points the
+    on-disk field tier at a directory shared under the store root, so
+    derived arrays (ground-truth fields) are memory-mapped across the
+    pool instead of recomputed.
     """
+    if cache_dir:
+        from ..radio.scenario_cache import configure_default_cache
+
+        configure_default_cache(disk_root=cache_dir)
     store = ArtifactStore(store_root, default_format=storage_format)
     while True:
         try:
@@ -343,11 +354,17 @@ def _worker_main(conn, store_root: str, storage_format: str) -> None:
 class _Worker:
     """Parent-side handle of one worker process."""
 
-    def __init__(self, ctx, store_root: str, storage_format: str):
+    def __init__(
+        self,
+        ctx,
+        store_root: str,
+        storage_format: str,
+        cache_dir: Optional[str] = None,
+    ):
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, store_root, storage_format),
+            args=(child_conn, store_root, storage_format, cache_dir),
             daemon=True,
         )
         self.process.start()
@@ -606,7 +623,12 @@ class JobSetRunner:
         return self._tripped()
 
     def _spawn_worker(self, ctx) -> _Worker:
-        return _Worker(ctx, str(self.store.root), self.storage_format)
+        return _Worker(
+            ctx,
+            str(self.store.root),
+            self.storage_format,
+            cache_dir=str(self.store.root / "scenario_cache"),
+        )
 
     def _run_pool(self, pending, n_workers: int) -> bool:
         """Parallel execution over ``n_workers`` worker processes."""

@@ -12,7 +12,21 @@ import pytest
 
 from repro.core.preprocessing import preprocess
 from repro.radio import build_demo_scenario
+from repro.radio.scenario_cache import default_cache
 from repro.station import run_campaign
+
+
+@pytest.fixture(autouse=True)
+def _fresh_scenario_cache():
+    """Empty the process-wide scenario/campaign cache per test.
+
+    Keeps each test's build behavior independent of suite order (a
+    campaign another test flew must not turn this test's build into a
+    cache hit).
+    """
+    default_cache().clear()
+    yield
+    default_cache().clear()
 
 
 @pytest.fixture(scope="session")

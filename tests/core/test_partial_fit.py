@@ -1,0 +1,187 @@
+"""partial_fit ≡ fit-from-scratch, pinned for every incremental estimator.
+
+The incremental refit engine (``OnlineRemBuilder`` routing cadence
+refits through ``Predictor.partial_fit``) is only sound if the split
+path is *numerically identical* to the monolithic one.  The hypothesis
+property here pins exactly that contract, for every registry predictor
+advertising ``supports_partial_fit``, across every query surface the
+REM engine and the active planner use: ``predict``, ``predict_points``,
+``predict_points_std``, ``predict_mac_grid`` and ``uncertainty_grid``.
+
+Splits are *contiguous* (prefix fit, suffix partial_fit) — that is the
+only access pattern the online builder produces, and the bit-equality
+argument (appended arrays equal full-fit masked arrays) relies on row
+order being preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import REMDataset
+from repro.core.predictors import NotFittedError
+from repro.serve.spec import PREDICTOR_FACTORIES
+
+#: Registry predictors that advertise the incremental contract.
+PARTIAL_FIT_NAMES = sorted(
+    name
+    for name, cls in PREDICTOR_FACTORIES.items()
+    if cls.supports_partial_fit
+)
+
+ATOL = 1e-9
+
+
+def _random_dataset(rng, n, n_macs):
+    vocabulary = tuple(f"aa:bb:cc:dd:ee:{i:02x}" for i in range(n_macs))
+    return REMDataset(
+        positions=rng.uniform(0.0, 6.0, size=(n, 3)),
+        mac_indices=rng.integers(0, n_macs, size=n),
+        channels=rng.integers(1, 12, size=n),
+        rssi_dbm=rng.uniform(-90.0, -40.0, size=n),
+        mac_vocabulary=vocabulary,
+    )
+
+
+def _assert_equivalent(split_model, full_model, dataset, rng):
+    """Every query surface must agree to ATOL between the two models."""
+    n_macs = dataset.n_macs
+    queries = rng.uniform(-1.0, 7.0, size=(12, 3))
+    query_macs = rng.integers(0, n_macs, size=12)
+    query_set = REMDataset(
+        positions=queries,
+        mac_indices=query_macs,
+        channels=np.full(12, 6, dtype=int),
+        rssi_dbm=np.zeros(12),
+        mac_vocabulary=dataset.mac_vocabulary,
+    )
+    all_macs = np.arange(n_macs)
+    pairs = [
+        (split_model.predict(query_set), full_model.predict(query_set)),
+        (
+            split_model.predict_points(queries, query_macs),
+            full_model.predict_points(queries, query_macs),
+        ),
+        (
+            split_model.predict_points_std(queries, query_macs),
+            full_model.predict_points_std(queries, query_macs),
+        ),
+        (
+            split_model.predict_mac_grid(queries, all_macs),
+            full_model.predict_mac_grid(queries, all_macs),
+        ),
+        (
+            split_model.uncertainty_grid(queries, all_macs),
+            full_model.uncertainty_grid(queries, all_macs),
+        ),
+    ]
+    for got, expected in pairs:
+        np.testing.assert_allclose(got, expected, rtol=0.0, atol=ATOL)
+
+
+class TestSplitEquivalence:
+    """fit(a); partial_fit(b) ≡ fit(a + b) on contiguous splits."""
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    @settings(deadline=None, max_examples=8)
+    @given(data=st.data())
+    def test_any_contiguous_split_matches_full_fit(self, name, data):
+        seed = data.draw(st.integers(0, 10_000), label="seed")
+        n = data.draw(st.integers(8, 48), label="n")
+        n_macs = data.draw(st.integers(1, 4), label="n_macs")
+        split = data.draw(st.integers(1, n - 1), label="split")
+        rng = np.random.default_rng(seed)
+        dataset = _random_dataset(rng, n, n_macs)
+        prefix = dataset.subset(np.arange(split))
+        suffix = dataset.subset(np.arange(split, n))
+
+        split_model = PREDICTOR_FACTORIES[name]()
+        split_model.fit(prefix)
+        split_model.partial_fit(suffix)
+        full_model = PREDICTOR_FACTORIES[name]().fit(dataset)
+        _assert_equivalent(split_model, full_model, dataset, rng)
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    def test_repeated_deltas_match_full_fit(self, name):
+        """Many small deltas (the cadence pattern) stay equivalent."""
+        rng = np.random.default_rng(7)
+        dataset = _random_dataset(rng, 40, 3)
+        split_model = PREDICTOR_FACTORIES[name]()
+        split_model.fit(dataset.subset(np.arange(10)))
+        for start in range(10, 40, 6):
+            stop = min(start + 6, 40)
+            split_model.partial_fit(dataset.subset(np.arange(start, stop)))
+        full_model = PREDICTOR_FACTORIES[name]().fit(dataset)
+        _assert_equivalent(split_model, full_model, dataset, rng)
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    def test_delta_with_new_mac_in_shared_vocabulary(self, name):
+        """A MAC first observed in the delta (vocabulary unchanged)."""
+        rng = np.random.default_rng(11)
+        dataset = _random_dataset(rng, 30, 3)
+        # Force MAC 2 to appear only in the suffix.
+        macs = np.array([i % 2 for i in range(20)] + [2] * 10)
+        dataset = REMDataset(
+            positions=dataset.positions,
+            mac_indices=macs,
+            channels=dataset.channels,
+            rssi_dbm=dataset.rssi_dbm,
+            mac_vocabulary=dataset.mac_vocabulary,
+        )
+        split_model = PREDICTOR_FACTORIES[name]()
+        split_model.fit(dataset.subset(np.arange(20)))
+        split_model.partial_fit(dataset.subset(np.arange(20, 30)))
+        full_model = PREDICTOR_FACTORIES[name]().fit(dataset)
+        _assert_equivalent(split_model, full_model, dataset, rng)
+
+
+class TestContract:
+    """The guard rails around the incremental contract."""
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    def test_empty_delta_is_a_no_op(self, name):
+        rng = np.random.default_rng(3)
+        dataset = _random_dataset(rng, 24, 2)
+        model = PREDICTOR_FACTORIES[name]().fit(dataset)
+        reference = PREDICTOR_FACTORIES[name]().fit(dataset)
+        model.partial_fit(dataset.subset(np.arange(0)))
+        _assert_equivalent(model, reference, dataset, rng)
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    def test_vocabulary_mismatch_rejected(self, name):
+        rng = np.random.default_rng(4)
+        dataset = _random_dataset(rng, 24, 2)
+        model = PREDICTOR_FACTORIES[name]().fit(dataset)
+        grown = REMDataset(
+            positions=dataset.positions,
+            mac_indices=dataset.mac_indices,
+            channels=dataset.channels,
+            rssi_dbm=dataset.rssi_dbm,
+            mac_vocabulary=dataset.mac_vocabulary + ("ff:ff:ff:ff:ff:ff",),
+        )
+        with pytest.raises(ValueError, match="vocabulary"):
+            model.partial_fit(grown)
+
+    @pytest.mark.parametrize("name", PARTIAL_FIT_NAMES)
+    def test_unfitted_partial_fit_rejected(self, name):
+        rng = np.random.default_rng(5)
+        dataset = _random_dataset(rng, 12, 2)
+        with pytest.raises(NotFittedError):
+            PREDICTOR_FACTORIES[name]().partial_fit(dataset)
+
+    def test_non_incremental_predictor_refuses(self):
+        rng = np.random.default_rng(6)
+        dataset = _random_dataset(rng, 12, 2)
+        refusing = [
+            name
+            for name, cls in PREDICTOR_FACTORIES.items()
+            if not cls.supports_partial_fit
+        ]
+        assert refusing, "at least one registry predictor stays batch-only"
+        for name in refusing:
+            model = PREDICTOR_FACTORIES[name]().fit(dataset)
+            with pytest.raises(NotImplementedError, match="partial_fit"):
+                model.partial_fit(dataset)

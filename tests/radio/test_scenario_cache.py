@@ -1,0 +1,204 @@
+"""ScenarioCache: the sweep-wide scenario/campaign/field cache tiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.scenario_cache import (
+    ScenarioCache,
+    cache_enabled,
+    configure_default_cache,
+    default_cache,
+    scenario_digest,
+)
+from repro.serve import RemJobSpec, run_job
+from repro.station import CampaignConfig
+
+TINY = dict(
+    acquisition="active",
+    active={"seed_waypoints": 6, "batch_size": 6, "budget_waypoints": 6},
+    tune=False,
+    min_samples_per_mac=2,
+    resolution_m=0.8,
+    with_uncertainty=False,
+)
+
+
+class TestDigest:
+    def test_deterministic_and_distinct(self):
+        assert scenario_digest("condo", 1) == scenario_digest("condo", 1)
+        assert scenario_digest("condo", 1) != scenario_digest("condo", 2)
+        assert scenario_digest("condo", 1) != scenario_digest("office", 1)
+
+    def test_resolution_participates(self):
+        assert scenario_digest("condo", 1) != scenario_digest("condo", 1, 0.5)
+        assert scenario_digest("condo", 1, 0.5) != scenario_digest("condo", 1, 0.25)
+
+
+class TestScenarioTier:
+    def test_hit_returns_the_same_object(self):
+        cache = ScenarioCache()
+        first = cache.scenario("condo", 3)
+        second = cache.scenario("condo", 3)
+        assert second is first
+        assert cache.stats()["scenario_builds"] == 1
+        assert cache.stats()["scenario_hits"] == 1
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ScenarioCache(capacity=1)
+        first = cache.scenario("condo", 3)
+        cache.scenario("condo", 4)  # evicts seed 3
+        rebuilt = cache.scenario("condo", 3)
+        assert rebuilt is not first
+        assert cache.stats()["scenario_builds"] == 3
+        assert cache.stats()["scenario_hits"] == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioCache(capacity=0)
+
+
+class TestCampaignTier:
+    def test_representable_config_flies_once(self):
+        cache = ScenarioCache()
+        flights = {"n": 0}
+        world = object()
+
+        def fly(scenario, config):
+            flights["n"] += 1
+            assert scenario is world
+            return ("flown", config.seed)
+
+        config = CampaignConfig(seed=9)
+        first = cache.campaign(config, world, fly=fly)
+        second = cache.campaign(config, world, fly=fly)
+        assert flights["n"] == 1
+        assert second is first
+        assert cache.stats()["campaign_hits"] == 1
+
+    def test_distinct_configs_do_not_collide(self):
+        cache = ScenarioCache()
+        world = object()
+
+        def fly(scenario, config):
+            return config.seed
+
+        results = [
+            cache.campaign(CampaignConfig(seed=s), world, fly=fly)
+            for s in (1, 2, 1)
+        ]
+        assert results == [1, 2, 1]
+        assert cache.stats()["campaign_builds"] == 2
+        assert cache.stats()["campaign_hits"] == 1
+
+    def test_non_representable_config_stays_uncached(self):
+        """Hardware overrides have no job-field form, so no cache key."""
+        cache = ScenarioCache()
+        flights = {"n": 0}
+
+        def fly(scenario, config):
+            flights["n"] += 1
+            return object()
+
+        config = CampaignConfig(anchor_count=4)
+        with pytest.raises(ValueError):
+            config.to_job_fields()
+        first = cache.campaign(config, object(), fly=fly)
+        second = cache.campaign(config, object(), fly=fly)
+        assert flights["n"] == 2
+        assert second is not first
+        assert cache.stats()["campaign_builds"] == 0
+
+
+class TestFieldTier:
+    def test_in_process_memo(self):
+        cache = ScenarioCache()
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return np.arange(6.0).reshape(2, 3)
+
+        key = scenario_digest("condo", 1, 0.5)
+        first = cache.fields(key, compute)
+        second = cache.fields(key, compute)
+        assert calls["n"] == 1
+        np.testing.assert_array_equal(second, first)
+
+    def test_disk_tier_persists_and_memory_maps(self, tmp_path):
+        key = scenario_digest("condo", 1, 0.5)
+        value = np.linspace(-90.0, -40.0, 12).reshape(3, 4)
+        writer = ScenarioCache(disk_root=tmp_path)
+        written = writer.fields(key, lambda: value)
+        assert (tmp_path / f"{key}.npy").exists()
+        assert isinstance(written, np.memmap)
+        np.testing.assert_array_equal(np.asarray(written), value)
+
+        # A fresh cache (another worker process, conceptually) sharing
+        # the directory must hit the disk tier without recomputing.
+        reader = ScenarioCache(disk_root=tmp_path)
+        read = reader.fields(key, lambda: pytest.fail("recomputed"))
+        np.testing.assert_array_equal(np.asarray(read), value)
+        assert reader.stats()["field_hits"] == 1
+        assert reader.stats()["field_builds"] == 0
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ScenarioCache(disk_root=tmp_path)
+        for bad in ("", "../escape", "a/b", "x" * 201):
+            with pytest.raises(ValueError):
+                cache.fields(bad, lambda: np.zeros(1))
+
+    def test_clear_leaves_the_disk_tier(self, tmp_path):
+        cache = ScenarioCache(disk_root=tmp_path)
+        key = scenario_digest("condo", 2)
+        cache.fields(key, lambda: np.ones(3))
+        cache.clear()
+        assert (tmp_path / f"{key}.npy").exists()
+
+
+class TestProcessDefaults:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCENARIO_CACHE", raising=False)
+        assert cache_enabled()
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "0")
+        assert not cache_enabled()
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "1")
+        assert cache_enabled()
+
+    def test_configure_default_cache(self, tmp_path):
+        cache = default_cache()
+        old_root, old_capacity = cache.disk_root, cache.capacity
+        try:
+            configured = configure_default_cache(
+                disk_root=tmp_path, capacity=4
+            )
+            assert configured is cache
+            assert cache.disk_root == tmp_path
+            assert cache.capacity == 4
+            with pytest.raises(ValueError):
+                configure_default_cache(capacity=0)
+        finally:
+            cache.disk_root, cache.capacity = old_root, old_capacity
+
+
+class TestBuildIntegration:
+    def test_cache_on_and_off_build_identical_artifacts(self, monkeypatch):
+        """The cache must change wall time only, never a single byte."""
+        spec = RemJobSpec(**TINY)
+        monkeypatch.delenv("REPRO_SCENARIO_CACHE", raising=False)
+        cached = run_job(spec)
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "0")
+        uncached = run_job(spec)
+        assert cached.content_hash() == uncached.content_hash()
+
+    def test_sweep_cells_share_the_flown_campaign(self, monkeypatch):
+        """Cells differing only in predictor reuse one campaign."""
+        monkeypatch.delenv("REPRO_SCENARIO_CACHE", raising=False)
+        run_job(RemJobSpec(**{**TINY, "predictor": "knn", "tune": False}))
+        before = default_cache().stats()
+        run_job(RemJobSpec(**{**TINY, "predictor": "idw"}))
+        after = default_cache().stats()
+        assert after["campaign_hits"] == before["campaign_hits"] + 1
+        assert after["campaign_builds"] == before["campaign_builds"]
+        assert after["scenario_hits"] == before["scenario_hits"] + 1

@@ -163,6 +163,107 @@ class TestEdgeCases:
         assert stds[1] > stds[0]  # far from every sample => less certain
 
 
+class TestHoldoutFold:
+    def test_all_holdout_rows_fold_into_first_fit(self, rng):
+        """Regression: every early draw landing in holdout used to leave
+        refit_now() returning None while uncertainty() raised mid-campaign."""
+        builder = OnlineRemBuilder(
+            refit_every_scans=100, holdout_fraction=0.9, seed=0
+        )
+        for i in range(3):
+            position = (float(i), 0.0, 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        # Engineer the failure mode directly: whatever the draws did,
+        # force the samples-but-no-train state the unlucky RNG produces.
+        builder._holdout_rows.extend(builder._train_rows)
+        builder._train_rows.clear()
+        builder._dataset_cache = None
+        assert builder.samples_ingested > 0
+        snap = builder.refit_now()
+        assert snap is not None
+        assert builder.ready
+        stds = builder.uncertainty([(0.0, 0.0, 1.0)])  # used to raise
+        assert stds.shape == (1,)
+        # The folded rows train the model; holdout scoring is skipped
+        # for this fit and resumes with later draws.
+        assert snap.holdout_rmse_dbm is None
+        assert len(builder._holdout_rows) == 0
+
+    def test_refit_now_with_no_rows_still_returns_none(self):
+        builder = OnlineRemBuilder(holdout_fraction=0.9)
+        assert builder.refit_now() is None
+        assert not builder.ready
+
+
+class TestIncrementalRefit:
+    def _replay(self, incremental, n=30, holdout=0.25):
+        rng = np.random.default_rng(99)
+        builder = OnlineRemBuilder(
+            refit_every_scans=4,
+            holdout_fraction=holdout,
+            seed=13,
+            incremental=incremental,
+        )
+        for i in range(n):
+            position = (0.3 * i % 3.0, 0.2 * (i % 7), 1.0)
+            builder.add_scan(position, scan_records(rng, MACS, position))
+        return builder
+
+    def test_incremental_equals_scratch(self):
+        fast = self._replay(incremental=True)
+        slow = self._replay(incremental=False)
+        assert len(fast.history) == len(slow.history)
+        for a, b in zip(fast.history, slow.history):
+            if a.holdout_rmse_dbm is None:
+                assert b.holdout_rmse_dbm is None
+            else:
+                assert a.holdout_rmse_dbm == pytest.approx(
+                    b.holdout_rmse_dbm, abs=1e-9
+                )
+        for point in [(0.1, 0.2, 1.0), (2.5, 1.1, 1.0)]:
+            for mac in MACS:
+                assert fast.predict(point, mac) == pytest.approx(
+                    slow.predict(point, mac), abs=1e-9
+                )
+        stds_fast = fast.uncertainty([(0.5, 0.5, 1.0), (9.0, 9.0, 1.0)])
+        stds_slow = slow.uncertainty([(0.5, 0.5, 1.0), (9.0, 9.0, 1.0)])
+        np.testing.assert_allclose(stds_fast, stds_slow, rtol=0.0, atol=1e-9)
+
+    def test_refit_mode_counters(self):
+        fast = self._replay(incremental=True)
+        slow = self._replay(incremental=False)
+        # First refit is necessarily full (no model yet); with a stable
+        # vocabulary every later cadence refit takes the delta path.
+        assert fast.refits_full == 1
+        assert fast.refits_incremental == len(fast.history) - 1
+        assert fast.history[0].refit_mode == "full"
+        assert all(s.refit_mode == "incremental" for s in fast.history[1:])
+        assert slow.refits_incremental == 0
+        assert slow.refits_full == len(slow.history)
+        assert all(s.refit_wall_s >= 0.0 for s in fast.history)
+
+    def test_vocabulary_growth_falls_back_to_full_refit(self, rng):
+        fast = OnlineRemBuilder(
+            refit_every_scans=3, holdout_fraction=0.0, incremental=True
+        )
+        slow = OnlineRemBuilder(
+            refit_every_scans=3, holdout_fraction=0.0, incremental=False
+        )
+        for i in range(18):
+            position = (0.4 * i % 3.0, 0.3 * (i % 5), 1.0)
+            macs = MACS[: 2 + (i // 6)]  # vocabulary grows twice
+            records = scan_records(rng, macs, position)
+            fast.add_scan(position, records)
+            slow.add_scan(position, records)
+        # Each vocabulary change forces a full refit on the fast path.
+        assert fast.refits_full >= 3
+        assert fast.refits_incremental >= 1
+        for mac in MACS:
+            assert fast.predict((1.0, 0.5, 1.0), mac) == pytest.approx(
+                slow.predict((1.0, 0.5, 1.0), mac), abs=1e-9
+            )
+
+
 class TestConvergence:
     def test_holdout_rmse_improves_with_data(self, rng):
         builder = OnlineRemBuilder(refit_every_scans=5, holdout_fraction=0.3, seed=7)
