@@ -1,0 +1,190 @@
+"""BENCH-FLEET — wall-clock and map quality of K-drone acquisition.
+
+The fleet path spends each uncertainty-driven batch across K drones
+flying at once, so a round's simulated makespan shrinks roughly by K,
+and the ``workers`` fan-out (one OS process and one kernel per drone)
+converts that into real wall-clock on multi-core hosts.  This bench
+flies the same budget with K ∈ {1, 2, 4} and records, per K:
+
+* real wall time of the whole campaign (``workers=K``);
+* simulated makespan (the kernel clock summed over rounds);
+* RMSE at budget against the simulator's ground-truth mean RSS.
+
+Emits ``BENCH_fleet.json`` at the repo root.  Set
+``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (smaller
+budget and probe grid, trend assertions only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import ground_truth_fields, ground_truth_map_rmse
+from repro.core.predictors import KnnRegressor
+from repro.station import ActiveSamplingConfig, FleetConfig, run_fleet_campaign
+
+#: The paper's tuned configuration (§III-B best performer).
+TUNED = dict(n_neighbors=16, weights="distance", p=2.0, onehot_scale=3.0)
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+KS = (1, 2, 4)
+BUDGET = 16 if QUICK else 48
+SEED_WAYPOINTS = 4 if QUICK else 8
+BATCH = 4 if QUICK else 6
+PROBE_SHAPE = (4, 4, 2) if QUICK else (6, 5, 3)
+
+_RECORD: dict = {
+    "quick": QUICK,
+    "budget_waypoints": BUDGET,
+    "cpu_count": os.cpu_count(),
+    "arms": {},
+}
+
+
+def _scaled_min_samples(waypoints_flown: int) -> int:
+    """The §III-B 16-of-72 weak-MAC threshold, scaled to fewer scans."""
+    return max(3, round(16 * waypoints_flown / 72))
+
+
+def _filtered_fit(dataset, waypoints_flown: int):
+    """Tuned k-NN on the dataset minus its weak MACs (scaled filter)."""
+    counts = dataset.samples_per_mac()
+    threshold = _scaled_min_samples(waypoints_flown)
+    keep = [
+        i
+        for i, mac in enumerate(dataset.mac_vocabulary)
+        if counts[mac] >= threshold
+    ]
+    subset = dataset.subset(np.flatnonzero(np.isin(dataset.mac_indices, keep)))
+    return KnnRegressor(**TUNED).fit(subset), subset.mac_vocabulary
+
+
+@pytest.fixture(scope="module")
+def fleet_runs(campaign_result):
+    """One campaign per K, each timed end to end with ``workers=K``."""
+    scenario = campaign_result.scenario
+    runs = {}
+    for k in KS:
+        active = ActiveSamplingConfig(
+            seed_waypoints=SEED_WAYPOINTS,
+            batch_size=BATCH,
+            budget_waypoints=BUDGET,
+        )
+        start = time.perf_counter()
+        result = run_fleet_campaign(
+            scenario=scenario,
+            fleet=FleetConfig(n_drones=k),
+            active=active,
+            workers=k if k > 1 else 0,
+        )
+        runs[k] = {"result": result, "wall_s": time.perf_counter() - start}
+    return runs
+
+
+@pytest.fixture(scope="module")
+def truth_scoring(campaign_result, preprocessed):
+    """Ground-truth fields cached once, shared by every arm's scoring."""
+    scenario = campaign_result.scenario
+    probes = scenario.flight_volume.grid(*PROBE_SHAPE, margin=0.2)
+    eval_macs = list(preprocessed.dataset.mac_vocabulary)
+    truth = ground_truth_fields(scenario.environment, eval_macs, probes)
+    return {"probes": probes, "eval_macs": eval_macs, "truth": truth}
+
+
+def test_every_arm_spends_the_budget(fleet_runs):
+    for k, run in fleet_runs.items():
+        result = run["result"]
+        assert result.stop_reason == "budget", (
+            f"K={k} stopped early: {result.stop_reason}"
+        )
+        assert result.waypoints_flown >= BUDGET
+        assert len(result.log) > 0
+
+
+def test_concurrency_shrinks_the_simulated_makespan(fleet_runs):
+    """K drones cut a round's flying time ~K-fold (simulated clock)."""
+    makespans = {k: fleet_runs[k]["result"].duration_s for k in KS}
+    for k in KS:
+        _RECORD["arms"].setdefault(str(k), {})["makespan_s"] = makespans[k]
+    print("\nsimulated makespan per K:", makespans)
+    assert makespans[2] < makespans[1]
+    assert makespans[4] < makespans[2]
+    # The K=2 fleet halves every tour; fixed take-off/landing overhead
+    # is small next to the leg+scan cadence, so >= 1.5x must survive.
+    assert makespans[1] / makespans[2] >= 1.5
+
+
+def test_workers_convert_makespan_into_wall_clock(fleet_runs):
+    """On multi-core hosts the fan-out must show up on a stopwatch."""
+    walls = {k: fleet_runs[k]["wall_s"] for k in KS}
+    for k in KS:
+        _RECORD["arms"].setdefault(str(k), {})["wall_s"] = walls[k]
+    speedup = walls[1] / walls[2]
+    _RECORD["wall_speedup_k2"] = speedup
+    print(f"\nwall per K: {walls}; K=2 speedup {speedup:.2f}x")
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-core host: no wall-clock scaling to assert")
+    if QUICK:
+        # Tiny budgets leave fork/refit overhead visible; ask only for
+        # a real improvement, not the full ratio.
+        assert walls[2] < walls[1]
+    else:
+        assert speedup >= 1.5, (
+            f"K=2 fleet only {speedup:.2f}x faster on "
+            f"{os.cpu_count()} cores"
+        )
+
+
+def test_rmse_at_budget_stays_competitive(fleet_runs, truth_scoring):
+    """Splitting the budget across drones must not wreck the map."""
+    rmses = {}
+    for k, run in fleet_runs.items():
+        result = run["result"]
+        dataset = result.builder.dataset()
+        model, vocabulary = _filtered_fit(dataset, result.waypoints_flown)
+        rmses[k] = ground_truth_map_rmse(
+            model,
+            vocabulary,
+            result.scenario.environment,
+            truth_scoring["eval_macs"],
+            truth_scoring["probes"],
+            fallback_dbm=float(dataset.rssi_dbm.mean()),
+            truth=truth_scoring["truth"],
+        )
+        arm = _RECORD["arms"].setdefault(str(k), {})
+        arm["ground_truth_rmse_dbm"] = rmses[k]
+        arm["holdout_rmse_dbm"] = result.final_rmse_dbm
+    print("\nground-truth RMSE at budget per K:", rmses)
+    assert all(np.isfinite(r) for r in rmses.values())
+    # Same budget, different spatial split: quality must stay in the
+    # same band as the solo campaign, not degrade with K.
+    for k in KS[1:]:
+        assert rmses[k] <= rmses[1] + 3.0, (
+            f"K={k} map is {rmses[k] - rmses[1]:.2f} dB worse than solo"
+        )
+
+
+def test_emit_perf_record(fleet_runs):
+    """Write BENCH_fleet.json (runs last: depends on the rest)."""
+    for k, run in fleet_runs.items():
+        result = run["result"]
+        arm = _RECORD["arms"].setdefault(str(k), {})
+        arm["rounds"] = len(result.rounds)
+        arm["waypoints_flown"] = result.waypoints_flown
+        arm["total_samples"] = len(result.log)
+        arm["dropped_waypoints"] = int(
+            sum(r.dropped_waypoints for r in result.rounds)
+        )
+    _RECORD["scenario"] = "condo"
+    _RECORD["seed_waypoints"] = SEED_WAYPOINTS
+    _RECORD["batch_size"] = BATCH
+    out = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+    out.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf record written to {out}")
+    assert out.exists()

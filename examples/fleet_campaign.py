@@ -1,63 +1,95 @@
 #!/usr/bin/env python3
-"""A full fleet campaign, waypoint by waypoint, with archival.
+"""Concurrent fleet acquisition: K drones, one uncertainty-driven map.
 
-Plans the paper's 72-waypoint mission, splits it across two UAVs, flies
-them sequentially (scan windows with the radio down, EKF-annotated
-samples), then prints the §III-A statistics and the Fig. 6/7 views and
-archives the samples to CSV.
+The paper flies its drones one at a time over a fixed lattice.  This
+example runs the ``acquisition="fleet"`` path instead: the active
+planner's waypoint batches are partitioned spatially across K drones
+(balanced k-means regions, anti-collision separation enforced at
+planning time), all K fly **at once** inside one simulation kernel,
+and the timestamped scans merge deterministically into one online map.
 
-Expected runtime: ~3 s.  Prints per-UAV sample counts and the
-per-location views; writes the full sample log to the CSV path given
-on the command line (default ``campaign_samples.csv``).
+It flies the same budget solo (K=1) and as a K-drone fleet, then shows
+what concurrency buys: the same spend of waypoints at a fraction of
+the simulated makespan — and a one-drone fleet reproducing the active
+campaign sample for sample.
+
+Expected runtime: ~5 s (~2 s with ``--quick``).  Writes the merged
+fleet sample log to the CSV path given on the command line.
 
 Usage::
 
-    python examples/fleet_campaign.py [output.csv]
+    python examples/fleet_campaign.py [--quick] [output.csv]
 """
 
 import sys
 
 from repro import build_demo_scenario
-from repro.analysis import campaign_stats, figure6, figure7, render_figure7
-from repro.station import plan_demo_mission, run_campaign
+from repro.analysis import render_active_trajectory
+from repro.station import (
+    ActiveSamplingConfig,
+    FleetConfig,
+    run_active_campaign,
+    run_fleet_campaign,
+)
 
 
 def main() -> None:
-    output = sys.argv[1] if len(sys.argv) > 1 else "campaign_samples.csv"
+    argv = sys.argv[1:]
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    output = paths[0] if paths else "fleet_samples.csv"
 
+    n_drones = 2 if quick else 3
+    active = ActiveSamplingConfig(
+        seed_waypoints=6,
+        batch_size=4,
+        budget_waypoints=12 if quick else 24,
+        lattice_nx=4,
+        lattice_ny=3,
+        lattice_nz=2,
+    )
     scenario = build_demo_scenario()
-    mission = plan_demo_mission(scenario)
-    for config, plan in mission.assignments:
-        print(
-            f"{config.name}: {len(plan)} waypoints on {config.radio_address}, "
-            f"expected ≥ {plan.expected_duration_s():.0f} s"
+
+    print(f"flying {active.budget_waypoints} waypoints solo (K=1)...")
+    solo = run_fleet_campaign(
+        scenario=scenario, fleet=FleetConfig(n_drones=1), active=active
+    )
+    print(
+        f"  makespan {solo.duration_s:.0f} s simulated, "
+        f"{len(solo.log)} samples, stop: {solo.stop_reason}"
+    )
+
+    print(f"\nsame budget as a {n_drones}-drone fleet...")
+    fleet = run_fleet_campaign(
+        scenario=scenario,
+        fleet=FleetConfig(n_drones=n_drones, min_separation_m=0.5),
+        active=active,
+    )
+    for round_ in fleet.rounds:
+        tours = " + ".join(str(len(t)) for t in round_.tours)
+        bumped = (
+            f"  ({round_.dropped_waypoints} bumped by separation)"
+            if round_.dropped_waypoints
+            else ""
         )
+        print(f"  round {round_.round_index}: tours {tours}{bumped}")
+    print(render_active_trajectory(fleet.rounds))
+    print(
+        f"  makespan {fleet.duration_s:.0f} s simulated "
+        f"({solo.duration_s / fleet.duration_s:.1f}x less flying time), "
+        f"{len(fleet.log)} samples, stop: {fleet.stop_reason}"
+    )
 
-    print("\nflying (simulated)...")
-    result = run_campaign(scenario=scenario, mission=mission)
+    # The determinism contract: a one-drone fleet IS the active
+    # campaign — same RNG stream forks, same samples, same order.
+    reference = run_active_campaign(scenario=scenario, active=active)
+    identical = len(reference.log) == len(solo.log) and all(
+        a == b for a, b in zip(reference.log, solo.log)
+    )
+    print(f"\nK=1 fleet ≡ active campaign: {identical}")
 
-    stats = campaign_stats(result)
-    print()
-    print(f"total samples   : {stats.total_samples}  (paper: 2696)")
-    for uav, count in sorted(stats.samples_by_uav.items()):
-        active = stats.active_time_by_uav[uav]
-        print(f"  {uav}: {count} samples in {active:.0f} s active")
-    print(f"distinct MACs   : {stats.distinct_macs}  (paper: 73)")
-    print(f"distinct SSIDs  : {stats.distinct_ssids}  (paper: 49)")
-    print(f"mean RSS        : {stats.mean_rss_dbm:.1f} dBm  (paper: ≈ -73)")
-
-    fig6 = figure6(result)
-    print()
-    print("samples per scanned location:")
-    for uav, rows in fig6.per_location.items():
-        counts = [c for _, c, _ in sorted(rows)]
-        print(f"  {uav}: min {min(counts)}, max {max(counts)}")
-
-    print()
-    print(render_figure7(figure7(result)))
-
-    result.log.save_csv(output)
-    print(f"\nsamples archived to {output}")
+    fleet.log.save_csv(output)
+    print(f"merged fleet samples archived to {output}")
 
 
 if __name__ == "__main__":

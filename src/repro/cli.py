@@ -89,6 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=6,
         help="active sampling: waypoints acquired per round (default 6)",
     )
+    campaign.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "fly K drones concurrently (fleet acquisition: the active "
+            "planner's batches are partitioned spatially across the "
+            "fleet, flown at once, and merged deterministically; "
+            "0 = off)"
+        ),
+    )
+    campaign.add_argument(
+        "--separation",
+        type=float,
+        default=0.5,
+        help=(
+            "fleet acquisition: pairwise anti-collision distance in "
+            "meters enforced at batch-planning time (default 0.5)"
+        ),
+    )
 
     figures = commands.add_parser("figures", help="regenerate paper figures")
     figures.add_argument(
@@ -377,6 +398,8 @@ def _cmd_campaign(args) -> int:
     from .radio import build_scenario
     from .station import run_campaign
 
+    if args.fleet:
+        return _cmd_campaign_fleet(args)
     if args.active:
         return _cmd_campaign_active(args)
     scenario = build_scenario(args.scenario, seed=args.seed)
@@ -431,6 +454,59 @@ def _cmd_campaign_active(args) -> int:
         f"{summary['total_samples']:.0f} samples, "
         f"{summary['distinct_macs']:.0f} MACs"
     )
+    if result.final_rmse_dbm is not None:
+        print(f"final holdout RMSE: {result.final_rmse_dbm:.3f} dB")
+    if args.output:
+        result.log.save_csv(args.output)
+        print(f"samples archived to {args.output}")
+    return 0
+
+
+def _cmd_campaign_fleet(args) -> int:
+    from .analysis import render_active_trajectory
+    from .radio import build_scenario
+    from .station import ActiveSamplingConfig, FleetConfig, run_fleet_campaign
+
+    if args.fleet < 1:
+        print("--fleet must be >= 1", file=sys.stderr)
+        return 2
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    scenario = build_scenario(args.scenario, seed=args.seed)
+    active = ActiveSamplingConfig(
+        seed_waypoints=min(12, args.budget),
+        batch_size=args.batch,
+        budget_waypoints=args.budget,
+        target_rmse_dbm=args.target_rmse,
+    )
+    fleet = FleetConfig(n_drones=args.fleet, min_separation_m=args.separation)
+    print(
+        f"flying the {args.scenario!r} campaign with a {args.fleet}-drone "
+        f"fleet (seed {args.seed}, budget {args.budget} waypoints, "
+        f"separation {args.separation:g} m)..."
+    )
+    result = run_fleet_campaign(scenario=scenario, fleet=fleet, active=active)
+    print(render_active_trajectory(result.rounds))
+    for round_ in result.rounds:
+        tours = " + ".join(str(len(t)) for t in round_.tours)
+        dropped = (
+            f", {round_.dropped_waypoints} bumped (separation)"
+            if round_.dropped_waypoints
+            else ""
+        )
+        print(f"round {round_.round_index}: tours {tours}{dropped}")
+    summary = result.summary()
+    print(
+        f"stopped: {result.stop_reason} after "
+        f"{result.waypoints_flown}/{args.budget} waypoints across "
+        f"{args.fleet} drone(s), {summary['total_samples']:.0f} samples, "
+        f"{summary['distinct_macs']:.0f} MACs"
+    )
+    print(f"fleet makespan: {result.duration_s:.1f} s simulated")
     if result.final_rmse_dbm is not None:
         print(f"final holdout RMSE: {result.final_rmse_dbm:.3f} dB")
     if args.output:
@@ -669,6 +745,18 @@ def _cmd_jobs_sweep(args, store) -> int:
             for r in result.records
         ]
         _print_json(payload, ok=ok)
+    elif (
+        summary["cached"] == summary["total"]
+        and summary["total"] > 0
+        and summary["built"] == summary["failed"] == summary["skipped"] == 0
+    ):
+        # Every cell was a resume cache hit: no rates or ETAs to
+        # report, just say so and exit cleanly.
+        print(
+            f"sweep {summary['jobset_digest'][:12]}: cached "
+            f"{summary['cached']}/{summary['total']} in "
+            f"{summary['elapsed_s']:.1f}s (all jobs already in the store)"
+        )
     else:
         print(
             f"sweep {summary['jobset_digest'][:12]}: "

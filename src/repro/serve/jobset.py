@@ -160,8 +160,10 @@ class JobSetSpec:
                 params["tune"] = False
             else:
                 params.setdefault("tune", False)
-            if params.get("acquisition") != "active":
+            if params.get("acquisition") not in ("active", "fleet"):
                 params.pop("active", None)
+            if params.get("acquisition") != "fleet":
+                params.pop("fleet", None)
             specs.append(RemJobSpec.from_dict(params))
         return specs
 
@@ -234,8 +236,10 @@ class JobSetProgress:
     cached: int
     failed: int
     elapsed_s: float
-    #: Remaining wall-clock estimate from the mean build time so far
-    #: (``None`` until the first fresh build lands).
+    #: Remaining wall-clock estimate from the mean build time so far:
+    #: ``None`` until the first fresh build lands, ``0.0`` once every
+    #: job has settled (notably the all-cache-hit sweep, which never
+    #: sees a build to extrapolate from).
     eta_s: Optional[float]
     #: The job that just settled.
     digest: str
@@ -502,9 +506,14 @@ class JobSetRunner:
             cached = sum(1 for r in self._records.values() if r.status == "cached")
             failed = sum(1 for r in self._records.values() if r.status == "failed")
             done = built + cached + failed
+            remaining = self._total - done
             eta = None
-            if built:
-                remaining = self._total - done
+            if remaining == 0:
+                # Nothing left — in particular the all-cache-hit sweep,
+                # where no build ever lands to extrapolate a rate from:
+                # the only honest ETA is zero, not "unknown".
+                eta = 0.0
+            elif built:
                 parallelism = max(1, len(self._workers)) if self._workers else 1
                 eta = (self._build_wall_sum / built) * remaining / parallelism
             self.progress(

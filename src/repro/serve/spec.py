@@ -81,10 +81,15 @@ class RemJobSpec:
     min_samples_per_mac: int = 16
     test_fraction: float = 0.25
     split_seed: int = 7
-    #: Active-sampling tunables (only with ``acquisition == "active"``;
-    #: ``None`` = the :class:`~repro.station.ActiveSamplingConfig`
-    #: defaults).  Keys follow ``ActiveSamplingConfig.from_job_fields``.
+    #: Active-sampling tunables (with ``acquisition == "active"`` or
+    #: ``"fleet"`` — the fleet loop shares them; ``None`` = the
+    #: :class:`~repro.station.ActiveSamplingConfig` defaults).  Keys
+    #: follow ``ActiveSamplingConfig.from_job_fields``.
     active: Optional[Dict[str, object]] = None
+    #: Fleet tunables (only with ``acquisition == "fleet"``; ``None`` =
+    #: the :class:`~repro.station.FleetConfig` defaults).  Keys follow
+    #: ``FleetConfig.from_job_fields``.
+    fleet: Optional[Dict[str, object]] = None
     #: Also build the predictive-uncertainty layer of the artifact.
     with_uncertainty: bool = True
     #: Artifact tensor dtype: ``"float64"`` (exact) or ``"float32"``
@@ -139,17 +144,29 @@ class RemJobSpec:
             object.__setattr__(self, name, float(getattr(self, name)))
         # Detach from caller-owned mutable dicts (the spec is a value).
         object.__setattr__(self, "hyperparameters", dict(self.hyperparameters))
-        if self.active is not None and self.acquisition != "active":
-            raise ValueError("active tunables require acquisition='active'")
-        if self.acquisition == "active":
+        if self.active is not None and self.acquisition not in (
+            "active",
+            "fleet",
+        ):
+            raise ValueError(
+                "active tunables require acquisition='active' or 'fleet'"
+            )
+        if self.fleet is not None and self.acquisition != "fleet":
+            raise ValueError("fleet tunables require acquisition='fleet'")
+        if self.acquisition in ("active", "fleet"):
             # Validate eagerly and canonicalize to the *full*, typed
             # field dict, so equivalent spellings of the same
             # acquisition loop (``None`` vs ``{}`` vs defaults spelled
             # out, ints vs floats) cannot hash to different digests.
             object.__setattr__(self, "active", dict(self.active or {}))
-            object.__setattr__(
-                self, "active", self._campaign_config().active.to_job_fields()
-            )
+            if self.acquisition == "fleet":
+                object.__setattr__(self, "fleet", dict(self.fleet or {}))
+            campaign = self._campaign_config()
+            object.__setattr__(self, "active", campaign.active.to_job_fields())
+            if self.acquisition == "fleet":
+                object.__setattr__(
+                    self, "fleet", campaign.fleet.to_job_fields()
+                )
         try:
             self.canonical_json()
         except TypeError as exc:
@@ -210,6 +227,7 @@ class RemJobSpec:
                 "seed": self.seed,
                 "acquisition": self.acquisition,
                 "active": self.active,
+                "fleet": self.fleet,
             }
         )
 
@@ -271,6 +289,7 @@ class RemJobSpec:
             seed=campaign["seed"],
             acquisition=campaign["acquisition"],
             active=campaign["active"],
+            fleet=campaign.get("fleet"),
             tune=config.tune_hyperparameters,
             cv_folds=config.cv_folds,
             resolution_m=config.rem_resolution_m,

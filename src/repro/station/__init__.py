@@ -16,6 +16,17 @@ from .active import (
 from .campaign import CampaignConfig, CampaignResult, run_campaign
 from .client import BaseStationClient, ClientConfig, UavFlightReport
 from .endurance import EnduranceResult, run_endurance_test
+from .fleet import (
+    FleetCampaignResult,
+    FleetConfig,
+    FleetRound,
+    FleetRoundPlan,
+    drone_name,
+    first_separation_conflict,
+    merge_fleet_samples,
+    plan_fleet_round,
+    run_fleet_campaign,
+)
 from .mission import (
     Mission,
     UavMissionConfig,
@@ -47,6 +58,15 @@ __all__ = [
     "UavFlightReport",
     "EnduranceResult",
     "run_endurance_test",
+    "FleetCampaignResult",
+    "FleetConfig",
+    "FleetRound",
+    "FleetRoundPlan",
+    "drone_name",
+    "first_separation_conflict",
+    "merge_fleet_samples",
+    "plan_fleet_round",
+    "run_fleet_campaign",
     "Mission",
     "UavMissionConfig",
     "WaypointPlan",

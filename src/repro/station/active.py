@@ -289,6 +289,15 @@ class ActiveSamplingPlanner:
         """Record candidates as flown (they leave the pool)."""
         self._visited[np.asarray(indices, dtype=int)] = True
 
+    def mark_unvisited(self, indices: np.ndarray) -> None:
+        """Return candidates to the pool (they become selectable again).
+
+        The fleet planner's anti-collision repair bumps waypoints out
+        of a round after selection; un-marking them keeps the bumped
+        waypoints eligible for later rounds instead of silently lost.
+        """
+        self._visited[np.asarray(indices, dtype=int)] = False
+
     # ------------------------------------------------------------------
     def seed_batch(self, count: int) -> np.ndarray:
         """The exploratory first batch: farthest-point candidate indices."""

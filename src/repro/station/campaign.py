@@ -26,11 +26,12 @@ from .storage import SampleLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .active import ActiveSamplingConfig
+    from .fleet import FleetConfig
 
 __all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
 
 #: Valid ``CampaignConfig.acquisition`` strategies.
-ACQUISITION_STRATEGIES = ("lattice", "active")
+ACQUISITION_STRATEGIES = ("lattice", "active", "fleet")
 
 
 @dataclass(frozen=True)
@@ -42,11 +43,16 @@ class CampaignConfig:
     scenario: str = "condo"
     #: Waypoint acquisition strategy: ``"lattice"`` flies the paper's
     #: fixed grid; ``"active"`` runs the uncertainty-driven loop
-    #: (:func:`repro.station.active.run_active_campaign`).
+    #: (:func:`repro.station.active.run_active_campaign`); ``"fleet"``
+    #: runs that loop with K concurrent drones
+    #: (:func:`repro.station.fleet.run_fleet_campaign`).
     acquisition: str = "lattice"
-    #: Acquisition-loop tunables for ``acquisition="active"``
-    #: (defaults applied there when left as ``None``).
+    #: Acquisition-loop tunables for ``acquisition="active"`` and
+    #: ``"fleet"`` (defaults applied there when left as ``None``).
     active: Optional["ActiveSamplingConfig"] = None
+    #: Fleet shape for ``acquisition="fleet"`` (drone count, pairwise
+    #: separation, batteries, charging; defaults applied when ``None``).
+    fleet: Optional["FleetConfig"] = None
     firmware: FirmwareConfig = field(default_factory=FirmwareConfig.paper_modified)
     localization_mode: str = LocalizationMode.TDOA
     anchor_count: int = 8
@@ -89,20 +95,26 @@ class CampaignConfig:
             "seed": self.seed,
             "acquisition": self.acquisition,
             "active": None if self.active is None else self.active.to_job_fields(),
+            "fleet": None if self.fleet is None else self.fleet.to_job_fields(),
         }
 
     @classmethod
     def from_job_fields(cls, params: Dict[str, object]) -> "CampaignConfig":
         """Inverse of :meth:`to_job_fields`."""
         from .active import ActiveSamplingConfig
+        from .fleet import FleetConfig
 
         active = params.get("active")
+        fleet = params.get("fleet")
         return cls(
             seed=int(params.get("seed", 63)),
             scenario=str(params.get("scenario", "condo")),
             acquisition=str(params.get("acquisition", "lattice")),
             active=(
                 None if active is None else ActiveSamplingConfig.from_job_fields(active)
+            ),
+            fleet=(
+                None if fleet is None else FleetConfig.from_job_fields(fleet)
             ),
         )
 
@@ -175,6 +187,20 @@ def run_campaign(
 
         return run_active_campaign(
             scenario=scenario, config=config, active=config.active
+        )
+    if config.acquisition == "fleet":
+        if mission is not None:
+            raise ValueError(
+                "an explicit mission contradicts acquisition='fleet' "
+                "(the planner chooses the waypoints)"
+            )
+        from .fleet import run_fleet_campaign
+
+        return run_fleet_campaign(
+            scenario=scenario,
+            config=config,
+            fleet=config.fleet,
+            active=config.active,
         )
     if scenario is None:
         scenario = build_scenario(config.scenario, seed=config.seed)

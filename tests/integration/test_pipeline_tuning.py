@@ -4,6 +4,9 @@ import pytest
 
 from repro import ToolchainConfig, generate_rem
 
+#: The full grid search takes ~30 s; run via `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tuned_result():

@@ -17,6 +17,9 @@ from tests.serve.conftest import make_artifact
 
 HAS_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
 
+#: Forks whole HTTP worker processes; run via `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def cluster_store(tmp_path_factory):

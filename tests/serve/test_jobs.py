@@ -70,6 +70,51 @@ class TestRunJob:
         assert artifact.uncertainty is None
 
 
+class TestFleetEquivalencePin:
+    """The K=1 fleet degeneration, pinned at the artifact-byte level.
+
+    A one-drone fleet flies the exact flights of the active campaign
+    (same RNG stream forks, same sample order), so the built artifact
+    must be byte-identical — distinct spec digests, one content hash.
+    """
+
+    SMALL = {
+        "seed_waypoints": 6,
+        "batch_size": 4,
+        "budget_waypoints": 10,
+        "lattice_nx": 4,
+        "lattice_ny": 3,
+        "lattice_nz": 2,
+    }
+    COMMON = {
+        "tune": False,
+        "with_uncertainty": False,
+        "resolution_m": 0.8,
+        "min_samples_per_mac": 3,
+    }
+
+    def test_one_drone_fleet_builds_the_active_artifact(self):
+        active_spec = RemJobSpec(
+            acquisition="active", active=self.SMALL, **self.COMMON
+        )
+        fleet_spec = RemJobSpec(
+            acquisition="fleet",
+            active=self.SMALL,
+            fleet={"n_drones": 1},
+            **self.COMMON,
+        )
+        # Different jobs by address (the spec names the acquisition) ...
+        assert fleet_spec.digest() != active_spec.digest()
+        active_artifact = run_job(active_spec)
+        fleet_artifact = run_job(fleet_spec)
+        # ... same bytes by content.
+        assert fleet_artifact.content_hash() == active_artifact.content_hash()
+        assert (
+            fleet_artifact.provenance["samples"]
+            == active_artifact.provenance["samples"]
+        )
+
+
 @pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestGenerateRemShim:
     CONFIG = ToolchainConfig(

@@ -87,6 +87,20 @@ class TestJobSetSpec:
         assert by_acquisition["lattice"].active is None
         assert by_acquisition["active"].active is not None
 
+    def test_fleet_tunables_only_attach_to_fleet_cells(self):
+        jobset = tiny_jobset(
+            acquisitions=("lattice", "active", "fleet"),
+            base={**TINY_BASE, "fleet": {"n_drones": 3}},
+        )
+        by_acquisition = {j.acquisition: j for j in jobset.jobs()}
+        assert by_acquisition["lattice"].active is None
+        assert by_acquisition["lattice"].fleet is None
+        assert by_acquisition["active"].fleet is None
+        assert by_acquisition["active"].active is not None
+        assert by_acquisition["fleet"].fleet["n_drones"] == 3
+        # The fleet loop shares the active tunables.
+        assert by_acquisition["fleet"].active is not None
+
     def test_empty_axis_rejected(self):
         with pytest.raises(ValueError, match="non-empty"):
             JobSetSpec(seeds=())
@@ -140,6 +154,21 @@ class TestInlineRunner:
         # ETA becomes available once the first build has landed.
         assert any(t.eta_s is not None for t in ticks)
         assert result.elapsed_s >= sum(r.wall_s for r in result.records) * 0.5
+
+    def test_all_cached_sweep_reports_zero_eta(self, tmp_path):
+        # Regression: a sweep where *every* cell is a cache hit never
+        # sees a build to extrapolate a rate from; the final tick must
+        # say 0.0 (done), not hang on "unknown".
+        store = ArtifactStore(tmp_path)
+        jobset = tiny_jobset()
+        run_jobset(jobset, store, workers=0)
+
+        ticks = []
+        again = run_jobset(jobset, store, workers=0, progress=ticks.append)
+        assert again.cached == 4 and again.built == 0
+        assert [t.status for t in ticks] == ["cached"] * 4
+        assert [t.eta_s for t in ticks] == [None, None, None, 0.0]
+        assert ticks[-1].done == ticks[-1].total == 4
 
     def test_runner_parameter_validation(self, tmp_path):
         store = ArtifactStore(tmp_path)

@@ -180,3 +180,90 @@ class TestConfigAdapters:
         predictor = spec.build_predictor()
         assert isinstance(predictor, KnnRegressor)
         assert predictor.n_neighbors == 7
+
+
+class TestFleetFields:
+    def test_round_trip_preserves_fleet_and_digest(self):
+        spec = RemJobSpec(
+            acquisition="fleet",
+            fleet={"n_drones": 3, "min_separation_m": 1.0},
+            active={"budget_waypoints": 24},
+            tune=False,
+        )
+        again = RemJobSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_fleet_none_and_empty_mean_the_same_job(self):
+        # None, {}, and the defaults spelled out all fly the identical
+        # fleet, so they must share one content address.
+        a = RemJobSpec(acquisition="fleet", fleet=None)
+        b = RemJobSpec(acquisition="fleet", fleet={})
+        c = RemJobSpec(acquisition="fleet", fleet={"n_drones": 2})
+        assert a.digest() == b.digest() == c.digest()
+        # Canonicalization spells every fleet field out.
+        assert a.fleet == {
+            "n_drones": 2,
+            "min_separation_m": 0.5,
+            "charging_slots": 1,
+            "charge_time_s": 0.0,
+            "batteries": None,
+        }
+        # ... and the shared active tunables too.
+        assert a.active is not None
+
+    def test_fleet_numeric_spellings_normalize(self):
+        a = RemJobSpec(acquisition="fleet", fleet={"n_drones": 4})
+        b = RemJobSpec(acquisition="fleet", fleet={"n_drones": 4.0})
+        assert a.digest() == b.digest()
+
+    def test_default_batteries_spelled_out_canonicalize(self):
+        # One default pack per drone is the same fleet as no batteries.
+        pack = {
+            "capacity_mah": 250.0,
+            "hover_current_ma": 2080.0,
+            "translate_extra_ma": 260.0,
+            "erratic_reserve_fraction": 0.04,
+        }
+        a = RemJobSpec(acquisition="fleet", fleet={"batteries": [pack, pack]})
+        b = RemJobSpec(acquisition="fleet", fleet=None)
+        assert a.digest() == b.digest()
+
+    def test_custom_batteries_change_the_digest(self):
+        weak = {"capacity_mah": 120.0}
+        a = RemJobSpec(
+            acquisition="fleet", fleet={"batteries": [weak, weak]}
+        )
+        b = RemJobSpec(acquisition="fleet", fleet=None)
+        assert a.digest() != b.digest()
+        assert RemJobSpec.from_json(a.to_json()) == a
+
+    def test_fleet_dict_requires_fleet_acquisition(self):
+        with pytest.raises(ValueError, match="acquisition='fleet'"):
+            RemJobSpec(acquisition="active", fleet={"n_drones": 2})
+        with pytest.raises(ValueError, match="acquisition='fleet'"):
+            RemJobSpec(fleet={"n_drones": 2})
+
+    def test_active_dict_allowed_with_fleet_acquisition(self):
+        spec = RemJobSpec(
+            acquisition="fleet", active={"budget_waypoints": 18}
+        )
+        assert spec.active["budget_waypoints"] == 18
+
+    def test_unknown_fleet_key_rejected(self):
+        with pytest.raises(ValueError, match="fleet job field"):
+            RemJobSpec(acquisition="fleet", fleet={"warp_drive": 1})
+
+    def test_fleet_toolchain_config_round_trip(self):
+        spec = RemJobSpec(
+            acquisition="fleet",
+            fleet={"n_drones": 3},
+            active={"budget_waypoints": 30},
+            tune=False,
+        )
+        config = spec.toolchain_config()
+        assert config.campaign.acquisition == "fleet"
+        assert config.campaign.fleet.n_drones == 3
+        assert config.campaign.active.budget_waypoints == 30
+        again = RemJobSpec.from_toolchain_config(config, with_uncertainty=True)
+        assert again == spec

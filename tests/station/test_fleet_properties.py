@@ -1,0 +1,166 @@
+"""Property suite for fleet round planning (partition/battery/separation).
+
+Hypothesis drives :func:`repro.station.plan_fleet_round` across random
+waypoint clouds, fleet sizes K ∈ {1..4}, separations and seeds, and
+checks the planning invariants the campaign loop relies on:
+
+* every input waypoint lands in exactly one tour or the dropped pool;
+* no tour exceeds its drone's battery endurance (under the campaign's
+  round-quota sizing rule);
+* tours never enter no-fly cuboids (the planner filters candidates);
+* after repair, no simultaneous pair of tour positions violates the
+  minimum separation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.geometry import Cuboid
+from repro.station import (
+    ActiveSamplingPlanner,
+    FleetConfig,
+    first_separation_conflict,
+    plan_fleet_round,
+)
+from repro.uav.battery import BatteryConfig
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+#: One shared flight-volume box for all generated scenarios.
+BOX_MIN = np.array([0.0, 0.0, 0.0])
+BOX_MAX = np.array([6.0, 4.0, 2.0])
+
+
+def random_points(seed: int, n: int) -> np.ndarray:
+    """``n`` unique waypoints drawn uniformly from the box."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(BOX_MIN, BOX_MAX, size=(n, 3))
+
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16),
+        "n": st.integers(1, 28),
+        "k": st.integers(1, 4),
+        "sep": st.floats(0.0, 2.0, allow_nan=False),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scenario)
+def test_every_waypoint_assigned_exactly_once(case):
+    points = random_points(case["seed"], case["n"])
+    fleet = FleetConfig(n_drones=case["k"], min_separation_m=case["sep"])
+    plan = plan_fleet_round(points, fleet, partition_seed=case["seed"])
+    assert len(plan.tours) == case["k"]
+    assert len(plan.tour_indices) == case["k"]
+    flown = np.concatenate([idx for idx in plan.tour_indices] + [np.zeros(0, int)])
+    everything = np.concatenate([flown, plan.dropped_indices])
+    # A permutation of the input batch: nothing lost, nothing doubled.
+    assert sorted(everything.tolist()) == list(range(case["n"]))
+    # Indices really point at the tour coordinates, drone by drone.
+    for tour, indices in zip(plan.tours, plan.tour_indices):
+        assert len(tour) == len(indices)
+        np.testing.assert_array_equal(tour, points[indices])
+    assert plan.waypoints_flown + len(plan.dropped_indices) == case["n"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scenario)
+def test_tours_stay_balanced(case):
+    points = random_points(case["seed"], case["n"])
+    fleet = FleetConfig(n_drones=case["k"], min_separation_m=case["sep"])
+    plan = plan_fleet_round(points, fleet, partition_seed=case["seed"])
+    # Balanced k-means quota; the separation repair only shrinks tours.
+    quota = -(-case["n"] // min(case["k"], case["n"]))
+    assert all(len(tour) <= quota for tour in plan.tours)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    case=scenario,
+    capacity=st.floats(40.0, 300.0, allow_nan=False),
+)
+def test_no_tour_exceeds_battery_endurance(case, capacity):
+    """The campaign's round-sizing rule keeps every drone inside its pack.
+
+    The loop caps a round at ``K * min_quota`` waypoints, where
+    ``min_quota`` is the weakest drone's ``endurance_waypoints``; the
+    balanced partition then bounds every tour by ``ceil(n/K) <=
+    min_quota``.  This re-enacts that sizing with randomized packs.
+    """
+    k = case["k"]
+    rng = np.random.default_rng(case["seed"])
+    packs = tuple(
+        BatteryConfig(capacity_mah=capacity * float(scale))
+        for scale in rng.uniform(0.5, 1.5, size=k)
+    )
+    fleet = FleetConfig(
+        n_drones=k, min_separation_m=case["sep"], batteries=packs
+    )
+    quotas = [
+        fleet.battery(d).endurance_waypoints(
+            flight_leg_s=4.0, scan_window_s=3.0
+        )
+        for d in range(k)
+    ]
+    min_quota = min(quotas)
+    n = min(case["n"], k * min_quota)
+    plan = plan_fleet_round(
+        random_points(case["seed"], n), fleet, partition_seed=case["seed"]
+    )
+    for d, tour in enumerate(plan.tours):
+        assert len(tour) <= quotas[d]
+        assert len(tour) <= min_quota
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=scenario)
+def test_tours_respect_no_fly_cuboids(case):
+    """Candidates come pre-filtered by the planner; tours inherit that."""
+    zone = Cuboid((1.0, 1.0, 0.0), (3.0, 3.0, 2.0))
+    points = random_points(case["seed"], max(case["n"], 8))
+    try:
+        planner = ActiveSamplingPlanner(points, no_fly=(zone,))
+    except ValueError:
+        # Every generated point fell inside the zone; nothing to plan.
+        return
+    batch = planner.seed_batch(min(case["n"], len(planner.candidates)))
+    fleet = FleetConfig(n_drones=case["k"], min_separation_m=case["sep"])
+    plan = plan_fleet_round(
+        planner.candidates[batch], fleet, partition_seed=case["seed"]
+    )
+    for tour in plan.tours:
+        assert not any(zone.contains(p) for p in tour)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scenario)
+def test_repaired_tours_never_violate_separation(case):
+    points = random_points(case["seed"], case["n"])
+    fleet = FleetConfig(n_drones=case["k"], min_separation_m=case["sep"])
+    plan = plan_fleet_round(points, fleet, partition_seed=case["seed"])
+    assert first_separation_conflict(plan.tours, case["sep"]) is None
+    # And the checker itself agrees with a brute-force pairwise sweep.
+    depth = max((len(t) for t in plan.tours), default=0)
+    for step in range(depth):
+        airborne = [t[step] for t in plan.tours if len(t) > step]
+        for i, a in enumerate(airborne):
+            for b in airborne[i + 1 :]:
+                assert float(np.linalg.norm(a - b)) >= case["sep"]
+
+
+def test_duplicate_waypoints_rejected():
+    points = np.zeros((2, 3))
+    with pytest.raises(ValueError, match="unique"):
+        plan_fleet_round(points, FleetConfig(n_drones=2))
+
+
+def test_empty_batch_plans_empty_tours():
+    plan = plan_fleet_round(np.zeros((0, 3)), FleetConfig(n_drones=3))
+    assert plan.waypoints_flown == 0
+    assert len(plan.tours) == 3
+    assert len(plan.dropped_indices) == 0

@@ -47,6 +47,18 @@ class TestParser:
         assert args.budget == 72
         assert args.target_rmse is None
 
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--fleet", "3", "--separation", "1.2"]
+        )
+        assert args.fleet == 3
+        assert args.separation == pytest.approx(1.2)
+
+    def test_fleet_defaults_off(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.fleet == 0
+        assert args.separation == pytest.approx(0.5)
+
 
 class TestCommands:
     def test_campaign_with_csv(self, tmp_path, capsys):
@@ -81,6 +93,35 @@ class TestCommands:
 
     def test_campaign_active_bad_budget(self, capsys):
         assert main(["campaign", "--active", "--budget", "0"]) == 2
+
+    def test_campaign_fleet(self, tmp_path, capsys):
+        output = tmp_path / "fleet.csv"
+        code = main(
+            [
+                "campaign",
+                "--fleet",
+                "2",
+                "--budget",
+                "12",
+                "--batch",
+                "4",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "2-drone" in out
+        assert "round 0: tours" in out
+        assert "stopped: budget" in out
+        assert "fleet makespan" in out
+        assert "final holdout RMSE" in out
+
+    def test_campaign_fleet_bad_flags(self, capsys):
+        assert main(["campaign", "--fleet", "-1"]) == 2
+        assert main(["campaign", "--fleet", "2", "--budget", "0"]) == 2
+        assert main(["campaign", "--fleet", "2", "--batch", "0"]) == 2
 
     def test_figure5(self, capsys):
         assert main(["figures", "--figure", "5"]) == 0
@@ -420,6 +461,22 @@ class TestSweepAndReportCommands:
         summary = envelope["result"]
         assert summary["cached"] == 4 and summary["built"] == 0
         assert {r["status"] for r in summary["records"]} == {"cached"}
+
+    def test_all_cached_sweep_prints_cached_summary(self, tmp_path, capsys):
+        # Regression: a fully-cached resume used to report the generic
+        # built/failed/skipped line with no usable rate or ETA; it now
+        # states the cache hit count and the elapsed wall and exits 0.
+        store = str(tmp_path / "artifacts")
+        base = ["jobs", "sweep", "--store", store, "--workers", "0"]
+        assert main([*base, *self.TINY_SWEEP]) == 0
+        capsys.readouterr()
+
+        assert main([*base, *self.TINY_SWEEP]) == 0
+        out = capsys.readouterr().out
+        assert "cached 4/4" in out
+        assert "all jobs already in the store" in out
+        # The final tick resolves to a zero ETA, not "unknown".
+        assert "eta 0s" in out
 
     def test_sweep_spec_file_and_stdin(self, tmp_path, capsys, monkeypatch):
         import io

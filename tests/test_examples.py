@@ -41,10 +41,13 @@ class TestExamples:
 
     def test_fleet_campaign(self, tmp_path, capsys):
         output = tmp_path / "samples.csv"
-        _run_example("fleet_campaign", [str(output)])
+        _run_example("fleet_campaign", ["--quick", str(output)])
         assert output.exists()
         out = capsys.readouterr().out
-        assert "total samples" in out
+        assert "2-drone fleet" in out
+        assert "round 0: tours" in out
+        assert "K=1 fleet ≡ active campaign: True" in out
+        assert "archived" in out
 
     def test_rem_planning(self, capsys):
         _run_example("rem_planning")
